@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Ablation — sensitivity of EMPROF's accuracy to its design choices:
+ * dip thresholds (and the hysteresis gap), the duration threshold, the
+ * normalisation window, and the window-contrast guard.
+ *
+ * One reference capture (TM=1024 CM=10 on the Olimex) is analysed
+ * under every configuration; accuracy is the usual count accuracy
+ * against the engineered miss count over the marker-isolated section.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "em/capture.hpp"
+#include "profiler/marker.hpp"
+#include "profiler/naive_threshold.hpp"
+#include "workloads/microbenchmark.hpp"
+
+using namespace emprof;
+
+namespace {
+
+double
+accuracyWith(const dsp::TimeSeries &section, profiler::EmProfConfig cfg,
+             uint64_t expected)
+{
+    const auto result = profiler::EmProf::analyze(section, cfg);
+    return bench::countAccuracy(
+        static_cast<double>(result.report.totalEvents),
+        static_cast<double>(expected));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Ablation: EMPROF detector design choices",
+                       "(accuracy on TM=1024 CM=10, Olimex EM capture)");
+
+    workloads::MicrobenchmarkConfig mb_cfg;
+    mb_cfg.totalMisses = 1024;
+    mb_cfg.consecutiveMisses = 10;
+    workloads::Microbenchmark mb(mb_cfg);
+
+    auto device = devices::makeOlimex();
+    sim::Simulator simulator(device.sim);
+    const auto cap = em::captureRun(simulator, mb, device.probe);
+    const auto sections = profiler::findMarkerSections(cap.magnitude);
+    const auto section = profiler::slice(cap.magnitude, sections.measured);
+    const auto base = bench::profilerFor(device);
+
+    std::printf("\n(1) enter threshold (exit = enter + 0.16):\n");
+    for (double enter : {0.08, 0.15, 0.22, 0.30, 0.40, 0.55}) {
+        auto cfg = base;
+        cfg.enterThreshold = enter;
+        cfg.exitThreshold = enter + 0.16;
+        std::printf("    enter %.2f -> %.2f%%\n", enter,
+                    accuracyWith(section, cfg, mb_cfg.totalMisses));
+    }
+
+    std::printf("\n(2) hysteresis gap (enter fixed at 0.22):\n");
+    for (double gap : {0.0, 0.05, 0.16, 0.30, 0.50}) {
+        auto cfg = base;
+        cfg.exitThreshold = cfg.enterThreshold + gap;
+        std::printf("    gap %.2f -> %.2f%%\n", gap,
+                    accuracyWith(section, cfg, mb_cfg.totalMisses));
+    }
+
+    std::printf("\n(3) duration threshold (paper: \"significantly "
+                "shorter than the LLC latency,\n    significantly "
+                "longer than on-chip latencies\"):\n");
+    for (double ns : {12.0, 25.0, 60.0, 120.0, 200.0, 400.0}) {
+        auto cfg = base;
+        cfg.minStallNs = ns;
+        std::printf("    %.0f ns -> %.2f%%\n", ns,
+                    accuracyWith(section, cfg, mb_cfg.totalMisses));
+    }
+
+    std::printf("\n(4) normalisation window:\n");
+    for (double ms : {0.05, 0.2, 1.0, 4.0, 16.0}) {
+        auto cfg = base;
+        cfg.normWindowSeconds = ms * 1e-3;
+        std::printf("    %.2f ms -> %.2f%%\n", ms,
+                    accuracyWith(section, cfg, mb_cfg.totalMisses));
+    }
+
+    std::printf("\n(5) window-contrast guard:\n");
+    for (double contrast : {0.0, 0.1, 0.2, 0.4, 0.6}) {
+        auto cfg = base;
+        cfg.minContrast = contrast;
+        std::printf("    minContrast %.1f -> %.2f%%\n", contrast,
+                    accuracyWith(section, cfg, mb_cfg.totalMisses));
+    }
+
+    // (6) Why normalise at all?  A calibrated fixed threshold against
+    // EMPROF, as the probe-coupling gain drifts (Sec. IV's motivating
+    // distortion: "even small changes in probe/antenna position can
+    // dramatically change the overall magnitude").
+    std::printf("\n(6) EMPROF vs a calibrated fixed threshold under "
+                "slow large gain swings\n    (stall-time accuracy "
+                "against simulator ground truth; swing period 0.4 ms,\n"
+                "    EMPROF window 0.1 ms):\n");
+    std::printf("    %14s %12s %12s\n", "swing +/-", "EMPROF",
+                "fixed-thresh");
+    for (double swing : {0.0, 0.2, 0.4, 0.6}) {
+        workloads::Microbenchmark mb2(mb_cfg);
+        auto drift_device = devices::makeOlimex();
+        drift_device.probe.channel.supplyRippleAmp = swing;
+        drift_device.probe.channel.supplyRippleHz = 2.5e3;
+        sim::Simulator sim2(drift_device.sim);
+        const auto cap2 = em::captureRun(sim2, mb2, drift_device.probe);
+        const auto gt_stall = static_cast<double>(
+            sim2.groundTruth().missStallCycles());
+
+        auto em_cfg = bench::profilerFor(drift_device);
+        em_cfg.normWindowSeconds = 0.1e-3; // well under the swing period
+        const auto emprof_result =
+            profiler::EmProf::analyze(cap2.magnitude, em_cfg);
+        const double emprof_acc = bench::countAccuracy(
+            emprof_result.report.totalStallCycles, gt_stall);
+
+        profiler::NaiveThresholdConfig naive;
+        naive.clockHz = drift_device.clockHz();
+        naive.threshold =
+            profiler::calibrateNaiveThreshold(cap2.magnitude, 2'000);
+        double naive_stall = 0.0;
+        for (const auto &ev :
+             profiler::naiveDetect(cap2.magnitude, naive))
+            naive_stall += ev.stallCycles;
+        const double naive_acc =
+            bench::countAccuracy(naive_stall, gt_stall);
+
+        std::printf("    %14.2f %11.2f%% %11.2f%%\n", swing, emprof_acc,
+                    naive_acc);
+    }
+    std::printf("\n    the fixed threshold is calibrated on the first "
+                "2000 samples and holds only\n    while the gain "
+                "stands still; EMPROF's moving min/max tracks the "
+                "swing\n    (Sec. IV: probe position and supply "
+                "voltage scale the whole signal).\n");
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Shared helpers for the experiment harness: headers, ASCII rendering
+ * of signals (the text equivalent of the paper's figures), and the
+ * standard per-device profiler configuration.
+ */
+
+#ifndef EMPROF_BENCH_COMMON_HPP
+#define EMPROF_BENCH_COMMON_HPP
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "devices/devices.hpp"
+#include "dsp/types.hpp"
+#include "profiler/profiler.hpp"
+
+namespace emprof::bench {
+
+/** Print a boxed experiment header. */
+inline void
+printHeader(const std::string &title, const std::string &subtitle = "")
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    if (!subtitle.empty())
+        std::printf("%s\n", subtitle.c_str());
+    std::printf("================================================================\n");
+}
+
+/** Standard EMPROF configuration for a modelled device. */
+inline profiler::EmProfConfig
+profilerFor(const devices::DeviceModel &device, double sample_rate_hz = 0.0)
+{
+    profiler::EmProfConfig cfg;
+    cfg.clockHz = device.clockHz();
+    if (sample_rate_hz > 0.0)
+        cfg.sampleRateHz = sample_rate_hz;
+    return cfg;
+}
+
+/** Counting accuracy as the paper reports it (100% = exact). */
+inline double
+countAccuracy(double reported, double expected)
+{
+    if (expected <= 0.0)
+        return reported == 0.0 ? 100.0 : 0.0;
+    return 100.0 * (1.0 - std::abs(reported - expected) / expected);
+}
+
+/**
+ * Render a signal as a rows-deep ASCII waveform, downsampled to
+ * `width` columns by max-pooling (so brief dips stay visible as gaps
+ * in the max envelope, and figure text stays compact).
+ */
+inline void
+asciiWave(const dsp::TimeSeries &signal, std::size_t begin,
+          std::size_t end, int rows = 8, int width = 96,
+          bool min_pool = false)
+{
+    end = std::min<std::size_t>(end, signal.samples.size());
+    if (begin >= end)
+        return;
+    const std::size_t n = end - begin;
+    const std::size_t per_col =
+        std::max<std::size_t>(1, n / static_cast<std::size_t>(width));
+    const int cols =
+        static_cast<int>(std::min<std::size_t>(width, n / per_col));
+
+    std::vector<float> pooled(cols);
+    float lo = 1e30f, hi = -1e30f;
+    for (int c = 0; c < cols; ++c) {
+        float v = min_pool ? 1e30f : -1e30f;
+        for (std::size_t i = 0; i < per_col; ++i) {
+            const float x = signal.samples[begin + c * per_col + i];
+            v = min_pool ? std::min(v, x) : std::max(v, x);
+        }
+        pooled[c] = v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    const float range = std::max(1e-9f, hi - lo);
+
+    for (int r = rows - 1; r >= 0; --r) {
+        std::printf("  |");
+        for (int c = 0; c < cols; ++c) {
+            const float level = (pooled[c] - lo) / range;
+            std::printf("%c", level * rows > r ? '#' : ' ');
+        }
+        std::printf("|\n");
+    }
+    std::printf("  +");
+    for (int c = 0; c < cols; ++c)
+        std::printf("-");
+    const double t0 = static_cast<double>(begin) / signal.sampleRateHz;
+    const double t1 = static_cast<double>(end) / signal.sampleRateHz;
+    std::printf("+\n   %.1f us%*s%.1f us  (min=%.3f max=%.3f)\n",
+                t0 * 1e6, std::max(1, cols - 16), "", t1 * 1e6, lo, hi);
+}
+
+/** Render a whole signal. */
+inline void
+asciiWave(const dsp::TimeSeries &signal, int rows = 8, int width = 96,
+          bool min_pool = false)
+{
+    asciiWave(signal, 0, signal.samples.size(), rows, width, min_pool);
+}
+
+} // namespace emprof::bench
+
+#endif // EMPROF_BENCH_COMMON_HPP

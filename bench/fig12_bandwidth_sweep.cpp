@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 12 — effect of the measurement bandwidth (20/40/60/80/160 MHz)
+ * on EMPROF's results for SPEC mcf, on the Alcatel phone and the
+ * Olimex IoT board.
+ *
+ * Expected shape per Sec. VI-B: at 20 MHz the Alcatel capture detects
+ * only the few very long stalls (average duration ~1100 cycles in the
+ * paper); detection stabilises from ~60 MHz, i.e. a bandwidth of only
+ * ~6% of the clock frequency suffices.
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+#include "em/capture.hpp"
+#include "workloads/spec.hpp"
+
+using namespace emprof;
+
+int
+main(int argc, char **argv)
+{
+    const uint64_t scale =
+        argc > 1 ? strtoull(argv[1], nullptr, 10) : 10'000'000;
+
+    bench::printHeader(
+        "Fig. 12: effect of measurement bandwidth (SPEC mcf)",
+        "(per device: detected events, stall %, avg stall cycles)");
+
+    const double bandwidths[] = {20e6, 40e6, 60e6, 80e6, 160e6};
+    devices::DeviceModel device_list[] = {devices::makeAlcatel(),
+                                          devices::makeOlimex()};
+
+    for (const auto &device : device_list) {
+        std::printf("\n%s (clock %.3f GHz):\n", device.name.c_str(),
+                    device.clockHz() / 1e9);
+        std::printf("  %8s %10s %10s %14s %14s\n", "BW(MHz)", "events",
+                    "stall%", "avgStall(cyc)", "sample(cyc)");
+        for (double bw : bandwidths) {
+            auto wl = workloads::makeSpec("mcf", scale, 42);
+            auto probe = device.probe;
+            probe.receiver.bandwidthHz = bw;
+            sim::Simulator simulator(device.sim);
+            const auto cap = em::captureRun(simulator, *wl, probe);
+            const auto result = profiler::EmProf::analyze(
+                cap.magnitude, bench::profilerFor(device));
+            std::printf("  %8.0f %10llu %10.2f %14.0f %14.1f\n",
+                        bw / 1e6,
+                        static_cast<unsigned long long>(
+                            result.report.totalEvents),
+                        result.report.stallPercent,
+                        result.report.avgStallCycles,
+                        device.clockHz() / cap.magnitude.sampleRateHz);
+        }
+    }
+
+    std::printf("\n  paper shape: 20 MHz on the phone finds only very "
+                "long stalls (avg ~1100 cyc);\n"
+                "  results stabilise at >= 60 MHz (~6%% of the clock "
+                "frequency)\n");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table I — specifications of the experimental devices, plus the
+ * scaled-model parameters actually used by the simulator (DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "common.hpp"
+
+int
+main()
+{
+    using namespace emprof;
+    bench::printHeader("Table I: specifications of experimental devices");
+    const auto devices = devices::allDevices();
+    std::printf("%s", devices::deviceTable(devices).c_str());
+
+    std::printf("\nSimulation model details (capacities scaled 1/%llu, "
+                "see DESIGN.md):\n",
+                static_cast<unsigned long long>(devices::kCacheScale));
+    std::printf("  %-10s %10s %10s %10s %12s %10s\n", "Device", "L1I",
+                "L1D(model)", "LLC(model)", "DRAM lat", "Prefetch");
+    for (const auto &d : devices) {
+        std::printf("  %-10s %7llu KB %7llu KB %7llu KB %7u cyc %10s\n",
+                    d.name.c_str(),
+                    static_cast<unsigned long long>(
+                        d.sim.l1i.sizeBytes / 1024),
+                    static_cast<unsigned long long>(
+                        d.sim.l1d.sizeBytes / 1024),
+                    static_cast<unsigned long long>(
+                        d.sim.llc.sizeBytes / 1024),
+                    d.sim.memory.accessLatency,
+                    d.sim.prefetcher.enabled ? "stride" : "none");
+    }
+    return 0;
+}

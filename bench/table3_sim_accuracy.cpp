@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Table III — accuracy of EMPROF on simulator data.
+ *
+ * Methodology per Sec. V-C: the simulator (Olimex-like configuration)
+ * emits its power trace as the side-channel signal; EMPROF's event
+ * count and measured stall cycles are compared against the simulator's
+ * ground truth (coalesced LLC-miss stall intervals).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hpp"
+#include "devices/devices.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/microbenchmark.hpp"
+#include "workloads/spec.hpp"
+
+using namespace emprof;
+
+namespace {
+
+struct Row
+{
+    std::string label;
+    double missAcc;
+    double stallAcc;
+};
+
+Row
+analyze(const std::string &label, sim::TraceSource &trace,
+        const devices::DeviceModel &device)
+{
+    sim::Simulator simulator(device.sim);
+    dsp::TimeSeries power;
+    simulator.runWithPowerTrace(trace, power);
+
+    auto cfg = bench::profilerFor(device, power.sampleRateHz);
+    const auto result = profiler::EmProf::analyze(power, cfg);
+    const auto &gt = simulator.groundTruth();
+
+    // Ground truth at EMPROF's own resolution: stalls shorter than the
+    // duration threshold are invisible by design (Sec. IV), so the
+    // comparison uses the same floor on both sides.
+    const auto min_cycles = static_cast<sim::Cycle>(
+        cfg.minStallNs * 1e-9 * device.clockHz());
+    const auto gt_events = gt.countIntervalsAtLeast(min_cycles);
+
+    Row row;
+    row.label = label;
+    row.missAcc = bench::countAccuracy(
+        static_cast<double>(result.report.totalEvents),
+        static_cast<double>(gt_events));
+    row.stallAcc = bench::countAccuracy(
+        result.report.totalStallCycles,
+        static_cast<double>(
+            gt.stallCyclesInIntervalsAtLeast(min_cycles)));
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("Table III: accuracy of EMPROF on simulator data",
+                       "(power side channel, Olimex-like configuration)");
+    const auto device = devices::makeOlimex();
+
+    std::printf("  %-22s %16s %16s\n", "Benchmark", "Miss Accuracy(%)",
+                "Stall Accuracy(%)");
+    std::printf("  %-22s\n", "-- Microbenchmark --");
+
+    const std::pair<uint64_t, uint64_t> points[] = {
+        {256, 1}, {256, 5}, {1024, 10}, {4096, 50}};
+    for (const auto &[tm, cm] : points) {
+        workloads::MicrobenchmarkConfig cfg;
+        cfg.totalMisses = tm;
+        cfg.consecutiveMisses = cm;
+        workloads::Microbenchmark mb(cfg);
+        char label[64];
+        std::snprintf(label, sizeof(label), "TM=%llu CM=%llu",
+                      static_cast<unsigned long long>(tm),
+                      static_cast<unsigned long long>(cm));
+        const auto row = analyze(label, mb, device);
+        std::printf("  %-22s %15.1f%% %15.1f%%\n", row.label.c_str(),
+                    row.missAcc, row.stallAcc);
+    }
+
+    std::printf("  %-22s\n", "-- SPEC CPU2000 (synthetic) --");
+    for (const auto &name : workloads::specNames()) {
+        auto wl = workloads::makeSpec(name, 12'000'000, 42);
+        const auto row = analyze(name, *wl, device);
+        std::printf("  %-22s %15.1f%% %15.1f%%\n", row.label.c_str(),
+                    row.missAcc, row.stallAcc);
+    }
+
+    std::printf("\n  paper: microbenchmarks 97.7-99.8%% miss / "
+                "99.3-99.9%% stall;\n"
+                "         SPEC 93.2-100%% miss / 98.4-100%% stall "
+                "(bzip2/equake lowest from MLP merging)\n");
+    return 0;
+}

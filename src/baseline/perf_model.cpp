@@ -1,0 +1,95 @@
+#include "baseline/perf_model.hpp"
+
+namespace emprof::baseline {
+
+namespace {
+
+// Distinct PC/data regions for injected OS code.
+constexpr sim::Addr kHandlerPc = 0xF000'0000;
+constexpr sim::Addr kOsDataBase = 0xA000'0000;
+
+} // namespace
+
+InterruptInjector::InterruptInjector(sim::TraceSource &base,
+                                     const InterruptConfig &config)
+    : base_(base),
+      config_(config),
+      osData_(kOsDataBase, config.osFootprint)
+{}
+
+void
+InterruptInjector::buildHandler()
+{
+    pending_.clear();
+    pendingCursor_ = 0;
+
+    // Entry: the handler's own code and stack traffic, then the
+    // counter-save / softirq data touches.
+    sim::Addr pc = kHandlerPc;
+    const uint32_t compute_per_load =
+        config_.handlerComputeOps / (config_.handlerLines + 1);
+    for (uint32_t i = 0; i < config_.handlerLines; ++i) {
+        pc = workloads::emitCompute(pending_, pc, compute_per_load, 15);
+        pc = workloads::emitIndependentLoad(pending_, pc, osData_.next(),
+                                            15);
+    }
+    workloads::emitLoopBranch(pending_, pc, 15);
+}
+
+bool
+InterruptInjector::next(sim::MicroOp &op)
+{
+    // Drain any in-progress handler first.
+    if (pendingCursor_ < pending_.size()) {
+        op = pending_[pendingCursor_++];
+        ++injected_;
+        return true;
+    }
+
+    if (sinceInterrupt_ >= config_.opsBetweenInterrupts) {
+        sinceInterrupt_ = 0;
+        buildHandler();
+        if (!pending_.empty()) {
+            op = pending_[pendingCursor_++];
+            ++injected_;
+            return true;
+        }
+    }
+
+    if (!base_.next(op))
+        return false;
+    ++base_ops_;
+    ++sinceInterrupt_;
+    return true;
+}
+
+uint64_t
+multiplexedCount(const sim::GroundTruth &gt, sim::Cycle total_cycles,
+                 const MultiplexConfig &config, uint64_t run_seed)
+{
+    const auto &events = gt.rawEvents();
+    if (total_cycles == 0)
+        return 0;
+
+    dsp::Rng rng(config.seed ^ run_seed);
+    const uint64_t num_windows =
+        total_cycles / config.windowCycles + 1;
+
+    // Decide, per window, whether the LLC-miss counter was scheduled.
+    std::vector<bool> scheduled(num_windows);
+    for (uint64_t w = 0; w < num_windows; ++w)
+        scheduled[w] = rng.chance(config.scheduledShare);
+
+    uint64_t counted = 0;
+    for (const auto &ev : events) {
+        const uint64_t w = ev.detect / config.windowCycles;
+        if (w < num_windows && scheduled[w])
+            ++counted;
+    }
+
+    // The kernel extrapolates: count * (time_enabled / time_running).
+    return static_cast<uint64_t>(
+        static_cast<double>(counted) / config.scheduledShare + 0.5);
+}
+
+} // namespace emprof::baseline

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Hardware-counter ("perf") baseline.
+ *
+ * Sec. V of the paper motivates EMPROF with a measurement: counting
+ * LLC misses with perf for an application engineered to generate
+ * exactly 1024 misses reported 32768 on average with a standard
+ * deviation of 14543.  Two effects drive that: (1) the counter counts
+ * *every* miss on the core — OS timer ticks, profiling interrupts and
+ * background services included — and (2) counters are time-multiplexed
+ * across events, so the kernel extrapolates from scheduled windows,
+ * which interacts catastrophically with bursty miss streams.
+ *
+ * This module reproduces both mechanisms inside the simulator: an
+ * interrupt injector interleaves OS/handler activity into the profiled
+ * trace (a real observer effect — the injected ops miss the caches and
+ * perturb timing), and the counter model samples the detailed miss
+ * trace through randomly scheduled multiplex windows and extrapolates.
+ */
+
+#ifndef EMPROF_BASELINE_PERF_MODEL_HPP
+#define EMPROF_BASELINE_PERF_MODEL_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "dsp/rng.hpp"
+#include "sim/config.hpp"
+#include "sim/ground_truth.hpp"
+#include "sim/trace.hpp"
+#include "workloads/common.hpp"
+
+namespace emprof::baseline {
+
+/** Interrupt/OS-activity injection parameters. */
+struct InterruptConfig
+{
+    /** Profiled ops between interrupts (timer tick cadence). */
+    uint64_t opsBetweenInterrupts = 30'000;
+
+    /** Cache lines the handler + softirq path touches per interrupt. */
+    uint32_t handlerLines = 400;
+
+    /** Compute ops in the handler per interrupt. */
+    uint32_t handlerComputeOps = 900;
+
+    /** OS working set cycled through by successive handlers (bytes);
+     *  large enough that handler lines are usually cold again. */
+    uint64_t osFootprint = 24ull * 1024 * 1024;
+
+    uint64_t seed = 0x05C41ull;
+};
+
+/**
+ * Wraps a trace source, interleaving OS interrupt activity.
+ */
+class InterruptInjector : public sim::TraceSource
+{
+  public:
+    /**
+     * @param base Profiled workload (not owned; must outlive this).
+     * @param config Injection parameters.
+     */
+    InterruptInjector(sim::TraceSource &base, const InterruptConfig &config);
+
+    bool next(sim::MicroOp &op) override;
+
+    /** Injected ops so far (overhead accounting). */
+    uint64_t injectedOps() const { return injected_; }
+
+    /** Ops delivered from the profiled workload. */
+    uint64_t baseOps() const { return base_ops_; }
+
+  private:
+    /** Build one handler activation into the pending buffer. */
+    void buildHandler();
+
+    sim::TraceSource &base_;
+    InterruptConfig config_;
+    workloads::StreamAddresses osData_;
+    std::vector<sim::MicroOp> pending_;
+    std::size_t pendingCursor_ = 0;
+    uint64_t sinceInterrupt_ = 0;
+    uint64_t injected_ = 0;
+    uint64_t base_ops_ = 0;
+};
+
+/** Counter multiplexing model. */
+struct MultiplexConfig
+{
+    /** Fraction of time the LLC-miss counter is scheduled. */
+    double scheduledShare = 0.25;
+
+    /** Multiplex window length in cycles (kernel rotation period). */
+    uint64_t windowCycles = 250'000;
+
+    uint64_t seed = 0x30D0ull;
+};
+
+/** One simulated `perf stat` measurement. */
+struct PerfMeasurement
+{
+    /** What perf reports after extrapolation. */
+    uint64_t reportedMisses = 0;
+
+    /** Misses actually caused by the profiled section alone. */
+    uint64_t engineeredMisses = 0;
+
+    /** All misses on the core (app + OS + handlers). */
+    uint64_t totalMisses = 0;
+
+    /** Runtime overhead of the injected profiling activity (%). */
+    double overheadPercent = 0.0;
+};
+
+/**
+ * Extrapolate a reported count from the detailed miss trace through
+ * randomly scheduled multiplex windows.
+ *
+ * @param gt Ground truth from a detailed-mode run.
+ * @param total_cycles Run length.
+ * @param config Multiplexing parameters.
+ * @param run_seed Per-run seed (windows land differently every run).
+ */
+uint64_t multiplexedCount(const sim::GroundTruth &gt, sim::Cycle total_cycles,
+                          const MultiplexConfig &config, uint64_t run_seed);
+
+} // namespace emprof::baseline
+
+#endif // EMPROF_BASELINE_PERF_MODEL_HPP

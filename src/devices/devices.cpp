@@ -1,0 +1,159 @@
+#include "devices/devices.hpp"
+
+#include <cstdio>
+
+namespace emprof::devices {
+
+namespace {
+
+/** Convert a DRAM latency in nanoseconds to core cycles. */
+uint32_t
+nsToCycles(double ns, double clock_hz)
+{
+    return static_cast<uint32_t>(ns * 1e-9 * clock_hz + 0.5);
+}
+
+/** Shared DRAM timing: all three devices use commodity parts with
+ *  similar absolute latency (Sec. VI-A: "their main memory latencies
+ *  (in nanoseconds) are very similar"). */
+constexpr double kDramLatencyNs = 210.0;
+constexpr double kRefreshPeriodNs = 70'000.0;
+constexpr double kRefreshDurationNs = 2'400.0;
+
+void
+applyMemoryTiming(sim::SimConfig &cfg, double latency_ns = kDramLatencyNs)
+{
+    cfg.memory.accessLatency = nsToCycles(latency_ns, cfg.clockHz);
+    cfg.memory.latencyJitter = cfg.memory.accessLatency / 10;
+    cfg.memory.refreshPeriod =
+        nsToCycles(kRefreshPeriodNs, cfg.clockHz);
+    cfg.memory.refreshDuration =
+        nsToCycles(kRefreshDurationNs, cfg.clockHz);
+}
+
+} // namespace
+
+DeviceModel
+makeOlimex()
+{
+    DeviceModel device;
+    device.name = "Olimex";
+    device.soc = "Allwinner A13";
+    device.core = "Cortex-A8";
+    device.numCores = 1;
+
+    device.physicalL1Bytes = 32 * 1024;
+    device.physicalLlcBytes = 256 * 1024;
+    device.sim.clockHz = 1.008e9;
+    // L1I stays at physical size: loop code footprints do not scale
+    // with data, and a scaled L1I would thrash on loops that fit the
+    // real part comfortably.  Data-side capacities are 1/kCacheScale.
+    device.sim.l1i = {32 * 1024, 4, 64, 1, 1, sim::Replacement::Random};
+    device.sim.l1d = {32 * 1024 / kCacheScale, 4, 64, 1, 2,
+                      sim::Replacement::Random};
+    device.sim.llc = {256 * 1024 / kCacheScale, 8, 64, 4, 18,
+                      sim::Replacement::Random};
+    device.sim.prefetcher.enabled = false;
+    applyMemoryTiming(device.sim);
+
+    // Olimex is the friendliest target: the board is open, probe
+    // placement is unconstrained (Sec. V-D), so the received SNR is
+    // the best of the three.
+    device.probe.channel.noiseSigma = 0.03;
+    return device;
+}
+
+DeviceModel
+makeSamsung()
+{
+    DeviceModel device;
+    device.name = "Samsung";
+    device.soc = "Qualcomm MSM7625A";
+    device.core = "Cortex-A5";
+    device.numCores = 1;
+
+    device.physicalL1Bytes = 16 * 1024;
+    device.physicalLlcBytes = 256 * 1024;
+    device.sim.clockHz = 800e6;
+    device.sim.l1i = {16 * 1024, 4, 64, 1, 1, sim::Replacement::Random};
+    device.sim.l1d = {16 * 1024 / kCacheScale, 4, 64, 1, 2,
+                      sim::Replacement::Random};
+    device.sim.llc = {256 * 1024 / kCacheScale, 8, 64, 4, 16,
+                      sim::Replacement::Random};
+    // Sec. VI-A: "Samsung device's processor has a hardware
+    // prefetcher, so it is able to avoid some of the LLC misses that
+    // occur in the Olimex device".
+    device.sim.prefetcher.enabled = true;
+    device.sim.prefetcher.degree = 2;
+    applyMemoryTiming(device.sim);
+    // Android services and the modem share the memory channel,
+    // thickening the stall-latency tail (Fig. 11).
+    device.sim.memory.backgroundPeriod = 2'900;
+    device.sim.memory.backgroundBurst = 140;
+
+    device.probe.channel.noiseSigma = 0.04;
+    return device;
+}
+
+DeviceModel
+makeAlcatel()
+{
+    DeviceModel device;
+    device.name = "Alcatel";
+    device.soc = "Qualcomm MSM8909";
+    device.core = "Cortex-A7";
+    device.numCores = 4;
+
+    device.physicalL1Bytes = 32 * 1024;
+    device.physicalLlcBytes = 1024 * 1024;
+    device.sim.clockHz = 1.1e9;
+    device.sim.l1i = {32 * 1024, 4, 64, 1, 1, sim::Replacement::Random};
+    device.sim.l1d = {32 * 1024 / kCacheScale, 4, 64, 1, 2,
+                      sim::Replacement::Random};
+    // Sec. VI-A: "the LLC in Alcatel is 1 MB while Olimex and Samsung
+    // device both have a 256 KB LLC".
+    device.sim.llc = {1024 * 1024 / kCacheScale, 16, 64, 4, 20,
+                      sim::Replacement::Random};
+    device.sim.prefetcher.enabled = false;
+    // The MSM8909 is the newest SoC of the three: faster LPDDR and a
+    // Cortex-A7 memory system that tolerates more outstanding misses.
+    device.sim.core.maxOutstandingLoads = 3;
+    applyMemoryTiming(device.sim, 170.0);
+
+    // Three sibling cores idle in the background, adding activity the
+    // probe cannot separate from the profiled core — and sharing the
+    // memory channel (thicker latency tail, Fig. 11).
+    device.sim.memory.backgroundPeriod = 2'200;
+    device.sim.memory.backgroundBurst = 170;
+    device.sim.power.backgroundNoise = 0.05;
+    device.probe.channel.noiseSigma = 0.045;
+    return device;
+}
+
+std::vector<DeviceModel>
+allDevices()
+{
+    return {makeAlcatel(), makeSamsung(), makeOlimex()};
+}
+
+std::string
+deviceTable(const std::vector<DeviceModel> &devices)
+{
+    std::string out;
+    char line[192];
+    std::snprintf(line, sizeof(line), "  %-10s %-18s %-10s %9s %6s %8s\n",
+                  "Device", "SoC", "ARM Core", "Clock", "Cores", "LLC");
+    out += line;
+    for (const auto &d : devices) {
+        std::snprintf(line, sizeof(line),
+                      "  %-10s %-18s %-10s %6.3f GHz %6u %5llu KB\n",
+                      d.name.c_str(), d.soc.c_str(), d.core.c_str(),
+                      d.sim.clockHz / 1e9, d.numCores,
+                      static_cast<unsigned long long>(
+                          d.physicalLlcBytes / 1024));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace emprof::devices

@@ -1,0 +1,94 @@
+#include "dsp/fft.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace emprof::dsp {
+
+namespace {
+
+/** Shared Cooley-Tukey core; sign selects forward (-1) / inverse (+1). */
+void
+transform(std::vector<std::complex<double>> &data, double sign)
+{
+    const std::size_t n = data.size();
+    assert(isPowerOfTwo(n) && "FFT length must be a power of two");
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const auto u = data[i + k];
+                const auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<std::complex<double>> &data)
+{
+    transform(data, -1.0);
+}
+
+void
+ifft(std::vector<std::complex<double>> &data)
+{
+    transform(data, +1.0);
+    const double inv = 1.0 / static_cast<double>(data.size());
+    for (auto &x : data)
+        x *= inv;
+}
+
+std::vector<double>
+magnitudeSpectrum(const std::vector<double> &frame, std::size_t fft_size)
+{
+    assert(isPowerOfTwo(fft_size));
+    assert(fft_size >= frame.size());
+
+    std::vector<std::complex<double>> buf(fft_size, {0.0, 0.0});
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        buf[i] = {frame[i], 0.0};
+    fft(buf);
+
+    std::vector<double> mags(fft_size / 2 + 1);
+    for (std::size_t i = 0; i < mags.size(); ++i)
+        mags[i] = std::abs(buf[i]);
+    return mags;
+}
+
+} // namespace emprof::dsp

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Radix-2 FFT and spectrum helpers.
+ *
+ * A self-contained iterative Cooley-Tukey implementation, sized for the
+ * spectrogram use case (frames of 256-4096 bins).  Not intended to
+ * compete with FFTW; it only needs to be correct and fast enough for
+ * the attribution pipeline.
+ */
+
+#ifndef EMPROF_DSP_FFT_HPP
+#define EMPROF_DSP_FFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace emprof::dsp {
+
+/** In-place FFT of a power-of-two-length complex vector. */
+void fft(std::vector<std::complex<double>> &data);
+
+/** In-place inverse FFT of a power-of-two-length complex vector. */
+void ifft(std::vector<std::complex<double>> &data);
+
+/** True if n is a power of two (and nonzero). */
+bool isPowerOfTwo(std::size_t n);
+
+/** Smallest power of two >= n. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * Magnitude spectrum of a real frame, zero-padded to a power of two.
+ *
+ * @param frame Real input samples.
+ * @param fft_size Power-of-two transform size (>= frame.size()).
+ * @return fft_size/2 + 1 magnitudes (DC .. Nyquist).
+ */
+std::vector<double> magnitudeSpectrum(const std::vector<double> &frame,
+                                      std::size_t fft_size);
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_FFT_HPP

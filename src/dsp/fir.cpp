@@ -1,0 +1,67 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace emprof::dsp {
+
+std::vector<double>
+designLowPass(std::size_t num_taps, double cutoff, WindowKind kind)
+{
+    if (num_taps < 3)
+        num_taps = 3;
+    if (num_taps % 2 == 0)
+        ++num_taps; // force odd length: symmetric, integral group delay
+
+    const auto window = makeWindow(kind, num_taps);
+    std::vector<double> taps(num_taps);
+    const double mid = static_cast<double>(num_taps - 1) / 2.0;
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+
+    double sum = 0.0;
+    for (std::size_t n = 0; n < num_taps; ++n) {
+        const double t = static_cast<double>(n) - mid;
+        double sinc;
+        if (std::abs(t) < 1e-12) {
+            sinc = 2.0 * cutoff;
+        } else {
+            sinc = std::sin(two_pi * cutoff * t) / (std::numbers::pi * t);
+        }
+        taps[n] = sinc * window[n];
+        sum += taps[n];
+    }
+
+    // Normalise for unit gain at DC so the envelope level is preserved
+    // across bandwidth settings (Fig. 12 compares absolute dip depths).
+    if (sum != 0.0) {
+        for (auto &t : taps)
+            t /= sum;
+    }
+    return taps;
+}
+
+TimeSeries
+filterSeries(const TimeSeries &in, const std::vector<double> &taps)
+{
+    TimeSeries out;
+    out.sampleRateHz = in.sampleRateHz;
+    out.samples.resize(in.samples.size(), 0.0f);
+
+    const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(in.samples.size());
+    const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(taps.size());
+    const std::ptrdiff_t half = (m - 1) / 2;
+
+    for (std::ptrdiff_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::ptrdiff_t k = 0; k < m; ++k) {
+            const std::ptrdiff_t j = i + half - k;
+            if (j >= 0 && j < n)
+                acc += taps[static_cast<std::size_t>(k)] *
+                       in.samples[static_cast<std::size_t>(j)];
+        }
+        out.samples[static_cast<std::size_t>(i)] = static_cast<Sample>(acc);
+    }
+    return out;
+}
+
+} // namespace emprof::dsp

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * FIR filter design and streaming (decimating) FIR filters.
+ *
+ * The receiver model selects its measurement bandwidth by low-pass
+ * filtering the complex-baseband emanation and decimating to a sample
+ * rate equal to that bandwidth.  Because the decimation factors are
+ * large (a 1 GHz-cycle-rate signal decimated to 20-160 MHz), the
+ * decimating filter only evaluates the dot product at output instants
+ * (polyphase evaluation), never at every input sample.
+ */
+
+#ifndef EMPROF_DSP_FIR_HPP
+#define EMPROF_DSP_FIR_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace emprof::dsp {
+
+/**
+ * Design a linear-phase low-pass FIR via the windowed-sinc method.
+ *
+ * @param num_taps Filter length (forced odd internally for symmetry).
+ * @param cutoff Normalised cutoff frequency in cycles/sample, in
+ *               (0, 0.5).  E.g. decimating by M uses cutoff ~ 0.45/M.
+ * @param kind Window applied to the sinc prototype.
+ * @return Unit-DC-gain tap vector.
+ */
+std::vector<double> designLowPass(std::size_t num_taps, double cutoff,
+                                  WindowKind kind = WindowKind::Blackman);
+
+/**
+ * Streaming FIR filter over samples of type T (Sample or Complex).
+ *
+ * Push one input sample, receive one output sample (the usual
+ * group-delay of (taps-1)/2 applies; callers that need alignment use
+ * groupDelay()).
+ */
+template <typename T>
+class FirFilter
+{
+  public:
+    explicit FirFilter(std::vector<double> taps)
+        : taps_(std::move(taps)), history_(taps_.size(), T{}), pos_(0)
+    {}
+
+    /** Push one sample and return the filtered output. */
+    T
+    push(T x)
+    {
+        history_[pos_] = x;
+        pos_ = (pos_ + 1) % history_.size();
+
+        // history_[pos_] is now the oldest sample; taps are symmetric so
+        // iteration direction does not matter for linear-phase designs,
+        // but we keep the canonical convolution orientation anyway.
+        T acc{};
+        std::size_t idx = pos_;
+        for (std::size_t k = taps_.size(); k-- > 0;) {
+            acc += history_[idx] * static_cast<float>(taps_[k]);
+            idx = (idx + 1) % history_.size();
+        }
+        return acc;
+    }
+
+    /** Reset internal history to zero. */
+    void
+    reset()
+    {
+        std::fill(history_.begin(), history_.end(), T{});
+        pos_ = 0;
+    }
+
+    /** Group delay in samples for linear-phase taps. */
+    std::size_t groupDelay() const { return (taps_.size() - 1) / 2; }
+
+    const std::vector<double> &taps() const { return taps_; }
+
+  private:
+    std::vector<double> taps_;
+    std::vector<T> history_;
+    std::size_t pos_;
+};
+
+/**
+ * Streaming decimating FIR.
+ *
+ * Accepts input samples one at a time and emits one filtered output per
+ * @c factor inputs.  The dot product is only evaluated at output
+ * instants, making throughput independent of filter length times input
+ * rate (it scales with taps * output rate).
+ */
+template <typename T>
+class DecimatingFir
+{
+  public:
+    /**
+     * @param taps Low-pass taps (cutoff must suit the decimation).
+     * @param factor Decimation factor M >= 1.
+     */
+    DecimatingFir(std::vector<double> taps, std::size_t factor)
+        : taps_(std::move(taps)),
+          ftaps_(taps_.begin(), taps_.end()),
+          history_(taps_.size(), T{}),
+          pos_(0),
+          factor_(factor == 0 ? 1 : factor),
+          phase_(0)
+    {}
+
+    /**
+     * Push one input sample.
+     *
+     * @param x Input sample.
+     * @param out Receives the output sample when one is produced.
+     * @retval true An output sample was written to @p out.
+     */
+    bool
+    push(T x, T &out)
+    {
+        history_[pos_] = x;
+        if (++pos_ == history_.size())
+            pos_ = 0;
+        if (pushed_ < taps_.size())
+            ++pushed_;
+        if (++phase_ < factor_)
+            return false;
+        phase_ = 0;
+
+        // Evaluate the dot product in two contiguous runs instead of
+        // wrapping per tap: history_[pos_..end) is the oldest data,
+        // history_[0..pos_) the newest.
+        T acc{};
+        const std::size_t n = history_.size();
+        std::size_t k = n - 1;
+        for (std::size_t idx = pos_; idx < n; ++idx, --k)
+            acc += history_[idx] * ftaps_[k];
+        for (std::size_t idx = 0; idx < pos_; ++idx, --k)
+            acc += history_[idx] * ftaps_[k];
+        out = acc;
+        return true;
+    }
+
+    /** Reset filter state and decimation phase. */
+    void
+    reset()
+    {
+        std::fill(history_.begin(), history_.end(), T{});
+        pos_ = 0;
+        phase_ = 0;
+        pushed_ = 0;
+    }
+
+    /**
+     * True once the history is fully primed with real samples.
+     * Outputs produced before this mix in the zero-filled history
+     * (a start-up ramp) and should usually be discarded.
+     */
+    bool warm() const { return pushed_ >= taps_.size(); }
+
+    std::size_t factor() const { return factor_; }
+    std::size_t numTaps() const { return taps_.size(); }
+
+  private:
+    std::vector<double> taps_;
+    std::vector<float> ftaps_;
+    std::vector<T> history_;
+    std::size_t pos_;
+    std::size_t factor_;
+    std::size_t phase_;
+    std::size_t pushed_ = 0;
+};
+
+/** Convenience: filter a whole real series with zero-padding edges. */
+TimeSeries filterSeries(const TimeSeries &in, const std::vector<double> &taps);
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_FIR_HPP

@@ -1,0 +1,116 @@
+#include "dsp/moving_stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace emprof::dsp {
+
+MovingAverage::MovingAverage(std::size_t window)
+    : window_(window == 0 ? 1 : window)
+{}
+
+double
+MovingAverage::push(double x)
+{
+    buf_.push_back(x);
+    sum_ += x;
+    ++count_;
+    if (buf_.size() > window_) {
+        sum_ -= buf_.front();
+        buf_.pop_front();
+    }
+    return value();
+}
+
+double
+MovingAverage::value() const
+{
+    if (buf_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(buf_.size());
+}
+
+void
+MovingAverage::reset()
+{
+    buf_.clear();
+    sum_ = 0.0;
+    count_ = 0;
+}
+
+MovingMinMax::MovingMinMax(std::size_t window)
+    : window_(window == 0 ? 1 : window),
+      capacity_(window_ + 1),
+      minRing_(capacity_),
+      maxRing_(capacity_)
+{}
+
+void
+MovingMinMax::reset()
+{
+    minHead_ = minTail_ = 0;
+    maxHead_ = maxTail_ = 0;
+    count_ = 0;
+}
+
+MovingVariance::MovingVariance(std::size_t window)
+    : window_(window == 0 ? 1 : window)
+{}
+
+double
+MovingVariance::push(double x)
+{
+    buf_.push_back(x);
+    sum_ += x;
+    sum_sq_ += x * x;
+    ++count_;
+    if (buf_.size() > window_) {
+        const double old = buf_.front();
+        sum_ -= old;
+        sum_sq_ -= old * old;
+        buf_.pop_front();
+    }
+    return variance();
+}
+
+double
+MovingVariance::mean() const
+{
+    if (buf_.empty())
+        return 0.0;
+    return sum_ / static_cast<double>(buf_.size());
+}
+
+double
+MovingVariance::variance() const
+{
+    if (buf_.empty())
+        return 0.0;
+    const double n = static_cast<double>(buf_.size());
+    const double m = sum_ / n;
+    // Guard against tiny negative values from cancellation.
+    return std::max(0.0, sum_sq_ / n - m * m);
+}
+
+void
+MovingVariance::reset()
+{
+    buf_.clear();
+    sum_ = 0.0;
+    sum_sq_ = 0.0;
+    count_ = 0;
+}
+
+TimeSeries
+movingAverage(const TimeSeries &in, std::size_t window)
+{
+    TimeSeries out;
+    out.sampleRateHz = in.sampleRateHz;
+    out.samples.reserve(in.samples.size());
+    MovingAverage avg(window);
+    for (Sample s : in.samples)
+        out.samples.push_back(static_cast<Sample>(avg.push(s)));
+    return out;
+}
+
+} // namespace emprof::dsp

@@ -1,0 +1,44 @@
+#include "dsp/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace emprof::dsp {
+
+AwgnSource::AwgnSource(double sigma, uint64_t seed)
+    : sigma_(sigma), rng_(seed)
+{}
+
+double
+AwgnSource::exactReal()
+{
+    if (has_cached_) {
+        has_cached_ = false;
+        return cached_ * sigma_;
+    }
+    // Box-Muller transform; avoid u1 == 0.
+    double u1 = rng_.uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double u2 = rng_.uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cached_ = r * std::sin(theta);
+    has_cached_ = true;
+    return r * std::cos(theta) * sigma_;
+}
+
+RandomWalk::RandomWalk(double start, double step, double lo, double hi,
+                       uint64_t seed)
+    : value_(start), step_(step), lo_(lo), hi_(hi), noise_(1.0, seed)
+{}
+
+double
+RandomWalk::step()
+{
+    value_ = std::clamp(value_ + noise_.real() * step_, lo_, hi_);
+    return value_;
+}
+
+} // namespace emprof::dsp

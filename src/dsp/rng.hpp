@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small, fast, deterministic random number generators.
+ *
+ * Everything in this repository that needs randomness (cache replacement,
+ * workload address streams, channel noise) takes an explicit seed so whole
+ * experiments are reproducible run-to-run.  We use xoshiro256** rather
+ * than std::mt19937 because the simulator draws a random number on every
+ * replacement decision and every synthetic-workload memory access.
+ */
+
+#ifndef EMPROF_DSP_RNG_HPP
+#define EMPROF_DSP_RNG_HPP
+
+#include <cstdint>
+
+namespace emprof::dsp {
+
+/** SplitMix64: used to expand a single seed into xoshiro state. */
+inline uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** pseudo random generator.
+ *
+ * Satisfies (the useful subset of) UniformRandomBitGenerator so it can be
+ * plugged into std::*_distribution when convenient.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a single 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x00edf00d5eedull)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitMix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    operator()()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift reduction; bias is negligible for our bounds.
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>((*this)()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi) { return lo + uniform() * (hi - lo); }
+
+    /** True with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_RNG_HPP

@@ -1,0 +1,129 @@
+#include "dsp/series_ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace emprof::dsp {
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double v : values)
+        acc += v;
+    return acc / static_cast<double>(values.size());
+}
+
+double
+stddev(const std::vector<double> &values)
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double m = mean(values);
+    double acc = 0.0;
+    for (double v : values)
+        acc += (v - m) * (v - m);
+    return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank =
+        std::clamp(p, 0.0, 100.0) / 100.0 *
+        static_cast<double>(values.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(std::vector<double> edges, bool log_bins)
+    : edges_(std::move(edges)),
+      counts_(edges_.size() - 1, 0),
+      log_bins_(log_bins)
+{
+    assert(edges_.size() >= 2);
+}
+
+Histogram
+Histogram::linear(double lo, double hi, std::size_t num_bins)
+{
+    assert(num_bins >= 1 && hi > lo);
+    std::vector<double> edges(num_bins + 1);
+    for (std::size_t i = 0; i <= num_bins; ++i)
+        edges[i] = lo + (hi - lo) * static_cast<double>(i) /
+                            static_cast<double>(num_bins);
+    return Histogram(std::move(edges), false);
+}
+
+Histogram
+Histogram::logarithmic(double lo, double hi, std::size_t num_bins)
+{
+    assert(num_bins >= 1 && lo > 0.0 && hi > lo);
+    std::vector<double> edges(num_bins + 1);
+    const double llo = std::log(lo);
+    const double lhi = std::log(hi);
+    for (std::size_t i = 0; i <= num_bins; ++i)
+        edges[i] = std::exp(llo + (lhi - llo) * static_cast<double>(i) /
+                                      static_cast<double>(num_bins));
+    return Histogram(std::move(edges), true);
+}
+
+void
+Histogram::add(double value)
+{
+    ++total_;
+    if (value < edges_.front()) {
+        ++underflow_;
+        return;
+    }
+    if (value >= edges_.back()) {
+        ++overflow_;
+        return;
+    }
+    // Binary search for the containing bin.
+    const auto it = std::upper_bound(edges_.begin(), edges_.end(), value);
+    const std::size_t bin =
+        static_cast<std::size_t>(std::distance(edges_.begin(), it)) - 1;
+    ++counts_[bin];
+}
+
+std::string
+Histogram::toText(const std::string &unit) const
+{
+    std::string out;
+    char line[160];
+    uint64_t max_count = 1;
+    for (uint64_t c : counts_)
+        max_count = std::max(max_count, c);
+
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const int bar_len =
+            static_cast<int>(50.0 * static_cast<double>(counts_[i]) /
+                             static_cast<double>(max_count));
+        std::snprintf(line, sizeof(line), "  [%10.1f, %10.1f) %-4s %8llu |",
+                      edges_[i], edges_[i + 1], unit.c_str(),
+                      static_cast<unsigned long long>(counts_[i]));
+        out += line;
+        out.append(static_cast<std::size_t>(bar_len), '#');
+        out += '\n';
+    }
+    if (underflow_ || overflow_) {
+        std::snprintf(line, sizeof(line),
+                      "  underflow %llu, overflow %llu\n",
+                      static_cast<unsigned long long>(underflow_),
+                      static_cast<unsigned long long>(overflow_));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace emprof::dsp

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Batch statistics over sample vectors: mean, percentiles, histograms.
+ *
+ * These back the profile reports (Table IV, Fig. 11) and tests.
+ */
+
+#ifndef EMPROF_DSP_SERIES_OPS_HPP
+#define EMPROF_DSP_SERIES_OPS_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace emprof::dsp {
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; 0 for fewer than 2 values. */
+double stddev(const std::vector<double> &values);
+
+/**
+ * Percentile by linear interpolation between order statistics.
+ *
+ * @param values Input values (copied and sorted internally).
+ * @param p Percentile in [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Fixed-bin histogram with optional logarithmic bin edges.
+ *
+ * Fig. 11 plots stall-latency histograms whose interesting structure
+ * spans from tens to thousands of cycles, so log bins are the default
+ * for latency data.
+ */
+class Histogram
+{
+  public:
+    /**
+     * Construct with linear bins.
+     *
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin.
+     * @param num_bins Number of bins (>= 1).
+     */
+    static Histogram linear(double lo, double hi, std::size_t num_bins);
+
+    /**
+     * Construct with logarithmically spaced bins.
+     *
+     * @param lo Lower edge (> 0).
+     * @param hi Upper edge (> lo).
+     * @param num_bins Number of bins (>= 1).
+     */
+    static Histogram logarithmic(double lo, double hi, std::size_t num_bins);
+
+    /** Add one value; out-of-range values land in under/overflow. */
+    void add(double value);
+
+    /** Count in bin i. */
+    uint64_t count(std::size_t i) const { return counts_[i]; }
+
+    /** Values below the first edge. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Values at or above the last edge. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Total values added (including under/overflow). */
+    uint64_t total() const { return total_; }
+
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** Lower edge of bin i (edges has numBins()+1 entries). */
+    double edge(std::size_t i) const { return edges_[i]; }
+
+    /** Render as an aligned text table with unit-labelled edges. */
+    std::string toText(const std::string &unit = "") const;
+
+  private:
+    Histogram(std::vector<double> edges, bool log_bins);
+
+    std::vector<double> edges_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+    bool log_bins_;
+};
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_SERIES_OPS_HPP

@@ -1,0 +1,170 @@
+#include "dsp/signal_io.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace emprof::dsp {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'M', 'S', 'G'};
+constexpr uint32_t kVersion = 1;
+
+struct FileHeader
+{
+    char magic[4];
+    uint32_t version;
+    uint32_t kind;
+    uint32_t reserved;
+    double sampleRateHz;
+    uint64_t sampleCount; // floats in the payload
+};
+
+static_assert(sizeof(FileHeader) == 32, "header layout is the format");
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+bool
+writePayload(const std::string &path, SignalKind kind,
+             double sample_rate_hz, const float *data, uint64_t count)
+{
+    File file(std::fopen(path.c_str(), "wb"));
+    if (!file)
+        return false;
+
+    FileHeader header{};
+    std::memcpy(header.magic, kMagic, sizeof(kMagic));
+    header.version = kVersion;
+    header.kind = static_cast<uint32_t>(kind);
+    header.sampleRateHz = sample_rate_hz;
+    header.sampleCount = count;
+
+    if (std::fwrite(&header, sizeof(header), 1, file.get()) != 1)
+        return false;
+    return count == 0 ||
+           std::fwrite(data, sizeof(float), count, file.get()) == count;
+}
+
+} // namespace
+
+bool
+saveSignal(const std::string &path, const TimeSeries &series)
+{
+    return writePayload(path, SignalKind::Magnitude, series.sampleRateHz,
+                        series.samples.data(), series.samples.size());
+}
+
+bool
+saveSignal(const std::string &path, const ComplexSeries &series)
+{
+    // std::complex<float> is layout-compatible with float[2].
+    return writePayload(
+        path, SignalKind::Iq, series.sampleRateHz,
+        reinterpret_cast<const float *>(series.samples.data()),
+        series.samples.size() * 2);
+}
+
+bool
+loadSignal(const std::string &path, TimeSeries &out)
+{
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return false;
+
+    FileHeader header{};
+    if (std::fread(&header, sizeof(header), 1, file.get()) != 1)
+        return false;
+    if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 ||
+        header.version != kVersion) {
+        return false;
+    }
+
+    std::vector<float> payload(header.sampleCount);
+    if (std::fread(payload.data(), sizeof(float), payload.size(),
+                   file.get()) != payload.size()) {
+        return false;
+    }
+
+    out.sampleRateHz = header.sampleRateHz;
+    out.samples.clear();
+    if (header.kind == static_cast<uint32_t>(SignalKind::Magnitude)) {
+        out.samples = std::move(payload);
+        return true;
+    }
+    if (header.kind == static_cast<uint32_t>(SignalKind::Iq)) {
+        out.samples.reserve(payload.size() / 2);
+        for (std::size_t i = 0; i + 1 < payload.size(); i += 2)
+            out.samples.push_back(
+                std::hypot(payload[i], payload[i + 1]));
+        return true;
+    }
+    return false;
+}
+
+bool
+loadRawF32(const std::string &path, double sample_rate_hz, bool iq,
+           TimeSeries &out)
+{
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return false;
+
+    out.sampleRateHz = sample_rate_hz;
+    out.samples.clear();
+
+    float buf[4096];
+    float pending_i = 0.0f;
+    bool have_pending = false;
+    for (;;) {
+        const std::size_t got =
+            std::fread(buf, sizeof(float), 4096, file.get());
+        if (got == 0)
+            break;
+        if (!iq) {
+            out.samples.insert(out.samples.end(), buf, buf + got);
+            continue;
+        }
+        std::size_t i = 0;
+        if (have_pending) {
+            out.samples.push_back(std::hypot(pending_i, buf[0]));
+            have_pending = false;
+            i = 1;
+        }
+        for (; i + 1 < got; i += 2)
+            out.samples.push_back(std::hypot(buf[i], buf[i + 1]));
+        if (i < got) {
+            pending_i = buf[i];
+            have_pending = true;
+        }
+    }
+    return true;
+}
+
+bool
+saveCsv(const std::string &path, const TimeSeries &series)
+{
+    File file(std::fopen(path.c_str(), "w"));
+    if (!file)
+        return false;
+    std::fprintf(file.get(), "time_s,magnitude\n");
+    for (std::size_t i = 0; i < series.samples.size(); ++i) {
+        std::fprintf(file.get(), "%.9f,%.6f\n",
+                     static_cast<double>(i) / series.sampleRateHz,
+                     static_cast<double>(series.samples[i]));
+    }
+    return true;
+}
+
+} // namespace emprof::dsp

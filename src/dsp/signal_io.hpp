@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Signal file I/O.
+ *
+ * EMPROF is a signal-processing tool: to apply it to a *real* capture
+ * (an SDR recording of an actual device) the magnitude or IQ samples
+ * just need to reach EmProf::push.  This module defines a minimal
+ * container — magic, version, sample rate, payload kind, raw float32
+ * samples, little-endian — plus raw-f32 and CSV import/export, so the
+ * tools in tools/ can exchange signals with GNU Radio-style pipelines.
+ */
+
+#ifndef EMPROF_DSP_SIGNAL_IO_HPP
+#define EMPROF_DSP_SIGNAL_IO_HPP
+
+#include <string>
+
+#include "dsp/types.hpp"
+
+namespace emprof::dsp {
+
+/** Payload kind stored in an .emsig file. */
+enum class SignalKind : uint32_t
+{
+    Magnitude = 1, ///< real samples
+    Iq = 2,        ///< interleaved I/Q float pairs
+};
+
+/**
+ * Write a real series as an .emsig file.
+ *
+ * @retval false The file could not be written.
+ */
+bool saveSignal(const std::string &path, const TimeSeries &series);
+
+/** Write an IQ series as an .emsig file. */
+bool saveSignal(const std::string &path, const ComplexSeries &series);
+
+/**
+ * Load an .emsig file as a real series.  IQ payloads are converted to
+ * magnitude (which is all EMPROF consumes).
+ *
+ * @retval false Missing file, bad magic or truncated payload.
+ */
+bool loadSignal(const std::string &path, TimeSeries &out);
+
+/**
+ * Load raw float32 samples (no header — e.g. a GNU Radio file sink).
+ *
+ * @param sample_rate_hz Sample rate to attach (raw files carry none).
+ * @param iq Interpret the payload as interleaved I/Q and output
+ *        magnitude.
+ */
+bool loadRawF32(const std::string &path, double sample_rate_hz, bool iq,
+                TimeSeries &out);
+
+/** Write one sample per line ("time_s,magnitude") for plotting. */
+bool saveCsv(const std::string &path, const TimeSeries &series);
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_SIGNAL_IO_HPP

@@ -1,0 +1,89 @@
+#include "dsp/stft.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+
+namespace emprof::dsp {
+
+std::vector<double>
+Spectrogram::frame(std::size_t index) const
+{
+    assert(index < numFrames);
+    return {data.begin() + static_cast<std::ptrdiff_t>(index * numBins),
+            data.begin() + static_cast<std::ptrdiff_t>((index + 1) * numBins)};
+}
+
+double
+Spectrogram::frameTime(std::size_t index) const
+{
+    // Centre of the frame: frames are hop-spaced, frameSize-long; the
+    // hop and numBins fully determine the layout given the config used,
+    // and the centre offset is close enough to hop/2 for display.
+    return (static_cast<double>(index * hop) + static_cast<double>(hop) / 2) /
+           sampleRateHz;
+}
+
+double
+Spectrogram::binFrequency(std::size_t bin) const
+{
+    const double fft_size = static_cast<double>(2 * (numBins - 1));
+    return sampleRateHz * static_cast<double>(bin) / fft_size;
+}
+
+Spectrogram
+stft(const TimeSeries &in, const StftConfig &config)
+{
+    Spectrogram out;
+    out.sampleRateHz = in.sampleRateHz;
+    out.hop = config.hop == 0 ? config.frameSize : config.hop;
+
+    const std::size_t frame_size = config.frameSize;
+    std::size_t fft_size = config.fftSize;
+    if (fft_size == 0)
+        fft_size = nextPowerOfTwo(frame_size);
+    assert(isPowerOfTwo(fft_size) && fft_size >= frame_size);
+
+    out.numBins = fft_size / 2 + 1;
+
+    if (in.samples.size() < frame_size)
+        return out;
+
+    const auto window = makeWindow(config.window, frame_size);
+    const std::size_t num_frames =
+        (in.samples.size() - frame_size) / out.hop + 1;
+    out.numFrames = num_frames;
+    out.data.resize(num_frames * out.numBins);
+
+    std::vector<double> buf(frame_size);
+    for (std::size_t f = 0; f < num_frames; ++f) {
+        const std::size_t start = f * out.hop;
+        for (std::size_t i = 0; i < frame_size; ++i)
+            buf[i] = static_cast<double>(in.samples[start + i]) * window[i];
+        const auto mags = magnitudeSpectrum(buf, fft_size);
+        std::copy(mags.begin(), mags.end(),
+                  out.data.begin() +
+                      static_cast<std::ptrdiff_t>(f * out.numBins));
+    }
+    return out;
+}
+
+double
+spectralDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    assert(a.size() == b.size());
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    // Skip DC (bin 0): overall level is handled by normalisation
+    // elsewhere; shape is what distinguishes code regions.
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        dot += a[i] * b[i];
+        na += a[i] * a[i];
+        nb += b[i] * b[i];
+    }
+    if (na <= 0.0 || nb <= 0.0)
+        return (na == nb) ? 0.0 : 2.0;
+    return 1.0 - dot / std::sqrt(na * nb);
+}
+
+} // namespace emprof::dsp

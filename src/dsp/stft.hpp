@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Short-time Fourier transform and spectrogram container.
+ *
+ * Used by the attribution pipeline (Fig. 14 / Table V): distinct loops
+ * in the profiled program have distinct activity periodicities, so
+ * their short-term spectra differ, and region boundaries appear as
+ * jumps in the frame-to-frame spectral distance.
+ */
+
+#ifndef EMPROF_DSP_STFT_HPP
+#define EMPROF_DSP_STFT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "dsp/window.hpp"
+
+namespace emprof::dsp {
+
+/** STFT configuration. */
+struct StftConfig
+{
+    /** Samples per analysis frame. */
+    std::size_t frameSize = 1024;
+
+    /** Hop between consecutive frames (<= frameSize). */
+    std::size_t hop = 512;
+
+    /** FFT size; 0 means next power of two >= frameSize. */
+    std::size_t fftSize = 0;
+
+    /** Analysis window. */
+    WindowKind window = WindowKind::Hann;
+};
+
+/**
+ * Magnitude spectrogram: frames x bins matrix stored row-major.
+ */
+struct Spectrogram
+{
+    std::size_t numFrames = 0;
+    std::size_t numBins = 0;
+
+    /** Input sample rate (Hz). */
+    double sampleRateHz = 0.0;
+
+    /** Hop between frames, in input samples. */
+    std::size_t hop = 0;
+
+    /** Row-major magnitudes: data[frame * numBins + bin]. */
+    std::vector<double> data;
+
+    /** Magnitude at (frame, bin). */
+    double
+    at(std::size_t frame, std::size_t bin) const
+    {
+        return data[frame * numBins + bin];
+    }
+
+    /** One frame's spectrum as a copy. */
+    std::vector<double> frame(std::size_t index) const;
+
+    /** Centre time of a frame in seconds. */
+    double frameTime(std::size_t index) const;
+
+    /** Frequency of a bin in Hz. */
+    double binFrequency(std::size_t bin) const;
+};
+
+/** Compute the magnitude spectrogram of a real series. */
+Spectrogram stft(const TimeSeries &in, const StftConfig &config);
+
+/**
+ * Cosine distance between two spectra, in [0, 2].
+ *
+ * 0 means identical shape; used for region-change detection.
+ */
+double spectralDistance(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_STFT_HPP

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fundamental sample and time-series types shared by the whole stack.
+ *
+ * Signal samples are single-precision: the data volumes are large (one
+ * sample per core cycle before decimation) and the dynamic range of an
+ * AM envelope does not need doubles.  Accumulators inside algorithms use
+ * double precision throughout.
+ */
+
+#ifndef EMPROF_DSP_TYPES_HPP
+#define EMPROF_DSP_TYPES_HPP
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace emprof::dsp {
+
+/** Real-valued signal sample. */
+using Sample = float;
+
+/** Complex baseband (IQ) sample. */
+using Complex = std::complex<float>;
+
+/** Streaming sink for real samples. */
+using SampleSink = std::function<void(Sample)>;
+
+/** Streaming sink for complex samples. */
+using ComplexSink = std::function<void(Complex)>;
+
+/**
+ * A real-valued time series with an attached sample rate.
+ *
+ * The sample rate is carried with the data so downstream consumers
+ * (EMPROF converts dip durations into nanoseconds and processor cycles)
+ * never have to guess which stage of the decimation chain produced it.
+ */
+struct TimeSeries
+{
+    /** Samples per second. */
+    double sampleRateHz = 0.0;
+
+    /** Sample data, index 0 is time 0. */
+    std::vector<Sample> samples;
+
+    /** Duration of one sample period in seconds. */
+    double samplePeriod() const { return 1.0 / sampleRateHz; }
+
+    /** Total duration in seconds. */
+    double
+    duration() const
+    {
+        return static_cast<double>(samples.size()) / sampleRateHz;
+    }
+
+    std::size_t size() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+};
+
+/** A complex-valued (IQ) time series with an attached sample rate. */
+struct ComplexSeries
+{
+    /** Samples per second. */
+    double sampleRateHz = 0.0;
+
+    /** Sample data, index 0 is time 0. */
+    std::vector<Complex> samples;
+
+    std::size_t size() const { return samples.size(); }
+    bool empty() const { return samples.empty(); }
+
+    /** Duration of one sample period in seconds. */
+    double samplePeriod() const { return 1.0 / sampleRateHz; }
+
+    /** Magnitude (envelope) of the series as a real series. */
+    TimeSeries
+    magnitude() const
+    {
+        TimeSeries out;
+        out.sampleRateHz = sampleRateHz;
+        out.samples.reserve(samples.size());
+        for (const auto &s : samples)
+            out.samples.push_back(std::abs(s));
+        return out;
+    }
+};
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_TYPES_HPP

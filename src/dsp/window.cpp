@@ -1,0 +1,58 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace emprof::dsp {
+
+std::vector<double>
+makeWindow(WindowKind kind, std::size_t length)
+{
+    std::vector<double> w(length, 1.0);
+    if (length <= 1)
+        return w;
+
+    const double n1 = static_cast<double>(length - 1);
+    constexpr double two_pi = 2.0 * std::numbers::pi;
+    constexpr double four_pi = 4.0 * std::numbers::pi;
+
+    for (std::size_t n = 0; n < length; ++n) {
+        const double x = static_cast<double>(n) / n1;
+        switch (kind) {
+          case WindowKind::Rectangular:
+            w[n] = 1.0;
+            break;
+          case WindowKind::Hann:
+            w[n] = 0.5 - 0.5 * std::cos(two_pi * x);
+            break;
+          case WindowKind::Hamming:
+            w[n] = 0.54 - 0.46 * std::cos(two_pi * x);
+            break;
+          case WindowKind::Blackman:
+            w[n] = 0.42 - 0.5 * std::cos(two_pi * x) +
+                   0.08 * std::cos(four_pi * x);
+            break;
+        }
+    }
+    return w;
+}
+
+double
+windowSum(const std::vector<double> &window)
+{
+    double acc = 0.0;
+    for (double c : window)
+        acc += c;
+    return acc;
+}
+
+double
+windowPowerSum(const std::vector<double> &window)
+{
+    double acc = 0.0;
+    for (double c : window)
+        acc += c * c;
+    return acc;
+}
+
+} // namespace emprof::dsp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Window functions for FIR design and spectral analysis.
+ */
+
+#ifndef EMPROF_DSP_WINDOW_HPP
+#define EMPROF_DSP_WINDOW_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace emprof::dsp {
+
+/** Supported window shapes. */
+enum class WindowKind
+{
+    Rectangular,
+    Hann,
+    Hamming,
+    Blackman,
+};
+
+/**
+ * Generate a window of the given kind and length.
+ *
+ * @param kind Window shape.
+ * @param length Number of coefficients (>= 1).
+ * @return Window coefficients in [0, 1].
+ */
+std::vector<double> makeWindow(WindowKind kind, std::size_t length);
+
+/** Sum of the window coefficients (for amplitude normalisation). */
+double windowSum(const std::vector<double> &window);
+
+/** Sum of squared coefficients (for power normalisation). */
+double windowPowerSum(const std::vector<double> &window);
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_WINDOW_HPP

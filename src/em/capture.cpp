@@ -1,0 +1,135 @@
+#include "em/capture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emprof::em {
+
+ProbeChain::ProbeChain(const ProbeChainConfig &config, double clock_hz)
+    : emanation_(config.emanation),
+      channel_(config.channel, clock_hz),
+      receiver_(config.receiver, clock_hz)
+{}
+
+bool
+ProbeChain::push(dsp::Sample power, dsp::Sample &mag_out)
+{
+    dsp::Complex iq = channel_.push(emanation_.push(power));
+    dsp::Complex received;
+    if (!receiver_.push(iq, received))
+        return false;
+    mag_out = std::abs(received);
+    return true;
+}
+
+EmCaptureResult
+captureRun(sim::Simulator &simulator, sim::TraceSource &trace,
+           const ProbeChainConfig &config, sim::Cycle max_cycles)
+{
+    EmCaptureResult result;
+    ProbeChain chain(config, simulator.config().clockHz);
+    result.magnitude.sampleRateHz = chain.outputRateHz();
+
+    auto sink = [&](dsp::Sample power) {
+        dsp::Sample mag;
+        if (chain.push(power, mag))
+            result.magnitude.samples.push_back(mag);
+    };
+    result.simResult = simulator.run(trace, sink, max_cycles);
+    return result;
+}
+
+dsp::TimeSeries
+processPowerTrace(const dsp::TimeSeries &power,
+                  const ProbeChainConfig &config)
+{
+    ProbeChain chain(config, power.sampleRateHz);
+    dsp::TimeSeries out;
+    out.sampleRateHz = chain.outputRateHz();
+    out.samples.reserve(power.samples.size() /
+                            std::max<std::size_t>(
+                                1, static_cast<std::size_t>(
+                                       power.sampleRateHz /
+                                       config.receiver.bandwidthHz)) +
+                        1);
+    for (dsp::Sample p : power.samples) {
+        dsp::Sample mag;
+        if (chain.push(p, mag))
+            out.samples.push_back(mag);
+    }
+    return out;
+}
+
+ProbeChainConfig
+defaultMemoryProbeChain()
+{
+    ProbeChainConfig chain;
+    chain.emanation.carrierLeak = 0.02;
+    chain.channel.noiseSigma = 0.015;
+    chain.channel.supplyRippleAmp = 0.01;
+    return chain;
+}
+
+dsp::TimeSeries
+synthesizeMemoryPower(const std::vector<sim::CasEvent> &events,
+                      sim::Cycle total_cycles, double clock_hz,
+                      const MemoryEmanationConfig &config)
+{
+    dsp::TimeSeries out;
+    out.sampleRateHz = clock_hz;
+    out.samples.assign(total_cycles,
+                       static_cast<dsp::Sample>(config.idleLevel));
+
+    for (const auto &ev : events) {
+        double level = config.idleLevel;
+        switch (ev.kind) {
+          case sim::CasEvent::Kind::Read:
+            level = config.readBurstLevel;
+            break;
+          case sim::CasEvent::Kind::Write:
+            level = config.writeBurstLevel;
+            break;
+          case sim::CasEvent::Kind::Refresh:
+            level = config.refreshLevel;
+            break;
+        }
+        const sim::Cycle begin = std::min<sim::Cycle>(ev.start, total_cycles);
+        const sim::Cycle end =
+            std::min<sim::Cycle>(ev.start + ev.duration, total_cycles);
+        for (sim::Cycle c = begin; c < end; ++c) {
+            out.samples[c] = std::max(out.samples[c],
+                                      static_cast<dsp::Sample>(level));
+        }
+    }
+    return out;
+}
+
+DualProbeResult
+dualProbeRun(sim::Simulator &simulator, sim::TraceSource &trace,
+             const ProbeChainConfig &cpu_chain,
+             const ProbeChainConfig &mem_chain,
+             const MemoryEmanationConfig &mem_levels)
+{
+    DualProbeResult result;
+    const double clock_hz = simulator.config().clockHz;
+
+    // CPU probe streams during the run; the memory probe is synthesised
+    // from the CAS trace afterwards (the events are timestamped, so the
+    // two captures stay aligned).
+    ProbeChain chain(cpu_chain, clock_hz);
+    result.cpu.sampleRateHz = chain.outputRateHz();
+    auto sink = [&](dsp::Sample power) {
+        dsp::Sample mag;
+        if (chain.push(power, mag))
+            result.cpu.samples.push_back(mag);
+    };
+    result.simResult = simulator.run(trace, sink);
+
+    const auto mem_power = synthesizeMemoryPower(
+        simulator.hierarchy().memory().casTrace(), result.simResult.cycles,
+        clock_hz, mem_levels);
+    result.memory = processPowerTrace(mem_power, mem_chain);
+    return result;
+}
+
+} // namespace emprof::em

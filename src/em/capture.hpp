@@ -1,0 +1,134 @@
+/**
+ * @file
+ * End-to-end capture: simulator -> emanation -> channel -> receiver ->
+ * magnitude series, plus the dual-probe (CPU + DRAM) setup of Fig. 9/10.
+ */
+
+#ifndef EMPROF_EM_CAPTURE_HPP
+#define EMPROF_EM_CAPTURE_HPP
+
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "em/channel.hpp"
+#include "em/config.hpp"
+#include "em/emanation.hpp"
+#include "em/receiver.hpp"
+#include "sim/memory.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace emprof::em {
+
+/** Full probe-chain configuration. */
+struct ProbeChainConfig
+{
+    EmanationConfig emanation;
+    ChannelConfig channel;
+    ReceiverConfig receiver;
+};
+
+/**
+ * Streaming probe chain: power sample in (at clock rate), magnitude
+ * sample out (at the measurement bandwidth).
+ */
+class ProbeChain
+{
+  public:
+    ProbeChain(const ProbeChainConfig &config, double clock_hz);
+
+    /**
+     * Push one power sample.
+     *
+     * @param power Modelled power for one cycle.
+     * @param mag_out Receives a magnitude sample when produced.
+     * @retval true A magnitude sample was produced.
+     */
+    bool push(dsp::Sample power, dsp::Sample &mag_out);
+
+    /** Magnitude output sample rate in Hz. */
+    double outputRateHz() const { return receiver_.outputRateHz(); }
+
+  private:
+    EmanationSynthesizer emanation_;
+    Channel channel_;
+    SdrReceiver receiver_;
+};
+
+/** Result of an instrumented run. */
+struct EmCaptureResult
+{
+    sim::SimResult simResult;
+
+    /** Received signal magnitude at the measurement bandwidth. */
+    dsp::TimeSeries magnitude;
+};
+
+/**
+ * Run a trace on a simulator while "probing" it: the per-cycle power is
+ * streamed through the probe chain and only the decimated magnitude is
+ * retained, so memory stays O(cycles / decimation).
+ */
+EmCaptureResult captureRun(sim::Simulator &simulator,
+                           sim::TraceSource &trace,
+                           const ProbeChainConfig &config,
+                           sim::Cycle max_cycles = sim::kNoCycle);
+
+/** Push an already-recorded power trace through a probe chain. */
+dsp::TimeSeries processPowerTrace(const dsp::TimeSeries &power,
+                                  const ProbeChainConfig &config);
+
+/** DRAM-side emanation synthesis levels (arbitrary units). */
+struct MemoryEmanationConfig
+{
+    double idleLevel = 0.05;
+    double readBurstLevel = 1.0;
+    double writeBurstLevel = 0.9;
+    double refreshLevel = 0.7;
+};
+
+/**
+ * Probe chain suited to the memory-side measurement of Fig. 9: a
+ * passive probe on the CAS pin, measured off a resistor — direct
+ * contact, so essentially no residual carrier leak and little noise
+ * compared to the near-field CPU probe.
+ */
+ProbeChainConfig defaultMemoryProbeChain();
+
+/**
+ * Build the DRAM-side activity trace (one sample per core cycle) from
+ * the recorded CAS events.
+ */
+dsp::TimeSeries synthesizeMemoryPower(
+    const std::vector<sim::CasEvent> &events, sim::Cycle total_cycles,
+    double clock_hz, const MemoryEmanationConfig &config = {});
+
+/** Result of the dual-probe experiment (Fig. 10). */
+struct DualProbeResult
+{
+    sim::SimResult simResult;
+
+    /** Processor-probe magnitude. */
+    dsp::TimeSeries cpu;
+
+    /** Memory-probe magnitude (time-aligned with cpu). */
+    dsp::TimeSeries memory;
+};
+
+/**
+ * Run a trace while simultaneously probing the processor and the DRAM,
+ * reproducing the measurement setup of Fig. 9.
+ *
+ * @param cpu_chain Processor-probe chain configuration.
+ * @param mem_chain Memory-probe chain configuration (typically the
+ *        same receiver bandwidth so the two series align).
+ */
+DualProbeResult dualProbeRun(sim::Simulator &simulator,
+                             sim::TraceSource &trace,
+                             const ProbeChainConfig &cpu_chain,
+                             const ProbeChainConfig &mem_chain,
+                             const MemoryEmanationConfig &mem_levels = {});
+
+} // namespace emprof::em
+
+#endif // EMPROF_EM_CAPTURE_HPP

@@ -1,0 +1,46 @@
+#include "em/channel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace emprof::em {
+
+Channel::Channel(const ChannelConfig &config, double sample_rate_hz)
+    : config_(config),
+      gainWalk_(config.gain, config.gain * config.gainWalkStep,
+                config.gain * config.gainMin, config.gain * config.gainMax,
+                config.seed ^ 0x9A1),
+      noise_(config.noiseSigma, config.seed ^ 0x77E),
+      ripplePhaseStep_(2.0 * std::numbers::pi * config.supplyRippleHz /
+                       sample_rate_hz)
+{}
+
+double
+Channel::currentGain() const
+{
+    return gainWalk_.value() * (1.0 + config_.supplyRippleAmp * rippleValue_);
+}
+
+dsp::Complex
+Channel::push(dsp::Complex x)
+{
+    // The gain terms change slowly (supply ripple is ~100 kHz, the
+    // probe walk slower still) while samples arrive at the clock rate,
+    // so the combined gain is refreshed on a 64-sample grid — far
+    // below the ripple period.
+    if ((sampleIndex_ & 63) == 0) {
+        rippleValue_ = std::sin(ripplePhase_);
+        gainWalk_.step();
+        cachedGain_ = static_cast<float>(
+            gainWalk_.value() *
+            (1.0 + config_.supplyRippleAmp * rippleValue_));
+    }
+    ripplePhase_ += ripplePhaseStep_;
+    if (ripplePhase_ > 2.0 * std::numbers::pi)
+        ripplePhase_ -= 2.0 * std::numbers::pi;
+    ++sampleIndex_;
+
+    return x * cachedGain_ + noise_.complex();
+}
+
+} // namespace emprof::em

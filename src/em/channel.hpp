@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Propagation/probe channel: multiplicative gain drift, supply ripple
+ * and additive noise.
+ *
+ * These are exactly the distortions EMPROF's moving min/max
+ * normalisation is designed to cancel (Sec. IV): probe-position gain is
+ * a slowly wandering multiplicative factor, and power-supply variation
+ * modulates the overall signal strength over time.
+ */
+
+#ifndef EMPROF_EM_CHANNEL_HPP
+#define EMPROF_EM_CHANNEL_HPP
+
+#include "dsp/noise.hpp"
+#include "dsp/types.hpp"
+#include "em/config.hpp"
+
+namespace emprof::em {
+
+/**
+ * Streaming channel model (one IQ sample in, one out).
+ */
+class Channel
+{
+  public:
+    /**
+     * @param config Channel parameters.
+     * @param sample_rate_hz Input sample rate (for the ripple phase).
+     */
+    Channel(const ChannelConfig &config, double sample_rate_hz);
+
+    /** Apply gain drift, ripple and noise to one sample. */
+    dsp::Complex push(dsp::Complex x);
+
+    /** Current instantaneous gain (for tests). */
+    double currentGain() const;
+
+    const ChannelConfig &config() const { return config_; }
+
+  private:
+    ChannelConfig config_;
+    dsp::RandomWalk gainWalk_;
+    dsp::AwgnSource noise_;
+    double ripplePhaseStep_;
+    double ripplePhase_ = 0.0;
+    double rippleValue_ = 0.0;
+    float cachedGain_ = 1.0f;
+    uint64_t sampleIndex_ = 0;
+};
+
+} // namespace emprof::em
+
+#endif // EMPROF_EM_CHANNEL_HPP

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Configuration for the EM side-channel model: emanation synthesis,
+ * propagation/probe channel, and SDR receiver.
+ *
+ * This subsystem substitutes for the paper's physical setup (near-field
+ * magnetic probe + Keysight N9020A / ThinkRF WSA5000 + PX14400
+ * digitizers).  The signal is modelled directly in complex baseband
+ * around the processor clock frequency, which is where the receiver
+ * tunes (Sec. III-A), so no multi-GHz carrier sampling is needed.
+ */
+
+#ifndef EMPROF_EM_CONFIG_HPP
+#define EMPROF_EM_CONFIG_HPP
+
+#include <cstdint>
+
+namespace emprof::em {
+
+/** Power-to-emanation synthesis. */
+struct EmanationConfig
+{
+    /** Residual carrier amplitude independent of activity (clock tree
+     *  leaks at the clock frequency even when fully stalled). */
+    double carrierLeak = 0.15;
+
+    /** Amplitude contributed per unit of modelled power. */
+    double activityGain = 1.0;
+
+    /** Phase-noise random-walk step per cycle (radians). */
+    double phaseNoiseStep = 0.01;
+
+    uint64_t seed = 0xE31ull;
+};
+
+/** Probe + environment channel. */
+struct ChannelConfig
+{
+    /** Nominal probe-coupling gain. */
+    double gain = 1.0;
+
+    /**
+     * Per-cycle random-walk step of the multiplicative gain, as a
+     * fraction of the nominal gain.  Models probe-position sensitivity
+     * (Sec. IV: "even small changes in probe/antenna position can
+     * dramatically change the overall magnitude").
+     */
+    double gainWalkStep = 2e-7;
+
+    /** Bounds on the wandering gain, relative to nominal. */
+    double gainMin = 0.5;
+    double gainMax = 2.0;
+
+    /** Amplitude of periodic supply-voltage ripple (relative). */
+    double supplyRippleAmp = 0.03;
+
+    /** Supply ripple frequency in Hz (switching regulator). */
+    double supplyRippleHz = 120e3;
+
+    /** AWGN standard deviation per real dimension, at the input. */
+    double noiseSigma = 0.03;
+
+    uint64_t seed = 0xC4A2ull;
+};
+
+/** SDR receiver front end. */
+struct ReceiverConfig
+{
+    /** Measurement bandwidth in Hz; IQ sample rate equals this.
+     *  The paper sweeps 20/40/60/80/160 MHz (Sec. VI-B). */
+    double bandwidthHz = 40e6;
+
+    /** Anti-alias FIR length (odd).  0 = automatic: the filter spans
+     *  ~2.5 decimation periods, as a real anti-alias stage must — this
+     *  is what makes narrow bandwidths smear short stalls (Fig. 12). */
+    uint32_t firTaps = 0;
+
+    /** ADC resolution in bits; 0 disables quantisation. */
+    uint32_t adcBits = 14;
+
+    /** Full-scale amplitude for the ADC. */
+    double adcFullScale = 4.0;
+};
+
+} // namespace emprof::em
+
+#endif // EMPROF_EM_CONFIG_HPP

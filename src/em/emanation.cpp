@@ -1,0 +1,37 @@
+#include "em/emanation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace emprof::em {
+
+EmanationSynthesizer::EmanationSynthesizer(const EmanationConfig &config)
+    : config_(config), phaseNoise_(config.phaseNoiseStep, config.seed)
+{}
+
+dsp::Complex
+EmanationSynthesizer::push(dsp::Sample power)
+{
+    phase_ += phaseNoise_.real();
+    // Keep the phase bounded to preserve precision on long runs.
+    if (phase_ > std::numbers::pi)
+        phase_ -= 2.0 * std::numbers::pi;
+    else if (phase_ < -std::numbers::pi)
+        phase_ += 2.0 * std::numbers::pi;
+
+    // The phase walk is slow (~0.01 rad/sample), so the trig pair is
+    // refreshed on a coarse grid; the staleness (< 0.1 rad) is far
+    // below the phase uncertainty the walk itself models, and the
+    // magnitude — all EMPROF uses — is unaffected.
+    if ((sampleIndex_++ & 7) == 0) {
+        cosPhase_ = std::cos(phase_);
+        sinPhase_ = std::sin(phase_);
+    }
+
+    const double amplitude =
+        config_.carrierLeak + config_.activityGain * power;
+    return {static_cast<float>(amplitude * cosPhase_),
+            static_cast<float>(amplitude * sinPhase_)};
+}
+
+} // namespace emprof::em

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Emanation synthesiser: per-cycle power -> complex-baseband EM sample.
+ *
+ * Switching activity amplitude-modulates the emanation around the clock
+ * frequency (Sec. II-A, III-A): busy cycles emit strongly, stalled
+ * cycles fall back to the residual clock-tree leak.  A slow phase
+ * random walk models oscillator phase noise.
+ */
+
+#ifndef EMPROF_EM_EMANATION_HPP
+#define EMPROF_EM_EMANATION_HPP
+
+#include "dsp/noise.hpp"
+#include "dsp/types.hpp"
+#include "em/config.hpp"
+
+namespace emprof::em {
+
+/**
+ * Streaming power-to-IQ synthesiser (one sample in, one sample out).
+ */
+class EmanationSynthesizer
+{
+  public:
+    explicit EmanationSynthesizer(const EmanationConfig &config);
+
+    /** Convert one power sample to one baseband IQ sample. */
+    dsp::Complex push(dsp::Sample power);
+
+    const EmanationConfig &config() const { return config_; }
+
+  private:
+    EmanationConfig config_;
+    dsp::AwgnSource phaseNoise_;
+    double phase_ = 0.0;
+    double cosPhase_ = 1.0;
+    double sinPhase_ = 0.0;
+    uint64_t sampleIndex_ = 0;
+};
+
+} // namespace emprof::em
+
+#endif // EMPROF_EM_EMANATION_HPP

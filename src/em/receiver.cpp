@@ -1,0 +1,72 @@
+#include "em/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emprof::em {
+
+namespace {
+
+std::size_t
+decimationFor(double input_rate_hz, double bandwidth_hz)
+{
+    const double ratio = input_rate_hz / bandwidth_hz;
+    return std::max<std::size_t>(1,
+                                 static_cast<std::size_t>(ratio + 0.5));
+}
+
+std::size_t
+tapsFor(const ReceiverConfig &config, std::size_t decimation)
+{
+    if (config.firTaps != 0)
+        return config.firTaps;
+    return std::max<std::size_t>(15, decimation * 5 / 2);
+}
+
+} // namespace
+
+SdrReceiver::SdrReceiver(const ReceiverConfig &config, double input_rate_hz)
+    : config_(config),
+      fir_(dsp::designLowPass(
+               tapsFor(config, decimationFor(input_rate_hz,
+                                             config.bandwidthHz)),
+               // Complex baseband of bandwidth B spans +/- B/2; with
+               // decimation M the output Nyquist is input_rate/(2M).
+               // Cut slightly below it to suppress aliasing.
+               0.45 / static_cast<double>(
+                          decimationFor(input_rate_hz, config.bandwidthHz))),
+           decimationFor(input_rate_hz, config.bandwidthHz)),
+      outputRate_(input_rate_hz /
+                  static_cast<double>(
+                      decimationFor(input_rate_hz, config.bandwidthHz)))
+{}
+
+float
+SdrReceiver::quantise(float v) const
+{
+    if (config_.adcBits == 0)
+        return v;
+    const double levels = static_cast<double>(1u << (config_.adcBits - 1));
+    const double step = config_.adcFullScale / levels;
+    const double clamped =
+        std::clamp(static_cast<double>(v), -config_.adcFullScale,
+                   config_.adcFullScale);
+    return static_cast<float>(std::round(clamped / step) * step);
+}
+
+bool
+SdrReceiver::push(dsp::Complex x, dsp::Complex &out)
+{
+    dsp::Complex filtered;
+    if (!fir_.push(x, filtered))
+        return false;
+    // Discard the settling transient: outputs computed while the FIR
+    // history still contains zeros ramp up from nothing and would skew
+    // any downstream envelope tracking.
+    if (!fir_.warm())
+        return false;
+    out = {quantise(filtered.real()), quantise(filtered.imag())};
+    return true;
+}
+
+} // namespace emprof::em

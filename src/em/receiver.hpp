@@ -1,0 +1,69 @@
+/**
+ * @file
+ * SDR receiver model: bandwidth selection, decimation, quantisation,
+ * and envelope output.
+ *
+ * Substitutes for the ThinkRF WSA5000 + PX14400 chain (Sec. VI): the
+ * receiver is tuned to the processor clock (implicit — the input is
+ * already complex baseband around it), band-limits to the configured
+ * measurement bandwidth with an anti-alias FIR, decimates so that the
+ * IQ sample rate equals the bandwidth, and optionally quantises like
+ * a real ADC.  EMPROF consumes the magnitude of the IQ stream.
+ */
+
+#ifndef EMPROF_EM_RECEIVER_HPP
+#define EMPROF_EM_RECEIVER_HPP
+
+#include <cstdint>
+
+#include "dsp/fir.hpp"
+#include "dsp/types.hpp"
+#include "em/config.hpp"
+
+namespace emprof::em {
+
+/**
+ * Streaming receiver (IQ in at the clock rate, IQ out at the
+ * measurement bandwidth).
+ */
+class SdrReceiver
+{
+  public:
+    /**
+     * @param config Receiver parameters.
+     * @param input_rate_hz Input IQ sample rate (the core clock).
+     */
+    SdrReceiver(const ReceiverConfig &config, double input_rate_hz);
+
+    /**
+     * Push one input sample.
+     *
+     * @param x Input IQ sample.
+     * @param out Receives an output IQ sample when one is produced.
+     * @retval true An output sample was produced.
+     */
+    bool push(dsp::Complex x, dsp::Complex &out);
+
+    /** Output IQ sample rate (input_rate / decimation). */
+    double outputRateHz() const { return outputRate_; }
+
+    /** Decimation factor in use. */
+    std::size_t decimation() const { return fir_.factor(); }
+
+    /** Anti-alias filter length actually in use. */
+    std::size_t numTaps() const { return fir_.numTaps(); }
+
+    const ReceiverConfig &config() const { return config_; }
+
+  private:
+    /** Apply ADC quantisation to one component. */
+    float quantise(float v) const;
+
+    ReceiverConfig config_;
+    dsp::DecimatingFir<dsp::Complex> fir_;
+    double outputRate_;
+};
+
+} // namespace emprof::em
+
+#endif // EMPROF_EM_RECEIVER_HPP

@@ -1,0 +1,226 @@
+#include "profiler/attribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace emprof::profiler {
+
+namespace {
+
+/** Unit-normalise a spectrum in place (DC region excluded).
+ *
+ *  The first few bins are zeroed, not just bin 0: the signal rides on
+ *  a large constant level whose window leakage spreads across the
+ *  analysis window's main lobe, and that leakage is common to every
+ *  region — keeping it would wash out the shape differences the
+ *  segmentation relies on. */
+void
+normaliseSignature(std::vector<double> &spectrum)
+{
+    for (std::size_t b = 0; b < spectrum.size() && b < 3; ++b)
+        spectrum[b] = 0.0; // level is not shape
+    double norm = 0.0;
+    for (double v : spectrum)
+        norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm <= 0.0)
+        return;
+    for (double &v : spectrum)
+        v /= norm;
+}
+
+/** Mean of spectrogram frames [begin, end) as a normalised signature. */
+std::vector<double>
+meanSignature(const dsp::Spectrogram &spec, std::size_t begin,
+              std::size_t end)
+{
+    std::vector<double> sig(spec.numBins, 0.0);
+    for (std::size_t f = begin; f < end; ++f) {
+        for (std::size_t b = 0; b < spec.numBins; ++b)
+            sig[b] += spec.at(f, b);
+    }
+    normaliseSignature(sig);
+    return sig;
+}
+
+} // namespace
+
+SpectralAttributor::SpectralAttributor(const AttributionConfig &config)
+    : config_(config)
+{}
+
+std::vector<CodeRegion>
+SpectralAttributor::segment(const dsp::TimeSeries &magnitude) const
+{
+    std::vector<CodeRegion> regions;
+    const auto spec = dsp::stft(magnitude, config_.stft);
+    if (spec.numFrames < 2 * config_.smoothFrames + 2)
+        return regions;
+
+    // Smoothed, normalised signatures.
+    const std::size_t smooth = std::max<std::size_t>(1, config_.smoothFrames);
+    const std::size_t num_sigs = spec.numFrames - smooth + 1;
+    std::vector<std::vector<double>> sigs(num_sigs);
+    for (std::size_t f = 0; f < num_sigs; ++f)
+        sigs[f] = meanSignature(spec, f, f + smooth);
+
+    // Change score between adjacent non-overlapping signatures.
+    std::vector<double> change(num_sigs, 0.0);
+    for (std::size_t f = smooth; f < num_sigs; ++f)
+        change[f] = dsp::spectralDistance(sigs[f - smooth], sigs[f]);
+
+    // Boundaries: local maxima of the change score above threshold,
+    // separated by at least minRegionFrames.
+    std::vector<std::size_t> boundaries;
+    boundaries.push_back(0);
+    std::size_t last_boundary = 0;
+    for (std::size_t f = smooth + 1; f + 1 < num_sigs; ++f) {
+        if (change[f] < config_.changeThreshold)
+            continue;
+        if (change[f] < change[f - 1] || change[f] < change[f + 1])
+            continue;
+        // Boundary lands between the two compared windows.
+        const std::size_t frame = f;
+        if (frame - last_boundary < config_.minRegionFrames)
+            continue;
+        boundaries.push_back(frame);
+        last_boundary = frame;
+    }
+    boundaries.push_back(spec.numFrames);
+
+    // Build regions and assign labels by signature matching.
+    std::vector<std::vector<double>> label_sigs;
+    for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+        CodeRegion region;
+        region.startFrame = boundaries[i];
+        region.endFrame = boundaries[i + 1];
+        region.startSample =
+            static_cast<uint64_t>(region.startFrame) * spec.hop;
+        region.endSample = std::min<uint64_t>(
+            static_cast<uint64_t>(region.endFrame) * spec.hop +
+                config_.stft.frameSize,
+            magnitude.samples.size());
+        region.startTime =
+            static_cast<double>(region.startSample) / magnitude.sampleRateHz;
+        region.endTime =
+            static_cast<double>(region.endSample) / magnitude.sampleRateHz;
+
+        // Exclude a margin near the boundaries from the signature (the
+        // transition frames mix both regions).
+        std::size_t sig_begin = region.startFrame;
+        std::size_t sig_end = std::min(region.endFrame, num_sigs);
+        if (sig_end > sig_begin + 4) {
+            ++sig_begin;
+            --sig_end;
+        }
+        region.signature = meanSignature(spec, sig_begin,
+                                         std::max(sig_end, sig_begin + 1));
+
+        // Dominant loop frequency: strongest non-DC signature bin.
+        std::size_t best_bin = 0;
+        for (std::size_t b = 1; b < region.signature.size(); ++b) {
+            if (region.signature[b] > region.signature[best_bin])
+                best_bin = b;
+        }
+        region.dominantFrequencyHz = spec.binFrequency(best_bin);
+
+        // Label: reuse the first matching signature.
+        std::size_t label = label_sigs.size();
+        for (std::size_t l = 0; l < label_sigs.size(); ++l) {
+            if (dsp::spectralDistance(label_sigs[l], region.signature) <
+                config_.labelMergeThreshold) {
+                label = l;
+                break;
+            }
+        }
+        if (label == label_sigs.size())
+            label_sigs.push_back(region.signature);
+        region.label = label;
+        regions.push_back(std::move(region));
+    }
+    return regions;
+}
+
+std::vector<RegionProfile>
+SpectralAttributor::attribute(const std::vector<CodeRegion> &regions,
+                              const std::vector<StallEvent> &events,
+                              double sample_rate_hz, double clock_hz) const
+{
+    std::vector<RegionProfile> profiles;
+    profiles.reserve(regions.size());
+    const double cycles_per_sample = clock_hz / sample_rate_hz;
+
+    double total_samples = 0.0;
+    for (const auto &region : regions)
+        total_samples +=
+            static_cast<double>(region.endSample - region.startSample);
+
+    for (const auto &region : regions) {
+        RegionProfile profile;
+        profile.region = region;
+
+        double stall_cycles = 0.0;
+        for (const auto &ev : events) {
+            // An event belongs to the region containing its midpoint.
+            const uint64_t mid = (ev.startSample + ev.endSample) / 2;
+            if (mid >= region.startSample && mid < region.endSample) {
+                ++profile.totalMisses;
+                stall_cycles += ev.stallCycles;
+            }
+        }
+
+        const double region_cycles =
+            static_cast<double>(region.endSample - region.startSample) *
+            cycles_per_sample;
+        if (region_cycles > 0.0) {
+            profile.missRatePerMCycles =
+                1e6 * static_cast<double>(profile.totalMisses) /
+                region_cycles;
+            profile.memStallPercent = 100.0 * stall_cycles / region_cycles;
+        }
+        if (profile.totalMisses > 0) {
+            profile.avgMissLatencyCycles =
+                stall_cycles / static_cast<double>(profile.totalMisses);
+        }
+        if (total_samples > 0.0) {
+            profile.timeSharePercent =
+                100.0 *
+                static_cast<double>(region.endSample - region.startSample) /
+                total_samples;
+        }
+        profiles.push_back(std::move(profile));
+    }
+    return profiles;
+}
+
+std::string
+SpectralAttributor::toText(const std::vector<RegionProfile> &profiles,
+                           const std::vector<std::string> &names)
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "  %-8s %-18s %10s %14s %12s %12s %9s\n", "Region",
+                  "Function", "TotalMiss", "Miss/Mcycle", "MemStall%",
+                  "AvgLat(cyc)", "Time%");
+    out += line;
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const auto &p = profiles[i];
+        const char region_letter = static_cast<char>('A' + (p.region.label % 26));
+        const std::string name = p.region.label < names.size()
+                                     ? names[p.region.label]
+                                     : std::string("region_") + region_letter;
+        std::snprintf(line, sizeof(line),
+                      "  %-8c %-18s %10llu %14.2f %12.2f %12.2f %9.2f\n",
+                      region_letter, name.c_str(),
+                      static_cast<unsigned long long>(p.totalMisses),
+                      p.missRatePerMCycles, p.memStallPercent,
+                      p.avgMissLatencyCycles, p.timeSharePercent);
+        out += line;
+    }
+    return out;
+}
+
+} // namespace emprof::profiler

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Spectral code attribution (Sec. VI-D, Fig. 14, Table V).
+ *
+ * Distinct loop-level regions of a program have distinct activity
+ * periodicities, so their short-term spectra differ (the basis of
+ * Spectral Profiling).  This module segments the signal into regions
+ * by detecting jumps in frame-to-frame spectral distance, labels
+ * regions with matching signatures identically, and then attributes
+ * EMPROF's stall events to the region they occur in — producing the
+ * per-function miss/stall table the paper shows for `parser`.
+ */
+
+#ifndef EMPROF_PROFILER_ATTRIBUTION_HPP
+#define EMPROF_PROFILER_ATTRIBUTION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/stft.hpp"
+#include "dsp/types.hpp"
+#include "profiler/events.hpp"
+
+namespace emprof::profiler {
+
+/** Attribution tuning. */
+struct AttributionConfig
+{
+    /** STFT parameters for the spectrogram. */
+    dsp::StftConfig stft{1024, 512, 0, dsp::WindowKind::Hann};
+
+    /** Frames averaged into each signature (noise suppression). */
+    std::size_t smoothFrames = 8;
+
+    /** Cosine distance above which a boundary is declared. */
+    double changeThreshold = 0.18;
+
+    /** Minimum region length in frames (shorter ones are merged). */
+    std::size_t minRegionFrames = 16;
+
+    /** Signature distance below which two regions share a label. */
+    double labelMergeThreshold = 0.10;
+};
+
+/** One attributed code region. */
+struct CodeRegion
+{
+    /** First STFT frame of the region. */
+    std::size_t startFrame = 0;
+
+    /** One past the last frame. */
+    std::size_t endFrame = 0;
+
+    /** Start/end in signal samples. */
+    uint64_t startSample = 0;
+    uint64_t endSample = 0;
+
+    /** Start/end in seconds. */
+    double startTime = 0.0;
+    double endTime = 0.0;
+
+    /** Label: regions with the same spectral signature share one. */
+    std::size_t label = 0;
+
+    /** Mean spectral signature (unit norm, DC excluded). */
+    std::vector<double> signature;
+
+    /**
+     * Dominant activity periodicity of the region, in Hz — the
+     * strongest non-DC component of its signature, i.e. the region's
+     * main loop frequency.  This is the hook for the finer,
+     * loop-granularity attribution the paper defers to Spectral
+     * Profiling (Sec. VI-D): regions sharing a function but differing
+     * in loop rate can be told apart by it.
+     */
+    double dominantFrequencyHz = 0.0;
+};
+
+/** Table V row: per-region profile. */
+struct RegionProfile
+{
+    CodeRegion region;
+
+    /** Stall events attributed to the region. */
+    uint64_t totalMisses = 0;
+
+    /** Miss rate per million cycles. */
+    double missRatePerMCycles = 0.0;
+
+    /** Memory-stall cycles as % of the region's cycles. */
+    double memStallPercent = 0.0;
+
+    /** Mean stall latency in cycles. */
+    double avgMissLatencyCycles = 0.0;
+
+    /** Fraction of total execution time spent in the region. */
+    double timeSharePercent = 0.0;
+};
+
+/**
+ * Spectral segmentation + event attribution.
+ */
+class SpectralAttributor
+{
+  public:
+    explicit SpectralAttributor(const AttributionConfig &config = {});
+
+    /**
+     * Segment a magnitude signal into spectrally homogeneous regions.
+     */
+    std::vector<CodeRegion> segment(const dsp::TimeSeries &magnitude) const;
+
+    /**
+     * Attribute stall events to regions and compute Table V metrics.
+     *
+     * @param regions Segmented regions.
+     * @param events EMPROF's detected events (same signal).
+     * @param sample_rate_hz Signal sample rate.
+     * @param clock_hz Target clock for cycle conversion.
+     */
+    std::vector<RegionProfile> attribute(
+        const std::vector<CodeRegion> &regions,
+        const std::vector<StallEvent> &events, double sample_rate_hz,
+        double clock_hz) const;
+
+    const AttributionConfig &config() const { return config_; }
+
+    /** Render region profiles as a Table-V-style text table. */
+    static std::string toText(const std::vector<RegionProfile> &profiles,
+                              const std::vector<std::string> &names = {});
+
+  private:
+    AttributionConfig config_;
+};
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_ATTRIBUTION_HPP

@@ -1,0 +1,93 @@
+#include "profiler/boot_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace emprof::profiler {
+
+BootProfile
+makeBootProfile(const std::vector<StallEvent> &events,
+                double sample_rate_hz, uint64_t total_samples,
+                double bucket_seconds)
+{
+    BootProfile profile;
+    profile.bucketSeconds = bucket_seconds;
+    if (total_samples == 0 || sample_rate_hz <= 0.0 ||
+        bucket_seconds <= 0.0) {
+        return profile;
+    }
+
+    const double duration =
+        static_cast<double>(total_samples) / sample_rate_hz;
+    const std::size_t num_buckets = static_cast<std::size_t>(
+        std::ceil(duration / bucket_seconds));
+    profile.buckets.resize(num_buckets);
+    for (std::size_t i = 0; i < num_buckets; ++i)
+        profile.buckets[i].timeSeconds =
+            static_cast<double>(i) * bucket_seconds;
+
+    const double samples_per_bucket = bucket_seconds * sample_rate_hz;
+    std::vector<double> stall_samples(num_buckets, 0.0);
+    for (const auto &ev : events) {
+        const std::size_t b = std::min<std::size_t>(
+            static_cast<std::size_t>(
+                static_cast<double>(ev.startSample) / samples_per_bucket),
+            num_buckets - 1);
+        profile.buckets[b].events += 1;
+        stall_samples[b] += static_cast<double>(ev.durationSamples());
+    }
+
+    for (std::size_t i = 0; i < num_buckets; ++i) {
+        profile.buckets[i].eventsPerMs =
+            static_cast<double>(profile.buckets[i].events) /
+            (bucket_seconds * 1e3);
+        profile.buckets[i].stallPercent =
+            100.0 * stall_samples[i] / samples_per_bucket;
+    }
+    return profile;
+}
+
+double
+bootProfileSimilarity(const BootProfile &a, const BootProfile &b)
+{
+    const std::size_t n = std::min(a.buckets.size(), b.buckets.size());
+    if (n == 0)
+        return 0.0;
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = a.buckets[i].eventsPerMs;
+        const double y = b.buckets[i].eventsPerMs;
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if (na <= 0.0 || nb <= 0.0)
+        return 0.0;
+    return dot / std::sqrt(na * nb);
+}
+
+std::string
+BootProfile::toText() const
+{
+    std::string out;
+    char line[192];
+    double max_rate = 1e-9;
+    for (const auto &bucket : buckets)
+        max_rate = std::max(max_rate, bucket.eventsPerMs);
+
+    for (const auto &bucket : buckets) {
+        const int bar =
+            static_cast<int>(48.0 * bucket.eventsPerMs / max_rate);
+        std::snprintf(line, sizeof(line),
+                      "  %8.2f ms %8.1f ev/ms %6.2f%% stall |",
+                      bucket.timeSeconds * 1e3, bucket.eventsPerMs,
+                      bucket.stallPercent);
+        out += line;
+        out.append(static_cast<std::size_t>(bar), '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace emprof::profiler

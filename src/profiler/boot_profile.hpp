@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Boot-sequence profiling (Sec. VI-C, Fig. 13): the time series of LLC
+ * miss rate over an execution, built from detected stall events.
+ *
+ * EMPROF can profile a system's boot from its very first instruction —
+ * before any performance-monitoring infrastructure exists — because it
+ * needs nothing from the target.  This module turns an event list into
+ * the miss-rate-vs-time curve the paper plots.
+ */
+
+#ifndef EMPROF_PROFILER_BOOT_PROFILE_HPP
+#define EMPROF_PROFILER_BOOT_PROFILE_HPP
+
+#include <string>
+#include <vector>
+
+#include "profiler/events.hpp"
+
+namespace emprof::profiler {
+
+/** One time bucket of the boot profile. */
+struct BootBucket
+{
+    /** Bucket start time, seconds from capture start. */
+    double timeSeconds = 0.0;
+
+    /** Detected LLC-miss stalls in this bucket. */
+    uint64_t events = 0;
+
+    /** Miss rate, events per millisecond. */
+    double eventsPerMs = 0.0;
+
+    /** Stall time within the bucket, as a percentage. */
+    double stallPercent = 0.0;
+};
+
+/** Boot profile: bucketed miss-rate time series. */
+struct BootProfile
+{
+    std::vector<BootBucket> buckets;
+
+    /** Bucket width in seconds. */
+    double bucketSeconds = 0.0;
+
+    /** Render as an aligned text table with a rate bar chart. */
+    std::string toText() const;
+};
+
+/**
+ * Build the miss-rate time series from detected events.
+ *
+ * @param events Detected stall events.
+ * @param sample_rate_hz Sample rate of the analysed signal.
+ * @param total_samples Length of the analysed signal.
+ * @param bucket_seconds Time-bucket width.
+ */
+BootProfile makeBootProfile(const std::vector<StallEvent> &events,
+                            double sample_rate_hz, uint64_t total_samples,
+                            double bucket_seconds);
+
+/**
+ * Similarity of two boot profiles in [0, 1]: normalised correlation of
+ * their rate curves (truncated to the shorter).  Used to show that two
+ * boots of the same device produce consistent profiles (Fig. 13 plots
+ * two distinct runs).
+ */
+double bootProfileSimilarity(const BootProfile &a, const BootProfile &b);
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_BOOT_PROFILE_HPP

@@ -1,0 +1,66 @@
+#include "profiler/dip_detector.hpp"
+
+namespace emprof::profiler {
+
+DipDetector::DipDetector(const DipDetectorConfig &config) : config_(config)
+{}
+
+void
+DipDetector::fillEvent(StallEvent &out) const
+{
+    out = StallEvent{};
+    out.startSample = dipStart_;
+    out.endSample = dipLastBelowExit_;
+    out.depth = depthCount_ == 0
+                    ? 0.0
+                    : depthSum_ / static_cast<double>(depthCount_);
+}
+
+bool
+DipDetector::push(double normalized, StallEvent &out)
+{
+    const uint64_t i = index_++;
+    bool emitted = false;
+
+    if (!inDip_) {
+        if (normalized < config_.enterThreshold) {
+            inDip_ = true;
+            dipStart_ = i;
+            dipLastBelowExit_ = i;
+            depthSum_ = normalized;
+            depthCount_ = 1;
+        }
+        return false;
+    }
+
+    if (normalized > config_.exitThreshold) {
+        // Dip ended at the last sample that was still below exit.
+        if (dipLastBelowExit_ - dipStart_ + 1 >=
+            config_.minDurationSamples) {
+            fillEvent(out);
+            emitted = true;
+        }
+        inDip_ = false;
+        depthSum_ = 0.0;
+        depthCount_ = 0;
+    } else {
+        dipLastBelowExit_ = i;
+        depthSum_ += normalized;
+        ++depthCount_;
+    }
+    return emitted;
+}
+
+bool
+DipDetector::finish(StallEvent &out)
+{
+    if (!inDip_)
+        return false;
+    inDip_ = false;
+    if (dipLastBelowExit_ - dipStart_ + 1 < config_.minDurationSamples)
+        return false;
+    fillEvent(out);
+    return true;
+}
+
+} // namespace emprof::profiler

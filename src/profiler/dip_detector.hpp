@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dip detector: finds significant drops in the normalised signal whose
+ * duration exceeds a threshold (Sec. IV).
+ *
+ * The duration threshold is chosen "significantly shorter than the LLC
+ * latency but significantly longer than typical on-chip latencies", so
+ * L1/LLC-hit stalls are rejected while every memory-latency stall is
+ * kept.  Hysteresis (separate enter/exit thresholds) keeps one noisy
+ * sample at the dip edge from splitting a stall in two.
+ */
+
+#ifndef EMPROF_PROFILER_DIP_DETECTOR_HPP
+#define EMPROF_PROFILER_DIP_DETECTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "profiler/events.hpp"
+
+namespace emprof::profiler {
+
+/** Dip-detector thresholds. */
+struct DipDetectorConfig
+{
+    /** Normalised level below which a dip begins. */
+    double enterThreshold = 0.35;
+
+    /** Normalised level above which a dip ends (> enterThreshold). */
+    double exitThreshold = 0.50;
+
+    /** Minimum dip length, in samples, to report an event. */
+    uint64_t minDurationSamples = 2;
+};
+
+/**
+ * Streaming dip detector over normalised samples.
+ *
+ * Emits raw events carrying sample indices and depth; duration/cycle
+ * conversion and classification happen in the profiler facade.
+ */
+class DipDetector
+{
+  public:
+    explicit DipDetector(const DipDetectorConfig &config);
+
+    /**
+     * Push one normalised sample.
+     *
+     * @param normalized Sample in [0, 1].
+     * @param out Receives a completed event.
+     * @retval true An event (a dip that just ended) was written.
+     */
+    bool push(double normalized, StallEvent &out);
+
+    /**
+     * Flush: if the signal ends inside a dip, emit it.
+     *
+     * @retval true A trailing event was written to @p out.
+     */
+    bool finish(StallEvent &out);
+
+    /** Samples processed so far. */
+    uint64_t samplesSeen() const { return index_; }
+
+    const DipDetectorConfig &config() const { return config_; }
+
+  private:
+    /** Populate @p out from the currently open dip. */
+    void fillEvent(StallEvent &out) const;
+
+    DipDetectorConfig config_;
+    uint64_t index_ = 0;
+    bool inDip_ = false;
+    uint64_t dipStart_ = 0;
+    uint64_t dipLastBelowExit_ = 0;
+    double depthSum_ = 0.0;
+    uint64_t depthCount_ = 0;
+};
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_DIP_DETECTOR_HPP

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Stall events as EMPROF reports them.
+ */
+
+#ifndef EMPROF_PROFILER_EVENTS_HPP
+#define EMPROF_PROFILER_EVENTS_HPP
+
+#include <cstdint>
+
+namespace emprof::profiler {
+
+/** Classification of a detected stall (Sec. III-C). */
+enum class StallKind : uint8_t
+{
+    /** Ordinary LLC-miss-induced stall (~hundreds of ns). */
+    LlcMiss,
+
+    /** LLC miss that coincided with a DRAM refresh (2-3 us); reported
+     *  separately because of its outsized tail-latency impact. */
+    RefreshCoincident,
+};
+
+/**
+ * One stall detected in the signal.
+ *
+ * Durations are measured in receiver samples and converted using the
+ * signal's sample rate and the target's clock frequency, exactly as
+ * the paper does with delta-t in Fig. 1.
+ */
+struct StallEvent
+{
+    /** First sample index of the dip. */
+    uint64_t startSample = 0;
+
+    /** Last sample index of the dip (inclusive). */
+    uint64_t endSample = 0;
+
+    /** Mean normalised level inside the dip (diagnostic). */
+    double depth = 0.0;
+
+    /** Stall duration in nanoseconds. */
+    double durationNs = 0.0;
+
+    /** Stall duration in target clock cycles. */
+    double stallCycles = 0.0;
+
+    StallKind kind = StallKind::LlcMiss;
+
+    uint64_t durationSamples() const { return endSample - startSample + 1; }
+};
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_EVENTS_HPP

@@ -1,0 +1,84 @@
+#include "profiler/marker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/series_ops.hpp"
+
+namespace emprof::profiler {
+
+MarkerSections
+findMarkerSections(const dsp::TimeSeries &magnitude,
+                   const MarkerConfig &config)
+{
+    MarkerSections out;
+    const std::size_t n = magnitude.samples.size();
+    const std::size_t block = std::max<std::size_t>(2, config.blockSamples);
+    const std::size_t num_blocks = n / block;
+    if (num_blocks == 0)
+        return out;
+
+    // Global reference level: 95th percentile of a subsample (for
+    // speed) of the magnitude.
+    std::vector<double> sample_pool;
+    sample_pool.reserve(n / 16 + 1);
+    for (std::size_t i = 0; i < n; i += 16)
+        sample_pool.push_back(magnitude.samples[i]);
+    const double ref_level = dsp::percentile(std::move(sample_pool), 95.0);
+
+    // Classify blocks.
+    std::vector<bool> marker_like(num_blocks, false);
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+        double sum = 0.0, sum_sq = 0.0;
+        for (std::size_t i = b * block; i < (b + 1) * block; ++i) {
+            const double v = magnitude.samples[i];
+            sum += v;
+            sum_sq += v * v;
+        }
+        const double m = sum / static_cast<double>(block);
+        const double var =
+            std::max(0.0, sum_sq / static_cast<double>(block) - m * m);
+        const double rel_std = m > 0.0 ? std::sqrt(var) / m : 1.0;
+        marker_like[b] =
+            m >= config.minRelLevel * ref_level && rel_std <= config.maxRelStd;
+    }
+
+    // Runs of marker-like blocks.
+    std::size_t run_start = 0;
+    bool in_run = false;
+    for (std::size_t b = 0; b <= num_blocks; ++b) {
+        const bool flag = b < num_blocks && marker_like[b];
+        if (flag && !in_run) {
+            in_run = true;
+            run_start = b;
+        } else if (!flag && in_run) {
+            in_run = false;
+            if (b - run_start >= config.minBlocks) {
+                out.markers.push_back(
+                    {run_start * block, b * block});
+            }
+        }
+    }
+
+    if (out.markers.size() >= 2) {
+        out.measured = {out.markers.front().end,
+                        out.markers.back().begin};
+    }
+    return out;
+}
+
+dsp::TimeSeries
+slice(const dsp::TimeSeries &in, SampleInterval interval)
+{
+    dsp::TimeSeries out;
+    out.sampleRateHz = in.sampleRateHz;
+    const uint64_t begin = std::min<uint64_t>(interval.begin,
+                                              in.samples.size());
+    const uint64_t end = std::min<uint64_t>(interval.end,
+                                            in.samples.size());
+    out.samples.assign(in.samples.begin() + static_cast<std::ptrdiff_t>(begin),
+                       in.samples.begin() + static_cast<std::ptrdiff_t>(end));
+    return out;
+}
+
+} // namespace emprof::profiler

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Marker-loop section isolation (Sec. V-B).
+ *
+ * The validation microbenchmark brackets its memory-access section with
+ * tight compute-only loops whose signal is high and very stable.  This
+ * module finds those marker regions in the magnitude signal — runs of
+ * high mean and very low relative variance — and returns the section
+ * between them so EMPROF's counts can be compared against the known
+ * miss count of just that section.
+ */
+
+#ifndef EMPROF_PROFILER_MARKER_HPP
+#define EMPROF_PROFILER_MARKER_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+
+namespace emprof::profiler {
+
+/** A half-open sample interval [begin, end). */
+struct SampleInterval
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+
+    uint64_t length() const { return end - begin; }
+    bool empty() const { return end <= begin; }
+};
+
+/** Marker-detector tuning. */
+struct MarkerConfig
+{
+    /** Block size (samples) for local mean/variance classification. */
+    std::size_t blockSamples = 64;
+
+    /** Max relative std-dev (std/mean) for a block to be marker-like. */
+    double maxRelStd = 0.035;
+
+    /** Min mean level, relative to the global 95th percentile. */
+    double minRelLevel = 0.75;
+
+    /** Minimum marker run length, in blocks. */
+    std::size_t minBlocks = 24;
+};
+
+/** Result of marker analysis. */
+struct MarkerSections
+{
+    /** Detected marker intervals, in sample indices, time order. */
+    std::vector<SampleInterval> markers;
+
+    /** Section between the first and last marker (empty if < 2). */
+    SampleInterval measured;
+};
+
+/**
+ * Locate marker loops and the measured section between them.
+ */
+MarkerSections findMarkerSections(const dsp::TimeSeries &magnitude,
+                                  const MarkerConfig &config = {});
+
+/** Extract a sub-series for a sample interval (copies). */
+dsp::TimeSeries slice(const dsp::TimeSeries &in, SampleInterval interval);
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_MARKER_HPP

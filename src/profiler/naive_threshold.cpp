@@ -1,0 +1,59 @@
+#include "profiler/naive_threshold.hpp"
+
+#include <algorithm>
+
+namespace emprof::profiler {
+
+double
+calibrateNaiveThreshold(const dsp::TimeSeries &magnitude,
+                        std::size_t calibration_samples)
+{
+    const std::size_t n =
+        std::min(calibration_samples, magnitude.samples.size());
+    if (n == 0)
+        return 0.0;
+    float lo = magnitude.samples[0], hi = magnitude.samples[0];
+    for (std::size_t i = 1; i < n; ++i) {
+        lo = std::min(lo, magnitude.samples[i]);
+        hi = std::max(hi, magnitude.samples[i]);
+    }
+    return 0.5 * (static_cast<double>(lo) + static_cast<double>(hi));
+}
+
+std::vector<StallEvent>
+naiveDetect(const dsp::TimeSeries &magnitude,
+            const NaiveThresholdConfig &config)
+{
+    std::vector<StallEvent> events;
+    const double sample_ns = 1e9 / magnitude.sampleRateHz;
+
+    bool in_dip = false;
+    uint64_t start = 0;
+    auto close = [&](uint64_t end) {
+        if (end - start + 1 < config.minDurationSamples)
+            return;
+        StallEvent ev;
+        ev.startSample = start;
+        ev.endSample = end;
+        ev.durationNs =
+            static_cast<double>(ev.durationSamples()) * sample_ns;
+        ev.stallCycles = ev.durationNs * 1e-9 * config.clockHz;
+        events.push_back(ev);
+    };
+
+    for (std::size_t i = 0; i < magnitude.samples.size(); ++i) {
+        const bool low = magnitude.samples[i] < config.threshold;
+        if (low && !in_dip) {
+            in_dip = true;
+            start = i;
+        } else if (!low && in_dip) {
+            in_dip = false;
+            close(i - 1);
+        }
+    }
+    if (in_dip)
+        close(magnitude.samples.size() - 1);
+    return events;
+}
+
+} // namespace emprof::profiler

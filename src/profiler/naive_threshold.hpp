@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Naive fixed-threshold detector — a strawman baseline for EMPROF's
+ * normalisation (Sec. IV).
+ *
+ * The obvious way to find stalls is to threshold the magnitude
+ * directly.  It works while the setup is perfectly still, and fails
+ * exactly the way the paper warns: probe position and supply voltage
+ * scale the whole signal by slowly drifting multiplicative factors, so
+ * any absolute threshold eventually sits above the busy level (flagging
+ * everything) or below the stall floor (flagging nothing).  The
+ * ablation bench runs this detector against EMPROF under increasing
+ * gain drift.
+ */
+
+#ifndef EMPROF_PROFILER_NAIVE_THRESHOLD_HPP
+#define EMPROF_PROFILER_NAIVE_THRESHOLD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "profiler/events.hpp"
+
+namespace emprof::profiler {
+
+/** Configuration of the naive detector. */
+struct NaiveThresholdConfig
+{
+    /** Absolute magnitude below which a stall is assumed.  Must be
+     *  calibrated to the capture setup by hand — the whole problem. */
+    double threshold = 0.6;
+
+    /** Minimum dip width in samples (same semantics as EMPROF). */
+    uint64_t minDurationSamples = 4;
+
+    /** Target clock for duration conversion. */
+    double clockHz = 1.008e9;
+};
+
+/**
+ * Calibrate the naive threshold from the first samples of a capture:
+ * halfway between the observed floor and ceiling — the best case this
+ * approach can hope for.
+ *
+ * @param magnitude Captured signal.
+ * @param calibration_samples Prefix used for calibration.
+ */
+double calibrateNaiveThreshold(const dsp::TimeSeries &magnitude,
+                               std::size_t calibration_samples);
+
+/**
+ * Run the naive detector over a recorded signal.
+ */
+std::vector<StallEvent> naiveDetect(const dsp::TimeSeries &magnitude,
+                                    const NaiveThresholdConfig &config);
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_NAIVE_THRESHOLD_HPP

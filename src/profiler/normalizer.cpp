@@ -1,0 +1,27 @@
+#include "profiler/normalizer.hpp"
+
+#include <algorithm>
+
+namespace emprof::profiler {
+
+MovingMinMaxNormalizer::MovingMinMaxNormalizer(std::size_t window,
+                                               double min_contrast)
+    : minmax_(window), minContrast_(min_contrast)
+{}
+
+double
+MovingMinMaxNormalizer::push(double magnitude)
+{
+    minmax_.push(magnitude);
+    const double lo = minmax_.min();
+    const double hi = minmax_.max();
+    const double range = hi - lo;
+
+    // No stall floor in the window: everything is "busy".
+    if (hi <= 0.0 || range < minContrast_ * hi)
+        return 1.0;
+
+    return std::clamp((magnitude - lo) / range, 0.0, 1.0);
+}
+
+} // namespace emprof::profiler

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Moving min/max signal normalisation (Sec. IV).
+ *
+ * Probe position and supply voltage scale the whole signal by slowly
+ * varying multiplicative factors.  EMPROF compensates by tracking a
+ * moving minimum and maximum of the magnitude and mapping each sample
+ * to [0, 1] between them: 0 is the recent stall floor, 1 the recent
+ * busy ceiling.  Detection thresholds then become device- and
+ * setup-independent.
+ */
+
+#ifndef EMPROF_PROFILER_NORMALIZER_HPP
+#define EMPROF_PROFILER_NORMALIZER_HPP
+
+#include <cstddef>
+
+#include "dsp/moving_stats.hpp"
+
+namespace emprof::profiler {
+
+/**
+ * Streaming [0, 1] normaliser against a moving min/max envelope.
+ */
+class MovingMinMaxNormalizer
+{
+  public:
+    /**
+     * @param window Envelope window length in samples.  Must be long
+     *        enough to contain busy activity on either side of the
+     *        longest expected stall (several ms worth of samples).
+     * @param min_contrast Minimum (max-min)/max dynamic range for the
+     *        window to be considered contrasted.  A window with less
+     *        contrast contains no stall floor, so its samples are
+     *        reported as fully busy (1.0) rather than letting noise
+     *        span the full normalised range.
+     */
+    explicit MovingMinMaxNormalizer(std::size_t window,
+                                    double min_contrast = 0.2);
+
+    /** Push one magnitude sample, get its normalised value in [0,1]. */
+    double push(double magnitude);
+
+    /** Current envelope floor. */
+    double envelopeMin() const { return minmax_.min(); }
+
+    /** Current envelope ceiling. */
+    double envelopeMax() const { return minmax_.max(); }
+
+    /** True once the envelope window is fully populated. */
+    bool warm() const { return minmax_.warm(); }
+
+    std::size_t window() const { return minmax_.window(); }
+
+  private:
+    dsp::MovingMinMax minmax_;
+    double minContrast_;
+};
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_NORMALIZER_HPP

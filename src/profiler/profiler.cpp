@@ -1,0 +1,79 @@
+#include "profiler/profiler.hpp"
+
+namespace emprof::profiler {
+
+namespace {
+
+DipDetectorConfig
+detectorConfig(const EmProfConfig &config)
+{
+    DipDetectorConfig dc;
+    dc.enterThreshold = config.enterThreshold;
+    dc.exitThreshold = config.exitThreshold;
+    dc.minDurationSamples = config.minDurationSamples();
+    return dc;
+}
+
+} // namespace
+
+EmProf::EmProf(const EmProfConfig &config)
+    : config_(config),
+      normalizer_(config.normWindowSamples(), config.minContrast),
+      detector_(detectorConfig(config))
+{}
+
+void
+EmProf::classify(StallEvent &ev) const
+{
+    const double sample_ns = 1e9 / config_.sampleRateHz;
+    ev.durationNs = static_cast<double>(ev.durationSamples()) * sample_ns;
+    ev.stallCycles = ev.durationNs * 1e-9 * config_.clockHz;
+    ev.kind = ev.durationNs >= config_.refreshStallNs
+                  ? StallKind::RefreshCoincident
+                  : StallKind::LlcMiss;
+}
+
+bool
+EmProf::push(dsp::Sample magnitude)
+{
+    ++samples_;
+    const double normalized = normalizer_.push(magnitude);
+    StallEvent ev;
+    if (detector_.push(normalized, ev)) {
+        classify(ev);
+        events_.push_back(ev);
+        if (callback_)
+            callback_(events_.back());
+        return true;
+    }
+    return false;
+}
+
+ProfileResult
+EmProf::finish()
+{
+    StallEvent ev;
+    if (detector_.finish(ev)) {
+        classify(ev);
+        events_.push_back(ev);
+    }
+
+    ProfileResult result;
+    result.events = events_;
+    result.report = makeReport(events_, config_.sampleRateHz,
+                               config_.clockHz, samples_);
+    return result;
+}
+
+ProfileResult
+EmProf::analyze(const dsp::TimeSeries &magnitude, EmProfConfig config)
+{
+    if (magnitude.sampleRateHz > 0.0)
+        config.sampleRateHz = magnitude.sampleRateHz;
+    EmProf prof(config);
+    for (dsp::Sample s : magnitude.samples)
+        prof.push(s);
+    return prof.finish();
+}
+
+} // namespace emprof::profiler

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * The EMPROF profiler facade (the paper's primary contribution).
+ *
+ * Pipeline, per Sec. IV: magnitude samples -> moving min/max
+ * normalisation -> duration-thresholded dip detection -> event
+ * classification (ordinary miss vs. refresh-coincident) -> report.
+ * Everything is streaming, so the profiler can run in real time on an
+ * SDR stream; a batch analyze() is provided for recorded signals.
+ */
+
+#ifndef EMPROF_PROFILER_PROFILER_HPP
+#define EMPROF_PROFILER_PROFILER_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "profiler/dip_detector.hpp"
+#include "profiler/events.hpp"
+#include "profiler/normalizer.hpp"
+#include "profiler/report.hpp"
+
+namespace emprof::profiler {
+
+/** Complete EMPROF configuration. */
+struct EmProfConfig
+{
+    /** Target processor clock (Hz); converts durations to cycles. */
+    double clockHz = 1.008e9;
+
+    /** Signal sample rate (Hz); usually the receiver bandwidth. */
+    double sampleRateHz = 40e6;
+
+    /**
+     * Normalisation envelope window in seconds.  Must exceed the
+     * longest expected stall by a wide margin so the envelope always
+     * sees busy level; 4 ms covers refresh-coincident stalls (2-3 us)
+     * a thousand-fold.
+     */
+    double normWindowSeconds = 4e-3;
+
+    /** Minimum window contrast to look for dips (see normaliser). */
+    double minContrast = 0.2;
+
+    /**
+     * Dip entry/exit thresholds on the normalised signal.  A full
+     * stall normalises to ~0 (the moving minimum IS the stall floor),
+     * while even 1-IPC code sits well above 0.25; the gap between
+     * enter and exit is hysteresis against edge noise.
+     */
+    double enterThreshold = 0.22;
+    double exitThreshold = 0.38;
+
+    /**
+     * Duration threshold in nanoseconds: significantly shorter than
+     * the memory latency, significantly longer than on-chip latencies
+     * (Sec. IV).  60 ns ~= 60 cycles at 1 GHz.
+     */
+    double minStallNs = 60.0;
+
+    /** Stalls at least this long are classified refresh-coincident. */
+    double refreshStallNs = 1200.0;
+
+    /**
+     * Minimum dip width in samples regardless of minStallNs.  A dip
+     * must contain several consecutive low samples to be
+     * distinguishable from noise over multi-second captures; this is
+     * the mechanism behind Sec. VI-B's bandwidth effect — at 20 MHz a
+     * 4-sample requirement is ~200+ processor cycles, so the Alcatel's
+     * short stalls become undetectable while very long stalls remain.
+     */
+    uint64_t minDurationFloorSamples = 4;
+
+    /** Derived: envelope window in samples. */
+    std::size_t
+    normWindowSamples() const
+    {
+        const double w = normWindowSeconds * sampleRateHz;
+        return w < 2.0 ? 2 : static_cast<std::size_t>(w);
+    }
+
+    /** Derived: minimum dip duration in samples.  Floored at two
+     *  samples: a single low sample is indistinguishable from noise,
+     *  which is what makes very narrow bandwidths lose short stalls
+     *  (Sec. VI-B). */
+    uint64_t
+    minDurationSamples() const
+    {
+        const double s = minStallNs * 1e-9 * sampleRateHz;
+        const auto from_ns =
+            s < 1.0 ? uint64_t{1} : static_cast<uint64_t>(s + 0.5);
+        return std::max(from_ns, minDurationFloorSamples);
+    }
+};
+
+/** Result of analysing a signal. */
+struct ProfileResult
+{
+    std::vector<StallEvent> events;
+    ProfileReport report;
+};
+
+/**
+ * Streaming EMPROF instance.
+ */
+class EmProf
+{
+  public:
+    /** Live-event callback for online monitoring. */
+    using EventCallback = std::function<void(const StallEvent &)>;
+
+    explicit EmProf(const EmProfConfig &config);
+
+    /**
+     * Push one magnitude sample; completed events are appended to the
+     * internal event list.
+     *
+     * @retval true An event was completed by this sample.
+     */
+    bool push(dsp::Sample magnitude);
+
+    /**
+     * Register a callback fired as each stall completes — this is how
+     * a live deployment watches tail latencies as they happen (e.g.
+     * alerting on refresh-coincident stalls in a real-time system)
+     * instead of waiting for finish().
+     */
+    void
+    onEvent(EventCallback callback)
+    {
+        callback_ = std::move(callback);
+    }
+
+    /** Flush any open dip and build the final report. */
+    ProfileResult finish();
+
+    /** Events completed so far (valid before finish() too). */
+    const std::vector<StallEvent> &events() const { return events_; }
+
+    /** Samples consumed so far. */
+    uint64_t samplesSeen() const { return samples_; }
+
+    const EmProfConfig &config() const { return config_; }
+
+    /**
+     * Batch convenience: analyse a whole recorded magnitude series.
+     *
+     * The series' own sample rate overrides config.sampleRateHz.
+     */
+    static ProfileResult analyze(const dsp::TimeSeries &magnitude,
+                                 EmProfConfig config);
+
+  private:
+    /** Convert a raw dip into a classified stall event. */
+    void classify(StallEvent &ev) const;
+
+    EmProfConfig config_;
+    MovingMinMaxNormalizer normalizer_;
+    DipDetector detector_;
+    std::vector<StallEvent> events_;
+    EventCallback callback_;
+    uint64_t samples_ = 0;
+};
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_PROFILER_HPP

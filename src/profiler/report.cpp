@@ -1,0 +1,91 @@
+#include "profiler/report.hpp"
+
+#include <cstdio>
+
+namespace emprof::profiler {
+
+ProfileReport
+makeReport(const std::vector<StallEvent> &events, double sample_rate_hz,
+           double clock_hz, uint64_t total_samples)
+{
+    ProfileReport report;
+    report.totalEvents = events.size();
+    report.durationSeconds =
+        static_cast<double>(total_samples) / sample_rate_hz;
+    report.executionCycles = report.durationSeconds * clock_hz;
+
+    std::vector<double> latencies;
+    latencies.reserve(events.size());
+    for (const auto &ev : events) {
+        if (ev.kind == StallKind::RefreshCoincident)
+            ++report.refreshEvents;
+        else
+            ++report.missEvents;
+        report.totalStallCycles += ev.stallCycles;
+        latencies.push_back(ev.stallCycles);
+    }
+
+    if (report.executionCycles > 0.0) {
+        report.stallPercent =
+            100.0 * report.totalStallCycles / report.executionCycles;
+        report.missesPerMillionCycles =
+            1e6 * static_cast<double>(report.totalEvents) /
+            report.executionCycles;
+    }
+    if (!latencies.empty()) {
+        report.avgStallCycles = dsp::mean(latencies);
+        report.medianStallCycles = dsp::percentile(latencies, 50.0);
+        report.p95StallCycles = dsp::percentile(latencies, 95.0);
+        report.p99StallCycles = dsp::percentile(latencies, 99.0);
+        report.maxStallCycles = dsp::percentile(latencies, 100.0);
+    }
+    return report;
+}
+
+dsp::Histogram
+latencyHistogram(const std::vector<StallEvent> &events, double lo_cycles,
+                 double hi_cycles, std::size_t bins)
+{
+    auto hist = dsp::Histogram::logarithmic(lo_cycles, hi_cycles, bins);
+    for (const auto &ev : events)
+        hist.add(ev.stallCycles);
+    return hist;
+}
+
+std::string
+ProfileReport::toText(const std::string &title) const
+{
+    std::string out;
+    char line[256];
+    if (!title.empty()) {
+        out += title;
+        out += '\n';
+    }
+    std::snprintf(line, sizeof(line),
+                  "  events: %llu (miss %llu, refresh-coincident %llu)\n",
+                  static_cast<unsigned long long>(totalEvents),
+                  static_cast<unsigned long long>(missEvents),
+                  static_cast<unsigned long long>(refreshEvents));
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  execution: %.3f ms (%.0f cycles)\n",
+                  durationSeconds * 1e3, executionCycles);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  stall time: %.0f cycles (%.2f%% of execution)\n",
+                  totalStallCycles, stallPercent);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  per-stall cycles: avg %.1f, median %.1f, p95 %.1f, "
+                  "p99 %.1f, max %.1f\n",
+                  avgStallCycles, medianStallCycles, p95StallCycles,
+                  p99StallCycles, maxStallCycles);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "  miss rate: %.1f per million cycles\n",
+                  missesPerMillionCycles);
+    out += line;
+    return out;
+}
+
+} // namespace emprof::profiler

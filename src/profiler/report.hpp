@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Profile report: the statistics EMPROF publishes per run — event
+ * counts (split by kind), total stall time as a fraction of execution,
+ * per-stall latency statistics and the latency histogram (Fig. 11,
+ * Table IV).
+ */
+
+#ifndef EMPROF_PROFILER_REPORT_HPP
+#define EMPROF_PROFILER_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/series_ops.hpp"
+#include "profiler/events.hpp"
+
+namespace emprof::profiler {
+
+/** Aggregated profiling statistics. */
+struct ProfileReport
+{
+    /** All detected stall events. */
+    uint64_t totalEvents = 0;
+
+    /** Ordinary LLC-miss stalls. */
+    uint64_t missEvents = 0;
+
+    /** Refresh-coincident stalls (reported separately, Sec. III-C). */
+    uint64_t refreshEvents = 0;
+
+    /** Signal duration analysed, in seconds. */
+    double durationSeconds = 0.0;
+
+    /** Signal duration in target clock cycles. */
+    double executionCycles = 0.0;
+
+    /** Sum of stall durations, in cycles. */
+    double totalStallCycles = 0.0;
+
+    /** Miss latency as % of total execution time (Table IV). */
+    double stallPercent = 0.0;
+
+    /** Per-stall latency statistics, in cycles. */
+    double avgStallCycles = 0.0;
+    double medianStallCycles = 0.0;
+    double p95StallCycles = 0.0;
+    double p99StallCycles = 0.0;
+    double maxStallCycles = 0.0;
+
+    /** LLC miss rate in events per million cycles. */
+    double missesPerMillionCycles = 0.0;
+
+    /** Render as a human-readable block of text. */
+    std::string toText(const std::string &title = "") const;
+};
+
+/**
+ * Build a report from detected events.
+ *
+ * @param events Detected stalls (already classified).
+ * @param sample_rate_hz Signal sample rate.
+ * @param clock_hz Target processor clock.
+ * @param total_samples Number of analysed samples.
+ */
+ProfileReport makeReport(const std::vector<StallEvent> &events,
+                         double sample_rate_hz, double clock_hz,
+                         uint64_t total_samples);
+
+/**
+ * Latency histogram over events (log-spaced cycle bins), for Fig. 11.
+ */
+dsp::Histogram latencyHistogram(const std::vector<StallEvent> &events,
+                                double lo_cycles = 20.0,
+                                double hi_cycles = 20000.0,
+                                std::size_t bins = 20);
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_REPORT_HPP

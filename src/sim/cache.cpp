@@ -1,0 +1,159 @@
+#include "sim/cache.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace emprof::sim {
+
+Cache::Cache(const CacheConfig &config, uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    assert(std::has_single_bit(static_cast<uint64_t>(config.lineBytes)));
+    numSets_ = config.numSets();
+    assert(numSets_ >= 1);
+    lineShift_ = static_cast<uint32_t>(
+        std::countr_zero(static_cast<uint64_t>(config.lineBytes)));
+    lineMask_ = config.lineBytes - 1;
+    ways_.resize(numSets_ * config.assoc);
+}
+
+uint64_t
+Cache::setIndex(Addr addr) const
+{
+    return (addr >> lineShift_) % numSets_;
+}
+
+Addr
+Cache::tagOf(Addr addr) const
+{
+    return (addr >> lineShift_) / numSets_;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const uint64_t base = setIndex(addr) * config_.assoc;
+    const Addr tag = tagOf(addr);
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        const Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+Cache::pickVictim(std::size_t set_base)
+{
+    // Prefer an invalid way.
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        if (!ways_[set_base + w].valid)
+            return set_base + w;
+    }
+    if (config_.replacement == Replacement::Random)
+        return set_base + rng_.below(config_.assoc);
+
+    // LRU
+    std::size_t victim = set_base;
+    uint64_t oldest = ways_[set_base].lastUse;
+    for (uint32_t w = 1; w < config_.assoc; ++w) {
+        if (ways_[set_base + w].lastUse < oldest) {
+            oldest = ways_[set_base + w].lastUse;
+            victim = set_base + w;
+        }
+    }
+    return victim;
+}
+
+CacheAccessResult
+Cache::access(Addr addr, bool is_write)
+{
+    CacheAccessResult result;
+    const uint64_t base = setIndex(addr) * config_.assoc;
+    const Addr tag = tagOf(addr);
+    ++useCounter_;
+
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useCounter_;
+            way.dirty = way.dirty || is_write;
+            result.hit = true;
+            ++stats_.hits;
+            return result;
+        }
+    }
+
+    ++stats_.misses;
+    const std::size_t victim = pickVictim(base);
+    Way &way = ways_[victim];
+    if (way.valid && way.dirty) {
+        result.dirtyEviction = true;
+        // Reconstruct the victim's line address from its tag and set.
+        const uint64_t set = setIndex(addr);
+        result.victimLine = ((way.tag * numSets_ + set) << lineShift_);
+    }
+    way.valid = true;
+    way.tag = tag;
+    way.lastUse = useCounter_;
+    way.dirty = is_write;
+    return result;
+}
+
+CacheAccessResult
+Cache::insert(Addr addr)
+{
+    CacheAccessResult result;
+    const uint64_t base = setIndex(addr) * config_.assoc;
+    const Addr tag = tagOf(addr);
+
+    // Already present: nothing to do.
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            result.hit = true;
+            return result;
+        }
+    }
+
+    ++useCounter_;
+    const std::size_t victim = pickVictim(base);
+    Way &way = ways_[victim];
+    if (way.valid && way.dirty) {
+        result.dirtyEviction = true;
+        const uint64_t set = setIndex(addr);
+        result.victimLine = ((way.tag * numSets_ + set) << lineShift_);
+    }
+    way.valid = true;
+    way.tag = tag;
+    way.lastUse = useCounter_;
+    way.dirty = false;
+    return result;
+}
+
+void
+Cache::flush()
+{
+    for (auto &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const uint64_t base = setIndex(addr) * config_.assoc;
+    const Addr tag = tagOf(addr);
+    for (uint32_t w = 0; w < config_.assoc; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag) {
+            way.valid = false;
+            way.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace emprof::sim

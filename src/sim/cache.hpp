@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Set-associative tag-array cache model.
+ *
+ * The simulator is timing-only, so caches track tags and dirty bits but
+ * no data.  Random replacement is the default because that is what the
+ * modelled IoT-class parts use (Cortex-A8 L1/L2 are random-replacement)
+ * and what the paper's SESC configuration mimics (Sec. III-B).
+ */
+
+#ifndef EMPROF_SIM_CACHE_HPP
+#define EMPROF_SIM_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace emprof::sim {
+
+/** Result of a cache lookup-and-fill operation. */
+struct CacheAccessResult
+{
+    /** Tag was present. */
+    bool hit = false;
+
+    /** A dirty line was evicted (generates a write-back). */
+    bool dirtyEviction = false;
+
+    /** Line address of the evicted victim (valid if dirtyEviction). */
+    Addr victimLine = 0;
+};
+
+/** Aggregate cache statistics. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    uint64_t accesses() const { return hits + misses; }
+
+    double
+    missRate() const
+    {
+        const uint64_t total = accesses();
+        return total == 0 ? 0.0 : static_cast<double>(misses) /
+                                      static_cast<double>(total);
+    }
+};
+
+/**
+ * Tag-array cache with LRU or random replacement.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param config Geometry and policy.
+     * @param seed Seed for random replacement decisions.
+     */
+    Cache(const CacheConfig &config, uint64_t seed);
+
+    /**
+     * Probe without side effects.
+     *
+     * @param addr Byte address.
+     * @retval true The containing line is present.
+     */
+    bool probe(Addr addr) const;
+
+    /**
+     * Access the cache: on hit update recency, on miss allocate the
+     * line (evicting a victim if needed).
+     *
+     * @param addr Byte address.
+     * @param is_write Marks the allocated/updated line dirty.
+     * @return Hit/miss and eviction information.
+     */
+    CacheAccessResult access(Addr addr, bool is_write);
+
+    /**
+     * Insert a line without counting a demand access (prefetch fill).
+     */
+    CacheAccessResult insert(Addr addr);
+
+    /** Invalidate the whole cache (used by the perf-baseline model). */
+    void flush();
+
+    /** Invalidate a single line if present. @retval true if it was. */
+    bool invalidate(Addr addr);
+
+    /** Line-aligned address of the line containing @p addr. */
+    Addr lineAddr(Addr addr) const { return addr & ~lineMask_; }
+
+    /** Bank index of an address (LLC banking). */
+    uint32_t
+    bank(Addr addr) const
+    {
+        return static_cast<uint32_t>((addr >> lineShift_) %
+                                     config_.banks);
+    }
+
+    const CacheStats &stats() const { return stats_; }
+    void clearStats() { stats_ = CacheStats{}; }
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Set index and tag for an address. */
+    uint64_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    /** Pick a victim way in a set (invalid first, then policy). */
+    std::size_t pickVictim(std::size_t set_base);
+
+    CacheConfig config_;
+    uint64_t numSets_;
+    uint64_t lineMask_;
+    uint32_t lineShift_;
+    std::vector<Way> ways_; // numSets_ * assoc, set-major
+    uint64_t useCounter_ = 0;
+    CacheStats stats_;
+    dsp::Rng rng_;
+};
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_CACHE_HPP

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Configuration structs for every simulator component.
+ *
+ * Defaults approximate the Olimex A13-OLinuXino-MICRO (Allwinner A13,
+ * Cortex-A8 class): a 4-wide in-order core at ~1 GHz with 32 KB split
+ * L1s, a 256 KB unified LLC with random replacement, and DDR3 memory.
+ * Device models in src/devices/ override these per Table I.
+ */
+
+#ifndef EMPROF_SIM_CONFIG_HPP
+#define EMPROF_SIM_CONFIG_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace emprof::sim {
+
+/** Cache replacement policies. */
+enum class Replacement : uint8_t
+{
+    Lru,
+    Random,
+};
+
+/** One cache level. */
+struct CacheConfig
+{
+    /** Total capacity in bytes. */
+    uint64_t sizeBytes = 256 * 1024;
+
+    /** Associativity (ways). */
+    uint32_t assoc = 8;
+
+    /** Line size in bytes. */
+    uint32_t lineBytes = 64;
+
+    /** Number of banks (LLC only; enables overlapped accesses). */
+    uint32_t banks = 1;
+
+    /** Hit latency in cycles. */
+    uint32_t hitLatency = 2;
+
+    /** Replacement policy. */
+    Replacement replacement = Replacement::Random;
+
+    uint64_t numLines() const { return sizeBytes / lineBytes; }
+    uint64_t numSets() const { return numLines() / assoc; }
+};
+
+/** Main-memory (DRAM + controller) timing. */
+struct MemoryConfig
+{
+    /** Mean demand-read service latency, in core cycles. */
+    uint32_t accessLatency = 220;
+
+    /** Uniform latency jitter, +/- cycles around the mean. */
+    uint32_t latencyJitter = 20;
+
+    /** Channel occupancy per burst (serialisation between requests). */
+    uint32_t burstCycles = 8;
+
+    /** Observable DRAM activity per access (activate..precharge), in
+     *  cycles — what the memory-side probe of Fig. 9/10 sees.  Longer
+     *  than the data burst itself. */
+    uint32_t casObservableCycles = 40;
+
+    /**
+     * Interval between refresh windows, in core cycles.
+     *
+     * The paper observes refresh-lengthened stalls at least every
+     * ~70 us on the Olimex's H5TQ2G63BFR DDR3 part (Sec. III-C); the
+     * default reproduces that cadence at ~1 GHz.
+     */
+    uint64_t refreshPeriod = 70'000;
+
+    /** Length of a refresh window, in core cycles (~2-3 us observed). */
+    uint64_t refreshDuration = 2'400;
+
+    /** Enable periodic refresh blocking. */
+    bool refreshEnabled = true;
+
+    /** Cycles between background memory bursts from other masters
+     *  (sibling cores, OS DMA, display refresh).  0 disables.  Demand
+     *  misses that queue behind a burst pick up extra latency — the
+     *  source of the phones' thicker stall-latency tails (Fig. 11). */
+    uint64_t backgroundPeriod = 0;
+
+    /** Channel occupancy of one background burst, in cycles. */
+    uint32_t backgroundBurst = 150;
+
+    /** Seed for latency jitter. */
+    uint64_t seed = 0xD3A11ull;
+};
+
+/** Stride prefetcher (present on the Samsung device per Sec. VI-A). */
+struct PrefetcherConfig
+{
+    bool enabled = false;
+
+    /** PC-indexed stride table entries. */
+    uint32_t tableEntries = 64;
+
+    /** Prefetch degree: lines fetched ahead once a stride locks. */
+    uint32_t degree = 2;
+
+    /** Confirmations required before issuing prefetches. */
+    uint32_t trainThreshold = 2;
+};
+
+/** In-order superscalar core. */
+struct CoreConfig
+{
+    /** Ops fetched per cycle. */
+    uint32_t fetchWidth = 4;
+
+    /** Ops issued per cycle. */
+    uint32_t issueWidth = 4;
+
+    /** Fetch-buffer capacity in ops. */
+    uint32_t fetchBufferOps = 16;
+
+    /** Outstanding demand-load misses tolerated before issue blocks.
+     *  Small on in-order cores; this is what bounds MLP. */
+    uint32_t maxOutstandingLoads = 2;
+
+    /** Store-buffer entries. */
+    uint32_t storeBufferEntries = 8;
+
+    /** Redirect penalty for a mispredicted branch, in cycles. */
+    uint32_t branchPenalty = 3;
+
+    /** Branch-predictor hit rate on taken branches.  Tight loops are
+     *  predicted near-perfectly on real cores; the residual
+     *  mispredictions keep some front-end turbulence in the signal. */
+    double branchPredictAccuracy = 0.94;
+
+    /** Latency (cycles) of each op class. */
+    uint32_t aluLatency = 1;
+    uint32_t mulLatency = 3;
+    uint32_t divLatency = 12;
+    uint32_t fpLatency = 4;
+};
+
+/** Unit activity energies, arbitrary units per cycle/event.
+ *
+ *  Only relative magnitudes matter: the EM chain normalises absolute
+ *  level away, exactly as EMPROF itself must (Sec. IV).
+ */
+struct PowerConfig
+{
+    /** Leakage + clock tree: drawn every cycle, stalled or not.  Kept
+     *  well below one issued op's energy so that even 1-IPC code is
+     *  clearly separated from a full stall, as the deep dips of
+     *  Fig. 1/4 show on real devices. */
+    double staticPower = 0.20;
+
+    /** Fetch/decode activity per fetched op. */
+    double fetchEnergy = 0.05;
+
+    /** Issue/execute energy per op class. */
+    double aluEnergy = 0.12;
+    double mulEnergy = 0.20;
+    double divEnergy = 0.16;
+    double fpEnergy = 0.17;
+    double loadEnergy = 0.14;
+    double storeEnergy = 0.13;
+    double branchEnergy = 0.09;
+
+    /** Cache array access energies. */
+    double l1Energy = 0.05;
+    double llcEnergy = 0.09;
+
+    /** Background activity amplitude from other cores / SoC blocks. */
+    double backgroundNoise = 0.0;
+
+    /** Seed for background activity. */
+    uint64_t seed = 0xB06ull;
+};
+
+/** Complete simulator configuration. */
+struct SimConfig
+{
+    /** Core clock in Hz (sets the power-trace sample rate). */
+    double clockHz = 1.008e9;
+
+    CoreConfig core;
+    CacheConfig l1i{32 * 1024, 4, 64, 1, 1, Replacement::Random};
+    CacheConfig l1d{32 * 1024, 4, 64, 1, 2, Replacement::Random};
+    CacheConfig llc{256 * 1024, 8, 64, 4, 18, Replacement::Random};
+    MemoryConfig memory;
+    PrefetcherConfig prefetcher;
+    PowerConfig power;
+
+    /** Seed for cache replacement decisions. */
+    uint64_t seed = 0x5E5Cull;
+
+    /** Record detailed per-event ground truth (raw miss list). */
+    bool detailedGroundTruth = false;
+};
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_CONFIG_HPP

@@ -1,0 +1,261 @@
+#include "sim/core.hpp"
+
+#include <algorithm>
+
+namespace emprof::sim {
+
+InOrderCore::InOrderCore(const SimConfig &config, TraceSource &trace,
+                         MemoryHierarchy &hierarchy, GroundTruth &gt,
+                         PowerModel &power, dsp::SampleSink power_sink)
+    : config_(config),
+      trace_(trace),
+      hier_(hierarchy),
+      gt_(gt),
+      power_(power),
+      powerSink_(std::move(power_sink))
+{
+    completionRing_.fill(0);
+    pendingLoads_.reserve(config.core.maxOutstandingLoads + 1);
+    storeBuffer_.reserve(config.core.storeBufferEntries + 1);
+}
+
+Cycle
+InOrderCore::producerCompletion(uint16_t dist) const
+{
+    if (dist == 0 || static_cast<uint64_t>(dist) > issuedCount_ ||
+        dist >= kRingSize) {
+        return 0; // no producer in window: treat as ready
+    }
+    return completionRing_[(issuedCount_ - dist) % kRingSize];
+}
+
+void
+InOrderCore::doFetch(Cycle now, ActivityCounters &activity)
+{
+    if (now < fetchReady_)
+        return;
+    fetchBlockIsLlcMiss_ = false;
+    fetchBlockRefresh_ = false;
+
+    uint32_t fetched = 0;
+    while (fetchBuffer_.size() < config_.core.fetchBufferOps &&
+           fetched < config_.core.fetchWidth) {
+        if (!havePendingFetchOp_) {
+            if (!trace_.next(pendingFetchOp_)) {
+                traceExhausted_ = true;
+                break;
+            }
+            havePendingFetchOp_ = true;
+        }
+
+        const Addr line = hier_.l1i().lineAddr(pendingFetchOp_.pc);
+        if (line != currentFetchLine_) {
+            const auto outcome = hier_.fetchAccess(
+                pendingFetchOp_.pc, now, pendingFetchOp_.phase);
+            currentFetchLine_ = line;
+            ++activity.l1Accesses;
+            if (outcome.llcAccessed)
+                ++activity.llcAccesses;
+            if (outcome.completion > now + 1) {
+                // I$ miss: fetch blocks until the line arrives.
+                fetchReady_ = outcome.completion;
+                fetchBlockIsLlcMiss_ = outcome.memoryStall;
+                fetchBlockRefresh_ = outcome.refreshDelayed;
+                break;
+            }
+        }
+
+        fetchBuffer_.push_back(pendingFetchOp_);
+        havePendingFetchOp_ = false;
+        ++fetched;
+        ++activity.fetched;
+    }
+}
+
+uint32_t
+InOrderCore::doIssue(Cycle now, ActivityCounters &activity,
+                     StallReason &reason)
+{
+    uint32_t issued = 0;
+    reason = fetchBuffer_.empty() ? StallReason::FetchEmpty
+                                  : StallReason::None;
+
+    while (issued < config_.core.issueWidth && !fetchBuffer_.empty()) {
+        const MicroOp &op = fetchBuffer_.front();
+
+        // RAW dependence: in-order issue blocks behind it.
+        if (op.depDist != 0 && producerCompletion(op.depDist) > now) {
+            reason = StallReason::DataDep;
+            break;
+        }
+
+        Cycle completion = now + 1;
+        bool redirect = false;
+
+        switch (op.cls) {
+          case OpClass::IntAlu:
+          case OpClass::Nop:
+            completion = now + config_.core.aluLatency;
+            ++activity.issuedAlu;
+            break;
+          case OpClass::IntMul:
+            completion = now + config_.core.mulLatency;
+            ++activity.issuedMul;
+            break;
+          case OpClass::IntDiv:
+            if (divBusyUntil_ > now) {
+                reason = StallReason::DivBusy;
+                goto issue_done;
+            }
+            completion = now + config_.core.divLatency;
+            divBusyUntil_ = completion;
+            ++activity.issuedDiv;
+            break;
+          case OpClass::FpAlu:
+            completion = now + config_.core.fpLatency;
+            ++activity.issuedFp;
+            break;
+          case OpClass::Branch:
+            completion = now + config_.core.aluLatency;
+            ++activity.issuedBranch;
+            if (op.taken)
+                redirect = true;
+            break;
+          case OpClass::Load: {
+            // A blocked memory unit (all miss slots busy) blocks any
+            // further memory op in an in-order core.
+            if (pendingLoads_.size() >= config_.core.maxOutstandingLoads) {
+                reason = StallReason::LoadSlots;
+                goto issue_done;
+            }
+            const auto outcome =
+                hier_.dataAccess(op.pc, op.memAddr, false, now, op.phase);
+            completion = outcome.completion;
+            ++activity.issuedLoad;
+            ++activity.l1Accesses;
+            if (outcome.llcAccessed) {
+                ++activity.llcAccesses;
+                pendingLoads_.push_back({outcome.completion,
+                                         outcome.memoryStall,
+                                         outcome.refreshDelayed});
+            }
+            break;
+          }
+          case OpClass::Store: {
+            if (storeBuffer_.size() >= config_.core.storeBufferEntries) {
+                reason = StallReason::StoreBuffer;
+                goto issue_done;
+            }
+            const auto outcome =
+                hier_.dataAccess(op.pc, op.memAddr, true, now, op.phase);
+            // The store retires into the buffer immediately; the buffer
+            // entry is held until the line is written.
+            completion = now + 1;
+            storeBuffer_.push_back(outcome.completion);
+            ++activity.issuedStore;
+            ++activity.l1Accesses;
+            if (outcome.llcAccessed)
+                ++activity.llcAccesses;
+            break;
+          }
+        }
+
+        completionRing_[issuedCount_ % kRingSize] = completion;
+        ++issuedCount_;
+        lastCompletion_ = std::max(lastCompletion_, completion);
+        currentPhase_ = op.phase;
+        gt_.onInstruction(op.phase);
+        fetchBuffer_.pop_front();
+        ++issued;
+
+        if (redirect &&
+            !rng_.chance(config_.core.branchPredictAccuracy)) {
+            // Mispredicted taken branch: the front end re-steers.  The
+            // ops already in the buffer are correct-path (the trace is
+            // the executed path); the penalty models the redirect
+            // bubble.  Predicted branches redirect for free.
+            fetchReady_ = std::max(fetchReady_,
+                                   now + config_.core.branchPenalty);
+            currentFetchLine_ = ~0ull;
+        }
+    }
+
+issue_done:
+    if (issued > 0)
+        reason = StallReason::None;
+    return issued;
+}
+
+InOrderCore::RunResult
+InOrderCore::run(Cycle max_cycles)
+{
+    Cycle now = 0;
+    ActivityCounters activity;
+
+    while (now < max_cycles) {
+        activity.reset();
+
+        // 1. Free completed resources.
+        std::erase_if(pendingLoads_, [now](const PendingLoad &p) {
+            return p.completion <= now;
+        });
+        std::erase_if(storeBuffer_,
+                      [now](Cycle c) { return c <= now; });
+
+        // 2. Fetch.
+        doFetch(now, activity);
+
+        // 3. Issue.
+        StallReason reason = StallReason::None;
+        const uint32_t issued = doIssue(now, activity, reason);
+
+        // 4. Termination: everything drained and all results written.
+        const bool drained = traceExhausted_ && fetchBuffer_.empty() &&
+                             !havePendingFetchOp_ &&
+                             pendingLoads_.empty() && storeBuffer_.empty();
+        if (drained && now >= lastCompletion_)
+            break;
+
+        // 5. Stall accounting.
+        if (issued == 0 && !drained) {
+            stalls_[reason] += 1;
+
+            uint32_t outstanding_llc = 0;
+            bool refresh_any = false;
+            for (const auto &p : pendingLoads_) {
+                if (p.memoryStall && p.completion > now) {
+                    ++outstanding_llc;
+                    refresh_any |= p.refreshDelayed;
+                }
+            }
+            if (now < fetchReady_ && fetchBlockIsLlcMiss_) {
+                ++outstanding_llc;
+                refresh_any |= fetchBlockRefresh_;
+            }
+
+            if (outstanding_llc > 0) {
+                gt_.onMissStallCycle(now, outstanding_llc, refresh_any,
+                                     currentPhase_);
+            } else {
+                gt_.onOtherStallCycle();
+            }
+        }
+        gt_.onCycle(currentPhase_);
+
+        // 6. Power sample for this cycle.
+        if (powerSink_)
+            powerSink_(static_cast<dsp::Sample>(power_.sample(activity)));
+
+        ++now;
+    }
+
+    hier_.memory().catchUpRefresh(now);
+    gt_.finalize();
+
+    RunResult result;
+    result.cycles = now;
+    result.instructions = issuedCount_;
+    return result;
+}
+
+} // namespace emprof::sim

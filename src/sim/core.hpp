@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Four-wide in-order superscalar core model.
+ *
+ * Models the IoT/hand-held class of cores the paper targets (Sec. II-B):
+ * superscalar in-order issue with a scoreboard, stall-on-use for load
+ * results, a small number of outstanding misses (bounded MLP), a store
+ * buffer, and a redirect penalty for taken branches.  Every cycle it
+ * reports unit activity to the power model — the fully-stalled cycles
+ * during LLC misses are what produce the signal dips EMPROF detects.
+ */
+
+#ifndef EMPROF_SIM_CORE_HPP
+#define EMPROF_SIM_CORE_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "sim/config.hpp"
+#include "sim/ground_truth.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/power.hpp"
+#include "sim/trace.hpp"
+
+namespace emprof::sim {
+
+/** Why issue made no progress in a cycle. */
+enum class StallReason : uint8_t
+{
+    None,        ///< issued at least one op
+    DataDep,     ///< RAW on an incomplete producer (usually a load)
+    LoadSlots,   ///< outstanding-miss limit reached
+    StoreBuffer, ///< store buffer full
+    DivBusy,     ///< divider occupied
+    FetchEmpty,  ///< nothing fetched (I$ miss or redirect)
+    NumReasons,
+};
+
+/** Per-reason stalled-cycle counters. */
+struct StallBreakdown
+{
+    std::array<uint64_t, static_cast<std::size_t>(
+                             StallReason::NumReasons)>
+        cycles{};
+
+    uint64_t &
+    operator[](StallReason r)
+    {
+        return cycles[static_cast<std::size_t>(r)];
+    }
+
+    uint64_t
+    operator[](StallReason r) const
+    {
+        return cycles[static_cast<std::size_t>(r)];
+    }
+};
+
+/**
+ * The core timing model.
+ */
+class InOrderCore
+{
+  public:
+    /** Outcome of a run. */
+    struct RunResult
+    {
+        /** Total simulated cycles. */
+        Cycle cycles = 0;
+
+        /** Retired micro-ops. */
+        uint64_t instructions = 0;
+    };
+
+    /**
+     * @param config Full simulator configuration.
+     * @param trace Dynamic op stream (not owned).
+     * @param hierarchy Memory hierarchy (not owned).
+     * @param gt Ground-truth recorder (not owned).
+     * @param power Power model (not owned).
+     * @param power_sink Called once per cycle with the power sample;
+     *        may be empty.
+     */
+    InOrderCore(const SimConfig &config, TraceSource &trace,
+                MemoryHierarchy &hierarchy, GroundTruth &gt,
+                PowerModel &power, dsp::SampleSink power_sink);
+
+    /**
+     * Run until the trace drains (or @p max_cycles elapse).
+     */
+    RunResult run(Cycle max_cycles = kNoCycle);
+
+    const StallBreakdown &stallBreakdown() const { return stalls_; }
+
+  private:
+    /** One outstanding L1-missing load. */
+    struct PendingLoad
+    {
+        Cycle completion = 0;
+
+        /** Waiting on DRAM (demand miss or in-flight prefetch). */
+        bool memoryStall = false;
+
+        bool refreshDelayed = false;
+    };
+
+    /** Try to fetch ops into the fetch buffer. */
+    void doFetch(Cycle now, ActivityCounters &activity);
+
+    /** Try to issue ops from the fetch buffer; returns #issued. */
+    uint32_t doIssue(Cycle now, ActivityCounters &activity,
+                     StallReason &reason);
+
+    /** Completion cycle of the producer at dynamic distance dist. */
+    Cycle producerCompletion(uint16_t dist) const;
+
+    static constexpr std::size_t kRingSize = 256; // power of two
+
+    SimConfig config_;
+    TraceSource &trace_;
+    MemoryHierarchy &hier_;
+    GroundTruth &gt_;
+    PowerModel &power_;
+    dsp::SampleSink powerSink_;
+
+    std::deque<MicroOp> fetchBuffer_;
+    MicroOp pendingFetchOp_{};
+    bool havePendingFetchOp_ = false;
+    bool traceExhausted_ = false;
+
+    Cycle fetchReady_ = 0;
+    bool fetchBlockIsLlcMiss_ = false;
+    bool fetchBlockRefresh_ = false;
+    Addr currentFetchLine_ = ~0ull;
+
+    std::array<Cycle, kRingSize> completionRing_{};
+    uint64_t issuedCount_ = 0;
+
+    std::vector<PendingLoad> pendingLoads_;
+    std::vector<Cycle> storeBuffer_;
+    Cycle divBusyUntil_ = 0;
+    Cycle lastCompletion_ = 0;
+    uint8_t currentPhase_ = 0;
+    dsp::Rng rng_{0xB4A2C4ull};
+
+    StallBreakdown stalls_;
+};
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_CORE_HPP

@@ -1,0 +1,50 @@
+#include "sim/ground_truth.hpp"
+
+namespace emprof::sim {
+
+uint64_t
+GroundTruth::countIntervalsAtLeast(Cycle min_cycles) const
+{
+    uint64_t n = 0;
+    for (const auto &interval : intervals_) {
+        if (interval.durationCycles() >= min_cycles)
+            ++n;
+    }
+    return n;
+}
+
+uint64_t
+GroundTruth::stallCyclesInIntervalsAtLeast(Cycle min_cycles) const
+{
+    uint64_t n = 0;
+    for (const auto &interval : intervals_) {
+        if (interval.durationCycles() >= min_cycles)
+            n += interval.durationCycles();
+    }
+    return n;
+}
+
+uint64_t
+GroundTruth::countCoalescedIntervals(Cycle max_gap, Cycle min_cycles) const
+{
+    uint64_t n = 0;
+    bool open = false;
+    Cycle merged_begin = 0;
+    Cycle merged_end = 0;
+    for (const auto &interval : intervals_) {
+        if (open && interval.begin <= merged_end + max_gap) {
+            merged_end = interval.end;
+            continue;
+        }
+        if (open && merged_end - merged_begin + 1 >= min_cycles)
+            ++n;
+        merged_begin = interval.begin;
+        merged_end = interval.end;
+        open = true;
+    }
+    if (open && merged_end - merged_begin + 1 >= min_cycles)
+        ++n;
+    return n;
+}
+
+} // namespace emprof::sim

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Ground-truth recorder: exactly what the paper's enhanced SESC emits
+ * (Sec. V-C) — when each LLC miss is detected, and where each resulting
+ * full-stall interval begins and ends.
+ *
+ * Two counts matter and they are deliberately different:
+ *  - rawLlcMisses(): every demand LLC miss, including misses whose
+ *    latency is fully hidden and misses that overlap other misses.
+ *    This is what a hardware LLC-miss counter counts.
+ *  - stallIntervals(): maximal runs of fully-stalled cycles during
+ *    which at least one LLC miss is outstanding.  Overlapped misses
+ *    coalesce into one interval (Fig. 3b); fully-hidden misses produce
+ *    none (Fig. 3a).  This is the event EMPROF can and should see, and
+ *    Table III "miss accuracy" compares against it.
+ */
+
+#ifndef EMPROF_SIM_GROUND_TRUTH_HPP
+#define EMPROF_SIM_GROUND_TRUTH_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace emprof::sim {
+
+/** Maximum number of workload phases tracked. */
+inline constexpr std::size_t kMaxPhases = 16;
+
+/** One maximal LLC-miss-induced full-stall interval. */
+struct StallInterval
+{
+    /** First fully-stalled cycle. */
+    Cycle begin = 0;
+
+    /** Last fully-stalled cycle (inclusive). */
+    Cycle end = 0;
+
+    /** Maximum number of LLC misses outstanding during the interval. */
+    uint32_t overlappedMisses = 1;
+
+    /** The interval was lengthened by a DRAM refresh window. */
+    bool refreshAffected = false;
+
+    /** Workload phase the interval occurred in. */
+    uint8_t phase = 0;
+
+    Cycle durationCycles() const { return end - begin + 1; }
+};
+
+/** One raw LLC miss (recorded only in detailed mode). */
+struct RawMissEvent
+{
+    /** Cycle the miss was detected at the LLC. */
+    Cycle detect = 0;
+
+    /** Instruction-side (I$ path) rather than data-side miss. */
+    bool fetchSide = false;
+
+    /** The fill waited on a DRAM refresh window. */
+    bool refreshDelayed = false;
+};
+
+/** Per-phase aggregate counters (for Table V ground truth). */
+struct PhaseCounters
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t llcMisses = 0;
+    uint64_t missStallCycles = 0;
+};
+
+/**
+ * Collects miss and stall ground truth during a simulation.
+ */
+class GroundTruth
+{
+  public:
+    /**
+     * @param detailed Keep the per-event raw miss list (memory heavy on
+     *        long runs; aggregate counters are always kept).
+     */
+    explicit GroundTruth(bool detailed = false) : detailed_(detailed) {}
+
+    /** Record a demand LLC miss. */
+    void
+    onLlcMiss(Cycle detect, bool fetch_side, bool refresh_delayed,
+              uint8_t phase)
+    {
+        ++rawLlcMisses_;
+        phaseOf(phase).llcMisses += 1;
+        if (refresh_delayed)
+            ++refreshDelayedMisses_;
+        if (detailed_)
+            rawEvents_.push_back({detect, fetch_side, refresh_delayed});
+    }
+
+    /**
+     * Record one fully-stalled cycle attributable to LLC misses.
+     *
+     * @param cycle The stalled cycle.
+     * @param outstanding Number of LLC misses outstanding.
+     * @param refresh_affected Any outstanding fill is refresh-delayed.
+     * @param phase Current workload phase.
+     */
+    void
+    onMissStallCycle(Cycle cycle, uint32_t outstanding,
+                     bool refresh_affected, uint8_t phase)
+    {
+        ++missStallCycles_;
+        phaseOf(phase).missStallCycles += 1;
+        if (open_ && cycle == current_.end + 1) {
+            current_.end = cycle;
+            current_.overlappedMisses =
+                std::max(current_.overlappedMisses, outstanding);
+            current_.refreshAffected |= refresh_affected;
+        } else {
+            closeInterval();
+            current_ = {cycle, cycle, std::max(outstanding, 1u),
+                        refresh_affected, phase};
+            open_ = true;
+        }
+    }
+
+    /** Record a fully-stalled cycle with no LLC miss outstanding. */
+    void onOtherStallCycle() { ++otherStallCycles_; }
+
+    /** Per-cycle phase accounting. */
+    void onCycle(uint8_t phase) { phaseOf(phase).cycles += 1; }
+
+    /** Per-retired-op accounting. */
+    void onInstruction(uint8_t phase) { phaseOf(phase).instructions += 1; }
+
+    /** Close any open interval; call when the simulation ends. */
+    void finalize() { closeInterval(); }
+
+    /** Every demand LLC miss (the hardware-counter view). */
+    uint64_t rawLlcMisses() const { return rawLlcMisses_; }
+
+    /** Misses whose fills waited on refresh. */
+    uint64_t refreshDelayedMisses() const { return refreshDelayedMisses_; }
+
+    /** Total fully-stalled cycles attributed to LLC misses. */
+    uint64_t missStallCycles() const { return missStallCycles_; }
+
+    /** Fully-stalled cycles with no miss outstanding. */
+    uint64_t otherStallCycles() const { return otherStallCycles_; }
+
+    /** Coalesced stall intervals (EMPROF's ground truth). */
+    const std::vector<StallInterval> &
+    stallIntervals() const
+    {
+        return intervals_;
+    }
+
+    /**
+     * Number of stall intervals at least @p min_cycles long.  EMPROF
+     * cannot see stalls shorter than its duration threshold, so
+     * accuracy comparisons use the same floor on both sides.
+     */
+    uint64_t countIntervalsAtLeast(Cycle min_cycles) const;
+
+    /** Total stalled cycles in intervals at least @p min_cycles long. */
+    uint64_t stallCyclesInIntervalsAtLeast(Cycle min_cycles) const;
+
+    /**
+     * Interval count after merging neighbours separated by less than
+     * @p max_gap cycles, keeping merged intervals of at least
+     * @p min_cycles.  A signal-based detector cannot resolve two
+     * stalls whose separation is below its duration threshold, so
+     * accuracy comparisons use the same resolution on the ground
+     * truth (the paper folds "several highly-overlapped LLC misses"
+     * into one MISS for the same reason, Sec. II-B).
+     */
+    uint64_t countCoalescedIntervals(Cycle max_gap, Cycle min_cycles) const;
+
+    /** Raw per-miss events (detailed mode only). */
+    const std::vector<RawMissEvent> &rawEvents() const { return rawEvents_; }
+
+    /** Per-phase counters. */
+    const std::array<PhaseCounters, kMaxPhases> &
+    phases() const
+    {
+        return phases_;
+    }
+
+  private:
+    PhaseCounters &
+    phaseOf(uint8_t phase)
+    {
+        return phases_[phase < kMaxPhases ? phase : kMaxPhases - 1];
+    }
+
+    void
+    closeInterval()
+    {
+        if (open_) {
+            intervals_.push_back(current_);
+            open_ = false;
+        }
+    }
+
+    bool detailed_;
+    uint64_t rawLlcMisses_ = 0;
+    uint64_t refreshDelayedMisses_ = 0;
+    uint64_t missStallCycles_ = 0;
+    uint64_t otherStallCycles_ = 0;
+    std::vector<StallInterval> intervals_;
+    std::vector<RawMissEvent> rawEvents_;
+    std::array<PhaseCounters, kMaxPhases> phases_{};
+    StallInterval current_{};
+    bool open_ = false;
+};
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_GROUND_TRUTH_HPP

@@ -1,0 +1,29 @@
+#include "sim/isa.hpp"
+
+namespace emprof::sim {
+
+std::string_view
+opClassName(OpClass cls)
+{
+    switch (cls) {
+      case OpClass::IntAlu:
+        return "IntAlu";
+      case OpClass::IntMul:
+        return "IntMul";
+      case OpClass::IntDiv:
+        return "IntDiv";
+      case OpClass::FpAlu:
+        return "FpAlu";
+      case OpClass::Load:
+        return "Load";
+      case OpClass::Store:
+        return "Store";
+      case OpClass::Branch:
+        return "Branch";
+      case OpClass::Nop:
+        return "Nop";
+    }
+    return "Unknown";
+}
+
+} // namespace emprof::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The simulator's micro-operation format.
+ *
+ * The simulator is trace-driven: workloads supply a dynamic stream of
+ * MicroOps (see sim/trace.hpp).  Each op carries the fields the timing
+ * model needs — a PC for instruction-cache behaviour and spectral
+ * attribution, an op class for functional-unit latency and power, a
+ * memory address for loads/stores, and a producer distance for
+ * stall-on-use dependence modelling.
+ */
+
+#ifndef EMPROF_SIM_ISA_HPP
+#define EMPROF_SIM_ISA_HPP
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace emprof::sim {
+
+/** Operation classes distinguished by the timing and power models. */
+enum class OpClass : uint8_t
+{
+    IntAlu,  ///< single-cycle integer op
+    IntMul,  ///< pipelined multiply
+    IntDiv,  ///< unpipelined divide
+    FpAlu,   ///< pipelined floating-point op
+    Load,    ///< memory load
+    Store,   ///< memory store (retires via the store buffer)
+    Branch,  ///< control transfer (taken branches redirect fetch)
+    Nop,     ///< no-op (fetch/decode activity only)
+};
+
+/** Human-readable op-class name. */
+std::string_view opClassName(OpClass cls);
+
+/**
+ * One dynamic micro-operation.
+ *
+ * @note `depDist == 0` means no register dependence; `depDist == k`
+ *       means this op reads the result of the k-th most recently
+ *       issued op (dynamic distance), stalling issue until that
+ *       producer completes.  This is how workloads express pointer
+ *       chasing (load -> load chains) versus independent streaming.
+ */
+struct MicroOp
+{
+    /** Program counter; drives I$ behaviour and attribution. */
+    Addr pc = 0;
+
+    /** Memory address, meaningful for Load/Store. */
+    Addr memAddr = 0;
+
+    /** Operation class. */
+    OpClass cls = OpClass::IntAlu;
+
+    /** Dynamic producer distance for RAW dependence (0 = none). */
+    uint16_t depDist = 0;
+
+    /** Workload phase tag, used for per-phase ground truth. */
+    uint8_t phase = 0;
+
+    /** Taken control transfer (Branch only): redirects fetch. */
+    bool taken = false;
+
+    bool isLoad() const { return cls == OpClass::Load; }
+    bool isStore() const { return cls == OpClass::Store; }
+    bool isMemRef() const { return isLoad() || isStore(); }
+};
+
+/** Factory helpers used throughout the workload generators. */
+inline MicroOp
+makeAlu(Addr pc, uint16_t dep = 0)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::IntAlu;
+    op.depDist = dep;
+    return op;
+}
+
+inline MicroOp
+makeLoad(Addr pc, Addr addr, uint16_t dep = 0)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Load;
+    op.memAddr = addr;
+    op.depDist = dep;
+    return op;
+}
+
+inline MicroOp
+makeStore(Addr pc, Addr addr, uint16_t dep = 0)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Store;
+    op.memAddr = addr;
+    op.depDist = dep;
+    return op;
+}
+
+inline MicroOp
+makeBranch(Addr pc, bool taken)
+{
+    MicroOp op;
+    op.pc = pc;
+    op.cls = OpClass::Branch;
+    op.taken = taken;
+    return op;
+}
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_ISA_HPP

@@ -1,0 +1,123 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+
+namespace emprof::sim {
+
+MemorySystem::MemorySystem(const MemoryConfig &config)
+    : config_(config), rng_(config.seed)
+{}
+
+Cycle
+MemorySystem::refreshStart(uint64_t k) const
+{
+    return k * config_.refreshPeriod;
+}
+
+bool
+MemorySystem::inRefresh(Cycle cycle) const
+{
+    if (!config_.refreshEnabled || cycle < config_.refreshPeriod)
+        return false;
+    const Cycle offset = cycle % config_.refreshPeriod;
+    return offset < config_.refreshDuration;
+}
+
+Cycle
+MemorySystem::avoidRefresh(Cycle start, bool &delayed)
+{
+    if (!config_.refreshEnabled)
+        return start;
+    if (inRefresh(start)) {
+        const uint64_t k = start / config_.refreshPeriod;
+        delayed = true;
+        return refreshStart(k) + config_.refreshDuration;
+    }
+    return start;
+}
+
+void
+MemorySystem::catchUpRefresh(Cycle now)
+{
+    if (!config_.refreshEnabled)
+        return;
+    while (refreshStart(nextRefreshToEmit_) < now) {
+        if (cas_enabled_) {
+            cas_trace_.push_back(
+                {refreshStart(nextRefreshToEmit_),
+                 static_cast<uint32_t>(config_.refreshDuration),
+                 CasEvent::Kind::Refresh});
+        }
+        ++stats_.refreshWindows;
+        ++nextRefreshToEmit_;
+    }
+}
+
+void
+MemorySystem::catchUpBackground(Cycle now)
+{
+    if (config_.backgroundPeriod == 0)
+        return;
+    while (nextBackground_ <= now) {
+        // The burst occupies the channel when the channel gets to it.
+        busyUntil_ = std::max(busyUntil_, nextBackground_) +
+                     config_.backgroundBurst;
+        nextBackground_ += config_.backgroundPeriod;
+    }
+}
+
+MemoryReadResult
+MemorySystem::read(Cycle now)
+{
+    catchUpRefresh(now);
+    catchUpBackground(now);
+    ++stats_.reads;
+
+    MemoryReadResult result;
+    Cycle start = std::max(now, busyUntil_);
+    start = avoidRefresh(start, result.refreshDelayed);
+    if (result.refreshDelayed)
+        ++stats_.refreshDelayedReads;
+
+    const int64_t jitter =
+        config_.latencyJitter == 0
+            ? 0
+            : static_cast<int64_t>(
+                  rng_.below(2 * config_.latencyJitter + 1)) -
+                  static_cast<int64_t>(config_.latencyJitter);
+
+    const Cycle latency = static_cast<Cycle>(
+        std::max<int64_t>(1, static_cast<int64_t>(config_.accessLatency) +
+                                 jitter));
+    result.completion = start + latency;
+    busyUntil_ = start + config_.burstCycles;
+
+    if (cas_enabled_) {
+        // The observable DRAM activity (activate..data..precharge)
+        // ends when the data returns.
+        const uint32_t obs = config_.casObservableCycles;
+        const Cycle obs_start =
+            result.completion > obs ? result.completion - obs : 0;
+        cas_trace_.push_back({obs_start, obs, CasEvent::Kind::Read});
+    }
+    return result;
+}
+
+void
+MemorySystem::write(Cycle now)
+{
+    catchUpRefresh(now);
+    ++stats_.writes;
+
+    bool delayed = false;
+    Cycle start = std::max(now, busyUntil_);
+    start = avoidRefresh(start, delayed);
+    busyUntil_ = start + config_.burstCycles;
+
+    if (cas_enabled_) {
+        cas_trace_.push_back(
+            {start, config_.casObservableCycles, CasEvent::Kind::Write});
+    }
+}
+
+} // namespace emprof::sim

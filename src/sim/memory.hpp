@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Main-memory model: controller serialisation, latency jitter, periodic
+ * refresh, and a CAS-activity event trace.
+ *
+ * Refresh matters to EMPROF: an LLC miss that arrives while the DRAM is
+ * refreshing is stalled for microseconds rather than hundreds of
+ * nanoseconds (Fig. 5), and the profiler classifies and reports such
+ * stalls separately.  The CAS event trace feeds the memory-side EM
+ * probe model used for the dual-probe validation (Fig. 10).
+ */
+
+#ifndef EMPROF_SIM_MEMORY_HPP
+#define EMPROF_SIM_MEMORY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "sim/config.hpp"
+#include "sim/types.hpp"
+
+namespace emprof::sim {
+
+/** One burst of observable DRAM activity. */
+struct CasEvent
+{
+    enum class Kind : uint8_t
+    {
+        Read,
+        Write,
+        Refresh,
+    };
+
+    /** Cycle the burst starts. */
+    Cycle start = 0;
+
+    /** Burst length in cycles. */
+    uint32_t duration = 0;
+
+    Kind kind = Kind::Read;
+};
+
+/** Outcome of a demand read. */
+struct MemoryReadResult
+{
+    /** Cycle at which the data is available at the LLC. */
+    Cycle completion = 0;
+
+    /** The request waited on a refresh window. */
+    bool refreshDelayed = false;
+};
+
+/** Aggregate memory statistics. */
+struct MemoryStats
+{
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+    uint64_t refreshDelayedReads = 0;
+    uint64_t refreshWindows = 0;
+};
+
+/**
+ * DRAM + memory-controller timing model.
+ *
+ * Single-channel: requests serialise on the channel for burstCycles
+ * each, then complete accessLatency (+/- jitter) after they start
+ * service.  Refresh windows recur every refreshPeriod cycles and block
+ * service for refreshDuration cycles.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MemoryConfig &config);
+
+    /**
+     * Issue a demand read (LLC miss fill).
+     *
+     * @param now Cycle the request reaches the controller.
+     * @return Completion cycle and refresh-delay flag.
+     */
+    MemoryReadResult read(Cycle now);
+
+    /**
+     * Issue a write-back.  Writes are posted: they occupy the channel
+     * but never stall the core directly.
+     */
+    void write(Cycle now);
+
+    /**
+     * Emit any refresh CAS events up to @p now into the event trace.
+     * Called implicitly by read/write; call once at end of simulation
+     * to flush trailing refresh activity.
+     */
+    void catchUpRefresh(Cycle now);
+
+    /** True if @p cycle falls inside a refresh window. */
+    bool inRefresh(Cycle cycle) const;
+
+    /** All recorded DRAM activity (sorted by construction order;
+     *  reads/writes are appended in request order, refreshes lazily). */
+    const std::vector<CasEvent> &casTrace() const { return cas_trace_; }
+
+    /** Enable/disable CAS event recording (large runs disable it). */
+    void setCasTraceEnabled(bool enabled) { cas_enabled_ = enabled; }
+
+    const MemoryStats &stats() const { return stats_; }
+    const MemoryConfig &config() const { return config_; }
+
+  private:
+    /** Start of the refresh window with index @p k (1-based). */
+    Cycle refreshStart(uint64_t k) const;
+
+    /** Move a service start time out of any refresh window. */
+    Cycle avoidRefresh(Cycle start, bool &delayed);
+
+    /** Inject pending background bursts up to @p now. */
+    void catchUpBackground(Cycle now);
+
+    MemoryConfig config_;
+    Cycle busyUntil_ = 0;
+    Cycle nextBackground_ = 0;
+    uint64_t nextRefreshToEmit_ = 1;
+    bool cas_enabled_ = true;
+    std::vector<CasEvent> cas_trace_;
+    MemoryStats stats_;
+    dsp::Rng rng_;
+};
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_MEMORY_HPP

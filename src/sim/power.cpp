@@ -1,0 +1,34 @@
+#include "sim/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace emprof::sim {
+
+PowerModel::PowerModel(const PowerConfig &config)
+    : config_(config), background_(config.backgroundNoise, config.seed)
+{}
+
+double
+PowerModel::sample(const ActivityCounters &activity)
+{
+    double p = config_.staticPower;
+    p += config_.fetchEnergy * activity.fetched;
+    p += config_.aluEnergy * activity.issuedAlu;
+    p += config_.mulEnergy * activity.issuedMul;
+    p += config_.divEnergy * activity.issuedDiv;
+    p += config_.fpEnergy * activity.issuedFp;
+    p += config_.loadEnergy * activity.issuedLoad;
+    p += config_.storeEnergy * activity.issuedStore;
+    p += config_.branchEnergy * activity.issuedBranch;
+    p += config_.l1Energy * activity.l1Accesses;
+    p += config_.llcEnergy * activity.llcAccesses;
+
+    if (config_.backgroundNoise > 0.0) {
+        // Other cores / SoC blocks: absolute activity, never negative.
+        p += std::abs(background_.real());
+    }
+    return p;
+}
+
+} // namespace emprof::sim

@@ -1,0 +1,58 @@
+#include "sim/prefetcher.hpp"
+
+namespace emprof::sim {
+
+StridePrefetcher::StridePrefetcher(const PrefetcherConfig &config,
+                                   uint32_t line_bytes)
+    : config_(config), lineBytes_(line_bytes),
+      table_(config.tableEntries)
+{}
+
+void
+StridePrefetcher::observe(Addr pc, Addr addr,
+                          std::vector<PrefetchRequest> &out)
+{
+    if (!config_.enabled || table_.empty())
+        return;
+
+    Entry &entry = table_[pc % table_.size()];
+    if (!entry.valid || entry.pcTag != pc) {
+        entry.valid = true;
+        entry.pcTag = pc;
+        entry.lastAddr = addr;
+        entry.stride = 0;
+        entry.confidence = 0;
+        return;
+    }
+
+    const int64_t stride =
+        static_cast<int64_t>(addr) - static_cast<int64_t>(entry.lastAddr);
+    entry.lastAddr = addr;
+    if (stride == 0)
+        return;
+
+    if (stride == entry.stride) {
+        if (entry.confidence < config_.trainThreshold + 4)
+            ++entry.confidence;
+    } else {
+        entry.stride = stride;
+        entry.confidence = 1;
+        ++stats_.trainings;
+        return;
+    }
+
+    if (entry.confidence < config_.trainThreshold)
+        return;
+
+    // Confirmed stride: prefetch `degree` lines ahead.
+    const Addr line_mask = ~static_cast<Addr>(lineBytes_ - 1);
+    for (uint32_t d = 1; d <= config_.degree; ++d) {
+        const Addr target = static_cast<Addr>(
+            static_cast<int64_t>(addr) +
+            stride * static_cast<int64_t>(d));
+        out.push_back({target & line_mask});
+        ++stats_.issued;
+    }
+}
+
+} // namespace emprof::sim

@@ -1,0 +1,45 @@
+#include "sim/simulator.hpp"
+
+namespace emprof::sim {
+
+Simulator::Simulator(const SimConfig &config)
+    : config_(config),
+      gt_(std::make_unique<GroundTruth>(config.detailedGroundTruth)),
+      hier_(std::make_unique<MemoryHierarchy>(config, *gt_)),
+      power_(std::make_unique<PowerModel>(config.power))
+{}
+
+SimResult
+Simulator::run(TraceSource &trace, dsp::SampleSink power_sink,
+               Cycle max_cycles)
+{
+    InOrderCore core(config_, trace, *hier_, *gt_, *power_,
+                     std::move(power_sink));
+    const auto outcome = core.run(max_cycles);
+
+    SimResult result;
+    result.cycles = outcome.cycles;
+    result.instructions = outcome.instructions;
+    result.rawLlcMisses = gt_->rawLlcMisses();
+    result.stallIntervals = gt_->stallIntervals().size();
+    result.missStallCycles = gt_->missStallCycles();
+    result.otherStallCycles = gt_->otherStallCycles();
+    result.l1iStats = hier_->l1i().stats();
+    result.l1dStats = hier_->l1d().stats();
+    result.llcStats = hier_->llc().stats();
+    result.memoryStats = hier_->memory().stats();
+    result.stalls = core.stallBreakdown();
+    return result;
+}
+
+SimResult
+Simulator::runWithPowerTrace(TraceSource &trace, dsp::TimeSeries &power,
+                             Cycle max_cycles)
+{
+    power.sampleRateHz = config_.clockHz;
+    power.samples.clear();
+    auto sink = [&power](dsp::Sample s) { power.samples.push_back(s); };
+    return run(trace, sink, max_cycles);
+}
+
+} // namespace emprof::sim

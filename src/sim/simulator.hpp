@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Top-level simulator facade: wires trace, core, hierarchy, power model
+ * and ground truth together, and exposes one-call runs.
+ */
+
+#ifndef EMPROF_SIM_SIMULATOR_HPP
+#define EMPROF_SIM_SIMULATOR_HPP
+
+#include <memory>
+
+#include "dsp/types.hpp"
+#include "sim/cache.hpp"
+#include "sim/config.hpp"
+#include "sim/core.hpp"
+#include "sim/ground_truth.hpp"
+#include "sim/hierarchy.hpp"
+#include "sim/memory.hpp"
+#include "sim/power.hpp"
+#include "sim/trace.hpp"
+
+namespace emprof::sim {
+
+/** Aggregate results of one simulation run. */
+struct SimResult
+{
+    Cycle cycles = 0;
+    uint64_t instructions = 0;
+
+    /** Hardware-counter-style raw LLC miss count. */
+    uint64_t rawLlcMisses = 0;
+
+    /** Coalesced LLC-miss stall intervals (EMPROF's ground truth). */
+    uint64_t stallIntervals = 0;
+
+    /** Fully-stalled cycles attributed to LLC misses. */
+    uint64_t missStallCycles = 0;
+
+    /** Fully-stalled cycles with no miss outstanding. */
+    uint64_t otherStallCycles = 0;
+
+    CacheStats l1iStats;
+    CacheStats l1dStats;
+    CacheStats llcStats;
+    MemoryStats memoryStats;
+    StallBreakdown stalls;
+
+    /** Fraction of execution time spent in LLC-miss stalls. */
+    double
+    missStallFraction() const
+    {
+        return cycles == 0 ? 0.0
+                           : static_cast<double>(missStallCycles) /
+                                 static_cast<double>(cycles);
+    }
+
+    /** Instructions per cycle. */
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0 : static_cast<double>(instructions) /
+                                       static_cast<double>(cycles);
+    }
+};
+
+/**
+ * One simulated device run.
+ *
+ * A Simulator instance is single-shot: construct, run(), then inspect
+ * groundTruth()/hierarchy().  Construct a fresh instance per run.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &config);
+
+    /**
+     * Run a trace to completion.
+     *
+     * @param trace Dynamic op stream.
+     * @param power_sink Optional per-cycle power sample consumer.
+     * @param max_cycles Safety cap.
+     */
+    SimResult run(TraceSource &trace, dsp::SampleSink power_sink = nullptr,
+                  Cycle max_cycles = kNoCycle);
+
+    /**
+     * Run a trace and capture the power side-channel signal, exactly
+     * like the paper's enhanced SESC (one sample per cycle, sample
+     * rate = clock frequency).
+     */
+    SimResult runWithPowerTrace(TraceSource &trace, dsp::TimeSeries &power,
+                                Cycle max_cycles = kNoCycle);
+
+    const GroundTruth &groundTruth() const { return *gt_; }
+    GroundTruth &groundTruth() { return *gt_; }
+    MemoryHierarchy &hierarchy() { return *hier_; }
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+    std::unique_ptr<GroundTruth> gt_;
+    std::unique_ptr<MemoryHierarchy> hier_;
+    std::unique_ptr<PowerModel> power_;
+};
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_SIMULATOR_HPP

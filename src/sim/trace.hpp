@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Dynamic-trace abstraction: how workloads feed the core.
+ *
+ * Runs reach hundreds of millions of micro-ops, so traces are never
+ * materialised whole.  Workloads implement ChunkedTraceSource and
+ * append one bounded chunk (typically one outer-loop iteration) per
+ * refill() call; the core pulls ops one at a time.
+ */
+
+#ifndef EMPROF_SIM_TRACE_HPP
+#define EMPROF_SIM_TRACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/isa.hpp"
+
+namespace emprof::sim {
+
+/** Pull interface the core consumes. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Fetch the next dynamic op.
+     *
+     * @param op Receives the op when available.
+     * @retval false The trace is exhausted.
+     */
+    virtual bool next(MicroOp &op) = 0;
+};
+
+/**
+ * Base class for generator-style workloads.
+ *
+ * Derived classes override refill() and append a bounded number of ops
+ * to the buffer each call; returning without appending anything ends
+ * the trace.
+ */
+class ChunkedTraceSource : public TraceSource
+{
+  public:
+    bool
+    next(MicroOp &op) override
+    {
+        if (cursor_ >= buffer_.size()) {
+            buffer_.clear();
+            cursor_ = 0;
+            refill(buffer_);
+            if (buffer_.empty())
+                return false;
+        }
+        op = buffer_[cursor_++];
+        return true;
+    }
+
+  protected:
+    /** Append the next chunk of ops; append nothing to end the trace. */
+    virtual void refill(std::vector<MicroOp> &out) = 0;
+
+  private:
+    std::vector<MicroOp> buffer_;
+    std::size_t cursor_ = 0;
+};
+
+/** Trace backed by a pre-built vector — mainly for unit tests. */
+class VectorTraceSource : public TraceSource
+{
+  public:
+    explicit VectorTraceSource(std::vector<MicroOp> ops)
+        : ops_(std::move(ops))
+    {}
+
+    bool
+    next(MicroOp &op) override
+    {
+        if (cursor_ >= ops_.size())
+            return false;
+        op = ops_[cursor_++];
+        return true;
+    }
+
+    /** Restart from the beginning (tests reuse one trace). */
+    void rewind() { cursor_ = 0; }
+
+  private:
+    std::vector<MicroOp> ops_;
+    std::size_t cursor_ = 0;
+};
+
+/** Concatenate several traces back to back. */
+class ConcatTraceSource : public TraceSource
+{
+  public:
+    /** Takes non-owning pointers; all must outlive this object. */
+    explicit ConcatTraceSource(std::vector<TraceSource *> parts)
+        : parts_(std::move(parts))
+    {}
+
+    bool
+    next(MicroOp &op) override
+    {
+        while (index_ < parts_.size()) {
+            if (parts_[index_]->next(op))
+                return true;
+            ++index_;
+        }
+        return false;
+    }
+
+  private:
+    std::vector<TraceSource *> parts_;
+    std::size_t index_ = 0;
+};
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_TRACE_HPP

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Basic scalar types for the cycle-level simulator.
+ */
+
+#ifndef EMPROF_SIM_TYPES_HPP
+#define EMPROF_SIM_TYPES_HPP
+
+#include <cstdint>
+
+namespace emprof::sim {
+
+/** Processor cycle count. */
+using Cycle = uint64_t;
+
+/** Physical/virtual address (the simulator does not distinguish). */
+using Addr = uint64_t;
+
+/** Sentinel for "no cycle". */
+inline constexpr Cycle kNoCycle = ~0ull;
+
+} // namespace emprof::sim
+
+#endif // EMPROF_SIM_TYPES_HPP

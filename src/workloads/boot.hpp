@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Synthetic boot-sequence workload (Sec. VI-C, Fig. 13).
+ *
+ * A device boot is a sequence of phases with sharply different memory
+ * behaviour: a tiny ROM stub, image copy/decompression bursts, pointer
+ * heavy kernel initialisation, bursty driver probing, and a quiescent
+ * service-startup tail.  Run-to-run variation (storage timing, probe
+ * order) is modelled with per-run jitter on phase lengths, which is
+ * why the paper plots two distinct boot runs.
+ */
+
+#ifndef EMPROF_WORKLOADS_BOOT_HPP
+#define EMPROF_WORKLOADS_BOOT_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/common.hpp"
+
+namespace emprof::workloads {
+
+/** Boot-sequence parameters. */
+struct BootConfig
+{
+    /** Overall scale: approximate dynamic ops for the whole boot. */
+    uint64_t scaleOps = 4'000'000;
+
+    /** Run-to-run phase-length jitter as a fraction (+/-). */
+    double jitter = 0.15;
+
+    /** Seed: different seeds model distinct boot runs. */
+    uint64_t seed = 0xB007ull;
+};
+
+/** Names of the boot phases, in order. */
+std::vector<std::string> bootPhaseNames();
+
+/** Build a boot-sequence trace. */
+std::unique_ptr<SegmentedWorkload> makeBoot(const BootConfig &config = {});
+
+} // namespace emprof::workloads
+
+#endif // EMPROF_WORKLOADS_BOOT_HPP

@@ -1,0 +1,58 @@
+#include "workloads/common.hpp"
+
+namespace emprof::workloads {
+
+Addr
+emitCompute(std::vector<MicroOp> &out, Addr pc, uint32_t count,
+            uint8_t phase, uint32_t mul_every, uint32_t fp_every)
+{
+    for (uint32_t i = 0; i < count; ++i) {
+        MicroOp op = sim::makeAlu(pc);
+        if (mul_every != 0 && i % mul_every == mul_every - 1)
+            op.cls = sim::OpClass::IntMul;
+        else if (fp_every != 0 && i % fp_every == fp_every - 1)
+            op.cls = sim::OpClass::FpAlu;
+        // Short dependence chains keep the issue width partially
+        // utilised, like real scalar code.
+        op.depDist = (i % 3 == 2) ? 2 : 0;
+        op.phase = phase;
+        out.push_back(op);
+        pc += 4;
+    }
+    return pc;
+}
+
+void
+emitLoopBranch(std::vector<MicroOp> &out, Addr pc, uint8_t phase)
+{
+    MicroOp branch = sim::makeBranch(pc, true);
+    branch.phase = phase;
+    out.push_back(branch);
+}
+
+Addr
+emitDependentLoad(std::vector<MicroOp> &out, Addr pc, Addr mem_addr,
+                  uint8_t phase)
+{
+    MicroOp load = sim::makeLoad(pc, mem_addr);
+    load.phase = phase;
+    out.push_back(load);
+    pc += 4;
+
+    MicroOp use = sim::makeAlu(pc, /*dep=*/1);
+    use.phase = phase;
+    out.push_back(use);
+    return pc + 4;
+}
+
+Addr
+emitIndependentLoad(std::vector<MicroOp> &out, Addr pc, Addr mem_addr,
+                    uint8_t phase)
+{
+    MicroOp load = sim::makeLoad(pc, mem_addr);
+    load.phase = phase;
+    out.push_back(load);
+    return pc + 4;
+}
+
+} // namespace emprof::workloads

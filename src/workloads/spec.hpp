@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Synthetic stand-ins for the ten SPEC CPU2000 integer benchmarks the
+ * paper evaluates (Sec. VI, Table III/IV).
+ *
+ * We do not ship SPEC sources or inputs; each generator reproduces the
+ * published memory *character* of its namesake — footprint, the mix of
+ * streaming vs. random vs. pointer-chasing access, dependence structure
+ * (MLP), phase structure and compute density — which is what determines
+ * every EMPROF-relevant behaviour (miss rate, stall lengths, overlap,
+ * spectral signature).  Ground truth always comes from the simulator,
+ * so accuracy results remain meaningful under the substitution; see
+ * DESIGN.md.
+ */
+
+#ifndef EMPROF_WORKLOADS_SPEC_HPP
+#define EMPROF_WORKLOADS_SPEC_HPP
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workloads/common.hpp"
+
+namespace emprof::workloads {
+
+/** Metadata for one synthetic SPEC workload. */
+struct SpecInfo
+{
+    std::string name;
+
+    /** One-line description of the modelled memory behaviour. */
+    std::string character;
+};
+
+/** The ten modelled benchmarks, in the paper's table order. */
+const std::vector<SpecInfo> &specSuite();
+
+/** Names only, in suite order. */
+std::vector<std::string> specNames();
+
+/**
+ * Instantiate a workload by name.
+ *
+ * @param name One of specNames().
+ * @param scale_ops Approximate dynamic op count (runtime scales
+ *        linearly; the default keeps a full-suite sweep tractable).
+ * @param seed Seed for the workload's random address streams.
+ * @return The trace source, or nullptr for an unknown name.
+ */
+std::unique_ptr<SegmentedWorkload> makeSpec(std::string_view name,
+                                            uint64_t scale_ops = 2'000'000,
+                                            uint64_t seed = 1);
+
+/**
+ * Phase tags used by the `parser` workload, whose three functions are
+ * the attribution targets of Fig. 14 / Table V.
+ */
+struct ParserPhases
+{
+    static constexpr uint8_t kReadDictionary = 1;
+    static constexpr uint8_t kInitRandtable = 2;
+    static constexpr uint8_t kBatchProcess = 3;
+
+    /** Function names in phase order (for Table V rendering). */
+    static std::vector<std::string> names();
+};
+
+} // namespace emprof::workloads
+
+#endif // EMPROF_WORKLOADS_SPEC_HPP

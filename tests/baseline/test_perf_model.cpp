@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the perf-baseline model (observer effect and counter
+ * multiplexing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/perf_model.hpp"
+#include "dsp/series_ops.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/microbenchmark.hpp"
+
+namespace emprof::baseline {
+namespace {
+
+TEST(InterruptInjector, PreservesBaseTrace)
+{
+    std::vector<sim::MicroOp> base_ops;
+    for (int i = 0; i < 1000; ++i)
+        base_ops.push_back(sim::makeAlu(0x1000 + 4 * i));
+    sim::VectorTraceSource base(base_ops);
+    InterruptConfig cfg;
+    cfg.opsBetweenInterrupts = 100;
+    InterruptInjector inj(base, cfg);
+
+    sim::MicroOp op;
+    uint64_t base_seen = 0;
+    while (inj.next(op)) {
+        if (op.pc < 0xF000'0000)
+            ++base_seen;
+    }
+    EXPECT_EQ(base_seen, 1000u);
+    EXPECT_EQ(inj.baseOps(), 1000u);
+}
+
+TEST(InterruptInjector, InjectsAtConfiguredCadence)
+{
+    std::vector<sim::MicroOp> base_ops(10'000, sim::makeAlu(0x1000));
+    sim::VectorTraceSource base(base_ops);
+    InterruptConfig cfg;
+    cfg.opsBetweenInterrupts = 1000;
+    InterruptInjector inj(base, cfg);
+    sim::MicroOp op;
+    while (inj.next(op)) {
+    }
+    // ~10 interrupts worth of handler ops.
+    const uint64_t per_handler = inj.injectedOps() / 10;
+    EXPECT_GT(per_handler, cfg.handlerLines);
+    EXPECT_EQ(inj.injectedOps() % per_handler, 0u);
+}
+
+TEST(InterruptInjector, HandlerTouchesColdOsData)
+{
+    std::vector<sim::MicroOp> base_ops(5'000, sim::makeAlu(0x1000));
+    sim::VectorTraceSource base(base_ops);
+    InterruptConfig cfg;
+    cfg.opsBetweenInterrupts = 1000;
+    InterruptInjector inj(base, cfg);
+    sim::MicroOp op;
+    std::set<sim::Addr> handler_lines;
+    while (inj.next(op)) {
+        if (op.isLoad() && op.pc >= 0xF000'0000)
+            handler_lines.insert(op.memAddr & ~63ull);
+    }
+    // Successive handlers stream fresh lines: all distinct.
+    EXPECT_GE(handler_lines.size(), 4u * cfg.handlerLines);
+}
+
+TEST(Multiplex, FullScheduleCountsEverything)
+{
+    sim::GroundTruth gt(true);
+    for (int i = 0; i < 100; ++i)
+        gt.onLlcMiss(i * 1000, false, false, 0);
+    MultiplexConfig cfg;
+    cfg.scheduledShare = 1.0;
+    EXPECT_EQ(multiplexedCount(gt, 100'000, cfg, 1), 100u);
+}
+
+TEST(Multiplex, ExtrapolationIsUnbiasedForUniformMisses)
+{
+    sim::GroundTruth gt(true);
+    for (int i = 0; i < 10'000; ++i)
+        gt.onLlcMiss(i * 100, false, false, 0);
+    MultiplexConfig cfg;
+    cfg.scheduledShare = 0.25;
+    cfg.windowCycles = 10'000;
+
+    std::vector<double> reports;
+    for (uint64_t seed = 0; seed < 50; ++seed)
+        reports.push_back(static_cast<double>(
+            multiplexedCount(gt, 1'000'000, cfg, seed)));
+    EXPECT_NEAR(dsp::mean(reports), 10'000.0, 600.0);
+}
+
+TEST(Multiplex, BurstyMissesGiveHugeVariance)
+{
+    // All misses inside one window: the count is either ~0 or ~4x.
+    sim::GroundTruth gt(true);
+    for (int i = 0; i < 1024; ++i)
+        gt.onLlcMiss(500'000 + i * 10, false, false, 0);
+    MultiplexConfig cfg;
+    cfg.scheduledShare = 0.25;
+    cfg.windowCycles = 250'000;
+
+    std::vector<double> reports;
+    for (uint64_t seed = 0; seed < 100; ++seed)
+        reports.push_back(static_cast<double>(
+            multiplexedCount(gt, 10'000'000, cfg, seed)));
+    EXPECT_GT(dsp::stddev(reports), 1000.0);
+}
+
+TEST(PerfBaseline, EndToEndInflatesEngineeredMissCount)
+{
+    // The paper's Sec. V observation: 1024 engineered misses are
+    // reported more than an order of magnitude too high, with a huge
+    // run-to-run standard deviation.
+    workloads::MicrobenchmarkConfig mb_cfg;
+    mb_cfg.totalMisses = 1024;
+    mb_cfg.consecutiveMisses = 10;
+    mb_cfg.blankLoopIterations = 30'000;
+
+    std::vector<double> reports;
+    for (uint64_t run = 0; run < 8; ++run) {
+        workloads::Microbenchmark mb(mb_cfg);
+        InterruptConfig int_cfg;
+        InterruptInjector inj(mb, int_cfg);
+
+        sim::SimConfig sim_cfg;
+        sim_cfg.detailedGroundTruth = true;
+        sim::Simulator simulator(sim_cfg);
+        const auto result = simulator.run(inj);
+
+        MultiplexConfig mux_cfg;
+        reports.push_back(static_cast<double>(multiplexedCount(
+            simulator.groundTruth(), result.cycles, mux_cfg, run)));
+    }
+    const double avg = dsp::mean(reports);
+    EXPECT_GT(avg, 8.0 * 1024);   // order-of-magnitude inflation
+    EXPECT_GT(dsp::stddev(reports), 1024.0); // and unstable
+}
+
+} // namespace
+} // namespace emprof::baseline

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Unit tests for the Table I device models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "devices/devices.hpp"
+
+namespace emprof::devices {
+namespace {
+
+TEST(Devices, TableIParameters)
+{
+    const auto alcatel = makeAlcatel();
+    EXPECT_DOUBLE_EQ(alcatel.sim.clockHz, 1.1e9);
+    EXPECT_EQ(alcatel.numCores, 4u);
+    EXPECT_EQ(alcatel.physicalLlcBytes, 1024u * 1024u);
+    EXPECT_EQ(alcatel.core, "Cortex-A7");
+
+    const auto samsung = makeSamsung();
+    EXPECT_DOUBLE_EQ(samsung.sim.clockHz, 800e6);
+    EXPECT_EQ(samsung.numCores, 1u);
+    EXPECT_EQ(samsung.physicalLlcBytes, 256u * 1024u);
+    EXPECT_TRUE(samsung.sim.prefetcher.enabled);
+
+    const auto olimex = makeOlimex();
+    EXPECT_DOUBLE_EQ(olimex.sim.clockHz, 1.008e9);
+    EXPECT_EQ(olimex.physicalLlcBytes, 256u * 1024u);
+    EXPECT_FALSE(olimex.sim.prefetcher.enabled);
+}
+
+TEST(Devices, ScaledCapacitiesPreserveRatios)
+{
+    const auto alcatel = makeAlcatel();
+    const auto olimex = makeOlimex();
+    // The 4x LLC ratio that drives Sec. VI-A survives the scaling.
+    EXPECT_EQ(alcatel.sim.llc.sizeBytes, 4 * olimex.sim.llc.sizeBytes);
+    EXPECT_EQ(alcatel.sim.llc.sizeBytes * kCacheScale,
+              alcatel.physicalLlcBytes);
+}
+
+TEST(Devices, InstructionCachesStayPhysical)
+{
+    for (const auto &d : allDevices())
+        EXPECT_EQ(d.sim.l1i.sizeBytes, d.physicalL1Bytes);
+}
+
+TEST(Devices, DramLatencySimilarInNanoseconds)
+{
+    // Sec. VI-A: similar ns latency -> cycle latency scales with clock.
+    const auto samsung = makeSamsung();
+    const auto olimex = makeOlimex();
+    const double samsung_ns =
+        samsung.sim.memory.accessLatency / samsung.sim.clockHz * 1e9;
+    const double olimex_ns =
+        olimex.sim.memory.accessLatency / olimex.sim.clockHz * 1e9;
+    EXPECT_NEAR(samsung_ns, olimex_ns, 1.0);
+    EXPECT_LT(samsung.sim.memory.accessLatency,
+              olimex.sim.memory.accessLatency);
+}
+
+TEST(Devices, RefreshCadenceMatchesPaper)
+{
+    // ~70 us between refresh-coincident stalls, 2-3 us stall (Fig. 5).
+    for (const auto &d : allDevices()) {
+        const double period_us =
+            d.sim.memory.refreshPeriod / d.sim.clockHz * 1e6;
+        const double duration_us =
+            d.sim.memory.refreshDuration / d.sim.clockHz * 1e6;
+        EXPECT_NEAR(period_us, 70.0, 1.0);
+        EXPECT_GT(duration_us, 2.0);
+        EXPECT_LT(duration_us, 3.0);
+    }
+}
+
+TEST(Devices, AlcatelModelsBackgroundCores)
+{
+    EXPECT_GT(makeAlcatel().sim.power.backgroundNoise, 0.0);
+    EXPECT_DOUBLE_EQ(makeOlimex().sim.power.backgroundNoise, 0.0);
+}
+
+TEST(Devices, AllDevicesOrderedLikeTableI)
+{
+    const auto devices = allDevices();
+    ASSERT_EQ(devices.size(), 3u);
+    EXPECT_EQ(devices[0].name, "Alcatel");
+    EXPECT_EQ(devices[1].name, "Samsung");
+    EXPECT_EQ(devices[2].name, "Olimex");
+}
+
+TEST(Devices, TableRendersAllRows)
+{
+    const auto text = deviceTable(allDevices());
+    EXPECT_NE(text.find("Alcatel"), std::string::npos);
+    EXPECT_NE(text.find("Cortex-A5"), std::string::npos);
+    EXPECT_NE(text.find("1.008"), std::string::npos);
+    EXPECT_NE(text.find("1024 KB"), std::string::npos);
+}
+
+} // namespace
+} // namespace emprof::devices

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit and property tests for FIR design and (decimating) filters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fir.hpp"
+
+namespace emprof::dsp {
+namespace {
+
+/** RMS of a tone's filtered output after warmup. */
+double
+toneResponse(const std::vector<double> &taps, double freq_norm)
+{
+    FirFilter<Sample> filter(taps);
+    double acc = 0.0;
+    int counted = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const auto x = static_cast<Sample>(
+            std::sin(2.0 * std::numbers::pi * freq_norm * i));
+        const double y = filter.push(x);
+        if (i > 500) {
+            acc += y * y;
+            ++counted;
+        }
+    }
+    return std::sqrt(acc / counted);
+}
+
+TEST(FirDesign, UnitDcGain)
+{
+    for (std::size_t taps : {15u, 63u, 127u}) {
+        const auto h = designLowPass(taps, 0.1);
+        double sum = 0.0;
+        for (double t : h)
+            sum += t;
+        EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+}
+
+TEST(FirDesign, ForcesOddLength)
+{
+    EXPECT_EQ(designLowPass(64, 0.1).size(), 65u);
+    EXPECT_EQ(designLowPass(63, 0.1).size(), 63u);
+    EXPECT_GE(designLowPass(1, 0.1).size(), 3u);
+}
+
+TEST(FirDesign, Symmetric)
+{
+    const auto h = designLowPass(63, 0.07);
+    for (std::size_t i = 0; i < h.size() / 2; ++i)
+        EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+}
+
+TEST(FirFilter, PassesLowTone)
+{
+    const auto h = designLowPass(63, 0.2);
+    // Tone well inside the passband keeps ~unit amplitude (RMS 0.707).
+    EXPECT_NEAR(toneResponse(h, 0.02), std::numbers::sqrt2 / 2, 0.02);
+}
+
+TEST(FirFilter, RejectsHighTone)
+{
+    const auto h = designLowPass(63, 0.05);
+    EXPECT_LT(toneResponse(h, 0.4), 0.01);
+}
+
+TEST(FirFilter, ImpulseResponseEqualsTaps)
+{
+    const std::vector<double> taps = {0.25, 0.5, 0.25};
+    FirFilter<Sample> filter(taps);
+    EXPECT_NEAR(filter.push(1.0f), 0.25, 1e-6);
+    EXPECT_NEAR(filter.push(0.0f), 0.5, 1e-6);
+    EXPECT_NEAR(filter.push(0.0f), 0.25, 1e-6);
+    EXPECT_NEAR(filter.push(0.0f), 0.0, 1e-6);
+}
+
+TEST(FirFilter, ResetClearsHistory)
+{
+    FirFilter<Sample> filter(designLowPass(15, 0.1));
+    for (int i = 0; i < 20; ++i)
+        filter.push(1.0f);
+    filter.reset();
+    // After reset an impulse behaves as if from scratch.
+    const double y = filter.push(1.0f);
+    FirFilter<Sample> fresh(designLowPass(15, 0.1));
+    EXPECT_NEAR(y, fresh.push(1.0f), 1e-9);
+}
+
+TEST(FirFilter, GroupDelayIsHalfLength)
+{
+    FirFilter<Sample> filter(designLowPass(63, 0.1));
+    EXPECT_EQ(filter.groupDelay(), 31u);
+}
+
+class DecimationFactors : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(DecimationFactors, EmitsOnePerFactor)
+{
+    const std::size_t factor = GetParam();
+    DecimatingFir<Sample> dec(designLowPass(31, 0.45 / factor), factor);
+    std::size_t outputs = 0;
+    Sample out;
+    const std::size_t inputs = factor * 100;
+    for (std::size_t i = 0; i < inputs; ++i) {
+        if (dec.push(1.0f, out))
+            ++outputs;
+    }
+    EXPECT_EQ(outputs, 100u);
+}
+
+TEST_P(DecimationFactors, DcPreserved)
+{
+    const std::size_t factor = GetParam();
+    DecimatingFir<Sample> dec(designLowPass(63, 0.45 / factor), factor);
+    Sample out = 0.0f, last = 0.0f;
+    for (std::size_t i = 0; i < factor * 300; ++i) {
+        if (dec.push(2.5f, out))
+            last = out;
+    }
+    EXPECT_NEAR(last, 2.5f, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, DecimationFactors,
+                         ::testing::Values(1, 2, 5, 7, 13, 25));
+
+TEST(DecimatingFir, MatchesFullFilterAtOutputInstants)
+{
+    const auto taps = designLowPass(31, 0.08);
+    const std::size_t factor = 5;
+    DecimatingFir<Sample> dec(taps, factor);
+    FirFilter<Sample> full(taps);
+
+    std::vector<double> full_outputs;
+    std::vector<double> dec_outputs;
+    for (int i = 0; i < 500; ++i) {
+        const auto x = static_cast<Sample>(std::sin(0.05 * i) +
+                                           0.3 * std::cos(0.31 * i));
+        const double y = full.push(x);
+        Sample d;
+        if (dec.push(x, d)) {
+            full_outputs.push_back(y);
+            dec_outputs.push_back(d);
+        }
+    }
+    ASSERT_EQ(full_outputs.size(), dec_outputs.size());
+    for (std::size_t i = 0; i < full_outputs.size(); ++i)
+        EXPECT_NEAR(dec_outputs[i], full_outputs[i], 1e-5);
+}
+
+TEST(DecimatingFir, WarmAfterTapsInputs)
+{
+    DecimatingFir<Sample> dec(designLowPass(31, 0.1), 4);
+    Sample out;
+    std::size_t pushed = 0;
+    while (!dec.warm()) {
+        dec.push(1.0f, out);
+        ++pushed;
+    }
+    EXPECT_EQ(pushed, dec.numTaps());
+}
+
+TEST(DecimatingFir, ComplexPathWorks)
+{
+    DecimatingFir<Complex> dec(designLowPass(31, 0.1), 4);
+    Complex out{}, last{};
+    for (int i = 0; i < 400; ++i) {
+        if (dec.push({1.0f, -2.0f}, out))
+            last = out;
+    }
+    EXPECT_NEAR(last.real(), 1.0f, 1e-3);
+    EXPECT_NEAR(last.imag(), -2.0f, 1e-3);
+}
+
+TEST(FilterSeries, PreservesLengthAndRate)
+{
+    TimeSeries in;
+    in.sampleRateHz = 1000.0;
+    in.samples.assign(256, 1.0f);
+    const auto out = filterSeries(in, designLowPass(15, 0.2));
+    EXPECT_EQ(out.samples.size(), in.samples.size());
+    EXPECT_DOUBLE_EQ(out.sampleRateHz, 1000.0);
+    // Centre samples see full DC gain.
+    EXPECT_NEAR(out.samples[128], 1.0f, 1e-4);
+}
+
+} // namespace
+} // namespace emprof::dsp

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Unit and property tests for streaming windowed statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+
+#include "dsp/moving_stats.hpp"
+#include "dsp/rng.hpp"
+
+namespace emprof::dsp {
+namespace {
+
+TEST(MovingAverage, PartialWindowAveragesSeenSamples)
+{
+    MovingAverage avg(4);
+    EXPECT_DOUBLE_EQ(avg.push(2.0), 2.0);
+    EXPECT_DOUBLE_EQ(avg.push(4.0), 3.0);
+    EXPECT_DOUBLE_EQ(avg.push(6.0), 4.0);
+}
+
+TEST(MovingAverage, SlidesWindow)
+{
+    MovingAverage avg(2);
+    avg.push(1.0);
+    avg.push(3.0);
+    EXPECT_DOUBLE_EQ(avg.push(5.0), 4.0); // window = {3, 5}
+}
+
+TEST(MovingAverage, WarmOnlyAfterFullWindow)
+{
+    MovingAverage avg(3);
+    avg.push(1.0);
+    avg.push(1.0);
+    EXPECT_FALSE(avg.warm());
+    avg.push(1.0);
+    EXPECT_TRUE(avg.warm());
+}
+
+TEST(MovingAverage, ResetClears)
+{
+    MovingAverage avg(3);
+    avg.push(10.0);
+    avg.reset();
+    EXPECT_DOUBLE_EQ(avg.value(), 0.0);
+    EXPECT_FALSE(avg.warm());
+}
+
+TEST(MovingAverage, ZeroWindowTreatedAsOne)
+{
+    MovingAverage avg(0);
+    EXPECT_DOUBLE_EQ(avg.push(5.0), 5.0);
+    EXPECT_DOUBLE_EQ(avg.push(7.0), 7.0);
+}
+
+/** Brute-force reference for min/max over a sliding window. */
+class MinMaxReference
+{
+  public:
+    explicit MinMaxReference(std::size_t window) : window_(window) {}
+
+    void
+    push(double x)
+    {
+        buf_.push_back(x);
+        if (buf_.size() > window_)
+            buf_.pop_front();
+    }
+
+    double min() const { return *std::min_element(buf_.begin(), buf_.end()); }
+    double max() const { return *std::max_element(buf_.begin(), buf_.end()); }
+
+  private:
+    std::size_t window_;
+    std::deque<double> buf_;
+};
+
+class MinMaxWindows : public ::testing::TestWithParam<std::size_t>
+{};
+
+TEST_P(MinMaxWindows, MatchesBruteForceOnRandomData)
+{
+    const std::size_t window = GetParam();
+    MovingMinMax mm(window);
+    MinMaxReference ref(window);
+    Rng rng(0xBEEF + window);
+    for (int i = 0; i < 3000; ++i) {
+        const double x = rng.uniform(-100.0, 100.0);
+        mm.push(x);
+        ref.push(x);
+        ASSERT_DOUBLE_EQ(mm.min(), ref.min()) << "at sample " << i;
+        ASSERT_DOUBLE_EQ(mm.max(), ref.max()) << "at sample " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, MinMaxWindows,
+                         ::testing::Values(1, 2, 3, 8, 64, 1000));
+
+TEST(MovingMinMax, MonotoneRampTracksWindowEdges)
+{
+    MovingMinMax mm(10);
+    for (int i = 0; i < 100; ++i) {
+        mm.push(i);
+        EXPECT_DOUBLE_EQ(mm.max(), i);
+        EXPECT_DOUBLE_EQ(mm.min(), std::max(0, i - 9));
+    }
+}
+
+TEST(MovingMinMax, WarmSemantics)
+{
+    MovingMinMax mm(4);
+    for (int i = 0; i < 3; ++i) {
+        mm.push(i);
+        EXPECT_FALSE(mm.warm());
+    }
+    mm.push(3.0);
+    EXPECT_TRUE(mm.warm());
+}
+
+TEST(MovingMinMax, ResetRestartsCounting)
+{
+    MovingMinMax mm(2);
+    mm.push(5.0);
+    mm.reset();
+    EXPECT_EQ(mm.count(), 0u);
+    mm.push(-1.0);
+    EXPECT_DOUBLE_EQ(mm.min(), -1.0);
+    EXPECT_DOUBLE_EQ(mm.max(), -1.0);
+}
+
+TEST(MovingVariance, ConstantInputHasZeroVariance)
+{
+    MovingVariance var(8);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_NEAR(var.push(3.5), 0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(var.mean(), 3.5);
+}
+
+TEST(MovingVariance, MatchesKnownValues)
+{
+    MovingVariance var(4);
+    var.push(1.0);
+    var.push(2.0);
+    var.push(3.0);
+    const double v = var.push(4.0);
+    // Population variance of {1,2,3,4} = 1.25.
+    EXPECT_NEAR(v, 1.25, 1e-12);
+    EXPECT_DOUBLE_EQ(var.mean(), 2.5);
+}
+
+TEST(MovingVariance, WindowSlides)
+{
+    MovingVariance var(2);
+    var.push(0.0);
+    var.push(0.0);
+    // Window = {0, 10}: variance 25.
+    EXPECT_NEAR(var.push(10.0), 25.0, 1e-12);
+}
+
+TEST(MovingAverageBatch, SmoothsSeries)
+{
+    TimeSeries in;
+    in.sampleRateHz = 100.0;
+    in.samples = {0, 0, 10, 0, 0};
+    const auto out = movingAverage(in, 2);
+    ASSERT_EQ(out.samples.size(), 5u);
+    EXPECT_NEAR(out.samples[2], 5.0f, 1e-6);
+    EXPECT_NEAR(out.samples[3], 5.0f, 1e-6);
+    EXPECT_NEAR(out.samples[4], 0.0f, 1e-6);
+}
+
+} // namespace
+} // namespace emprof::dsp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit tests for noise sources.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/noise.hpp"
+
+namespace emprof::dsp {
+namespace {
+
+TEST(AwgnSource, FastDrawMatchesMoments)
+{
+    AwgnSource src(2.0, 42);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = src.real();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(std::sqrt(sum_sq / n), 2.0, 0.02);
+}
+
+TEST(AwgnSource, ExactDrawMatchesMoments)
+{
+    AwgnSource src(1.5, 43);
+    const int n = 100000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = src.exactReal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(std::sqrt(sum_sq / n), 1.5, 0.02);
+}
+
+TEST(AwgnSource, FastDrawTailsBounded)
+{
+    // Irwin-Hall(4) is bounded at +/- 2*sqrt(3) sigma.
+    AwgnSource src(1.0, 44);
+    for (int i = 0; i < 100000; ++i)
+        ASSERT_LE(std::abs(src.real()), 2.0 * std::sqrt(3.0) + 1e-9);
+}
+
+TEST(AwgnSource, DeterministicPerSeed)
+{
+    AwgnSource a(1.0, 7), b(1.0, 7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.real(), b.real());
+}
+
+TEST(AwgnSource, ComplexHasIndependentComponents)
+{
+    AwgnSource src(1.0, 45);
+    double cross = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto z = src.complex();
+        cross += static_cast<double>(z.real()) * z.imag();
+    }
+    EXPECT_NEAR(cross / n, 0.0, 0.02);
+}
+
+TEST(AwgnSource, SigmaZeroIsSilent)
+{
+    AwgnSource src(0.0, 46);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(src.real(), 0.0);
+}
+
+TEST(RandomWalk, StaysClamped)
+{
+    RandomWalk walk(1.0, 0.5, 0.8, 1.2, 47);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = walk.step();
+        ASSERT_GE(v, 0.8);
+        ASSERT_LE(v, 1.2);
+    }
+}
+
+TEST(RandomWalk, StartsAtStart)
+{
+    RandomWalk walk(3.0, 0.01, 0.0, 10.0, 48);
+    EXPECT_DOUBLE_EQ(walk.value(), 3.0);
+}
+
+TEST(RandomWalk, ActuallyMoves)
+{
+    RandomWalk walk(1.0, 0.1, 0.0, 2.0, 49);
+    double min_v = 1.0, max_v = 1.0;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = walk.step();
+        min_v = std::min(min_v, v);
+        max_v = std::max(max_v, v);
+    }
+    EXPECT_GT(max_v - min_v, 0.05);
+}
+
+} // namespace
+} // namespace emprof::dsp

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for batch statistics and histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsp/series_ops.hpp"
+
+namespace emprof::dsp {
+namespace {
+
+TEST(Stats, MeanOfKnownValues)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, StddevOfKnownValues)
+{
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates)
+{
+    std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Stats, PercentileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({30.0, 10.0, 20.0}, 50.0), 20.0);
+}
+
+TEST(Stats, PercentileClampsRange)
+{
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 150.0), 2.0);
+}
+
+TEST(Histogram, LinearBinning)
+{
+    auto h = Histogram::linear(0.0, 10.0, 5);
+    h.add(0.0);
+    h.add(1.9);
+    h.add(2.0);
+    h.add(9.99);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    auto h = Histogram::linear(0.0, 10.0, 2);
+    h.add(-1.0);
+    h.add(10.0);
+    h.add(100.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.count(0), 0u);
+}
+
+TEST(Histogram, LogBinsSpanDecades)
+{
+    auto h = Histogram::logarithmic(1.0, 1000.0, 3);
+    EXPECT_NEAR(h.edge(0), 1.0, 1e-9);
+    EXPECT_NEAR(h.edge(1), 10.0, 1e-9);
+    EXPECT_NEAR(h.edge(2), 100.0, 1e-9);
+    EXPECT_NEAR(h.edge(3), 1000.0, 1e-9);
+    h.add(5.0);
+    h.add(50.0);
+    h.add(500.0);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, TextRenderingNonEmpty)
+{
+    auto h = Histogram::linear(0.0, 4.0, 4);
+    h.add(1.0);
+    h.add(1.5);
+    const auto text = h.toText("cyc");
+    EXPECT_NE(text.find("cyc"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Histogram, NumBins)
+{
+    EXPECT_EQ(Histogram::linear(0, 1, 7).numBins(), 7u);
+    EXPECT_EQ(Histogram::logarithmic(1, 10, 9).numBins(), 9u);
+}
+
+} // namespace
+} // namespace emprof::dsp

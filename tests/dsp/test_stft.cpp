@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the STFT / spectrogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/stft.hpp"
+
+namespace emprof::dsp {
+namespace {
+
+TimeSeries
+makeTone(double freq_hz, double rate_hz, std::size_t n)
+{
+    TimeSeries s;
+    s.sampleRateHz = rate_hz;
+    s.samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        s.samples.push_back(static_cast<Sample>(
+            std::sin(2.0 * std::numbers::pi * freq_hz *
+                     static_cast<double>(i) / rate_hz)));
+    }
+    return s;
+}
+
+TEST(Stft, FrameCountMatchesHopMath)
+{
+    auto tone = makeTone(100.0, 1000.0, 5000);
+    StftConfig cfg;
+    cfg.frameSize = 512;
+    cfg.hop = 256;
+    const auto spec = stft(tone, cfg);
+    EXPECT_EQ(spec.numFrames, (5000 - 512) / 256 + 1);
+    EXPECT_EQ(spec.numBins, 257u);
+    EXPECT_EQ(spec.data.size(), spec.numFrames * spec.numBins);
+}
+
+TEST(Stft, ShortSignalYieldsNoFrames)
+{
+    auto tone = makeTone(100.0, 1000.0, 100);
+    StftConfig cfg;
+    cfg.frameSize = 512;
+    const auto spec = stft(tone, cfg);
+    EXPECT_EQ(spec.numFrames, 0u);
+}
+
+TEST(Stft, TonePeaksAtCorrectBin)
+{
+    const double rate = 1000.0;
+    const double freq = 125.0;
+    auto tone = makeTone(freq, rate, 8192);
+    StftConfig cfg;
+    cfg.frameSize = 1024;
+    cfg.hop = 512;
+    const auto spec = stft(tone, cfg);
+    ASSERT_GT(spec.numFrames, 0u);
+
+    // Find the strongest non-DC bin of a middle frame.
+    const auto frame = spec.frame(spec.numFrames / 2);
+    std::size_t best = 1;
+    for (std::size_t b = 1; b < frame.size(); ++b) {
+        if (frame[b] > frame[best])
+            best = b;
+    }
+    EXPECT_NEAR(spec.binFrequency(best), freq, rate / 1024.0 + 1e-9);
+}
+
+TEST(Stft, FrameTimesIncrease)
+{
+    auto tone = makeTone(50.0, 1000.0, 4096);
+    StftConfig cfg;
+    cfg.frameSize = 256;
+    cfg.hop = 128;
+    const auto spec = stft(tone, cfg);
+    for (std::size_t f = 1; f < spec.numFrames; ++f)
+        EXPECT_GT(spec.frameTime(f), spec.frameTime(f - 1));
+}
+
+TEST(SpectralDistance, IdenticalSpectraAreZero)
+{
+    std::vector<double> a = {0.0, 1.0, 2.0, 3.0};
+    EXPECT_NEAR(spectralDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(SpectralDistance, ScaleInvariant)
+{
+    std::vector<double> a = {0.0, 1.0, 2.0, 3.0};
+    std::vector<double> b = {5.0, 7.0, 14.0, 21.0}; // 7x in non-DC bins
+    EXPECT_NEAR(spectralDistance(a, b), 0.0, 1e-12);
+}
+
+TEST(SpectralDistance, OrthogonalSpectraAreOne)
+{
+    std::vector<double> a = {0.0, 1.0, 0.0, 0.0};
+    std::vector<double> b = {0.0, 0.0, 1.0, 0.0};
+    EXPECT_NEAR(spectralDistance(a, b), 1.0, 1e-12);
+}
+
+TEST(SpectralDistance, DifferentTonesAreFar)
+{
+    const double rate = 1000.0;
+    StftConfig cfg;
+    cfg.frameSize = 512;
+    cfg.hop = 512;
+    const auto spec_a = stft(makeTone(100.0, rate, 2048), cfg);
+    const auto spec_b = stft(makeTone(230.0, rate, 2048), cfg);
+    ASSERT_GT(spec_a.numFrames, 0u);
+    ASSERT_GT(spec_b.numFrames, 0u);
+    EXPECT_GT(spectralDistance(spec_a.frame(0), spec_b.frame(0)), 0.5);
+}
+
+} // namespace
+} // namespace emprof::dsp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for window functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsp/window.hpp"
+
+namespace emprof::dsp {
+namespace {
+
+class WindowKinds : public ::testing::TestWithParam<WindowKind>
+{};
+
+TEST_P(WindowKinds, HasRequestedLength)
+{
+    for (std::size_t n : {1u, 2u, 5u, 64u, 1023u})
+        EXPECT_EQ(makeWindow(GetParam(), n).size(), n);
+}
+
+TEST_P(WindowKinds, CoefficientsInUnitRange)
+{
+    const auto w = makeWindow(GetParam(), 257);
+    for (double c : w) {
+        EXPECT_GE(c, -1e-12);
+        EXPECT_LE(c, 1.0 + 1e-12);
+    }
+}
+
+TEST_P(WindowKinds, SymmetricAboutCentre)
+{
+    const auto w = makeWindow(GetParam(), 129);
+    for (std::size_t i = 0; i < w.size() / 2; ++i)
+        EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+}
+
+TEST_P(WindowKinds, PeaksAtCentre)
+{
+    const auto w = makeWindow(GetParam(), 101);
+    const double centre = w[50];
+    for (double c : w)
+        EXPECT_LE(c, centre + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, WindowKinds,
+                         ::testing::Values(WindowKind::Rectangular,
+                                           WindowKind::Hann,
+                                           WindowKind::Hamming,
+                                           WindowKind::Blackman));
+
+TEST(Window, RectangularIsAllOnes)
+{
+    for (double c : makeWindow(WindowKind::Rectangular, 31))
+        EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Window, HannEndsAtZero)
+{
+    const auto w = makeWindow(WindowKind::Hann, 65);
+    EXPECT_NEAR(w.front(), 0.0, 1e-12);
+    EXPECT_NEAR(w.back(), 0.0, 1e-12);
+    EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, HammingEndsAboveZero)
+{
+    const auto w = makeWindow(WindowKind::Hamming, 65);
+    EXPECT_NEAR(w.front(), 0.08, 1e-9);
+}
+
+TEST(Window, LengthOneIsUnity)
+{
+    const auto w = makeWindow(WindowKind::Blackman, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(Window, SumHelpers)
+{
+    const auto w = makeWindow(WindowKind::Rectangular, 10);
+    EXPECT_DOUBLE_EQ(windowSum(w), 10.0);
+    EXPECT_DOUBLE_EQ(windowPowerSum(w), 10.0);
+
+    const auto h = makeWindow(WindowKind::Hann, 101);
+    // Hann window: sum ~ N/2, power sum ~ 3N/8.
+    EXPECT_NEAR(windowSum(h) / 101.0, 0.5, 0.01);
+    EXPECT_NEAR(windowPowerSum(h) / 101.0, 0.375, 0.01);
+}
+
+} // namespace
+} // namespace emprof::dsp

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the end-to-end capture paths, including the dual-probe
+ * setup of Fig. 9/10.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "em/capture.hpp"
+#include "profiler/profiler.hpp"
+#include "workloads/microbenchmark.hpp"
+
+namespace emprof::em {
+namespace {
+
+workloads::MicrobenchmarkConfig
+smallBench()
+{
+    workloads::MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 64;
+    cfg.consecutiveMisses = 8;
+    cfg.blankLoopIterations = 2000;
+    return cfg;
+}
+
+TEST(Capture, SampleCountMatchesDecimation)
+{
+    workloads::Microbenchmark mb(smallBench());
+    sim::Simulator simulator{sim::SimConfig{}};
+    ProbeChainConfig probe;
+    const auto cap = captureRun(simulator, mb, probe);
+    const auto decim = static_cast<std::size_t>(
+        simulator.config().clockHz / probe.receiver.bandwidthHz + 0.5);
+    const std::size_t expected = cap.simResult.cycles / decim;
+    EXPECT_NEAR(static_cast<double>(cap.magnitude.samples.size()),
+                static_cast<double>(expected), 6.0);
+    EXPECT_NEAR(cap.magnitude.sampleRateHz,
+                simulator.config().clockHz / decim, 1.0);
+}
+
+TEST(Capture, ProcessPowerTraceMatchesStreamingCapture)
+{
+    // Capturing live and post-processing a recorded power trace give
+    // the same signal (same seeds, same chain).
+    workloads::Microbenchmark mb1(smallBench());
+    sim::Simulator sim1{sim::SimConfig{}};
+    ProbeChainConfig probe;
+    const auto live = captureRun(sim1, mb1, probe);
+
+    workloads::Microbenchmark mb2(smallBench());
+    sim::Simulator sim2{sim::SimConfig{}};
+    dsp::TimeSeries power;
+    sim2.runWithPowerTrace(mb2, power);
+    const auto offline = processPowerTrace(power, probe);
+
+    ASSERT_EQ(live.magnitude.samples.size(), offline.samples.size());
+    for (std::size_t i = 0; i < offline.samples.size(); i += 97)
+        EXPECT_FLOAT_EQ(live.magnitude.samples[i], offline.samples[i]);
+}
+
+TEST(Capture, MemoryPowerSynthesisLevels)
+{
+    std::vector<sim::CasEvent> events = {
+        {100, 10, sim::CasEvent::Kind::Read},
+        {200, 10, sim::CasEvent::Kind::Write},
+        {300, 50, sim::CasEvent::Kind::Refresh},
+    };
+    MemoryEmanationConfig levels;
+    const auto trace = synthesizeMemoryPower(events, 400, 1e9, levels);
+    ASSERT_EQ(trace.samples.size(), 400u);
+    EXPECT_FLOAT_EQ(trace.samples[50], levels.idleLevel);
+    EXPECT_FLOAT_EQ(trace.samples[105], levels.readBurstLevel);
+    EXPECT_FLOAT_EQ(trace.samples[205], levels.writeBurstLevel);
+    EXPECT_FLOAT_EQ(trace.samples[320], levels.refreshLevel);
+}
+
+TEST(Capture, MemoryPowerClampsOutOfRangeEvents)
+{
+    std::vector<sim::CasEvent> events = {
+        {390, 50, sim::CasEvent::Kind::Read}, // runs past the end
+        {1000, 10, sim::CasEvent::Kind::Read}, // fully outside
+    };
+    const auto trace = synthesizeMemoryPower(events, 400, 1e9);
+    EXPECT_EQ(trace.samples.size(), 400u);
+    EXPECT_GT(trace.samples[395], trace.samples[100]);
+}
+
+TEST(DualProbe, CpuDipsCoincideWithMemoryBursts)
+{
+    // Fig. 10's core claim: when the CPU signal dips (stall), the
+    // memory signal bursts (the fill).  Use EMPROF itself to locate
+    // the dips, then compare memory-probe activity inside the dips
+    // against the background level outside them.
+    workloads::Microbenchmark mb(smallBench());
+    sim::Simulator simulator{sim::SimConfig{}};
+    ProbeChainConfig cpu_chain;
+    const auto result = dualProbeRun(simulator, mb, cpu_chain,
+                                     defaultMemoryProbeChain());
+
+    ASSERT_GT(result.cpu.samples.size(), 1000u);
+    const std::size_t n =
+        std::min(result.cpu.samples.size(), result.memory.samples.size());
+
+    profiler::EmProfConfig cfg;
+    cfg.clockHz = simulator.config().clockHz;
+    const auto prof = profiler::EmProf::analyze(result.cpu, cfg);
+    ASSERT_GT(prof.events.size(), 30u);
+
+    std::vector<bool> in_dip(n, false);
+    for (const auto &ev : prof.events) {
+        for (uint64_t i = ev.startSample; i <= ev.endSample && i < n; ++i)
+            in_dip[i] = true;
+    }
+
+    double mem_during_dip = 0.0, mem_during_busy = 0.0;
+    std::size_t dips = 0, busy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (in_dip[i]) {
+            mem_during_dip += result.memory.samples[i];
+            ++dips;
+        } else {
+            mem_during_busy += result.memory.samples[i];
+            ++busy;
+        }
+    }
+    ASSERT_GT(dips, 10u);
+    ASSERT_GT(busy, 10u);
+    // Memory activity during CPU stalls well above its busy-time level.
+    EXPECT_GT(mem_during_dip / static_cast<double>(dips),
+              1.5 * mem_during_busy / static_cast<double>(busy));
+}
+
+TEST(DualProbe, SeriesAreTimeAligned)
+{
+    workloads::Microbenchmark mb(smallBench());
+    sim::Simulator simulator{sim::SimConfig{}};
+    ProbeChainConfig chain;
+    const auto result = dualProbeRun(simulator, mb, chain, chain);
+    EXPECT_NEAR(result.cpu.sampleRateHz, result.memory.sampleRateHz, 1.0);
+    const auto diff = static_cast<std::ptrdiff_t>(result.cpu.size()) -
+                      static_cast<std::ptrdiff_t>(result.memory.size());
+    EXPECT_LE(std::abs(diff), 8);
+}
+
+} // namespace
+} // namespace emprof::em

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Unit tests for the probe/environment channel model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/channel.hpp"
+
+namespace emprof::em {
+namespace {
+
+TEST(Channel, NoiselessPassThroughScalesByGain)
+{
+    ChannelConfig cfg;
+    cfg.noiseSigma = 0.0;
+    cfg.supplyRippleAmp = 0.0;
+    cfg.gainWalkStep = 0.0;
+    cfg.gain = 2.0;
+    Channel ch(cfg, 1e9);
+    const auto z = ch.push({1.0f, 0.5f});
+    EXPECT_NEAR(z.real(), 2.0f, 1e-5);
+    EXPECT_NEAR(z.imag(), 1.0f, 1e-5);
+}
+
+TEST(Channel, GainStaysWithinConfiguredBounds)
+{
+    ChannelConfig cfg;
+    cfg.noiseSigma = 0.0;
+    cfg.supplyRippleAmp = 0.0;
+    cfg.gainWalkStep = 1e-2; // aggressive walk
+    cfg.gainMin = 0.5;
+    cfg.gainMax = 2.0;
+    Channel ch(cfg, 1e9);
+    for (int i = 0; i < 100000; ++i)
+        ch.push({1.0f, 0.0f});
+    EXPECT_GE(ch.currentGain(), 0.5 * (1.0 - cfg.supplyRippleAmp));
+    EXPECT_LE(ch.currentGain(), 2.0 * (1.0 + cfg.supplyRippleAmp));
+}
+
+TEST(Channel, NoiseHasConfiguredSigma)
+{
+    ChannelConfig cfg;
+    cfg.noiseSigma = 0.25;
+    cfg.supplyRippleAmp = 0.0;
+    cfg.gainWalkStep = 0.0;
+    Channel ch(cfg, 1e9);
+    double sum_sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const auto z = ch.push({0.0f, 0.0f});
+        sum_sq += std::norm(z);
+    }
+    // Per-dimension variance sigma^2 -> complex power 2 sigma^2.
+    EXPECT_NEAR(std::sqrt(sum_sq / n / 2.0), 0.25, 0.01);
+}
+
+TEST(Channel, SupplyRippleModulatesGain)
+{
+    ChannelConfig cfg;
+    cfg.noiseSigma = 0.0;
+    cfg.gainWalkStep = 0.0;
+    cfg.supplyRippleAmp = 0.10;
+    cfg.supplyRippleHz = 1e6;
+    Channel ch(cfg, 100e6); // 100 samples per ripple period
+    float min_mag = 1e9f, max_mag = 0.0f;
+    for (int i = 0; i < 10000; ++i) {
+        const auto z = ch.push({1.0f, 0.0f});
+        min_mag = std::min(min_mag, std::abs(z));
+        max_mag = std::max(max_mag, std::abs(z));
+    }
+    EXPECT_LT(min_mag, 0.95f);
+    EXPECT_GT(max_mag, 1.05f);
+}
+
+TEST(Channel, DeterministicPerSeed)
+{
+    ChannelConfig cfg;
+    Channel a(cfg, 1e9), b(cfg, 1e9);
+    for (int i = 0; i < 500; ++i) {
+        const auto za = a.push({0.5f, 0.5f});
+        const auto zb = b.push({0.5f, 0.5f});
+        EXPECT_FLOAT_EQ(za.real(), zb.real());
+        EXPECT_FLOAT_EQ(za.imag(), zb.imag());
+    }
+}
+
+} // namespace
+} // namespace emprof::em

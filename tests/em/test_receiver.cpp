@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the SDR receiver model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/receiver.hpp"
+
+namespace emprof::em {
+namespace {
+
+class Bandwidths : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(Bandwidths, DecimationMatchesClockOverBandwidth)
+{
+    // The paper's sweep: 20/40/60/80/160 MHz at ~1 GHz clock.
+    const double bw = GetParam();
+    ReceiverConfig cfg;
+    cfg.bandwidthHz = bw;
+    SdrReceiver rx(cfg, 1.008e9);
+    const auto expected =
+        static_cast<std::size_t>(1.008e9 / bw + 0.5);
+    EXPECT_EQ(rx.decimation(), expected);
+    EXPECT_NEAR(rx.outputRateHz(), 1.008e9 / expected, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, Bandwidths,
+                         ::testing::Values(20e6, 40e6, 60e6, 80e6, 160e6));
+
+TEST(Receiver, ProducesOneOutputPerDecimationAfterWarmup)
+{
+    ReceiverConfig cfg;
+    cfg.bandwidthHz = 50e6;
+    SdrReceiver rx(cfg, 1e9); // decimation 20
+    std::size_t outputs = 0;
+    dsp::Complex out;
+    for (int i = 0; i < 2000; ++i) {
+        if (rx.push({1.0f, 0.0f}, out))
+            ++outputs;
+    }
+    // 100 output instants, minus those discarded during FIR warmup.
+    const std::size_t warmup_outputs =
+        (rx.numTaps() + rx.decimation() - 1) / rx.decimation();
+    EXPECT_EQ(outputs, 100u - warmup_outputs + 1);
+}
+
+TEST(Receiver, DcLevelPreserved)
+{
+    ReceiverConfig cfg;
+    cfg.bandwidthHz = 40e6;
+    cfg.adcBits = 0;
+    SdrReceiver rx(cfg, 1e9);
+    dsp::Complex out{}, last{};
+    for (int i = 0; i < 5000; ++i) {
+        if (rx.push({0.8f, -0.4f}, out))
+            last = out;
+    }
+    EXPECT_NEAR(last.real(), 0.8f, 1e-2);
+    EXPECT_NEAR(last.imag(), -0.4f, 1e-2);
+}
+
+TEST(Receiver, QuantisationSnapsToGrid)
+{
+    ReceiverConfig cfg;
+    cfg.bandwidthHz = 100e6;
+    cfg.adcBits = 4; // coarse: step = fullScale / 8
+    cfg.adcFullScale = 4.0;
+    SdrReceiver rx(cfg, 1e9);
+    dsp::Complex out{}, last{};
+    for (int i = 0; i < 2000; ++i) {
+        if (rx.push({1.23f, 0.0f}, out))
+            last = out;
+    }
+    const double step = 4.0 / 8.0;
+    const double remainder =
+        std::fmod(std::abs(static_cast<double>(last.real())), step);
+    EXPECT_TRUE(remainder < 1e-6 || std::abs(remainder - step) < 1e-6);
+}
+
+TEST(Receiver, QuantisationClampsAtFullScale)
+{
+    ReceiverConfig cfg;
+    cfg.bandwidthHz = 100e6;
+    cfg.adcBits = 12;
+    cfg.adcFullScale = 1.0;
+    SdrReceiver rx(cfg, 1e9);
+    dsp::Complex out{}, last{};
+    for (int i = 0; i < 2000; ++i) {
+        if (rx.push({50.0f, 0.0f}, out))
+            last = out;
+    }
+    EXPECT_LE(last.real(), 1.0f + 1e-6);
+}
+
+TEST(Receiver, WiderBandwidthGivesFinerTimeResolution)
+{
+    // A 200-cycle stall at 1 GHz is 8 samples at 40 MHz but only 4 at
+    // 20 MHz — the resolution effect behind Fig. 12.
+    ReceiverConfig narrow_cfg, wide_cfg;
+    narrow_cfg.bandwidthHz = 20e6;
+    wide_cfg.bandwidthHz = 160e6;
+    SdrReceiver narrow(narrow_cfg, 1e9), wide(wide_cfg, 1e9);
+    EXPECT_GT(narrow.decimation(), wide.decimation());
+    EXPECT_EQ(narrow.decimation() / wide.decimation(), 8u);
+}
+
+} // namespace
+} // namespace emprof::em

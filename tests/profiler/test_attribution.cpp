@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for spectral segmentation and attribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/rng.hpp"
+#include "profiler/attribution.hpp"
+
+namespace emprof::profiler {
+namespace {
+
+/** Append a tone-modulated region (distinct loop periodicity). */
+void
+appendRegion(dsp::TimeSeries &s, double tone_hz, std::size_t n,
+             dsp::Rng &rng)
+{
+    const double rate = s.sampleRateHz;
+    const std::size_t start = s.samples.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(start + i) / rate;
+        const double x =
+            1.0 + 0.3 * std::sin(2.0 * std::numbers::pi * tone_hz * t) +
+            0.02 * (rng.uniform() - 0.5);
+        s.samples.push_back(static_cast<float>(x));
+    }
+}
+
+AttributionConfig
+testConfig()
+{
+    AttributionConfig cfg;
+    cfg.stft.frameSize = 512;
+    cfg.stft.hop = 256;
+    cfg.smoothFrames = 4;
+    cfg.minRegionFrames = 8;
+    return cfg;
+}
+
+TEST(Attribution, SegmentsThreeDistinctRegions)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 1e6;
+    dsp::Rng rng(7);
+    appendRegion(s, 20e3, 40000, rng);
+    appendRegion(s, 90e3, 20000, rng);
+    appendRegion(s, 200e3, 60000, rng);
+
+    SpectralAttributor attr(testConfig());
+    const auto regions = attr.segment(s);
+    ASSERT_EQ(regions.size(), 3u);
+    // Boundaries near the true transitions (in samples).
+    EXPECT_NEAR(static_cast<double>(regions[0].endSample), 40000.0, 3000.0);
+    EXPECT_NEAR(static_cast<double>(regions[1].endSample), 60000.0, 3000.0);
+    // All three regions have distinct labels.
+    EXPECT_NE(regions[0].label, regions[1].label);
+    EXPECT_NE(regions[1].label, regions[2].label);
+}
+
+TEST(Attribution, HomogeneousSignalIsOneRegion)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 1e6;
+    dsp::Rng rng(13);
+    appendRegion(s, 50e3, 80000, rng);
+    SpectralAttributor attr(testConfig());
+    const auto regions = attr.segment(s);
+    EXPECT_EQ(regions.size(), 1u);
+}
+
+TEST(Attribution, RepeatedRegionSharesLabel)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 1e6;
+    dsp::Rng rng(19);
+    appendRegion(s, 25e3, 40000, rng);
+    appendRegion(s, 150e3, 40000, rng);
+    appendRegion(s, 25e3, 40000, rng); // same code as region 0
+
+    SpectralAttributor attr(testConfig());
+    const auto regions = attr.segment(s);
+    ASSERT_EQ(regions.size(), 3u);
+    EXPECT_EQ(regions[0].label, regions[2].label);
+    EXPECT_NE(regions[0].label, regions[1].label);
+}
+
+TEST(Attribution, TooShortSignalYieldsNothing)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 1e6;
+    s.samples.assign(1000, 1.0f);
+    SpectralAttributor attr(testConfig());
+    EXPECT_TRUE(attr.segment(s).empty());
+}
+
+TEST(Attribution, AttributesEventsToContainingRegion)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 1e6;
+    dsp::Rng rng(23);
+    appendRegion(s, 20e3, 40000, rng);
+    appendRegion(s, 120e3, 40000, rng);
+
+    SpectralAttributor attr(testConfig());
+    const auto regions = attr.segment(s);
+    ASSERT_EQ(regions.size(), 2u);
+
+    std::vector<StallEvent> events;
+    // 5 events in region 0, 20 events in region 1, 100 cycles each.
+    for (int i = 0; i < 5; ++i) {
+        StallEvent ev;
+        ev.startSample = 5000 + i * 1000;
+        ev.endSample = ev.startSample + 3;
+        ev.stallCycles = 100.0;
+        events.push_back(ev);
+    }
+    for (int i = 0; i < 20; ++i) {
+        StallEvent ev;
+        ev.startSample = 45000 + i * 1000;
+        ev.endSample = ev.startSample + 3;
+        ev.stallCycles = 100.0;
+        events.push_back(ev);
+    }
+
+    const auto profiles = attr.attribute(regions, events, 1e6, 1e9);
+    ASSERT_EQ(profiles.size(), 2u);
+    EXPECT_EQ(profiles[0].totalMisses, 5u);
+    EXPECT_EQ(profiles[1].totalMisses, 20u);
+    EXPECT_GT(profiles[1].missRatePerMCycles,
+              profiles[0].missRatePerMCycles);
+    EXPECT_NEAR(profiles[0].avgMissLatencyCycles, 100.0, 1e-9);
+    EXPECT_NEAR(profiles[0].timeSharePercent +
+                    profiles[1].timeSharePercent,
+                100.0, 1e-6);
+}
+
+TEST(Attribution, TableRenderingUsesNames)
+{
+    RegionProfile p;
+    p.region.label = 0;
+    p.totalMisses = 42;
+    const auto text = SpectralAttributor::toText({p}, {"read_dictionary"});
+    EXPECT_NE(text.find("read_dictionary"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+} // namespace
+} // namespace emprof::profiler

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Unit tests for boot-profile construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "profiler/boot_profile.hpp"
+
+namespace emprof::profiler {
+namespace {
+
+StallEvent
+eventAt(uint64_t start, uint64_t len)
+{
+    StallEvent ev;
+    ev.startSample = start;
+    ev.endSample = start + len - 1;
+    return ev;
+}
+
+TEST(BootProfile, BucketsEventsByTime)
+{
+    // 1 ms of signal at 1 MHz = 1000 samples; 0.1 ms buckets.
+    std::vector<StallEvent> events = {eventAt(50, 10), eventAt(60, 10),
+                                      eventAt(550, 10)};
+    const auto profile = makeBootProfile(events, 1e6, 1000, 1e-4);
+    ASSERT_EQ(profile.buckets.size(), 10u);
+    EXPECT_EQ(profile.buckets[0].events, 2u);
+    EXPECT_EQ(profile.buckets[5].events, 1u);
+    EXPECT_EQ(profile.buckets[9].events, 0u);
+}
+
+TEST(BootProfile, RatesAreEventsPerMillisecond)
+{
+    std::vector<StallEvent> events = {eventAt(10, 5), eventAt(20, 5)};
+    const auto profile = makeBootProfile(events, 1e6, 1000, 1e-4);
+    // 2 events in a 0.1 ms bucket = 20 events/ms.
+    EXPECT_NEAR(profile.buckets[0].eventsPerMs, 20.0, 1e-9);
+}
+
+TEST(BootProfile, StallPercentReflectsDipTime)
+{
+    // One 50-sample stall in a 100-sample bucket = 50 %.
+    std::vector<StallEvent> events = {eventAt(0, 50)};
+    const auto profile = makeBootProfile(events, 1e6, 1000, 1e-4);
+    EXPECT_NEAR(profile.buckets[0].stallPercent, 50.0, 1e-9);
+}
+
+TEST(BootProfile, LateEventsClampToLastBucket)
+{
+    std::vector<StallEvent> events = {eventAt(999, 10)};
+    const auto profile = makeBootProfile(events, 1e6, 1000, 1e-4);
+    EXPECT_EQ(profile.buckets.back().events, 1u);
+}
+
+TEST(BootProfile, EmptyInputsAreSafe)
+{
+    EXPECT_TRUE(makeBootProfile({}, 0.0, 0, 1e-3).buckets.empty());
+    EXPECT_TRUE(makeBootProfile({}, 1e6, 100, 0.0).buckets.empty());
+    const auto profile = makeBootProfile({}, 1e6, 1000, 1e-4);
+    EXPECT_EQ(profile.buckets.size(), 10u);
+    EXPECT_EQ(profile.buckets[3].events, 0u);
+}
+
+TEST(BootProfile, SimilarityOfIdenticalProfilesIsOne)
+{
+    std::vector<StallEvent> events = {eventAt(50, 10), eventAt(550, 10)};
+    const auto a = makeBootProfile(events, 1e6, 1000, 1e-4);
+    EXPECT_NEAR(bootProfileSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(BootProfile, SimilarityOfDisjointProfilesIsZero)
+{
+    const auto a =
+        makeBootProfile({eventAt(50, 10)}, 1e6, 1000, 1e-4);
+    const auto b =
+        makeBootProfile({eventAt(850, 10)}, 1e6, 1000, 1e-4);
+    EXPECT_NEAR(bootProfileSimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(BootProfile, SimilarityHandlesEmpty)
+{
+    BootProfile empty;
+    EXPECT_DOUBLE_EQ(bootProfileSimilarity(empty, empty), 0.0);
+}
+
+TEST(BootProfile, TextRenderingShowsBars)
+{
+    const auto profile =
+        makeBootProfile({eventAt(50, 10)}, 1e6, 1000, 1e-4);
+    const auto text = profile.toText();
+    EXPECT_NE(text.find("ev/ms"), std::string::npos);
+    EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace emprof::profiler

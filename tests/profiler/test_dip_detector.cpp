@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for the dip detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "profiler/dip_detector.hpp"
+
+namespace emprof::profiler {
+namespace {
+
+DipDetectorConfig
+testConfig(uint64_t min_dur = 2)
+{
+    DipDetectorConfig cfg;
+    cfg.enterThreshold = 0.25;
+    cfg.exitThreshold = 0.40;
+    cfg.minDurationSamples = min_dur;
+    return cfg;
+}
+
+/** Run a normalised sequence through the detector; collect events. */
+std::vector<StallEvent>
+detect(const std::vector<double> &signal, DipDetectorConfig cfg)
+{
+    DipDetector det(cfg);
+    std::vector<StallEvent> events;
+    StallEvent ev;
+    for (double x : signal) {
+        if (det.push(x, ev))
+            events.push_back(ev);
+    }
+    if (det.finish(ev))
+        events.push_back(ev);
+    return events;
+}
+
+TEST(DipDetector, FindsSingleDip)
+{
+    std::vector<double> sig(100, 1.0);
+    for (int i = 40; i < 50; ++i)
+        sig[i] = 0.05;
+    const auto events = detect(sig, testConfig());
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].startSample, 40u);
+    EXPECT_EQ(events[0].endSample, 49u);
+    EXPECT_EQ(events[0].durationSamples(), 10u);
+    EXPECT_NEAR(events[0].depth, 0.05, 1e-9);
+}
+
+TEST(DipDetector, RejectsShortDips)
+{
+    std::vector<double> sig(100, 1.0);
+    sig[50] = 0.0; // 1-sample glitch
+    const auto events = detect(sig, testConfig(2));
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(DipDetector, HysteresisBridgesEdgeNoise)
+{
+    std::vector<double> sig(100, 1.0);
+    // Dip with a mid-level (between thresholds) excursion inside.
+    for (int i = 40; i < 60; ++i)
+        sig[i] = 0.05;
+    sig[50] = 0.32; // above enter, below exit: must not split
+    const auto events = detect(sig, testConfig());
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].durationSamples(), 20u);
+}
+
+TEST(DipDetector, CleanGapSplitsDips)
+{
+    std::vector<double> sig(100, 1.0);
+    for (int i = 30; i < 40; ++i)
+        sig[i] = 0.05;
+    for (int i = 45; i < 55; ++i)
+        sig[i] = 0.05;
+    const auto events = detect(sig, testConfig());
+    EXPECT_EQ(events.size(), 2u);
+}
+
+TEST(DipDetector, TrailingDipEmittedByFinish)
+{
+    std::vector<double> sig(50, 1.0);
+    for (int i = 40; i < 50; ++i)
+        sig[i] = 0.1;
+    const auto events = detect(sig, testConfig());
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].endSample, 49u);
+}
+
+TEST(DipDetector, NoDipsInCleanSignal)
+{
+    std::vector<double> sig(1000, 0.9);
+    EXPECT_TRUE(detect(sig, testConfig()).empty());
+}
+
+struct PlantedCase
+{
+    std::size_t num_dips;
+    std::size_t dip_len;
+    std::size_t gap;
+};
+
+class PlantedDips : public ::testing::TestWithParam<PlantedCase>
+{};
+
+TEST_P(PlantedDips, DetectsExactlyThePlantedCount)
+{
+    const auto param = GetParam();
+    std::vector<double> sig;
+    dsp::Rng rng(99);
+    auto busy = [&] { return 0.85 + 0.1 * rng.uniform(); };
+    auto stall = [&] { return 0.02 + 0.05 * rng.uniform(); };
+
+    for (std::size_t i = 0; i < 20; ++i)
+        sig.push_back(busy());
+    for (std::size_t d = 0; d < param.num_dips; ++d) {
+        for (std::size_t i = 0; i < param.dip_len; ++i)
+            sig.push_back(stall());
+        for (std::size_t i = 0; i < param.gap; ++i)
+            sig.push_back(busy());
+    }
+    const auto events = detect(sig, testConfig());
+    EXPECT_EQ(events.size(), param.num_dips);
+    for (const auto &ev : events)
+        EXPECT_EQ(ev.durationSamples(), param.dip_len);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlantedDips,
+    ::testing::Values(PlantedCase{1, 4, 10}, PlantedCase{10, 2, 3},
+                      PlantedCase{100, 8, 5}, PlantedCase{256, 12, 2},
+                      PlantedCase{50, 3, 20}, PlantedCase{1000, 2, 2}));
+
+TEST(DipDetector, CountsSamplesSeen)
+{
+    DipDetector det(testConfig());
+    StallEvent ev;
+    for (int i = 0; i < 123; ++i)
+        det.push(1.0, ev);
+    EXPECT_EQ(det.samplesSeen(), 123u);
+}
+
+TEST(DipDetector, DepthIsMeanOfDipSamples)
+{
+    std::vector<double> sig(30, 1.0);
+    sig[10] = 0.1;
+    sig[11] = 0.2;
+    sig[12] = 0.0;
+    const auto events = detect(sig, testConfig());
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_NEAR(events[0].depth, 0.1, 1e-9);
+}
+
+} // namespace
+} // namespace emprof::profiler

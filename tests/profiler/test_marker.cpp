@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for marker-loop section isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "profiler/marker.hpp"
+
+namespace emprof::profiler {
+namespace {
+
+/**
+ * Build a microbenchmark-shaped signal: noisy startup, stable marker,
+ * dip-rich measured section, stable marker, noisy teardown.
+ */
+dsp::TimeSeries
+benchShape(std::size_t marker_len, std::size_t section_len)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 40e6;
+    dsp::Rng rng(3);
+    auto noisy = [&](std::size_t n, double level, double spread) {
+        for (std::size_t i = 0; i < n; ++i)
+            s.samples.push_back(static_cast<float>(
+                level + spread * (rng.uniform() - 0.5)));
+    };
+    noisy(3000, 0.8, 0.5);           // startup
+    noisy(marker_len, 1.0, 0.02);    // marker 1
+    for (std::size_t i = 0; i < section_len; ++i) {
+        const bool dip = (i % 40) < 8;
+        s.samples.push_back(static_cast<float>(
+            (dip ? 0.2 : 0.95) + 0.04 * (rng.uniform() - 0.5)));
+    }
+    noisy(marker_len, 1.0, 0.02);    // marker 2
+    noisy(3000, 0.8, 0.5);           // teardown
+    return s;
+}
+
+TEST(Marker, FindsBothMarkersAndTheSectionBetween)
+{
+    const std::size_t marker_len = 4000, section_len = 8000;
+    const auto sig = benchShape(marker_len, section_len);
+    const auto sections = findMarkerSections(sig);
+    ASSERT_GE(sections.markers.size(), 2u);
+    ASSERT_FALSE(sections.measured.empty());
+
+    // The measured interval must cover the dip-rich middle.
+    const uint64_t section_start = 3000 + marker_len;
+    const uint64_t section_end = section_start + section_len;
+    EXPECT_NEAR(static_cast<double>(sections.measured.begin),
+                static_cast<double>(section_start), 300.0);
+    EXPECT_NEAR(static_cast<double>(sections.measured.end),
+                static_cast<double>(section_end), 300.0);
+}
+
+TEST(Marker, NoMarkersInPureNoise)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 40e6;
+    dsp::Rng rng(9);
+    for (int i = 0; i < 20000; ++i)
+        s.samples.push_back(static_cast<float>(0.5 + 0.8 * rng.uniform()));
+    const auto sections = findMarkerSections(s);
+    EXPECT_LT(sections.markers.size(), 2u);
+}
+
+TEST(Marker, SingleMarkerYieldsNoMeasuredSection)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 40e6;
+    dsp::Rng rng(11);
+    for (int i = 0; i < 5000; ++i)
+        s.samples.push_back(static_cast<float>(0.5 + 0.8 * rng.uniform()));
+    for (int i = 0; i < 4000; ++i)
+        s.samples.push_back(1.0f);
+    for (int i = 0; i < 5000; ++i)
+        s.samples.push_back(static_cast<float>(0.5 + 0.8 * rng.uniform()));
+    const auto sections = findMarkerSections(s);
+    EXPECT_TRUE(sections.measured.empty());
+}
+
+TEST(Marker, MinBlocksFiltersShortStableRuns)
+{
+    MarkerConfig cfg;
+    cfg.minBlocks = 100; // demand very long markers
+    const auto sig = benchShape(2000, 4000); // markers ~31 blocks
+    const auto sections = findMarkerSections(sig, cfg);
+    EXPECT_LT(sections.markers.size(), 2u);
+}
+
+TEST(Marker, SliceExtractsInterval)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 1000.0;
+    for (int i = 0; i < 100; ++i)
+        s.samples.push_back(static_cast<float>(i));
+    const auto cut = slice(s, {10, 20});
+    ASSERT_EQ(cut.samples.size(), 10u);
+    EXPECT_FLOAT_EQ(cut.samples[0], 10.0f);
+    EXPECT_FLOAT_EQ(cut.samples[9], 19.0f);
+    EXPECT_DOUBLE_EQ(cut.sampleRateHz, 1000.0);
+}
+
+TEST(Marker, SliceClampsOutOfRange)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 1000.0;
+    s.samples.assign(50, 1.0f);
+    const auto cut = slice(s, {40, 200});
+    EXPECT_EQ(cut.samples.size(), 10u);
+}
+
+} // namespace
+} // namespace emprof::profiler

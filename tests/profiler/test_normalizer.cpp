@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for moving min/max normalisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "profiler/normalizer.hpp"
+
+namespace emprof::profiler {
+namespace {
+
+TEST(Normalizer, MapsFloorToZeroCeilingToOne)
+{
+    MovingMinMaxNormalizer norm(100, 0.1);
+    // Alternate busy (1.0) and stall (0.2) levels.
+    for (int i = 0; i < 50; ++i) {
+        norm.push(1.0);
+        norm.push(0.2);
+    }
+    EXPECT_NEAR(norm.push(0.2), 0.0, 1e-9);
+    EXPECT_NEAR(norm.push(1.0), 1.0, 1e-9);
+    EXPECT_NEAR(norm.push(0.6), 0.5, 1e-9);
+}
+
+TEST(Normalizer, GainDriftCancels)
+{
+    // The paper's core requirement: a multiplicative gain change must
+    // not change the normalised signal.
+    MovingMinMaxNormalizer a(64, 0.1), b(64, 0.1);
+    for (int i = 0; i < 200; ++i) {
+        const double busy = (i % 4 == 0) ? 0.3 : 1.0;
+        const double na = a.push(busy);
+        const double nb = b.push(busy * 7.3); // 7.3x probe gain
+        EXPECT_NEAR(na, nb, 1e-9);
+    }
+}
+
+TEST(Normalizer, LowContrastWindowReadsBusy)
+{
+    MovingMinMaxNormalizer norm(32, 0.2);
+    // Constant level with tiny noise: no stall floor in the window.
+    for (int i = 0; i < 100; ++i) {
+        const double x = 1.0 + 0.001 * ((i % 2 == 0) ? 1.0 : -1.0);
+        EXPECT_DOUBLE_EQ(norm.push(x), 1.0);
+    }
+}
+
+TEST(Normalizer, ContrastAppearsWhenDipArrives)
+{
+    MovingMinMaxNormalizer norm(64, 0.2);
+    for (int i = 0; i < 64; ++i)
+        norm.push(1.0);
+    // Dip: contrast emerges, dip samples normalise to ~0.
+    double last = 1.0;
+    for (int i = 0; i < 5; ++i)
+        last = norm.push(0.25);
+    EXPECT_NEAR(last, 0.0, 1e-9);
+}
+
+TEST(Normalizer, OldExtremaExpireWithWindow)
+{
+    MovingMinMaxNormalizer norm(16, 0.1);
+    norm.push(0.0); // transient floor
+    for (int i = 0; i < 16; ++i)
+        norm.push(1.0);
+    // Floor expired: window is flat again -> busy.
+    EXPECT_DOUBLE_EQ(norm.push(1.0), 1.0);
+}
+
+TEST(Normalizer, ClampsOutliers)
+{
+    MovingMinMaxNormalizer norm(8, 0.05);
+    for (int i = 0; i < 8; ++i)
+        norm.push((i % 2 == 0) ? 1.0 : 0.2);
+    const double n = norm.push(0.1); // below the expiring floor? clamp
+    EXPECT_GE(n, 0.0);
+    EXPECT_LE(n, 1.0);
+}
+
+TEST(Normalizer, EnvelopeAccessors)
+{
+    MovingMinMaxNormalizer norm(8, 0.05);
+    norm.push(0.4);
+    norm.push(1.2);
+    EXPECT_DOUBLE_EQ(norm.envelopeMin(), 0.4);
+    EXPECT_DOUBLE_EQ(norm.envelopeMax(), 1.2);
+    EXPECT_FALSE(norm.warm());
+}
+
+} // namespace
+} // namespace emprof::profiler

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/cache.hpp"
+
+namespace emprof::sim {
+namespace {
+
+CacheConfig
+smallCache(Replacement repl = Replacement::Lru)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 1024; // 16 lines
+    cfg.assoc = 4;        // 4 sets
+    cfg.lineBytes = 64;
+    cfg.replacement = repl;
+    return cfg;
+}
+
+TEST(Cache, FirstAccessMissesThenHits)
+{
+    Cache cache(smallCache(), 1);
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1020, false).hit); // same line
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache cache(smallCache(), 1);
+    EXPECT_FALSE(cache.probe(0x40));
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+    cache.access(0x40, false);
+    EXPECT_TRUE(cache.probe(0x40));
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache cache(smallCache(Replacement::Lru), 1);
+    const uint64_t set_stride = 4 * 64; // same set every 4 lines
+
+    // Fill one set's 4 ways.
+    for (int w = 0; w < 4; ++w)
+        cache.access(w * set_stride, false);
+    // Touch way 0 to refresh it, then insert a 5th line.
+    cache.access(0, false);
+    cache.access(4 * set_stride, false);
+
+    EXPECT_TRUE(cache.probe(0));               // refreshed: kept
+    EXPECT_FALSE(cache.probe(1 * set_stride)); // oldest: evicted
+    EXPECT_TRUE(cache.probe(4 * set_stride));
+}
+
+TEST(Cache, RandomReplacementFillsInvalidFirst)
+{
+    Cache cache(smallCache(Replacement::Random), 1);
+    const uint64_t set_stride = 4 * 64;
+    for (int w = 0; w < 4; ++w)
+        cache.access(w * set_stride, false);
+    // All four must be present: invalid ways are preferred victims.
+    for (int w = 0; w < 4; ++w)
+        EXPECT_TRUE(cache.probe(w * set_stride));
+}
+
+TEST(Cache, DirtyEvictionReportsVictimLine)
+{
+    Cache cache(smallCache(Replacement::Lru), 1);
+    const uint64_t set_stride = 4 * 64;
+    cache.access(0, true); // dirty
+    for (int w = 1; w < 4; ++w)
+        cache.access(w * set_stride, false);
+    const auto result = cache.access(4 * set_stride, false);
+    EXPECT_TRUE(result.dirtyEviction);
+    EXPECT_EQ(result.victimLine, 0u);
+}
+
+TEST(Cache, CleanEvictionIsSilent)
+{
+    Cache cache(smallCache(Replacement::Lru), 1);
+    const uint64_t set_stride = 4 * 64;
+    for (int w = 0; w < 5; ++w) {
+        const auto result = cache.access(w * set_stride, false);
+        EXPECT_FALSE(result.dirtyEviction);
+    }
+}
+
+TEST(Cache, WriteMarksDirtyOnHitToo)
+{
+    Cache cache(smallCache(Replacement::Lru), 1);
+    const uint64_t set_stride = 4 * 64;
+    cache.access(0, false);       // clean allocate
+    cache.access(0, true);        // hit marks dirty
+    for (int w = 1; w < 4; ++w)
+        cache.access(w * set_stride, false);
+    EXPECT_TRUE(cache.access(4 * set_stride, false).dirtyEviction);
+}
+
+TEST(Cache, InsertDoesNotCountStats)
+{
+    Cache cache(smallCache(), 1);
+    cache.insert(0x2000);
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+    EXPECT_TRUE(cache.probe(0x2000));
+    // Insert of a present line reports hit and changes nothing.
+    EXPECT_TRUE(cache.insert(0x2000).hit);
+}
+
+TEST(Cache, FlushEmptiesEverything)
+{
+    Cache cache(smallCache(), 1);
+    for (int i = 0; i < 16; ++i)
+        cache.access(i * 64, true);
+    cache.flush();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(cache.probe(i * 64));
+}
+
+TEST(Cache, InvalidateSingleLine)
+{
+    Cache cache(smallCache(), 1);
+    cache.access(0x100, false);
+    cache.access(0x200, false);
+    EXPECT_TRUE(cache.invalidate(0x100));
+    EXPECT_FALSE(cache.invalidate(0x100));
+    EXPECT_FALSE(cache.probe(0x100));
+    EXPECT_TRUE(cache.probe(0x200));
+}
+
+TEST(Cache, LineAddrMasksOffset)
+{
+    Cache cache(smallCache(), 1);
+    EXPECT_EQ(cache.lineAddr(0x1234), 0x1200u);
+    EXPECT_EQ(cache.lineAddr(0x1240), 0x1240u);
+}
+
+TEST(Cache, BankIndexStable)
+{
+    CacheConfig cfg = smallCache();
+    cfg.banks = 4;
+    Cache cache(cfg, 1);
+    EXPECT_EQ(cache.bank(0x0), cache.bank(0x0 + 16));
+    EXPECT_NE(cache.bank(0x0), cache.bank(0x40));
+}
+
+TEST(Cache, ClearStats)
+{
+    Cache cache(smallCache(), 1);
+    cache.access(0, false);
+    cache.clearStats();
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+}
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>>
+{};
+
+TEST_P(CacheGeometry, CapacityIsRespected)
+{
+    const auto [size, assoc] = GetParam();
+    CacheConfig cfg;
+    cfg.sizeBytes = size;
+    cfg.assoc = assoc;
+    cfg.lineBytes = 64;
+    cfg.replacement = Replacement::Lru;
+    Cache cache(cfg, 1);
+
+    const uint64_t lines = size / 64;
+    // Fill exactly to capacity: everything must still be resident.
+    for (uint64_t i = 0; i < lines; ++i)
+        cache.access(i * 64, false);
+    for (uint64_t i = 0; i < lines; ++i)
+        EXPECT_TRUE(cache.probe(i * 64)) << "line " << i;
+
+    // One more distinct line must evict exactly one resident line.
+    cache.access(lines * 64, false);
+    uint64_t resident = 0;
+    for (uint64_t i = 0; i <= lines; ++i)
+        resident += cache.probe(i * 64);
+    EXPECT_EQ(resident, lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1024ull, 2u),
+                      std::make_tuple(2048ull, 4u),
+                      std::make_tuple(16384ull, 8u),
+                      std::make_tuple(65536ull, 16u)));
+
+TEST(CacheStats, MissRateMath)
+{
+    CacheStats stats;
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.0);
+    stats.hits = 3;
+    stats.misses = 1;
+    EXPECT_DOUBLE_EQ(stats.missRate(), 0.25);
+}
+
+} // namespace
+} // namespace emprof::sim

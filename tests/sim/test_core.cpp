@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the in-order core timing model.
+ *
+ * Test traces confine their PCs to a few I-cache lines (as loop code
+ * does) so compulsory instruction misses stay a small, bounded startup
+ * cost; where an expectation could be polluted by that startup cost,
+ * the test compares against a control trace instead of an absolute.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace emprof::sim {
+namespace {
+
+SimConfig
+testConfig()
+{
+    SimConfig cfg;
+    cfg.memory.latencyJitter = 0;
+    cfg.memory.refreshEnabled = false;
+    return cfg;
+}
+
+/** ALU ops whose PCs wrap within four I$ lines. */
+std::vector<MicroOp>
+aluBlock(std::size_t n, Addr pc = 0x1000)
+{
+    std::vector<MicroOp> ops;
+    for (std::size_t i = 0; i < n; ++i)
+        ops.push_back(makeAlu(pc + 4 * (i % 64)));
+    return ops;
+}
+
+SimResult
+runOps(std::vector<MicroOp> ops, SimConfig cfg = testConfig())
+{
+    VectorTraceSource trace(std::move(ops));
+    Simulator simulator(cfg);
+    return simulator.run(trace);
+}
+
+/** Count data-side LLC misses via detailed ground truth. */
+uint64_t
+dataMisses(std::vector<MicroOp> ops, SimConfig cfg = testConfig())
+{
+    cfg.detailedGroundTruth = true;
+    VectorTraceSource trace(std::move(ops));
+    Simulator simulator(cfg);
+    simulator.run(trace);
+    uint64_t n = 0;
+    for (const auto &ev : simulator.groundTruth().rawEvents())
+        n += !ev.fetchSide;
+    return n;
+}
+
+TEST(Core, IndependentAluApproachesIssueWidth)
+{
+    const auto result = runOps(aluBlock(40000));
+    EXPECT_EQ(result.instructions, 40000u);
+    EXPECT_GT(result.ipc(), 3.0);
+}
+
+TEST(Core, SerialDependenceChainLimitsIpcToOne)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 4000; ++i)
+        ops.push_back(makeAlu(0x1000 + 4 * (i % 64),
+                              /*dep=*/i == 0 ? 0 : 1));
+    const auto result = runOps(std::move(ops));
+    EXPECT_LE(result.ipc(), 1.05);
+    EXPECT_GT(result.ipc(), 0.8);
+}
+
+TEST(Core, LoadMissStallsDependentUse)
+{
+    // The load's PC stays inside the warm code lines so the only cold
+    // access is the data line.
+    auto ops = aluBlock(1000);
+    ops[400] = makeLoad(0x1000, 0x8000'0000); // cold: LLC miss
+    ops[401] = makeAlu(0x1004, /*dep=*/1);    // stalls on use
+
+    auto cfg = testConfig();
+    EXPECT_EQ(dataMisses(ops, cfg), 1u);
+
+    // Control: same trace with the load's value unused.
+    auto control = ops;
+    control[401].depDist = 0;
+    const auto with_use = runOps(ops, cfg);
+    const auto without_use = runOps(control, cfg);
+    EXPECT_GT(with_use.missStallCycles,
+              without_use.missStallCycles + cfg.memory.accessLatency / 2);
+    EXPECT_GT(with_use.cycles, cfg.memory.accessLatency);
+}
+
+TEST(Core, UnconsumedLoadMissDoesNotStall)
+{
+    // Fig. 3a: a miss whose result is never used and whose slot is
+    // never needed adds (almost) no stall time over a loadless trace.
+    auto base = aluBlock(4000);
+    auto with_load = base;
+    with_load[1000] = makeLoad(0x1000, 0x8000'0000);
+
+    const auto base_result = runOps(base);
+    const auto load_result = runOps(with_load);
+    EXPECT_EQ(dataMisses(with_load), 1u);
+    EXPECT_LE(load_result.missStallCycles,
+              base_result.missStallCycles + 10);
+}
+
+TEST(Core, LoadSlotExhaustionBlocksIssue)
+{
+    auto cfg = testConfig();
+    cfg.core.maxOutstandingLoads = 2;
+    std::vector<MicroOp> ops = aluBlock(64);
+    // Three cold loads back to back: the third blocks on slots.
+    for (int i = 0; i < 3; ++i)
+        ops.push_back(makeLoad(0x1100 + 4 * i, 0x8000'0000 + i * 4096ull));
+    const auto result = runOps(std::move(ops), cfg);
+    EXPECT_GT(result.stalls[StallReason::LoadSlots], 0u);
+}
+
+TEST(Core, StoreBufferAbsorbsStores)
+{
+    // Cold store misses retire through the buffer: the run is barely
+    // longer than the same trace without them.
+    auto base = aluBlock(4000);
+    auto with_stores = base;
+    for (int i = 0; i < 4; ++i)
+        with_stores[500 * (i + 1)] =
+            makeStore(0x1000, 0x9000'0000 + i * 4096ull);
+
+    const auto base_result = runOps(base);
+    const auto store_result = runOps(with_stores);
+    EXPECT_LE(store_result.missStallCycles,
+              base_result.missStallCycles + 30);
+    EXPECT_LT(store_result.cycles, base_result.cycles + 150);
+}
+
+TEST(Core, StoreBufferFullStalls)
+{
+    auto cfg = testConfig();
+    cfg.core.storeBufferEntries = 2;
+    std::vector<MicroOp> ops = aluBlock(64);
+    for (int i = 0; i < 12; ++i)
+        ops.push_back(makeStore(0x1100 + 4 * i, 0x9000'0000 + i * 4096ull));
+    const auto result = runOps(std::move(ops), cfg);
+    EXPECT_GT(result.stalls[StallReason::StoreBuffer], 0u);
+}
+
+TEST(Core, DividerSerialises)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 50; ++i) {
+        MicroOp op;
+        op.pc = 0x1000 + 4 * (i % 16);
+        op.cls = OpClass::IntDiv;
+        ops.push_back(op);
+    }
+    auto cfg = testConfig();
+    const auto result = runOps(std::move(ops), cfg);
+    // Unpipelined divider: at least divLatency cycles per op.
+    EXPECT_GE(result.cycles, 50u * cfg.core.divLatency);
+    EXPECT_GT(result.stalls[StallReason::DivBusy], 0u);
+}
+
+TEST(Core, TakenBranchCostsRedirect)
+{
+    std::vector<MicroOp> taken, not_taken;
+    for (int i = 0; i < 500; ++i) {
+        auto block = aluBlock(4, 0x1000);
+        taken.insert(taken.end(), block.begin(), block.end());
+        not_taken.insert(not_taken.end(), block.begin(), block.end());
+        taken.push_back(makeBranch(0x1010, true));
+        not_taken.push_back(makeBranch(0x1010, false));
+    }
+    const auto with = runOps(std::move(taken));
+    const auto without = runOps(std::move(not_taken));
+    EXPECT_GT(with.cycles, without.cycles);
+}
+
+TEST(Core, InstructionCacheMissStallsFetch)
+{
+    // Jump across many distinct cold lines: every line is an I$ miss
+    // that must reach memory, so the front end starves.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 64; ++i)
+        ops.push_back(makeAlu(0x100000 + i * 4096ull));
+    auto cfg = testConfig();
+    const auto result = runOps(std::move(ops), cfg);
+    EXPECT_GT(result.stalls[StallReason::FetchEmpty], 0u);
+    EXPECT_GT(result.rawLlcMisses, 32u);
+}
+
+TEST(Core, MaxCyclesCapsRun)
+{
+    VectorTraceSource trace(aluBlock(100000));
+    Simulator simulator(testConfig());
+    const auto result = simulator.run(trace, nullptr, 100);
+    EXPECT_EQ(result.cycles, 100u);
+}
+
+TEST(Core, PowerSinkCalledOncePerCycle)
+{
+    VectorTraceSource trace(aluBlock(100));
+    Simulator simulator(testConfig());
+    std::size_t samples = 0;
+    const auto result =
+        simulator.run(trace, [&](dsp::Sample) { ++samples; });
+    EXPECT_EQ(samples, result.cycles);
+}
+
+TEST(Core, StalledCyclePowerIsLowerThanBusy)
+{
+    SimConfig cfg = testConfig();
+    std::vector<MicroOp> ops = aluBlock(256);
+    ops.push_back(makeLoad(0x1100, 0x8000'0000));
+    ops.push_back(makeAlu(0x1104, 1));
+    auto more = aluBlock(256, 0x1200);
+    ops.insert(ops.end(), more.begin(), more.end());
+
+    VectorTraceSource trace(std::move(ops));
+    Simulator simulator(cfg);
+    dsp::TimeSeries power;
+    simulator.runWithPowerTrace(trace, power);
+
+    float min_p = 1e9f, max_p = 0.0f;
+    for (float p : power.samples) {
+        min_p = std::min(min_p, p);
+        max_p = std::max(max_p, p);
+    }
+    // The stall floor is the static power; busy cycles are much higher.
+    EXPECT_NEAR(min_p, cfg.power.staticPower, 0.02);
+    EXPECT_GT(max_p, 3.0f * min_p);
+}
+
+TEST(Core, DrainsAndTerminates)
+{
+    const auto result = runOps(aluBlock(10));
+    EXPECT_EQ(result.instructions, 10u);
+    // A couple of compulsory I$ line fills, then done.
+    EXPECT_LT(result.cycles, 1500u);
+}
+
+TEST(Core, EmptyTraceTerminatesImmediately)
+{
+    const auto result = runOps({});
+    EXPECT_EQ(result.instructions, 0u);
+    EXPECT_LT(result.cycles, 4u);
+}
+
+} // namespace
+} // namespace emprof::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the ground-truth recorder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/ground_truth.hpp"
+
+namespace emprof::sim {
+namespace {
+
+TEST(GroundTruth, CountsRawMisses)
+{
+    GroundTruth gt;
+    gt.onLlcMiss(100, false, false, 0);
+    gt.onLlcMiss(200, true, false, 0);
+    gt.onLlcMiss(300, false, true, 1);
+    EXPECT_EQ(gt.rawLlcMisses(), 3u);
+    EXPECT_EQ(gt.refreshDelayedMisses(), 1u);
+}
+
+TEST(GroundTruth, ContiguousStallCyclesFormOneInterval)
+{
+    GroundTruth gt;
+    for (Cycle c = 100; c < 150; ++c)
+        gt.onMissStallCycle(c, 1, false, 0);
+    gt.finalize();
+    ASSERT_EQ(gt.stallIntervals().size(), 1u);
+    EXPECT_EQ(gt.stallIntervals()[0].begin, 100u);
+    EXPECT_EQ(gt.stallIntervals()[0].end, 149u);
+    EXPECT_EQ(gt.stallIntervals()[0].durationCycles(), 50u);
+    EXPECT_EQ(gt.missStallCycles(), 50u);
+}
+
+TEST(GroundTruth, GapSplitsIntervals)
+{
+    GroundTruth gt;
+    gt.onMissStallCycle(10, 1, false, 0);
+    gt.onMissStallCycle(11, 1, false, 0);
+    gt.onMissStallCycle(20, 1, false, 0);
+    gt.finalize();
+    EXPECT_EQ(gt.stallIntervals().size(), 2u);
+}
+
+TEST(GroundTruth, OverlapTracksMaxOutstanding)
+{
+    GroundTruth gt;
+    gt.onMissStallCycle(10, 1, false, 0);
+    gt.onMissStallCycle(11, 3, false, 0);
+    gt.onMissStallCycle(12, 2, false, 0);
+    gt.finalize();
+    ASSERT_EQ(gt.stallIntervals().size(), 1u);
+    EXPECT_EQ(gt.stallIntervals()[0].overlappedMisses, 3u);
+}
+
+TEST(GroundTruth, RefreshFlagSticksToInterval)
+{
+    GroundTruth gt;
+    gt.onMissStallCycle(10, 1, false, 0);
+    gt.onMissStallCycle(11, 1, true, 0);
+    gt.onMissStallCycle(12, 1, false, 0);
+    gt.finalize();
+    ASSERT_EQ(gt.stallIntervals().size(), 1u);
+    EXPECT_TRUE(gt.stallIntervals()[0].refreshAffected);
+}
+
+TEST(GroundTruth, CountIntervalsAtLeastFiltersShort)
+{
+    GroundTruth gt;
+    gt.onMissStallCycle(10, 1, false, 0); // 1-cycle interval
+    for (Cycle c = 100; c < 200; ++c)
+        gt.onMissStallCycle(c, 1, false, 0); // 100-cycle interval
+    gt.finalize();
+    EXPECT_EQ(gt.countIntervalsAtLeast(1), 2u);
+    EXPECT_EQ(gt.countIntervalsAtLeast(50), 1u);
+    EXPECT_EQ(gt.countIntervalsAtLeast(101), 0u);
+    EXPECT_EQ(gt.stallCyclesInIntervalsAtLeast(50), 100u);
+}
+
+TEST(GroundTruth, CoalescedCountMergesNearbyIntervals)
+{
+    GroundTruth gt;
+    // Three intervals with 5-cycle gaps.
+    for (Cycle base : {100u, 205u, 310u}) {
+        for (Cycle c = base; c < base + 100; ++c)
+            gt.onMissStallCycle(c, 1, false, 0);
+    }
+    gt.finalize();
+    EXPECT_EQ(gt.stallIntervals().size(), 3u);
+    EXPECT_EQ(gt.countCoalescedIntervals(1, 1), 3u);
+    EXPECT_EQ(gt.countCoalescedIntervals(10, 1), 1u);
+}
+
+TEST(GroundTruth, CoalescedCountRespectsMinLength)
+{
+    GroundTruth gt;
+    gt.onMissStallCycle(10, 1, false, 0);
+    gt.onMissStallCycle(11, 1, false, 0);
+    for (Cycle c = 500; c < 600; ++c)
+        gt.onMissStallCycle(c, 1, false, 0);
+    gt.finalize();
+    EXPECT_EQ(gt.countCoalescedIntervals(1, 50), 1u);
+}
+
+TEST(GroundTruth, OtherStallsSeparate)
+{
+    GroundTruth gt;
+    gt.onOtherStallCycle();
+    gt.onOtherStallCycle();
+    EXPECT_EQ(gt.otherStallCycles(), 2u);
+    EXPECT_EQ(gt.missStallCycles(), 0u);
+    EXPECT_TRUE(gt.stallIntervals().empty());
+}
+
+TEST(GroundTruth, PhaseCountersAccumulate)
+{
+    GroundTruth gt;
+    gt.onCycle(2);
+    gt.onCycle(2);
+    gt.onInstruction(2);
+    gt.onLlcMiss(5, false, false, 2);
+    gt.onMissStallCycle(6, 1, false, 2);
+    EXPECT_EQ(gt.phases()[2].cycles, 2u);
+    EXPECT_EQ(gt.phases()[2].instructions, 1u);
+    EXPECT_EQ(gt.phases()[2].llcMisses, 1u);
+    EXPECT_EQ(gt.phases()[2].missStallCycles, 1u);
+    EXPECT_EQ(gt.phases()[0].cycles, 0u);
+}
+
+TEST(GroundTruth, OutOfRangePhaseClampsToLast)
+{
+    GroundTruth gt;
+    gt.onCycle(200);
+    EXPECT_EQ(gt.phases()[kMaxPhases - 1].cycles, 1u);
+}
+
+TEST(GroundTruth, DetailedModeKeepsRawEvents)
+{
+    GroundTruth gt(true);
+    gt.onLlcMiss(42, true, false, 0);
+    ASSERT_EQ(gt.rawEvents().size(), 1u);
+    EXPECT_EQ(gt.rawEvents()[0].detect, 42u);
+    EXPECT_TRUE(gt.rawEvents()[0].fetchSide);
+
+    GroundTruth lean(false);
+    lean.onLlcMiss(42, true, false, 0);
+    EXPECT_TRUE(lean.rawEvents().empty());
+}
+
+TEST(GroundTruth, FinalizeIsIdempotent)
+{
+    GroundTruth gt;
+    gt.onMissStallCycle(1, 1, false, 0);
+    gt.finalize();
+    gt.finalize();
+    EXPECT_EQ(gt.stallIntervals().size(), 1u);
+}
+
+} // namespace
+} // namespace emprof::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the DRAM / memory-controller model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+namespace emprof::sim {
+namespace {
+
+MemoryConfig
+quietConfig()
+{
+    MemoryConfig cfg;
+    cfg.accessLatency = 200;
+    cfg.latencyJitter = 0;
+    cfg.burstCycles = 8;
+    cfg.refreshEnabled = false;
+    return cfg;
+}
+
+TEST(Memory, FixedLatencyWithoutJitter)
+{
+    MemorySystem mem(quietConfig());
+    const auto r = mem.read(1000);
+    EXPECT_EQ(r.completion, 1200u);
+    EXPECT_FALSE(r.refreshDelayed);
+}
+
+TEST(Memory, JitterBoundsRespected)
+{
+    MemoryConfig cfg = quietConfig();
+    cfg.latencyJitter = 20;
+    MemorySystem mem(cfg);
+    for (int i = 0; i < 500; ++i) {
+        const auto r = mem.read(i * 1000);
+        const auto latency = r.completion - i * 1000;
+        EXPECT_GE(latency, 180u);
+        EXPECT_LE(latency, 220u);
+    }
+}
+
+TEST(Memory, ChannelSerialisesBackToBackRequests)
+{
+    MemorySystem mem(quietConfig());
+    const auto a = mem.read(0);
+    const auto b = mem.read(0);
+    const auto c = mem.read(0);
+    EXPECT_EQ(a.completion, 200u);
+    EXPECT_EQ(b.completion, 208u); // starts after a's burst slot
+    EXPECT_EQ(c.completion, 216u);
+}
+
+TEST(Memory, IdleChannelDoesNotDelay)
+{
+    MemorySystem mem(quietConfig());
+    mem.read(0);
+    const auto late = mem.read(5000);
+    EXPECT_EQ(late.completion, 5200u);
+}
+
+TEST(Memory, RefreshWindowSchedule)
+{
+    MemoryConfig cfg = quietConfig();
+    cfg.refreshEnabled = true;
+    cfg.refreshPeriod = 10000;
+    cfg.refreshDuration = 500;
+    MemorySystem mem(cfg);
+
+    EXPECT_FALSE(mem.inRefresh(500));    // before the first window
+    EXPECT_TRUE(mem.inRefresh(10000));
+    EXPECT_TRUE(mem.inRefresh(10499));
+    EXPECT_FALSE(mem.inRefresh(10500));
+    EXPECT_TRUE(mem.inRefresh(20100));
+}
+
+TEST(Memory, RequestDuringRefreshIsDelayedAndFlagged)
+{
+    MemoryConfig cfg = quietConfig();
+    cfg.refreshEnabled = true;
+    cfg.refreshPeriod = 10000;
+    cfg.refreshDuration = 500;
+    MemorySystem mem(cfg);
+
+    const auto r = mem.read(10050);
+    EXPECT_TRUE(r.refreshDelayed);
+    EXPECT_EQ(r.completion, 10500u + 200u);
+    EXPECT_EQ(mem.stats().refreshDelayedReads, 1u);
+}
+
+TEST(Memory, RequestOutsideRefreshUnaffected)
+{
+    MemoryConfig cfg = quietConfig();
+    cfg.refreshEnabled = true;
+    cfg.refreshPeriod = 10000;
+    cfg.refreshDuration = 500;
+    MemorySystem mem(cfg);
+
+    const auto r = mem.read(5000);
+    EXPECT_FALSE(r.refreshDelayed);
+    EXPECT_EQ(r.completion, 5200u);
+}
+
+TEST(Memory, CasTraceRecordsReadsAndWrites)
+{
+    MemorySystem mem(quietConfig());
+    mem.read(100);
+    mem.write(400);
+    ASSERT_EQ(mem.casTrace().size(), 2u);
+    EXPECT_EQ(mem.casTrace()[0].kind, CasEvent::Kind::Read);
+    EXPECT_EQ(mem.casTrace()[1].kind, CasEvent::Kind::Write);
+    EXPECT_EQ(mem.stats().reads, 1u);
+    EXPECT_EQ(mem.stats().writes, 1u);
+}
+
+TEST(Memory, ReadCasBurstEndsAtCompletion)
+{
+    MemorySystem mem(quietConfig());
+    const auto r = mem.read(100);
+    const auto &ev = mem.casTrace()[0];
+    EXPECT_EQ(ev.start + ev.duration, r.completion);
+}
+
+TEST(Memory, CatchUpEmitsRefreshEvents)
+{
+    MemoryConfig cfg = quietConfig();
+    cfg.refreshEnabled = true;
+    cfg.refreshPeriod = 1000;
+    cfg.refreshDuration = 100;
+    MemorySystem mem(cfg);
+
+    mem.catchUpRefresh(3500);
+    std::size_t refreshes = 0;
+    for (const auto &ev : mem.casTrace())
+        refreshes += ev.kind == CasEvent::Kind::Refresh;
+    EXPECT_EQ(refreshes, 3u);
+    EXPECT_EQ(mem.stats().refreshWindows, 3u);
+}
+
+TEST(Memory, CasTraceCanBeDisabled)
+{
+    MemorySystem mem(quietConfig());
+    mem.setCasTraceEnabled(false);
+    mem.read(0);
+    mem.write(0);
+    EXPECT_TRUE(mem.casTrace().empty());
+    EXPECT_EQ(mem.stats().reads, 1u);
+}
+
+TEST(Memory, WritesOccupyChannel)
+{
+    MemorySystem mem(quietConfig());
+    mem.write(0);
+    const auto r = mem.read(0);
+    EXPECT_EQ(r.completion, 208u); // waits for the write burst
+}
+
+} // namespace
+} // namespace emprof::sim

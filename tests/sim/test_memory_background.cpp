@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for background memory traffic (the phones' shared-channel
+ * model behind Fig. 11's latency tails).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "dsp/series_ops.hpp"
+#include "sim/memory.hpp"
+
+namespace emprof::sim {
+namespace {
+
+MemoryConfig
+baseConfig()
+{
+    MemoryConfig cfg;
+    cfg.accessLatency = 200;
+    cfg.latencyJitter = 0;
+    cfg.burstCycles = 8;
+    cfg.refreshEnabled = false;
+    return cfg;
+}
+
+TEST(MemoryBackground, DisabledByDefault)
+{
+    MemorySystem mem(baseConfig());
+    for (int i = 0; i < 100; ++i) {
+        const auto r = mem.read(i * 10'000);
+        EXPECT_EQ(r.completion - i * 10'000, 200u);
+    }
+}
+
+TEST(MemoryBackground, SomeReadsQueueBehindBursts)
+{
+    MemoryConfig cfg = baseConfig();
+    cfg.backgroundPeriod = 2'000;
+    cfg.backgroundBurst = 300;
+    MemorySystem mem(cfg);
+
+    // Randomised arrival times land inside a background burst with
+    // ~15% probability (300 / 2000).
+    dsp::Rng rng(21);
+    std::vector<double> latencies;
+    sim::Cycle now = 0;
+    for (int i = 0; i < 600; ++i) {
+        now += 1'000 + rng.below(5'000);
+        latencies.push_back(
+            static_cast<double>(mem.read(now).completion - now));
+    }
+
+    // The common case stays at the base latency...
+    EXPECT_NEAR(dsp::percentile(latencies, 50.0), 200.0, 1.0);
+    // ...but a tail of reads picks up queueing delay.
+    EXPECT_GT(dsp::percentile(latencies, 92.0), 250.0);
+    EXPECT_LE(dsp::percentile(latencies, 100.0), 200.0 + 300.0 + 8.0);
+}
+
+TEST(MemoryBackground, TailScalesWithBurstLength)
+{
+    auto tail_for = [](uint32_t burst) {
+        MemoryConfig cfg = baseConfig();
+        cfg.backgroundPeriod = 4'000;
+        cfg.backgroundBurst = burst;
+        MemorySystem mem(cfg);
+        std::vector<double> latencies;
+        for (int i = 0; i < 500; ++i)
+            latencies.push_back(static_cast<double>(
+                mem.read(i * 2'777).completion - i * 2'777));
+        return dsp::percentile(latencies, 99.0);
+    };
+    EXPECT_GT(tail_for(400), tail_for(100));
+}
+
+TEST(MemoryBackground, IdlePeriodsDoNotAccumulateBursts)
+{
+    // A long idle gap must not pile up queued bursts: the channel
+    // absorbed them while idle.
+    MemoryConfig cfg = baseConfig();
+    cfg.backgroundPeriod = 1'000;
+    cfg.backgroundBurst = 500;
+    MemorySystem mem(cfg);
+
+    const auto r = mem.read(10'000'000);
+    // At worst one in-progress burst delays the read.
+    EXPECT_LE(r.completion - 10'000'000, 200u + 500u);
+}
+
+} // namespace
+} // namespace emprof::sim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the simulator facade, using the microbenchmark as the
+ * canonical workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "workloads/microbenchmark.hpp"
+
+namespace emprof::sim {
+namespace {
+
+TEST(Simulator, PowerTraceHasOneSamplePerCycle)
+{
+    workloads::MicrobenchmarkConfig mb_cfg;
+    mb_cfg.totalMisses = 64;
+    mb_cfg.blankLoopIterations = 500;
+    workloads::Microbenchmark mb(mb_cfg);
+
+    SimConfig cfg;
+    Simulator simulator(cfg);
+    dsp::TimeSeries power;
+    const auto result = simulator.runWithPowerTrace(mb, power);
+    EXPECT_EQ(power.samples.size(), result.cycles);
+    EXPECT_DOUBLE_EQ(power.sampleRateHz, cfg.clockHz);
+}
+
+TEST(Simulator, MicrobenchmarkMeasuredPhaseHasExactlyTmDataMisses)
+{
+    workloads::MicrobenchmarkConfig mb_cfg;
+    mb_cfg.totalMisses = 256;
+    mb_cfg.consecutiveMisses = 8;
+    mb_cfg.blankLoopIterations = 1000;
+    workloads::Microbenchmark mb(mb_cfg);
+
+    SimConfig cfg;
+    cfg.memory.refreshEnabled = false;
+    Simulator simulator(cfg);
+    simulator.run(mb);
+    const auto &phase =
+        simulator.groundTruth()
+            .phases()[workloads::Microbenchmark::kPhaseMemAccess];
+    // The phase also takes a handful of compulsory I$ misses on its
+    // first iteration; the engineered data misses dominate exactly.
+    EXPECT_GE(phase.llcMisses, 256u);
+    EXPECT_LE(phase.llcMisses, 256u + 40u);
+}
+
+TEST(Simulator, ResultsAreInternallyConsistent)
+{
+    workloads::MicrobenchmarkConfig mb_cfg;
+    mb_cfg.totalMisses = 128;
+    mb_cfg.blankLoopIterations = 500;
+    workloads::Microbenchmark mb(mb_cfg);
+
+    Simulator simulator(SimConfig{});
+    const auto result = simulator.run(mb);
+    EXPECT_GT(result.cycles, 0u);
+    EXPECT_GT(result.instructions, 0u);
+    EXPECT_EQ(result.stallIntervals,
+              simulator.groundTruth().stallIntervals().size());
+    EXPECT_LE(result.missStallCycles + result.otherStallCycles,
+              result.cycles);
+    EXPECT_GE(result.llcStats.misses, result.rawLlcMisses);
+}
+
+TEST(Simulator, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        workloads::MicrobenchmarkConfig mb_cfg;
+        mb_cfg.totalMisses = 64;
+        mb_cfg.blankLoopIterations = 200;
+        workloads::Microbenchmark mb(mb_cfg);
+        Simulator simulator(SimConfig{});
+        return simulator.run(mb);
+    };
+    const auto a = run_once();
+    const auto b = run_once();
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.rawLlcMisses, b.rawLlcMisses);
+    EXPECT_EQ(a.missStallCycles, b.missStallCycles);
+}
+
+TEST(Simulator, RefreshDelayedMissesAppearOnLongRuns)
+{
+    workloads::MicrobenchmarkConfig mb_cfg;
+    mb_cfg.totalMisses = 2048;
+    mb_cfg.consecutiveMisses = 16;
+    mb_cfg.blankLoopIterations = 2000;
+    workloads::Microbenchmark mb(mb_cfg);
+
+    SimConfig cfg; // refresh enabled by default
+    Simulator simulator(cfg);
+    const auto result = simulator.run(mb);
+    EXPECT_GT(simulator.groundTruth().refreshDelayedMisses(), 0u);
+    EXPECT_GT(result.memoryStats.refreshWindows, 0u);
+}
+
+TEST(Simulator, MissStallFractionIsPlausible)
+{
+    workloads::MicrobenchmarkConfig mb_cfg;
+    mb_cfg.totalMisses = 512;
+    mb_cfg.consecutiveMisses = 8;
+    mb_cfg.blankLoopIterations = 2000;
+    workloads::Microbenchmark mb(mb_cfg);
+
+    Simulator simulator(SimConfig{});
+    const auto result = simulator.run(mb);
+    EXPECT_GT(result.missStallFraction(), 0.05);
+    EXPECT_LT(result.missStallFraction(), 0.95);
+}
+
+} // namespace
+} // namespace emprof::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the trace-source abstractions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace emprof::sim {
+namespace {
+
+TEST(VectorTrace, DeliversAllOpsThenEnds)
+{
+    std::vector<MicroOp> ops = {makeAlu(0x10), makeAlu(0x14),
+                                makeAlu(0x18)};
+    VectorTraceSource trace(ops);
+    MicroOp op;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(trace.next(op));
+        EXPECT_EQ(op.pc, 0x10u + 4u * i);
+    }
+    EXPECT_FALSE(trace.next(op));
+    EXPECT_FALSE(trace.next(op)); // stays ended
+}
+
+TEST(VectorTrace, RewindRestarts)
+{
+    VectorTraceSource trace({makeAlu(0x10)});
+    MicroOp op;
+    ASSERT_TRUE(trace.next(op));
+    ASSERT_FALSE(trace.next(op));
+    trace.rewind();
+    ASSERT_TRUE(trace.next(op));
+    EXPECT_EQ(op.pc, 0x10u);
+}
+
+/** Chunked source emitting k chunks of n ops. */
+class CountingChunks : public ChunkedTraceSource
+{
+  public:
+    CountingChunks(int chunks, int per_chunk)
+        : chunks_(chunks), perChunk_(per_chunk)
+    {}
+
+    int refills = 0;
+
+  protected:
+    void
+    refill(std::vector<MicroOp> &out) override
+    {
+        ++refills;
+        if (emitted_ >= chunks_)
+            return; // trace ends
+        for (int i = 0; i < perChunk_; ++i)
+            out.push_back(makeAlu(0x1000 + 4u * i));
+        ++emitted_;
+    }
+
+  private:
+    int chunks_;
+    int perChunk_;
+    int emitted_ = 0;
+};
+
+TEST(ChunkedTrace, DeliversEveryChunkInOrder)
+{
+    CountingChunks source(5, 7);
+    MicroOp op;
+    int delivered = 0;
+    while (source.next(op))
+        ++delivered;
+    EXPECT_EQ(delivered, 35);
+}
+
+TEST(ChunkedTrace, EmptyRefillEndsTrace)
+{
+    CountingChunks source(0, 7);
+    MicroOp op;
+    EXPECT_FALSE(source.next(op));
+    EXPECT_EQ(source.refills, 1);
+}
+
+TEST(ConcatTrace, ChainsSourcesBackToBack)
+{
+    VectorTraceSource a({makeAlu(0x10), makeAlu(0x14)});
+    VectorTraceSource b({makeAlu(0x20)});
+    VectorTraceSource c({});
+    VectorTraceSource d({makeAlu(0x30)});
+    ConcatTraceSource concat({&a, &b, &c, &d});
+
+    std::vector<Addr> pcs;
+    MicroOp op;
+    while (concat.next(op))
+        pcs.push_back(op.pc);
+    ASSERT_EQ(pcs.size(), 4u);
+    EXPECT_EQ(pcs[0], 0x10u);
+    EXPECT_EQ(pcs[2], 0x20u);
+    EXPECT_EQ(pcs[3], 0x30u);
+}
+
+TEST(MicroOpHelpers, FactoriesSetFields)
+{
+    const auto load = makeLoad(0x100, 0xABC0, 3);
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_TRUE(load.isMemRef());
+    EXPECT_EQ(load.memAddr, 0xABC0u);
+    EXPECT_EQ(load.depDist, 3);
+
+    const auto store = makeStore(0x104, 0xDEF0);
+    EXPECT_TRUE(store.isStore());
+    EXPECT_TRUE(store.isMemRef());
+
+    const auto branch = makeBranch(0x108, true);
+    EXPECT_TRUE(branch.taken);
+    EXPECT_FALSE(branch.isMemRef());
+
+    EXPECT_EQ(opClassName(OpClass::Load), "Load");
+    EXPECT_EQ(opClassName(OpClass::IntDiv), "IntDiv");
+}
+
+} // namespace
+} // namespace emprof::sim

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the boot-sequence workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/boot.hpp"
+
+namespace emprof::workloads {
+namespace {
+
+TEST(Boot, HasSixNamedPhases)
+{
+    const auto names = bootPhaseNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names.front(), "rom_stub");
+    EXPECT_EQ(names.back(), "services");
+}
+
+TEST(Boot, PhaseTagsAreMonotonic)
+{
+    BootConfig cfg;
+    cfg.scaleOps = 200'000;
+    auto boot = makeBoot(cfg);
+    MicroOp op;
+    uint8_t last = 0;
+    while (boot->next(op)) {
+        ASSERT_GE(op.phase, last);
+        last = op.phase;
+    }
+    EXPECT_EQ(last, 5);
+}
+
+TEST(Boot, ImageCopyPhaseIsStreamHeavy)
+{
+    BootConfig cfg;
+    cfg.scaleOps = 400'000;
+    auto boot = makeBoot(cfg);
+    MicroOp op;
+    uint64_t copy_loads = 0, rom_loads = 0;
+    uint64_t copy_ops = 0, rom_ops = 0;
+    while (boot->next(op)) {
+        if (op.phase == 1) { // image_copy
+            ++copy_ops;
+            copy_loads += op.isLoad();
+        } else if (op.phase == 0) { // rom_stub
+            ++rom_ops;
+            rom_loads += op.isLoad();
+        }
+    }
+    ASSERT_GT(copy_ops, 0u);
+    ASSERT_GT(rom_ops, 0u);
+    const double copy_density =
+        static_cast<double>(copy_loads) / static_cast<double>(copy_ops);
+    const double rom_density =
+        static_cast<double>(rom_loads) / static_cast<double>(rom_ops);
+    EXPECT_GT(copy_density, 5.0 * (rom_density + 1e-9));
+}
+
+TEST(Boot, DifferentSeedsGiveDifferentPhaseLengths)
+{
+    BootConfig a_cfg, b_cfg;
+    a_cfg.scaleOps = b_cfg.scaleOps = 200'000;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    auto count_phase = [](SegmentedWorkload &w, uint8_t phase) {
+        MicroOp op;
+        uint64_t n = 0;
+        while (w.next(op))
+            n += op.phase == phase;
+        return n;
+    };
+    auto a = makeBoot(a_cfg);
+    auto b = makeBoot(b_cfg);
+    EXPECT_NE(count_phase(*a, 2), count_phase(*b, 2));
+}
+
+TEST(Boot, JitterZeroIsDeterministicAcrossSeeds)
+{
+    BootConfig a_cfg, b_cfg;
+    a_cfg.scaleOps = b_cfg.scaleOps = 100'000;
+    a_cfg.jitter = b_cfg.jitter = 0.0;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    auto count = [](SegmentedWorkload &w) {
+        MicroOp op;
+        uint64_t n = 0;
+        while (w.next(op))
+            ++n;
+        return n;
+    };
+    auto a = makeBoot(a_cfg);
+    auto b = makeBoot(b_cfg);
+    // Phase lengths identical; only addresses differ.
+    EXPECT_EQ(count(*a), count(*b));
+}
+
+} // namespace
+} // namespace emprof::workloads

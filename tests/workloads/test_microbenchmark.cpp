@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the Fig. 6 microbenchmark generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/microbenchmark.hpp"
+
+namespace emprof::workloads {
+namespace {
+
+std::vector<MicroOp>
+drain(sim::TraceSource &trace)
+{
+    std::vector<MicroOp> ops;
+    MicroOp op;
+    while (trace.next(op))
+        ops.push_back(op);
+    return ops;
+}
+
+TEST(Microbenchmark, MeasuredSectionLoadsAreDistinctLines)
+{
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 500;
+    cfg.blankLoopIterations = 10;
+    Microbenchmark mb(cfg);
+    std::set<sim::Addr> lines;
+    for (const auto &op : drain(mb)) {
+        if (op.isLoad() && op.phase == Microbenchmark::kPhaseMemAccess)
+            lines.insert(op.memAddr & ~63ull);
+    }
+    EXPECT_EQ(lines.size(), 500u);
+}
+
+TEST(Microbenchmark, MeasuredLoadsAvoidPageTouchLines)
+{
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 200;
+    cfg.blankLoopIterations = 10;
+    Microbenchmark mb(cfg);
+    std::set<sim::Addr> touch_lines;
+    std::vector<sim::Addr> measured;
+    for (const auto &op : drain(mb)) {
+        if (!op.isLoad())
+            continue;
+        if (op.phase == Microbenchmark::kPhaseSetup)
+            touch_lines.insert(op.memAddr & ~63ull);
+        else if (op.phase == Microbenchmark::kPhaseMemAccess)
+            measured.push_back(op.memAddr & ~63ull);
+    }
+    for (sim::Addr line : measured)
+        EXPECT_EQ(touch_lines.count(line), 0u);
+}
+
+TEST(Microbenchmark, EveryPageIsTouchedOnce)
+{
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 300;
+    cfg.blankLoopIterations = 10;
+    Microbenchmark mb(cfg);
+    std::set<sim::Addr> pages_touched, pages_used;
+    for (const auto &op : drain(mb)) {
+        if (!op.isLoad())
+            continue;
+        const sim::Addr page = op.memAddr / cfg.pageBytes;
+        if (op.phase == Microbenchmark::kPhaseSetup)
+            pages_touched.insert(page);
+        else if (op.phase == Microbenchmark::kPhaseMemAccess)
+            pages_used.insert(page);
+    }
+    for (sim::Addr page : pages_used)
+        EXPECT_EQ(pages_touched.count(page), 1u);
+}
+
+TEST(Microbenchmark, PhasesAppearInOrder)
+{
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 64;
+    cfg.blankLoopIterations = 20;
+    Microbenchmark mb(cfg);
+    uint8_t last_phase = 0;
+    for (const auto &op : drain(mb)) {
+        EXPECT_GE(op.phase, last_phase);
+        last_phase = std::max(last_phase, op.phase);
+    }
+    EXPECT_EQ(last_phase, Microbenchmark::kPhaseMarkerTail);
+}
+
+TEST(Microbenchmark, LoadsAreConsumed)
+{
+    // Each measured load must be followed by a dependent use so the
+    // in-order core stalls on the miss.
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 32;
+    cfg.blankLoopIterations = 5;
+    Microbenchmark mb(cfg);
+    const auto ops = drain(mb);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].isLoad() &&
+            ops[i].phase == Microbenchmark::kPhaseMemAccess) {
+            ASSERT_LT(i + 1, ops.size());
+            EXPECT_EQ(ops[i + 1].depDist, 1);
+        }
+    }
+}
+
+TEST(Microbenchmark, GroupSeparatorsEveryCmMisses)
+{
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 40;
+    cfg.consecutiveMisses = 10;
+    cfg.blankLoopIterations = 5;
+    Microbenchmark mb(cfg);
+    // The separator (micro_function_call) runs at its own PC region;
+    // count distinct bursts of that PC between loads.
+    const auto ops = drain(mb);
+    int separators = 0;
+    bool in_fn = false;
+    for (const auto &op : ops) {
+        const bool fn = op.pc >= 0x3000 && op.pc < 0x4000;
+        if (fn && !in_fn)
+            ++separators;
+        in_fn = fn;
+    }
+    // 40 misses / CM=10 -> separators after groups 1..3 (not the last).
+    EXPECT_EQ(separators, 3);
+}
+
+TEST(Microbenchmark, DeterministicPerSeed)
+{
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 64;
+    cfg.blankLoopIterations = 5;
+    Microbenchmark a(cfg), b(cfg);
+    const auto ops_a = drain(a);
+    const auto ops_b = drain(b);
+    ASSERT_EQ(ops_a.size(), ops_b.size());
+    for (std::size_t i = 0; i < ops_a.size(); i += 31)
+        EXPECT_EQ(ops_a[i].memAddr, ops_b[i].memAddr);
+
+    cfg.seed = 999;
+    Microbenchmark c(cfg);
+    const auto ops_c = drain(c);
+    bool differs = false;
+    for (std::size_t i = 0; i < std::min(ops_a.size(), ops_c.size()); ++i)
+        differs |= ops_a[i].memAddr != ops_c[i].memAddr;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Microbenchmark, ExpectedMissesEchoesTm)
+{
+    MicrobenchmarkConfig cfg;
+    cfg.totalMisses = 4096;
+    Microbenchmark mb(cfg);
+    EXPECT_EQ(mb.expectedMisses(), 4096u);
+}
+
+} // namespace
+} // namespace emprof::workloads

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the synthetic SPEC workload suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/spec.hpp"
+
+namespace emprof::workloads {
+namespace {
+
+uint64_t
+countOps(sim::TraceSource &trace)
+{
+    MicroOp op;
+    uint64_t n = 0;
+    while (trace.next(op))
+        ++n;
+    return n;
+}
+
+TEST(Spec, SuiteHasTenBenchmarks)
+{
+    EXPECT_EQ(specSuite().size(), 10u);
+    EXPECT_EQ(specNames().size(), 10u);
+    EXPECT_EQ(specNames().front(), "ammp");
+    EXPECT_EQ(specNames().back(), "vpr");
+}
+
+TEST(Spec, UnknownNameReturnsNull)
+{
+    EXPECT_EQ(makeSpec("not-a-benchmark"), nullptr);
+}
+
+class AllSpecs : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(AllSpecs, ConstructsAndEmitsApproximatelyScaleOps)
+{
+    auto wl = makeSpec(GetParam(), 200'000, 1);
+    ASSERT_NE(wl, nullptr);
+    const uint64_t ops = countOps(*wl);
+    EXPECT_GT(ops, 150'000u);
+    EXPECT_LT(ops, 400'000u);
+}
+
+TEST_P(AllSpecs, ContainsLoadsAndCompute)
+{
+    auto wl = makeSpec(GetParam(), 100'000, 1);
+    MicroOp op;
+    uint64_t loads = 0, compute = 0, branches = 0;
+    while (wl->next(op)) {
+        loads += op.isLoad();
+        branches += op.cls == sim::OpClass::Branch;
+        compute += op.cls == sim::OpClass::IntAlu ||
+                   op.cls == sim::OpClass::IntMul ||
+                   op.cls == sim::OpClass::FpAlu;
+    }
+    EXPECT_GT(loads, 100u);
+    EXPECT_GT(branches, 100u);
+    EXPECT_GT(compute, 10u * loads); // compute-dominated op mix
+}
+
+TEST_P(AllSpecs, DeterministicPerSeed)
+{
+    auto a = makeSpec(GetParam(), 50'000, 7);
+    auto b = makeSpec(GetParam(), 50'000, 7);
+    MicroOp oa, ob;
+    for (int i = 0; i < 20'000; ++i) {
+        const bool ha = a->next(oa);
+        const bool hb = b->next(ob);
+        ASSERT_EQ(ha, hb);
+        if (!ha)
+            break;
+        ASSERT_EQ(oa.memAddr, ob.memAddr);
+        ASSERT_EQ(oa.pc, ob.pc);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, AllSpecs,
+                         ::testing::ValuesIn(specNames()));
+
+TEST(Spec, ParserHasThreeTaggedPhases)
+{
+    auto wl = makeSpec("parser", 300'000, 1);
+    MicroOp op;
+    uint64_t per_phase[4] = {0, 0, 0, 0};
+    while (wl->next(op)) {
+        ASSERT_LE(op.phase, 3);
+        ++per_phase[op.phase];
+    }
+    EXPECT_GT(per_phase[ParserPhases::kReadDictionary], 10'000u);
+    EXPECT_GT(per_phase[ParserPhases::kInitRandtable], 5'000u);
+    EXPECT_GT(per_phase[ParserPhases::kBatchProcess], 10'000u);
+    // batch_process dominates (Table V).
+    EXPECT_GT(per_phase[ParserPhases::kBatchProcess],
+              per_phase[ParserPhases::kReadDictionary]);
+}
+
+TEST(Spec, ParserPhaseNamesMatchTableV)
+{
+    const auto names = ParserPhases::names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "read_dictionary");
+    EXPECT_EQ(names[2], "batch_process");
+}
+
+TEST(Spec, McfUsesDependentLoadChains)
+{
+    auto wl = makeSpec("mcf", 2'000'000, 1);
+    MicroOp op;
+    uint64_t chained = 0;
+    while (wl->next(op)) {
+        if (op.isLoad() && op.depDist > 10)
+            ++chained;
+    }
+    EXPECT_GT(chained, 50u); // pointer chase hops
+}
+
+TEST(Spec, Bzip2HasSequentialColdBursts)
+{
+    auto wl = makeSpec("bzip2", 400'000, 1);
+    MicroOp op;
+    sim::Addr prev = 0;
+    uint64_t sequential_pairs = 0;
+    while (wl->next(op)) {
+        if (op.isLoad()) {
+            if (prev != 0 && op.memAddr == prev + 64)
+                ++sequential_pairs;
+            prev = op.memAddr;
+        }
+    }
+    EXPECT_GT(sequential_pairs, 20u);
+}
+
+} // namespace
+} // namespace emprof::workloads

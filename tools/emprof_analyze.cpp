@@ -1,0 +1,201 @@
+/**
+ * @file
+ * emprof_analyze — run EMPROF on a recorded signal file.
+ *
+ * This is the tool you would point at a *real* capture: record the
+ * device's emanation around its clock frequency with any SDR, save the
+ * IQ or magnitude samples (raw float32 works, e.g. a GNU Radio file
+ * sink), and analyse:
+ *
+ *   emprof_analyze capture.emsig --clock-ghz 1.008
+ *   emprof_analyze iq.f32 --raw-iq --rate-mhz 40 --clock-ghz 1.008
+ *
+ * Options tune the Sec. IV parameters (thresholds, duration floor,
+ * normalisation window); --section isolates the part of the signal
+ * between marker loops (Sec. V-B); --histogram and --boot add the
+ * Fig. 11 / Fig. 13 views; --csv exports events for plotting.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "dsp/signal_io.hpp"
+#include "profiler/boot_profile.hpp"
+#include "profiler/marker.hpp"
+#include "profiler/profiler.hpp"
+#include "profiler/report.hpp"
+
+using namespace emprof;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s <signal-file> [options]\n"
+        "\n"
+        "input (default: .emsig container written by emprof_capture):\n"
+        "  --raw-f32           raw float32 magnitude samples\n"
+        "  --raw-iq            raw interleaved float32 I/Q samples\n"
+        "  --rate-mhz <f>      sample rate for raw inputs (required)\n"
+        "\n"
+        "target:\n"
+        "  --clock-ghz <f>     processor clock (default 1.008)\n"
+        "\n"
+        "detector (defaults per the paper, Sec. IV):\n"
+        "  --enter <f>         dip entry threshold   (default 0.22)\n"
+        "  --exit <f>          dip exit threshold    (default 0.38)\n"
+        "  --min-stall-ns <f>  duration threshold    (default 60)\n"
+        "  --refresh-ns <f>    refresh classifier    (default 1200)\n"
+        "  --window-ms <f>     normalisation window  (default 4)\n"
+        "\n"
+        "views:\n"
+        "  --section           analyse only between marker loops\n"
+        "  --histogram         print the stall-latency histogram\n"
+        "  --boot <bucket-us>  print a boot-style rate-vs-time profile\n"
+        "  --events-csv <path> write one line per detected stall\n",
+        argv0);
+}
+
+double
+argValue(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+    }
+    return std::atof(argv[++i]);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 2;
+    }
+
+    std::string path = argv[1];
+    bool raw_f32 = false, raw_iq = false;
+    bool use_section = false, histogram = false;
+    double rate_mhz = 0.0, clock_ghz = 1.008, boot_bucket_us = 0.0;
+    std::string events_csv;
+    profiler::EmProfConfig config;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--raw-f32")
+            raw_f32 = true;
+        else if (arg == "--raw-iq")
+            raw_iq = true;
+        else if (arg == "--rate-mhz")
+            rate_mhz = argValue(argc, argv, i);
+        else if (arg == "--clock-ghz")
+            clock_ghz = argValue(argc, argv, i);
+        else if (arg == "--enter")
+            config.enterThreshold = argValue(argc, argv, i);
+        else if (arg == "--exit")
+            config.exitThreshold = argValue(argc, argv, i);
+        else if (arg == "--min-stall-ns")
+            config.minStallNs = argValue(argc, argv, i);
+        else if (arg == "--refresh-ns")
+            config.refreshStallNs = argValue(argc, argv, i);
+        else if (arg == "--window-ms")
+            config.normWindowSeconds = argValue(argc, argv, i) * 1e-3;
+        else if (arg == "--section")
+            use_section = true;
+        else if (arg == "--histogram")
+            histogram = true;
+        else if (arg == "--boot")
+            boot_bucket_us = argValue(argc, argv, i);
+        else if (arg == "--events-csv" && i + 1 < argc)
+            events_csv = argv[++i];
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    dsp::TimeSeries signal;
+    bool loaded;
+    if (raw_f32 || raw_iq) {
+        if (rate_mhz <= 0.0) {
+            std::fprintf(stderr,
+                         "--rate-mhz is required for raw inputs\n");
+            return 2;
+        }
+        loaded = dsp::loadRawF32(path, rate_mhz * 1e6, raw_iq, signal);
+    } else {
+        loaded = dsp::loadSignal(path, signal);
+    }
+    if (!loaded || signal.empty()) {
+        std::fprintf(stderr, "could not load signal from %s\n",
+                     path.c_str());
+        return 1;
+    }
+
+    std::printf("loaded %zu samples at %.3f MHz (%.3f ms)\n",
+                signal.samples.size(), signal.sampleRateHz / 1e6,
+                signal.duration() * 1e3);
+
+    if (use_section) {
+        const auto sections = profiler::findMarkerSections(signal);
+        if (sections.measured.empty()) {
+            std::fprintf(stderr,
+                         "no marker-delimited section found; "
+                         "analysing the whole signal\n");
+        } else {
+            std::printf("markers found; analysing section [%llu, %llu)\n",
+                        static_cast<unsigned long long>(
+                            sections.measured.begin),
+                        static_cast<unsigned long long>(
+                            sections.measured.end));
+            signal = profiler::slice(signal, sections.measured);
+        }
+    }
+
+    config.clockHz = clock_ghz * 1e9;
+    const auto result = profiler::EmProf::analyze(signal, config);
+    std::printf("\n%s", result.report.toText("EMPROF report:").c_str());
+
+    if (histogram) {
+        std::printf("\nstall-latency histogram:\n%s",
+                    profiler::latencyHistogram(result.events)
+                        .toText("cyc")
+                        .c_str());
+    }
+    if (boot_bucket_us > 0.0) {
+        const auto profile = profiler::makeBootProfile(
+            result.events, signal.sampleRateHz, signal.samples.size(),
+            boot_bucket_us * 1e-6);
+        std::printf("\nmiss rate over time:\n%s",
+                    profile.toText().c_str());
+    }
+    if (!events_csv.empty()) {
+        std::FILE *f = std::fopen(events_csv.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", events_csv.c_str());
+            return 1;
+        }
+        std::fprintf(f, "start_s,duration_ns,stall_cycles,kind\n");
+        for (const auto &ev : result.events) {
+            std::fprintf(f, "%.9f,%.1f,%.1f,%s\n",
+                         static_cast<double>(ev.startSample) /
+                             signal.sampleRateHz,
+                         ev.durationNs, ev.stallCycles,
+                         ev.kind == profiler::StallKind::RefreshCoincident
+                             ? "refresh"
+                             : "miss");
+        }
+        std::fclose(f);
+        std::printf("\nwrote %zu events to %s\n", result.events.size(),
+                    events_csv.c_str());
+    }
+    return 0;
+}
