@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_perf_validation.dir/baseline_perf_validation.cpp.o"
+  "CMakeFiles/baseline_perf_validation.dir/baseline_perf_validation.cpp.o.d"
+  "baseline_perf_validation"
+  "baseline_perf_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_perf_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_stall_signal.dir/fig01_stall_signal.cpp.o"
+  "CMakeFiles/fig01_stall_signal.dir/fig01_stall_signal.cpp.o.d"
+  "fig01_stall_signal"
+  "fig01_stall_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_stall_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

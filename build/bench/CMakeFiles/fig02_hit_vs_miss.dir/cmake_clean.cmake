@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_hit_vs_miss.dir/fig02_hit_vs_miss.cpp.o"
+  "CMakeFiles/fig02_hit_vs_miss.dir/fig02_hit_vs_miss.cpp.o.d"
+  "fig02_hit_vs_miss"
+  "fig02_hit_vs_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_hit_vs_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

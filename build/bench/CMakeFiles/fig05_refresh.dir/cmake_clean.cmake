@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_refresh.dir/fig05_refresh.cpp.o"
+  "CMakeFiles/fig05_refresh.dir/fig05_refresh.cpp.o.d"
+  "fig05_refresh"
+  "fig05_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_microbench_signal.dir/fig07_microbench_signal.cpp.o"
+  "CMakeFiles/fig07_microbench_signal.dir/fig07_microbench_signal.cpp.o.d"
+  "fig07_microbench_signal"
+  "fig07_microbench_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_microbench_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sim_vs_device.dir/fig08_sim_vs_device.cpp.o"
+  "CMakeFiles/fig08_sim_vs_device.dir/fig08_sim_vs_device.cpp.o.d"
+  "fig08_sim_vs_device"
+  "fig08_sim_vs_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sim_vs_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

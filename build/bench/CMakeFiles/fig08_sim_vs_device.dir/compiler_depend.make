@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_sim_vs_device.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dual_probe.dir/fig10_dual_probe.cpp.o"
+  "CMakeFiles/fig10_dual_probe.dir/fig10_dual_probe.cpp.o.d"
+  "fig10_dual_probe"
+  "fig10_dual_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dual_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_latency_histogram.dir/fig11_latency_histogram.cpp.o"
+  "CMakeFiles/fig11_latency_histogram.dir/fig11_latency_histogram.cpp.o.d"
+  "fig11_latency_histogram"
+  "fig11_latency_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_latency_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_bandwidth_sweep.dir/fig12_bandwidth_sweep.cpp.o"
+  "CMakeFiles/fig12_bandwidth_sweep.dir/fig12_bandwidth_sweep.cpp.o.d"
+  "fig12_bandwidth_sweep"
+  "fig12_bandwidth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_bandwidth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

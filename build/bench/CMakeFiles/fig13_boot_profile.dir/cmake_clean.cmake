@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_boot_profile.dir/fig13_boot_profile.cpp.o"
+  "CMakeFiles/fig13_boot_profile.dir/fig13_boot_profile.cpp.o.d"
+  "fig13_boot_profile"
+  "fig13_boot_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_boot_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

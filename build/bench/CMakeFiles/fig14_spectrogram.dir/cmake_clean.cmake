@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_spectrogram.dir/fig14_spectrogram.cpp.o"
+  "CMakeFiles/fig14_spectrogram.dir/fig14_spectrogram.cpp.o.d"
+  "fig14_spectrogram"
+  "fig14_spectrogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_spectrogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_dsp.dir/throughput_dsp.cpp.o"
+  "CMakeFiles/throughput_dsp.dir/throughput_dsp.cpp.o.d"
+  "throughput_dsp"
+  "throughput_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

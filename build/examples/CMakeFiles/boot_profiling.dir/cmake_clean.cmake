@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_profiling.dir/boot_profiling.cpp.o"
+  "CMakeFiles/boot_profiling.dir/boot_profiling.cpp.o.d"
+  "boot_profiling"
+  "boot_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_attribution.dir/code_attribution.cpp.o"
+  "CMakeFiles/code_attribution.dir/code_attribution.cpp.o.d"
+  "code_attribution"
+  "code_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_baseline.dir/perf_model.cpp.o"
+  "CMakeFiles/emprof_baseline.dir/perf_model.cpp.o.d"
+  "libemprof_baseline.a"
+  "libemprof_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_devices.dir/devices.cpp.o"
+  "CMakeFiles/emprof_devices.dir/devices.cpp.o.d"
+  "libemprof_devices.a"
+  "libemprof_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

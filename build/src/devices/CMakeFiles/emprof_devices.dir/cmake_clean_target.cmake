@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libemprof_devices.a"
+)

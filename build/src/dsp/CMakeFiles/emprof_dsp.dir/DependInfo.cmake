@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/moving_stats.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/moving_stats.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/moving_stats.cpp.o.d"
+  "/root/repo/src/dsp/noise.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/noise.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/noise.cpp.o.d"
+  "/root/repo/src/dsp/series_ops.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/series_ops.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/series_ops.cpp.o.d"
+  "/root/repo/src/dsp/signal_io.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/signal_io.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/signal_io.cpp.o.d"
+  "/root/repo/src/dsp/stft.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/stft.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/stft.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/emprof_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/emprof_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_dsp.dir/fft.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/emprof_dsp.dir/fir.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/emprof_dsp.dir/moving_stats.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/moving_stats.cpp.o.d"
+  "CMakeFiles/emprof_dsp.dir/noise.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/noise.cpp.o.d"
+  "CMakeFiles/emprof_dsp.dir/series_ops.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/series_ops.cpp.o.d"
+  "CMakeFiles/emprof_dsp.dir/signal_io.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/signal_io.cpp.o.d"
+  "CMakeFiles/emprof_dsp.dir/stft.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/stft.cpp.o.d"
+  "CMakeFiles/emprof_dsp.dir/window.cpp.o"
+  "CMakeFiles/emprof_dsp.dir/window.cpp.o.d"
+  "libemprof_dsp.a"
+  "libemprof_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/em/capture.cpp" "src/em/CMakeFiles/emprof_em.dir/capture.cpp.o" "gcc" "src/em/CMakeFiles/emprof_em.dir/capture.cpp.o.d"
+  "/root/repo/src/em/channel.cpp" "src/em/CMakeFiles/emprof_em.dir/channel.cpp.o" "gcc" "src/em/CMakeFiles/emprof_em.dir/channel.cpp.o.d"
+  "/root/repo/src/em/emanation.cpp" "src/em/CMakeFiles/emprof_em.dir/emanation.cpp.o" "gcc" "src/em/CMakeFiles/emprof_em.dir/emanation.cpp.o.d"
+  "/root/repo/src/em/receiver.cpp" "src/em/CMakeFiles/emprof_em.dir/receiver.cpp.o" "gcc" "src/em/CMakeFiles/emprof_em.dir/receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/emprof_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emprof_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

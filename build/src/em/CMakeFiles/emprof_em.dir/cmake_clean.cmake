@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_em.dir/capture.cpp.o"
+  "CMakeFiles/emprof_em.dir/capture.cpp.o.d"
+  "CMakeFiles/emprof_em.dir/channel.cpp.o"
+  "CMakeFiles/emprof_em.dir/channel.cpp.o.d"
+  "CMakeFiles/emprof_em.dir/emanation.cpp.o"
+  "CMakeFiles/emprof_em.dir/emanation.cpp.o.d"
+  "CMakeFiles/emprof_em.dir/receiver.cpp.o"
+  "CMakeFiles/emprof_em.dir/receiver.cpp.o.d"
+  "libemprof_em.a"
+  "libemprof_em.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

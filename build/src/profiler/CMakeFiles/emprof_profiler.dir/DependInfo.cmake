@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profiler/attribution.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/attribution.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/attribution.cpp.o.d"
+  "/root/repo/src/profiler/boot_profile.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/boot_profile.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/boot_profile.cpp.o.d"
+  "/root/repo/src/profiler/dip_detector.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/dip_detector.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/dip_detector.cpp.o.d"
+  "/root/repo/src/profiler/marker.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/marker.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/marker.cpp.o.d"
+  "/root/repo/src/profiler/naive_threshold.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/naive_threshold.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/naive_threshold.cpp.o.d"
+  "/root/repo/src/profiler/normalizer.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/normalizer.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/normalizer.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/profiler.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/profiler.cpp.o.d"
+  "/root/repo/src/profiler/report.cpp" "src/profiler/CMakeFiles/emprof_profiler.dir/report.cpp.o" "gcc" "src/profiler/CMakeFiles/emprof_profiler.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/emprof_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_profiler.dir/attribution.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/attribution.cpp.o.d"
+  "CMakeFiles/emprof_profiler.dir/boot_profile.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/boot_profile.cpp.o.d"
+  "CMakeFiles/emprof_profiler.dir/dip_detector.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/dip_detector.cpp.o.d"
+  "CMakeFiles/emprof_profiler.dir/marker.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/marker.cpp.o.d"
+  "CMakeFiles/emprof_profiler.dir/naive_threshold.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/naive_threshold.cpp.o.d"
+  "CMakeFiles/emprof_profiler.dir/normalizer.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/normalizer.cpp.o.d"
+  "CMakeFiles/emprof_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/profiler.cpp.o.d"
+  "CMakeFiles/emprof_profiler.dir/report.cpp.o"
+  "CMakeFiles/emprof_profiler.dir/report.cpp.o.d"
+  "libemprof_profiler.a"
+  "libemprof_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

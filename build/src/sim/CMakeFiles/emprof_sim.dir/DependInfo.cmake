@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/emprof_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/emprof_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/ground_truth.cpp" "src/sim/CMakeFiles/emprof_sim.dir/ground_truth.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/sim/hierarchy.cpp" "src/sim/CMakeFiles/emprof_sim.dir/hierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/sim/isa.cpp" "src/sim/CMakeFiles/emprof_sim.dir/isa.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/isa.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/sim/CMakeFiles/emprof_sim.dir/memory.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/memory.cpp.o.d"
+  "/root/repo/src/sim/power.cpp" "src/sim/CMakeFiles/emprof_sim.dir/power.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/power.cpp.o.d"
+  "/root/repo/src/sim/prefetcher.cpp" "src/sim/CMakeFiles/emprof_sim.dir/prefetcher.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/prefetcher.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/emprof_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/emprof_sim.dir/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/emprof_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_sim.dir/cache.cpp.o"
+  "CMakeFiles/emprof_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/core.cpp.o"
+  "CMakeFiles/emprof_sim.dir/core.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/ground_truth.cpp.o"
+  "CMakeFiles/emprof_sim.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/hierarchy.cpp.o"
+  "CMakeFiles/emprof_sim.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/isa.cpp.o"
+  "CMakeFiles/emprof_sim.dir/isa.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/memory.cpp.o"
+  "CMakeFiles/emprof_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/power.cpp.o"
+  "CMakeFiles/emprof_sim.dir/power.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/prefetcher.cpp.o"
+  "CMakeFiles/emprof_sim.dir/prefetcher.cpp.o.d"
+  "CMakeFiles/emprof_sim.dir/simulator.cpp.o"
+  "CMakeFiles/emprof_sim.dir/simulator.cpp.o.d"
+  "libemprof_sim.a"
+  "libemprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/boot.cpp" "src/workloads/CMakeFiles/emprof_workloads.dir/boot.cpp.o" "gcc" "src/workloads/CMakeFiles/emprof_workloads.dir/boot.cpp.o.d"
+  "/root/repo/src/workloads/common.cpp" "src/workloads/CMakeFiles/emprof_workloads.dir/common.cpp.o" "gcc" "src/workloads/CMakeFiles/emprof_workloads.dir/common.cpp.o.d"
+  "/root/repo/src/workloads/microbenchmark.cpp" "src/workloads/CMakeFiles/emprof_workloads.dir/microbenchmark.cpp.o" "gcc" "src/workloads/CMakeFiles/emprof_workloads.dir/microbenchmark.cpp.o.d"
+  "/root/repo/src/workloads/spec.cpp" "src/workloads/CMakeFiles/emprof_workloads.dir/spec.cpp.o" "gcc" "src/workloads/CMakeFiles/emprof_workloads.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/emprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emprof_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

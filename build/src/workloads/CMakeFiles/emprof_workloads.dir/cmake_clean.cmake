@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_workloads.dir/boot.cpp.o"
+  "CMakeFiles/emprof_workloads.dir/boot.cpp.o.d"
+  "CMakeFiles/emprof_workloads.dir/common.cpp.o"
+  "CMakeFiles/emprof_workloads.dir/common.cpp.o.d"
+  "CMakeFiles/emprof_workloads.dir/microbenchmark.cpp.o"
+  "CMakeFiles/emprof_workloads.dir/microbenchmark.cpp.o.d"
+  "CMakeFiles/emprof_workloads.dir/spec.cpp.o"
+  "CMakeFiles/emprof_workloads.dir/spec.cpp.o.d"
+  "libemprof_workloads.a"
+  "libemprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsp/test_fft.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "/root/repo/tests/dsp/test_fir.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_fir.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_fir.cpp.o.d"
+  "/root/repo/tests/dsp/test_moving_stats.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_moving_stats.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_moving_stats.cpp.o.d"
+  "/root/repo/tests/dsp/test_noise.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_noise.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_noise.cpp.o.d"
+  "/root/repo/tests/dsp/test_rng.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_rng.cpp.o.d"
+  "/root/repo/tests/dsp/test_series_ops.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_series_ops.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_series_ops.cpp.o.d"
+  "/root/repo/tests/dsp/test_signal_io.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_signal_io.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_signal_io.cpp.o.d"
+  "/root/repo/tests/dsp/test_stft.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_stft.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_stft.cpp.o.d"
+  "/root/repo/tests/dsp/test_window.cpp" "tests/CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o" "gcc" "tests/CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/emprof_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/emprof_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emprof_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/emprof_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/emprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emprof_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

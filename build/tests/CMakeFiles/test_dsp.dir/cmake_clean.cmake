@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_fir.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_fir.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_moving_stats.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_moving_stats.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_noise.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_noise.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_rng.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_rng.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_series_ops.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_series_ops.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_signal_io.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_signal_io.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_stft.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_stft.cpp.o.d"
+  "CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o"
+  "CMakeFiles/test_dsp.dir/dsp/test_window.cpp.o.d"
+  "test_dsp"
+  "test_dsp.pdb"
+  "test_dsp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

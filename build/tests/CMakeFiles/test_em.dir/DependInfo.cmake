@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/em/test_capture.cpp" "tests/CMakeFiles/test_em.dir/em/test_capture.cpp.o" "gcc" "tests/CMakeFiles/test_em.dir/em/test_capture.cpp.o.d"
+  "/root/repo/tests/em/test_channel.cpp" "tests/CMakeFiles/test_em.dir/em/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_em.dir/em/test_channel.cpp.o.d"
+  "/root/repo/tests/em/test_emanation.cpp" "tests/CMakeFiles/test_em.dir/em/test_emanation.cpp.o" "gcc" "tests/CMakeFiles/test_em.dir/em/test_emanation.cpp.o.d"
+  "/root/repo/tests/em/test_receiver.cpp" "tests/CMakeFiles/test_em.dir/em/test_receiver.cpp.o" "gcc" "tests/CMakeFiles/test_em.dir/em/test_receiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/emprof_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/emprof_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emprof_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/emprof_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/emprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emprof_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_em.dir/em/test_capture.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_capture.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_channel.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_channel.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_emanation.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_emanation.cpp.o.d"
+  "CMakeFiles/test_em.dir/em/test_receiver.cpp.o"
+  "CMakeFiles/test_em.dir/em/test_receiver.cpp.o.d"
+  "test_em"
+  "test_em.pdb"
+  "test_em[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_em.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

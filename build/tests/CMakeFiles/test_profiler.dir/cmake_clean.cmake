@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profiler.dir/profiler/test_attribution.cpp.o"
+  "CMakeFiles/test_profiler.dir/profiler/test_attribution.cpp.o.d"
+  "CMakeFiles/test_profiler.dir/profiler/test_boot_profile.cpp.o"
+  "CMakeFiles/test_profiler.dir/profiler/test_boot_profile.cpp.o.d"
+  "CMakeFiles/test_profiler.dir/profiler/test_dip_detector.cpp.o"
+  "CMakeFiles/test_profiler.dir/profiler/test_dip_detector.cpp.o.d"
+  "CMakeFiles/test_profiler.dir/profiler/test_marker.cpp.o"
+  "CMakeFiles/test_profiler.dir/profiler/test_marker.cpp.o.d"
+  "CMakeFiles/test_profiler.dir/profiler/test_normalizer.cpp.o"
+  "CMakeFiles/test_profiler.dir/profiler/test_normalizer.cpp.o.d"
+  "CMakeFiles/test_profiler.dir/profiler/test_profiler.cpp.o"
+  "CMakeFiles/test_profiler.dir/profiler/test_profiler.cpp.o.d"
+  "CMakeFiles/test_profiler.dir/profiler/test_streaming.cpp.o"
+  "CMakeFiles/test_profiler.dir/profiler/test_streaming.cpp.o.d"
+  "test_profiler"
+  "test_profiler.pdb"
+  "test_profiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cache.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cpp.o.d"
+  "/root/repo/tests/sim/test_core.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_core.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_core.cpp.o.d"
+  "/root/repo/tests/sim/test_ground_truth.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_ground_truth.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_ground_truth.cpp.o.d"
+  "/root/repo/tests/sim/test_hierarchy.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/sim/test_memory.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_memory.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory.cpp.o.d"
+  "/root/repo/tests/sim/test_memory_background.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_memory_background.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_memory_background.cpp.o.d"
+  "/root/repo/tests/sim/test_prefetcher.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_prefetcher.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_prefetcher.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/emprof_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/emprof_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/em/CMakeFiles/emprof_em.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/emprof_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/emprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/emprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/emprof_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

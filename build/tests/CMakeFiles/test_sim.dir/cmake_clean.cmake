@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/test_cache.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_cache.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_core.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_core.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_ground_truth.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_ground_truth.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_hierarchy.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_hierarchy.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_memory.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_memory.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_memory_background.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_memory_background.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_prefetcher.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_prefetcher.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/test_trace.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

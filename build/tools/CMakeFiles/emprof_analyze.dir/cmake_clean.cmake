@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_analyze.dir/emprof_analyze.cpp.o"
+  "CMakeFiles/emprof_analyze.dir/emprof_analyze.cpp.o.d"
+  "emprof_analyze"
+  "emprof_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

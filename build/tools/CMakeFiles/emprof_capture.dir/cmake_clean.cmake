@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emprof_capture.dir/emprof_capture.cpp.o"
+  "CMakeFiles/emprof_capture.dir/emprof_capture.cpp.o.d"
+  "emprof_capture"
+  "emprof_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emprof_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
