@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "dsp/moving_stats.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/common.hpp"
 

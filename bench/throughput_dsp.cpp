@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include "dsp/fir.hpp"
+#include "dsp/minmax_filter.hpp"
 #include "dsp/moving_stats.hpp"
 #include "dsp/rng.hpp"
 #include "em/capture.hpp"
@@ -46,6 +47,23 @@ BM_MovingMinMax(benchmark::State &state)
                             static_cast<int64_t>(input.size()));
 }
 BENCHMARK(BM_MovingMinMax)->Arg(1024)->Arg(160'000);
+
+template <typename T>
+void
+BM_MinMaxFilter(benchmark::State &state)
+{
+    const auto input = noisySignal(1 << 16);
+    dsp::MinMaxFilter<T> mm(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        for (float x : input)
+            mm.push(static_cast<T>(x));
+        benchmark::DoNotOptimize(mm.min());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(input.size()));
+}
+BENCHMARK_TEMPLATE(BM_MinMaxFilter, float)->Arg(1024)->Arg(160'000);
+BENCHMARK_TEMPLATE(BM_MinMaxFilter, double)->Arg(1024)->Arg(160'000);
 
 void
 BM_Normalizer(benchmark::State &state)

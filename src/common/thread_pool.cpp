@@ -1,0 +1,65 @@
+#include "common/thread_pool.hpp"
+
+#include <utility>
+
+namespace emprof::common {
+
+std::size_t
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t n = threads == 0 ? hardwareThreads() : threads;
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    auto future = packaged.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            // Drain remaining tasks even when stopping so submitted
+            // futures always complete.
+            if (queue_.empty())
+                return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+} // namespace emprof::common

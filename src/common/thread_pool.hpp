@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A small fixed-size thread pool for batch (offline) analysis.
+ *
+ * Deliberately simple — one shared FIFO queue, no work stealing: the
+ * parallel analyzer submits a handful of coarse, equally-sized chunk
+ * tasks, so queue contention is negligible and a plain mutex+condvar
+ * queue keeps the implementation easy to reason about (and easy for
+ * TSan to verify).  The streaming hot path never touches this; it is
+ * used only when crunching recorded captures faster than real time.
+ */
+
+#ifndef EMPROF_COMMON_THREAD_POOL_HPP
+#define EMPROF_COMMON_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace emprof::common {
+
+/** Fixed-size pool of worker threads consuming a shared task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads Worker count; 0 means hardwareThreads().
+     */
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /** Joins all workers after draining already-submitted tasks. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue a task; the returned future becomes ready when the task
+     * has run (or rethrows the task's exception on get()).
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /** std::thread::hardware_concurrency(), floored at 1. */
+    static std::size_t hardwareThreads();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace emprof::common
+
+#endif // EMPROF_COMMON_THREAD_POOL_HPP

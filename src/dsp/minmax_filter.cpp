@@ -1,0 +1,8 @@
+#include "dsp/minmax_filter.hpp"
+
+namespace emprof::dsp {
+
+template class MinMaxFilter<float>;
+template class MinMaxFilter<double>;
+
+} // namespace emprof::dsp

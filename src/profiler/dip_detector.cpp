@@ -51,6 +51,18 @@ DipDetector::push(double normalized, StallEvent &out)
     return emitted;
 }
 
+DipDetector::DipState
+DipDetector::state() const
+{
+    DipState s;
+    s.inDip = inDip_;
+    s.start = dipStart_;
+    s.lastBelowExit = dipLastBelowExit_;
+    s.depthSum = depthSum_;
+    s.depthCount = depthCount_;
+    return s;
+}
+
 bool
 DipDetector::finish(StallEvent &out)
 {

@@ -42,6 +42,22 @@ struct DipDetectorConfig
 class DipDetector
 {
   public:
+    /**
+     * Snapshot of an in-progress dip — everything the streaming state
+     * machine carries across a sample boundary.  The parallel analyzer
+     * uses this to hand a dip that is still open at the end of one
+     * chunk to the stitcher, which continues it into the next chunk
+     * with exactly the accumulators streaming would have had.
+     */
+    struct DipState
+    {
+        bool inDip = false;
+        uint64_t start = 0;
+        uint64_t lastBelowExit = 0;
+        double depthSum = 0.0;
+        uint64_t depthCount = 0;
+    };
+
     explicit DipDetector(const DipDetectorConfig &config);
 
     /**
@@ -62,6 +78,9 @@ class DipDetector
 
     /** Samples processed so far. */
     uint64_t samplesSeen() const { return index_; }
+
+    /** State of the currently open dip (inDip == false if none). */
+    DipState state() const;
 
     const DipDetectorConfig &config() const { return config_; }
 

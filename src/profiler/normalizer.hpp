@@ -15,7 +15,7 @@
 
 #include <cstddef>
 
-#include "dsp/moving_stats.hpp"
+#include "dsp/minmax_filter.hpp"
 
 namespace emprof::profiler {
 
@@ -53,7 +53,10 @@ class MovingMinMaxNormalizer
     std::size_t window() const { return minmax_.window(); }
 
   private:
-    dsp::MovingMinMax minmax_;
+    // VHGW sliding min/max: bit-identical extrema to the monotonic
+    // wedge (dsp::MovingMinMax) but with a branch-light fixed cost per
+    // sample, which is what the hot path wants.
+    dsp::MinMaxFilter<double> minmax_;
     double minContrast_;
 };
 

@@ -1,0 +1,219 @@
+#include "profiler/parallel_analyzer.hpp"
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "profiler/dip_detector.hpp"
+#include "profiler/normalizer.hpp"
+#include "profiler/report.hpp"
+
+namespace emprof::profiler {
+
+namespace {
+
+/**
+ * Everything one chunk contributes to the stitch pass.
+ *
+ * All sample indices are global (capture-relative).  `prefixNorms`
+ * holds the normalised values of the chunk's prefix — the leading run
+ * of samples at or below the exit threshold — which is exactly the set
+ * of samples that would extend a dip left open by the previous chunk.
+ */
+struct ChunkResult
+{
+    uint64_t begin = 0;
+    uint64_t end = 0;
+    std::vector<double> prefixNorms;
+    std::vector<StallEvent> events;       // raw dips, unclassified
+    DipDetector::DipState open;           // dip still open at chunk end
+};
+
+/**
+ * Analyse samples [begin, end): re-feed the halo to warm the
+ * normaliser, then run a fresh dip detector over the chunk, recording
+ * the prefix and the end-of-chunk open-dip state for the stitcher.
+ */
+ChunkResult
+analyzeChunk(const std::vector<dsp::Sample> &samples, uint64_t begin,
+             uint64_t end, const EmProfConfig &config)
+{
+    ChunkResult r;
+    r.begin = begin;
+    r.end = end;
+
+    const std::size_t window = config.normWindowSamples();
+    const uint64_t halo =
+        std::min<uint64_t>(begin, window > 0 ? window - 1 : 0);
+
+    MovingMinMaxNormalizer normalizer(window, config.minContrast);
+    for (uint64_t i = begin - halo; i < begin; ++i)
+        normalizer.push(samples[static_cast<std::size_t>(i)]);
+
+    DipDetector detector(config.detectorConfig());
+    bool in_prefix = true;
+    StallEvent ev;
+    for (uint64_t i = begin; i < end; ++i) {
+        const double normalized =
+            normalizer.push(samples[static_cast<std::size_t>(i)]);
+        if (in_prefix) {
+            // The prefix ends at the first sample that would close any
+            // incoming dip; from there on chunk-local detection is
+            // independent of the incoming state.
+            if (normalized > config.exitThreshold)
+                in_prefix = false;
+            else
+                r.prefixNorms.push_back(normalized);
+        }
+        if (detector.push(normalized, ev)) {
+            ev.startSample += begin;
+            ev.endSample += begin;
+            r.events.push_back(ev);
+        }
+    }
+
+    r.open = detector.state();
+    if (r.open.inDip) {
+        r.open.start += begin;
+        r.open.lastBelowExit += begin;
+    }
+    return r;
+}
+
+/**
+ * Sequentially merge per-chunk results into the event list streaming
+ * would have produced.  `carry` is the streaming detector's open-dip
+ * state at each chunk boundary.
+ */
+std::vector<StallEvent>
+stitch(const std::vector<ChunkResult> &chunks, const EmProfConfig &config)
+{
+    std::vector<StallEvent> events;
+    const uint64_t min_duration = config.minDurationSamples();
+    DipDetector::DipState carry;
+
+    const auto emit = [&](const DipDetector::DipState &dip) {
+        if (dip.lastBelowExit - dip.start + 1 < min_duration)
+            return;
+        StallEvent ev;
+        ev.startSample = dip.start;
+        ev.endSample = dip.lastBelowExit;
+        ev.depth = dip.depthCount == 0
+                       ? 0.0
+                       : dip.depthSum /
+                             static_cast<double>(dip.depthCount);
+        events.push_back(ev);
+    };
+
+    for (const auto &chunk : chunks) {
+        uint64_t first_valid = chunk.begin;
+        if (carry.inDip) {
+            // Replay the prefix into the carried dip sample by sample,
+            // in order, exactly as streaming would have accumulated it.
+            for (std::size_t k = 0; k < chunk.prefixNorms.size(); ++k) {
+                carry.lastBelowExit = chunk.begin + k;
+                carry.depthSum += chunk.prefixNorms[k];
+                ++carry.depthCount;
+            }
+            if (chunk.prefixNorms.size() == chunk.end - chunk.begin)
+                continue; // whole chunk below exit: dip stays open
+            emit(carry);
+            carry = DipDetector::DipState{};
+            // Chunk-local events inside the prefix belong to the
+            // carried dip, not to a fresh one.
+            first_valid = chunk.begin + chunk.prefixNorms.size();
+        }
+        for (const auto &ev : chunk.events)
+            if (ev.startSample >= first_valid)
+                events.push_back(ev);
+        if (chunk.open.inDip && chunk.open.start >= first_valid)
+            carry = chunk.open;
+    }
+
+    // Capture ends mid-dip: same flush rule as EmProf::finish().
+    if (carry.inDip)
+        emit(carry);
+    return events;
+}
+
+} // namespace
+
+ParallelAnalyzer::ParallelAnalyzer(ParallelAnalyzerConfig config)
+    : config_(config)
+{}
+
+ProfileResult
+ParallelAnalyzer::analyze(const dsp::TimeSeries &magnitude,
+                          EmProfConfig config) const
+{
+    if (magnitude.sampleRateHz > 0.0)
+        config.sampleRateHz = magnitude.sampleRateHz;
+
+    const std::size_t n = magnitude.samples.size();
+    const std::size_t threads =
+        config_.threads == 0 ? common::ThreadPool::hardwareThreads()
+                             : config_.threads;
+
+    std::size_t chunk = config_.chunkSamples;
+    if (chunk == 0) {
+        if (threads <= 1 || n < config_.minParallelSamples)
+            return EmProf::analyze(magnitude, config);
+        // A few chunks per thread for load balance, floored at eight
+        // normalisation windows so the halo re-feed (one window per
+        // chunk) stays under ~12% of each chunk's work.
+        chunk = std::max<std::size_t>(8 * config.normWindowSamples(),
+                                      (n + 3 * threads - 1) /
+                                          (3 * threads));
+    }
+    chunk = std::max<std::size_t>(chunk, 1);
+
+    const std::size_t num_chunks = (n + chunk - 1) / chunk;
+    if (threads <= 1 || num_chunks < 2)
+        return EmProf::analyze(magnitude, config);
+
+    std::vector<ChunkResult> results(num_chunks);
+    {
+        common::ThreadPool pool(std::min(threads, num_chunks));
+        std::vector<std::future<void>> pending;
+        pending.reserve(num_chunks);
+        const auto &samples = magnitude.samples;
+        for (std::size_t c = 0; c < num_chunks; ++c) {
+            const uint64_t begin = static_cast<uint64_t>(c) * chunk;
+            const uint64_t end =
+                std::min<uint64_t>(begin + chunk, n);
+            pending.push_back(pool.submit([&samples, &results, begin,
+                                           end, c, &config] {
+                results[c] = analyzeChunk(samples, begin, end, config);
+            }));
+        }
+        for (auto &f : pending)
+            f.get();
+    }
+
+    ProfileResult result;
+    result.events = stitch(results, config);
+    for (auto &ev : result.events)
+        classifyStall(ev, config);
+    result.report = makeReport(result.events, config.sampleRateHz,
+                               config.clockHz, n);
+    return result;
+}
+
+ProfileResult
+analyzeParallel(const dsp::TimeSeries &magnitude, EmProfConfig config,
+                ParallelAnalyzerConfig parallel)
+{
+    return ParallelAnalyzer(parallel).analyze(magnitude, config);
+}
+
+ProfileResult
+EmProf::analyzeParallel(const dsp::TimeSeries &magnitude,
+                        EmProfConfig config, std::size_t threads)
+{
+    ParallelAnalyzerConfig parallel;
+    parallel.threads = threads;
+    return profiler::analyzeParallel(magnitude, config, parallel);
+}
+
+} // namespace emprof::profiler

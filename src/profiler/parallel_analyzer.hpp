@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Parallel chunked batch analysis of recorded captures.
+ *
+ * A recorded capture is split into contiguous chunks; every chunk is
+ * normalised and dip-detected independently on a thread pool, and a
+ * sequential stitch pass merges dips that straddle chunk boundaries.
+ * The result is *bit-identical* to the streaming path (EmProf::analyze)
+ * — same events, same sample indices, same depths — at N× real time on
+ * N cores.  See DESIGN.md, "Parallel analysis & threading model", for
+ * the chunk/halo diagram and the determinism argument.
+ *
+ * Two properties make exact equivalence possible:
+ *
+ *  1. Normalisation is a pure function of a bounded history: the value
+ *     at sample i depends only on the last normWindowSamples() raw
+ *     samples.  Each chunk therefore re-feeds a "halo" of that many
+ *     preceding samples into a fresh normaliser before its own range,
+ *     reproducing the streaming envelope exactly.
+ *
+ *  2. The dip detector's cross-chunk dependence collapses at the first
+ *     normalised sample above the exit threshold: whatever the incoming
+ *     state was, the detector is guaranteed "not in a dip" right after
+ *     it.  Each chunk records its *prefix* (the leading run of samples
+ *     at or below exit) so the stitcher can replay those samples into a
+ *     dip left open by the previous chunk, sample for sample, in
+ *     order — preserving even the floating-point summation order of
+ *     the depth accumulator.
+ */
+
+#ifndef EMPROF_PROFILER_PARALLEL_ANALYZER_HPP
+#define EMPROF_PROFILER_PARALLEL_ANALYZER_HPP
+
+#include <cstddef>
+
+#include "dsp/types.hpp"
+#include "profiler/profiler.hpp"
+
+namespace emprof::profiler {
+
+/** Tuning knobs for the parallel batch analyzer. */
+struct ParallelAnalyzerConfig
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    std::size_t threads = 0;
+
+    /**
+     * Chunk length in samples; 0 picks one automatically (a few chunks
+     * per thread, floored at several normalisation windows so the halo
+     * re-normalisation overhead stays small).
+     */
+    std::size_t chunkSamples = 0;
+
+    /**
+     * With automatic chunking, inputs shorter than this run on the
+     * plain streaming path — the pool spin-up and halo overhead would
+     * dwarf any speedup.  Ignored when chunkSamples is set explicitly
+     * (tests use tiny chunks to exercise boundary stitching).
+     */
+    std::size_t minParallelSamples = 1u << 20;
+};
+
+/**
+ * Batch analyzer producing streaming-identical events from recorded
+ * captures using a pool of worker threads.
+ */
+class ParallelAnalyzer
+{
+  public:
+    explicit ParallelAnalyzer(ParallelAnalyzerConfig config = {});
+
+    /**
+     * Analyse a whole recorded magnitude series.
+     *
+     * The series' own sample rate overrides config.sampleRateHz, as in
+     * EmProf::analyze.  Falls back to the streaming path when the input
+     * is short or only one thread is available.
+     */
+    ProfileResult analyze(const dsp::TimeSeries &magnitude,
+                          EmProfConfig config) const;
+
+    const ParallelAnalyzerConfig &config() const { return config_; }
+
+  private:
+    ParallelAnalyzerConfig config_;
+};
+
+/** One-shot convenience wrapper around ParallelAnalyzer. */
+ProfileResult analyzeParallel(const dsp::TimeSeries &magnitude,
+                              EmProfConfig config,
+                              ParallelAnalyzerConfig parallel = {});
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_PARALLEL_ANALYZER_HPP

@@ -2,35 +2,27 @@
 
 namespace emprof::profiler {
 
-namespace {
-
-DipDetectorConfig
-detectorConfig(const EmProfConfig &config)
+void
+classifyStall(StallEvent &ev, const EmProfConfig &config)
 {
-    DipDetectorConfig dc;
-    dc.enterThreshold = config.enterThreshold;
-    dc.exitThreshold = config.exitThreshold;
-    dc.minDurationSamples = config.minDurationSamples();
-    return dc;
+    const double sample_ns = 1e9 / config.sampleRateHz;
+    ev.durationNs = static_cast<double>(ev.durationSamples()) * sample_ns;
+    ev.stallCycles = ev.durationNs * 1e-9 * config.clockHz;
+    ev.kind = ev.durationNs >= config.refreshStallNs
+                  ? StallKind::RefreshCoincident
+                  : StallKind::LlcMiss;
 }
-
-} // namespace
 
 EmProf::EmProf(const EmProfConfig &config)
     : config_(config),
       normalizer_(config.normWindowSamples(), config.minContrast),
-      detector_(detectorConfig(config))
+      detector_(config.detectorConfig())
 {}
 
 void
 EmProf::classify(StallEvent &ev) const
 {
-    const double sample_ns = 1e9 / config_.sampleRateHz;
-    ev.durationNs = static_cast<double>(ev.durationSamples()) * sample_ns;
-    ev.stallCycles = ev.durationNs * 1e-9 * config_.clockHz;
-    ev.kind = ev.durationNs >= config_.refreshStallNs
-                  ? StallKind::RefreshCoincident
-                  : StallKind::LlcMiss;
+    classifyStall(ev, config_);
 }
 
 bool

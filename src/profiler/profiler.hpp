@@ -94,6 +94,17 @@ struct EmProfConfig
             s < 1.0 ? uint64_t{1} : static_cast<uint64_t>(s + 0.5);
         return std::max(from_ns, minDurationFloorSamples);
     }
+
+    /** Derived: the dip-detector thresholds this config implies. */
+    DipDetectorConfig
+    detectorConfig() const
+    {
+        DipDetectorConfig dc;
+        dc.enterThreshold = enterThreshold;
+        dc.exitThreshold = exitThreshold;
+        dc.minDurationSamples = minDurationSamples();
+        return dc;
+    }
 };
 
 /** Result of analysing a signal. */
@@ -102,6 +113,14 @@ struct ProfileResult
     std::vector<StallEvent> events;
     ProfileReport report;
 };
+
+/**
+ * Convert a raw dip (sample indices + depth) into a classified stall:
+ * duration in ns and cycles, ordinary miss vs. refresh-coincident.
+ * Shared by the streaming facade and the parallel analyzer so both
+ * paths classify identically.
+ */
+void classifyStall(StallEvent &ev, const EmProfConfig &config);
 
 /**
  * Streaming EMPROF instance.
@@ -152,6 +171,17 @@ class EmProf
      */
     static ProfileResult analyze(const dsp::TimeSeries &magnitude,
                                  EmProfConfig config);
+
+    /**
+     * Batch convenience: analyse a recorded series on @p threads
+     * worker threads (0 = hardware concurrency), producing events
+     * bit-identical to analyze().  Short inputs fall back to the
+     * streaming path automatically; see profiler/parallel_analyzer.hpp
+     * for chunk-level control.  Implemented in parallel_analyzer.cpp.
+     */
+    static ProfileResult analyzeParallel(const dsp::TimeSeries &magnitude,
+                                         EmProfConfig config,
+                                         std::size_t threads = 0);
 
   private:
     /** Convert a raw dip into a classified stall event. */

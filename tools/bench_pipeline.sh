@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Build and run the end-to-end pipeline throughput benchmark, leaving
+# BENCH_pipeline.json in the repository root so the streaming vs.
+# parallel perf trajectory is tracked across PRs.
+#
+#   tools/bench_pipeline.sh [--samples N]
+#
+# BUILD_DIR overrides the build directory (default: build).
+set -e
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake --build "$BUILD_DIR" --target throughput_pipeline -j
+"$BUILD_DIR/bench/throughput_pipeline" --json BENCH_pipeline.json "$@"

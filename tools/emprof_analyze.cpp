@@ -16,14 +16,17 @@
  * Fig. 11 / Fig. 13 views; --csv exports events for plotting.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "dsp/signal_io.hpp"
 #include "profiler/boot_profile.hpp"
 #include "profiler/marker.hpp"
+#include "profiler/parallel_analyzer.hpp"
 #include "profiler/profiler.hpp"
 #include "profiler/report.hpp"
 
@@ -51,6 +54,12 @@ usage(const char *argv0)
         "  --min-stall-ns <f>  duration threshold    (default 60)\n"
         "  --refresh-ns <f>    refresh classifier    (default 1200)\n"
         "  --window-ms <f>     normalisation window  (default 4)\n"
+        "\n"
+        "performance:\n"
+        "  --threads <n>       analysis worker threads; events are\n"
+        "                      bit-identical to single-threaded\n"
+        "                      (default: hardware concurrency, 1\n"
+        "                      forces the streaming path)\n"
         "\n"
         "views:\n"
         "  --section           analyse only between marker loops\n"
@@ -84,6 +93,7 @@ main(int argc, char **argv)
     bool raw_f32 = false, raw_iq = false;
     bool use_section = false, histogram = false;
     double rate_mhz = 0.0, clock_ghz = 1.008, boot_bucket_us = 0.0;
+    std::size_t threads = common::ThreadPool::hardwareThreads();
     std::string events_csv;
     profiler::EmProfConfig config;
 
@@ -107,6 +117,9 @@ main(int argc, char **argv)
             config.refreshStallNs = argValue(argc, argv, i);
         else if (arg == "--window-ms")
             config.normWindowSeconds = argValue(argc, argv, i) * 1e-3;
+        else if (arg == "--threads")
+            threads = static_cast<std::size_t>(
+                std::max(1.0, argValue(argc, argv, i)));
         else if (arg == "--section")
             use_section = true;
         else if (arg == "--histogram")
@@ -161,7 +174,10 @@ main(int argc, char **argv)
     }
 
     config.clockHz = clock_ghz * 1e9;
-    const auto result = profiler::EmProf::analyze(signal, config);
+    const auto result =
+        threads > 1
+            ? profiler::EmProf::analyzeParallel(signal, config, threads)
+            : profiler::EmProf::analyze(signal, config);
     std::printf("\n%s", result.report.toText("EMPROF report:").c_str());
 
     if (histogram) {
