@@ -1,0 +1,209 @@
+/**
+ * @file
+ * EMCAP store throughput: encode and decode rates plus compression
+ * ratio for each codec mode, on the same synthetic memory-bound
+ * capture throughput_pipeline uses.  Results go to stdout and to
+ * machine-readable JSON (default BENCH_store.json) so the container's
+ * perf trajectory is tracked across PRs alongside the analysis
+ * pipeline numbers.
+ *
+ *   throughput_store [--samples N] [--json PATH]
+ *
+ * Rates are reported in MB/s of *raw f32 signal* moved through the
+ * codec (i.e. the number an operator cares about: how fast can a
+ * 40 MHz * 4 B/s capture stream be packed and unpacked), and each mode
+ * verifies its round-trip before publishing a number.
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "store/capture_reader.hpp"
+#include "store/capture_writer.hpp"
+
+using namespace emprof;
+
+namespace {
+
+dsp::TimeSeries
+syntheticCapture(std::size_t total)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 40e6;
+    s.samples.assign(total, 1.0f);
+    dsp::Rng rng(0xca97);
+    for (auto &x : s.samples)
+        x += static_cast<float>(0.02 * (rng.uniform() - 0.5));
+    std::size_t pos = 1000;
+    while (pos + 120 < total) {
+        const std::size_t len =
+            rng.chance(0.01) ? 100 : 8 + rng.below(7);
+        for (std::size_t i = pos; i < pos + len; ++i)
+            s.samples[i] = 0.2f;
+        pos += len + 40 + rng.below(120);
+    }
+    return s;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct Mode
+{
+    const char *name;
+    store::SampleCodec codec;
+    unsigned quantBits;
+    bool compress;
+};
+
+struct Measurement
+{
+    const char *mode;
+    double encodeMBs;
+    double decodeMBs;
+    double ratio;
+    double maxAbsError;
+    uint64_t fileBytes;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t total = 8'000'000;
+    std::string json_path = "BENCH_store.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--samples") && i + 1 < argc)
+            total = static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--samples N] [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("synthesising %zu-sample capture...\n", total);
+    const auto sig = syntheticCapture(total);
+    const double raw_mb =
+        static_cast<double>(total) * sizeof(float) / 1e6;
+
+    const Mode modes[] = {
+        {"f32_packed", store::SampleCodec::F32, 0, true},
+        {"f32_raw", store::SampleCodec::F32, 0, false},
+        {"i16_packed", store::SampleCodec::QuantI16, 16, true},
+        {"i16_raw", store::SampleCodec::QuantI16, 16, false},
+        {"i12_packed", store::SampleCodec::QuantI16, 12, true},
+    };
+
+    std::vector<Measurement> runs;
+    bool ok = true;
+    for (const Mode &mode : modes) {
+        store::WriterOptions opt;
+        opt.sampleRateHz = sig.sampleRateHz;
+        opt.clockHz = 1e9;
+        opt.deviceName = "bench";
+        opt.codec = mode.codec;
+        opt.quantBits = mode.quantBits;
+        opt.compress = mode.compress;
+
+        const std::string path =
+            std::string("bench_store_") + mode.name + ".emcap";
+
+        auto t0 = std::chrono::steady_clock::now();
+        store::WriterStats stats;
+        if (!store::writeCapture(path, sig, opt, &stats)) {
+            std::fprintf(stderr, "%s: write failed\n", mode.name);
+            return 1;
+        }
+        auto t1 = std::chrono::steady_clock::now();
+        const double enc_sec = seconds(t0, t1);
+
+        store::CaptureReader reader;
+        std::string error;
+        dsp::TimeSeries loaded;
+        t0 = std::chrono::steady_clock::now();
+        if (!reader.open(path, &error) ||
+            !reader.readAll(loaded, &error)) {
+            std::fprintf(stderr, "%s: read failed: %s\n", mode.name,
+                         error.c_str());
+            return 1;
+        }
+        t1 = std::chrono::steady_clock::now();
+        const double dec_sec = seconds(t0, t1);
+
+        // Publish no number for a codec that does not round-trip.
+        double max_err = 0.0;
+        if (loaded.samples.size() != sig.samples.size()) {
+            std::fprintf(stderr, "%s: sample count mismatch\n",
+                         mode.name);
+            ok = false;
+        } else {
+            for (std::size_t i = 0; i < total; ++i)
+                max_err = std::max(
+                    max_err,
+                    std::fabs(static_cast<double>(loaded.samples[i]) -
+                              static_cast<double>(sig.samples[i])));
+            if (mode.codec == store::SampleCodec::F32 && max_err != 0.0) {
+                std::fprintf(stderr, "%s: lossless mode lost bits\n",
+                             mode.name);
+                ok = false;
+            }
+        }
+
+        runs.push_back({mode.name, raw_mb / enc_sec, raw_mb / dec_sec,
+                        stats.compressionRatio(), max_err,
+                        stats.fileBytes});
+        std::printf("%-11s: encode %7.1f MB/s  decode %7.1f MB/s  "
+                    "%5.2fx  max-err %.2e\n",
+                    mode.name, runs.back().encodeMBs,
+                    runs.back().decodeMBs, runs.back().ratio, max_err);
+        std::remove(path.c_str());
+    }
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"throughput_store\",\n"
+                 "  \"samples\": %zu,\n"
+                 "  \"raw_mb\": %.1f,\n"
+                 "  \"ok\": %s,\n"
+                 "  \"runs\": [\n",
+                 total, raw_mb, ok ? "true" : "false");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        std::fprintf(f,
+                     "    {\"mode\": \"%s\", "
+                     "\"encode_mb_per_sec\": %.1f, "
+                     "\"decode_mb_per_sec\": %.1f, "
+                     "\"compression_ratio\": %.3f, "
+                     "\"max_abs_error\": %.3e, "
+                     "\"file_bytes\": %llu}%s\n",
+                     r.mode, r.encodeMBs, r.decodeMBs, r.ratio,
+                     r.maxAbsError,
+                     static_cast<unsigned long long>(r.fileBytes),
+                     i + 1 == runs.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return ok ? 0 : 1;
+}

@@ -113,6 +113,22 @@ loadSignal(const std::string &path, TimeSeries &out)
     return false;
 }
 
+SignalFileType
+sniffSignalFile(const std::string &path)
+{
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file)
+        return SignalFileType::Unknown;
+    char magic[4] = {};
+    if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic))
+        return SignalFileType::Unknown;
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
+        return SignalFileType::Emsig;
+    if (std::memcmp(magic, "EMCP", 4) == 0)
+        return SignalFileType::Emcap;
+    return SignalFileType::Unknown;
+}
+
 bool
 loadRawF32(const std::string &path, double sample_rate_hz, bool iq,
            TimeSeries &out)
@@ -121,8 +137,22 @@ loadRawF32(const std::string &path, double sample_rate_hz, bool iq,
     if (!file)
         return false;
 
+    // A raw capture is an exact array of f32 (or f32 I/Q pairs); a
+    // remainder means truncation or a non-raw file.  Refuse rather
+    // than analyse a silently-mangled signal.
+    if (std::fseek(file.get(), 0, SEEK_END) != 0)
+        return false;
+    const long bytes = std::ftell(file.get());
+    if (bytes < 0 ||
+        bytes % static_cast<long>(iq ? 2 * sizeof(float)
+                                     : sizeof(float)) != 0)
+        return false;
+    std::rewind(file.get());
+
     out.sampleRateHz = sample_rate_hz;
     out.samples.clear();
+    out.samples.reserve(static_cast<std::size_t>(bytes) /
+                        (iq ? 2 * sizeof(float) : sizeof(float)));
 
     float buf[4096];
     float pending_i = 0.0f;

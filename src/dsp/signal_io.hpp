@@ -26,6 +26,20 @@ enum class SignalKind : uint32_t
     Iq = 2,        ///< interleaved I/Q float pairs
 };
 
+/** What the first bytes of a signal file claim it is. */
+enum class SignalFileType
+{
+    Unknown, ///< no recognised magic (possibly a headerless raw dump)
+    Emsig,   ///< legacy .emsig container ("EMSG")
+    Emcap,   ///< chunked EMCAP container ("EMCP", see src/store/)
+};
+
+/**
+ * Probe a file's magic bytes.  Lets tools route a capture to the right
+ * loader instead of silently misreading one format as another.
+ */
+SignalFileType sniffSignalFile(const std::string &path);
+
 /**
  * Write a real series as an .emsig file.
  *
@@ -47,9 +61,16 @@ bool loadSignal(const std::string &path, TimeSeries &out);
 /**
  * Load raw float32 samples (no header — e.g. a GNU Radio file sink).
  *
+ * The file's byte count must be an exact multiple of the sample size
+ * (4 bytes, or 8 for an I/Q pair): a remainder means the file is
+ * truncated or not raw float32 at all, and silently dropping the tail
+ * would turn garbage input into a plausible-looking profile.
+ *
  * @param sample_rate_hz Sample rate to attach (raw files carry none).
  * @param iq Interpret the payload as interleaved I/Q and output
  *        magnitude.
+ * @retval false Missing file, or byte count not a multiple of the
+ *         sample size.
  */
 bool loadRawF32(const std::string &path, double sample_rate_hz, bool iq,
                 TimeSeries &out);

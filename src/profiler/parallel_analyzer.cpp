@@ -1,13 +1,16 @@
 #include "profiler/parallel_analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <future>
+#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "profiler/dip_detector.hpp"
 #include "profiler/normalizer.hpp"
 #include "profiler/report.hpp"
+#include "store/capture_reader.hpp"
 
 namespace emprof::profiler {
 
@@ -34,9 +37,15 @@ struct ChunkResult
  * Analyse samples [begin, end): re-feed the halo to warm the
  * normaliser, then run a fresh dip detector over the chunk, recording
  * the prefix and the end-of-chunk open-dip state for the stitcher.
+ *
+ * @param data Sample storage; data[i - dataBegin] is global sample i.
+ *        Must cover at least [begin - halo, end), where the halo is
+ *        the usual min(begin, normWindowSamples() - 1) — the in-memory
+ *        path passes the whole capture (dataBegin 0), the EMCAP path
+ *        passes just the task's decoded span.
  */
 ChunkResult
-analyzeChunk(const std::vector<dsp::Sample> &samples, uint64_t begin,
+analyzeChunk(const dsp::Sample *data, uint64_t dataBegin, uint64_t begin,
              uint64_t end, const EmProfConfig &config)
 {
     ChunkResult r;
@@ -46,17 +55,19 @@ analyzeChunk(const std::vector<dsp::Sample> &samples, uint64_t begin,
     const std::size_t window = config.normWindowSamples();
     const uint64_t halo =
         std::min<uint64_t>(begin, window > 0 ? window - 1 : 0);
+    const auto at = [&](uint64_t i) {
+        return data[static_cast<std::size_t>(i - dataBegin)];
+    };
 
     MovingMinMaxNormalizer normalizer(window, config.minContrast);
     for (uint64_t i = begin - halo; i < begin; ++i)
-        normalizer.push(samples[static_cast<std::size_t>(i)]);
+        normalizer.push(at(i));
 
     DipDetector detector(config.detectorConfig());
     bool in_prefix = true;
     StallEvent ev;
     for (uint64_t i = begin; i < end; ++i) {
-        const double normalized =
-            normalizer.push(samples[static_cast<std::size_t>(i)]);
+        const double normalized = normalizer.push(at(i));
         if (in_prefix) {
             // The prefix ends at the first sample that would close any
             // incoming dip; from there on chunk-local detection is
@@ -184,7 +195,8 @@ ParallelAnalyzer::analyze(const dsp::TimeSeries &magnitude,
                 std::min<uint64_t>(begin + chunk, n);
             pending.push_back(pool.submit([&samples, &results, begin,
                                            end, c, &config] {
-                results[c] = analyzeChunk(samples, begin, end, config);
+                results[c] = analyzeChunk(samples.data(), 0, begin,
+                                          end, config);
             }));
         }
         for (auto &f : pending)
@@ -200,11 +212,127 @@ ParallelAnalyzer::analyze(const dsp::TimeSeries &magnitude,
     return result;
 }
 
+bool
+ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
+                                 EmProfConfig config, ProfileResult &out,
+                                 std::string *error) const
+{
+    const store::CaptureInfo &info = reader.info();
+    if (info.sampleRateHz > 0.0)
+        config.sampleRateHz = info.sampleRateHz;
+    const uint64_t n = info.totalSamples;
+
+    const std::size_t threads =
+        config_.threads == 0 ? common::ThreadPool::hardwareThreads()
+                             : config_.threads;
+
+    // Short/serial inputs: decode once, run the streaming path — the
+    // same fallback rule (and therefore the same result) as analyze().
+    const auto streaming = [&]() {
+        dsp::TimeSeries series;
+        if (!reader.readAll(series, error))
+            return false;
+        out = EmProf::analyze(series, config);
+        return true;
+    };
+
+    std::size_t chunk = config_.chunkSamples;
+    if (chunk == 0) {
+        if (threads <= 1 || n < config_.minParallelSamples)
+            return streaming();
+        chunk = std::max<std::size_t>(8 * config.normWindowSamples(),
+                                      (n + 3 * threads - 1) /
+                                          (3 * threads));
+    }
+    chunk = std::max<std::size_t>(chunk, 1);
+
+    // Analysis tasks aligned to stored-chunk boundaries, each spanning
+    // enough stored chunks to reach the target analysis chunk size, so
+    // no stored chunk is decoded twice except as a neighbour's halo.
+    struct Span
+    {
+        uint64_t begin;
+        uint64_t end;
+    };
+    std::vector<Span> spans;
+    uint64_t next_begin = 0;
+    for (std::size_t c = 0; c < reader.chunkCount(); ++c) {
+        const auto &entry = reader.chunk(c);
+        const uint64_t end = entry.firstSample + entry.sampleCount;
+        if (end - next_begin >= chunk ||
+            c + 1 == reader.chunkCount()) {
+            spans.push_back({next_begin, end});
+            next_begin = end;
+        }
+    }
+    if (threads <= 1 || spans.size() < 2)
+        return streaming();
+
+    std::vector<ChunkResult> results(spans.size());
+    std::atomic<bool> ok{true};
+    std::mutex error_mutex;
+    std::string first_error;
+    const std::size_t window = config.normWindowSamples();
+    {
+        common::ThreadPool pool(std::min(threads, spans.size()));
+        std::vector<std::future<void>> pending;
+        pending.reserve(spans.size());
+        for (std::size_t t = 0; t < spans.size(); ++t) {
+            pending.push_back(pool.submit([&, t] {
+                if (!ok.load(std::memory_order_relaxed))
+                    return; // a sibling already failed
+                const Span span = spans[t];
+                const uint64_t halo = std::min<uint64_t>(
+                    span.begin, window > 0 ? window - 1 : 0);
+                std::vector<dsp::Sample> local;
+                std::string chunk_error;
+                if (!reader.readRange(span.begin - halo,
+                                      halo + (span.end - span.begin),
+                                      local, &chunk_error)) {
+                    ok.store(false, std::memory_order_relaxed);
+                    const std::lock_guard<std::mutex> lock(error_mutex);
+                    if (first_error.empty())
+                        first_error = chunk_error;
+                    return;
+                }
+                results[t] =
+                    analyzeChunk(local.data(), span.begin - halo,
+                                 span.begin, span.end, config);
+            }));
+        }
+        for (auto &f : pending)
+            f.get();
+    }
+    if (!ok.load()) {
+        if (error != nullptr)
+            *error = first_error;
+        return false;
+    }
+
+    out = ProfileResult{};
+    out.events = stitch(results, config);
+    for (auto &ev : out.events)
+        classifyStall(ev, config);
+    out.report = makeReport(out.events, config.sampleRateHz,
+                            config.clockHz, n);
+    return true;
+}
+
 ProfileResult
 analyzeParallel(const dsp::TimeSeries &magnitude, EmProfConfig config,
                 ParallelAnalyzerConfig parallel)
 {
     return ParallelAnalyzer(parallel).analyze(magnitude, config);
+}
+
+bool
+analyzeCaptureParallel(const store::CaptureReader &reader,
+                       EmProfConfig config, ProfileResult &out,
+                       ParallelAnalyzerConfig parallel,
+                       std::string *error)
+{
+    return ParallelAnalyzer(parallel).analyzeCapture(reader, config,
+                                                     out, error);
 }
 
 ProfileResult

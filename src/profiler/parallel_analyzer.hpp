@@ -32,9 +32,14 @@
 #define EMPROF_PROFILER_PARALLEL_ANALYZER_HPP
 
 #include <cstddef>
+#include <string>
 
 #include "dsp/types.hpp"
 #include "profiler/profiler.hpp"
+
+namespace emprof::store {
+class CaptureReader;
+}
 
 namespace emprof::profiler {
 
@@ -79,6 +84,28 @@ class ParallelAnalyzer
     ProfileResult analyze(const dsp::TimeSeries &magnitude,
                           EmProfConfig config) const;
 
+    /**
+     * Analyse an EMCAP capture straight off disk.
+     *
+     * Each worker seeks to its own span of chunks via the footer index
+     * and decodes them concurrently with everyone else's dip
+     * detection — the capture is never materialised in one buffer, so
+     * peak memory is O(threads * task span), and decode overlaps
+     * analysis instead of serialising in a front-end loader.  The
+     * events are bit-identical to readAll() + analyze() (and therefore
+     * to the streaming path) for every thread count and chunk layout.
+     *
+     * The capture's sample rate overrides config.sampleRateHz; its
+     * clock is NOT applied to config (callers decide, since a command
+     * line may override the recorded clock).
+     *
+     * @retval false A chunk failed its CRC or decode; @p error (if
+     *         non-null) says which.
+     */
+    bool analyzeCapture(const store::CaptureReader &reader,
+                        EmProfConfig config, ProfileResult &out,
+                        std::string *error = nullptr) const;
+
     const ParallelAnalyzerConfig &config() const { return config_; }
 
   private:
@@ -89,6 +116,12 @@ class ParallelAnalyzer
 ProfileResult analyzeParallel(const dsp::TimeSeries &magnitude,
                               EmProfConfig config,
                               ParallelAnalyzerConfig parallel = {});
+
+/** One-shot convenience wrapper for EMCAP captures. */
+bool analyzeCaptureParallel(const store::CaptureReader &reader,
+                            EmProfConfig config, ProfileResult &out,
+                            ParallelAnalyzerConfig parallel = {},
+                            std::string *error = nullptr);
 
 } // namespace emprof::profiler
 

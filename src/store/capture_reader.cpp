@@ -1,0 +1,333 @@
+#include "store/capture_reader.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "store/chunk_codec.hpp"
+#include "store/crc32c.hpp"
+
+namespace emprof::store {
+
+namespace {
+
+#ifndef _WIN32
+
+int
+openFile(const std::string &path, uint64_t &size)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return -1;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return -1;
+    }
+    size = static_cast<uint64_t>(st.st_size);
+    return fd;
+}
+
+void
+closeFile(int fd)
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+#else // Portable fallback: a fresh handle per positioned read.
+
+int
+openFile(const std::string &path, uint64_t &size)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return -1;
+    std::fseek(f, 0, SEEK_END);
+    const long end = std::ftell(f);
+    std::fclose(f);
+    if (end < 0)
+        return -1;
+    size = static_cast<uint64_t>(end);
+    return 0; // liveness token only; reads reopen by path
+}
+
+void
+closeFile(int)
+{}
+
+#endif
+
+} // namespace
+
+bool
+CaptureReader::preadAt(uint64_t offset, void *buf, std::size_t len) const
+{
+#ifndef _WIN32
+    auto *p = static_cast<uint8_t *>(buf);
+    while (len > 0) {
+        const ssize_t got =
+            ::pread(fd_, p, len, static_cast<off_t>(offset));
+        if (got <= 0)
+            return false;
+        p += got;
+        offset += static_cast<uint64_t>(got);
+        len -= static_cast<std::size_t>(got);
+    }
+    return true;
+#else
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    const bool ok =
+        std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
+        std::fread(buf, 1, len, f) == len;
+    std::fclose(f);
+    return ok;
+#endif
+}
+
+CaptureReader::~CaptureReader() { close(); }
+
+void
+CaptureReader::close()
+{
+    closeFile(fd_);
+    fd_ = -1;
+    path_.clear();
+    index_.clear();
+    info_ = CaptureInfo{};
+    fileSize_ = 0;
+}
+
+bool
+CaptureReader::fail(std::string *error, const std::string &message) const
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+bool
+CaptureReader::open(const std::string &path, std::string *error)
+{
+    close();
+    path_ = path;
+    fd_ = openFile(path, fileSize_);
+    if (fd_ < 0)
+        return fail(error, "cannot open " + path);
+
+    const auto bail = [&](const std::string &message) {
+        close();
+        return fail(error, message);
+    };
+
+    if (fileSize_ < sizeof(FileHeader) + sizeof(FooterTail))
+        return bail("file too short to be an EMCAP capture");
+
+    FileHeader header{};
+    if (!preadAt(0, &header, sizeof(header)))
+        return bail("cannot read file header");
+    if (std::memcmp(header.magic, kEmcapMagic, sizeof(kEmcapMagic)) != 0)
+        return bail("bad magic: not an EMCAP file");
+    if (header.version != kEmcapVersion)
+        return bail("unsupported EMCAP version");
+    if (crc32c(0, &header, offsetof(FileHeader, headerCrc)) !=
+        header.headerCrc)
+        return bail("file header CRC mismatch");
+    if (header.codec != static_cast<uint32_t>(SampleCodec::F32) &&
+        header.codec != static_cast<uint32_t>(SampleCodec::QuantI16))
+        return bail("unknown sample codec");
+
+    FooterTail tail{};
+    if (!preadAt(fileSize_ - sizeof(tail), &tail, sizeof(tail)))
+        return bail("cannot read footer");
+    if (std::memcmp(tail.magic, kFooterMagic, sizeof(kFooterMagic)) != 0)
+        return bail("bad footer magic (truncated file?)");
+
+    // Each chunk needs >= 20 bytes of body plus its 24-byte index
+    // entry, which bounds the plausible chunk count before we allocate.
+    const uint64_t non_chunk_bytes =
+        sizeof(FileHeader) + sizeof(FooterTail);
+    if (tail.chunkCount >
+        (fileSize_ - non_chunk_bytes) /
+            (sizeof(ChunkHeader) + sizeof(ChunkIndexEntry)))
+        return bail("footer chunk count impossible for file size");
+
+    const uint64_t index_bytes =
+        tail.chunkCount * sizeof(ChunkIndexEntry);
+    const uint64_t footer_start =
+        fileSize_ - sizeof(FooterTail) - index_bytes;
+
+    index_.resize(static_cast<std::size_t>(tail.chunkCount));
+    if (index_bytes != 0 &&
+        !preadAt(footer_start, index_.data(), index_bytes))
+        return bail("cannot read footer index");
+
+    uint32_t crc = crc32c(0, index_.data(), index_bytes);
+    crc = crc32c(crc, &tail, offsetof(FooterTail, footerCrc));
+    if (crc != tail.footerCrc)
+        return bail("footer CRC mismatch");
+    if (tail.totalSamples != header.totalSamples)
+        return bail("header/footer sample counts disagree");
+
+    // The chunk stream must tile [header, footer) exactly.
+    uint64_t offset = sizeof(FileHeader);
+    uint64_t samples = 0;
+    for (const auto &entry : index_) {
+        if (entry.fileOffset != offset ||
+            entry.firstSample != samples ||
+            entry.sampleCount == 0 ||
+            entry.storedBytes < sizeof(ChunkHeader))
+            return bail("footer index inconsistent");
+        offset += entry.storedBytes;
+        samples += entry.sampleCount;
+    }
+    if (offset != footer_start || samples != tail.totalSamples)
+        return bail("chunks do not tile the file");
+
+    info_.version = header.version;
+    info_.codec = static_cast<SampleCodec>(header.codec);
+    info_.quantBits = header.quantBits;
+    info_.sampleRateHz = header.sampleRateHz;
+    info_.clockHz = header.clockHz;
+    info_.deviceName.assign(
+        header.deviceName,
+        ::strnlen(header.deviceName, sizeof(header.deviceName)));
+    info_.totalSamples = header.totalSamples;
+    return true;
+}
+
+std::size_t
+CaptureReader::chunkContaining(uint64_t sample) const
+{
+    const auto it = std::upper_bound(
+        index_.begin(), index_.end(), sample,
+        [](uint64_t s, const ChunkIndexEntry &e) {
+            return s < e.firstSample;
+        });
+    return it == index_.begin()
+               ? 0
+               : static_cast<std::size_t>(it - index_.begin() - 1);
+}
+
+bool
+CaptureReader::decodeChunk(std::size_t i, std::vector<dsp::Sample> &out,
+                           std::string *error) const
+{
+    if (!isOpen() || i >= index_.size())
+        return fail(error, "chunk index out of range");
+    const ChunkIndexEntry &entry = index_[i];
+
+    std::vector<uint8_t> stored(entry.storedBytes);
+    if (!preadAt(entry.fileOffset, stored.data(), stored.size()))
+        return fail(error, "cannot read chunk " + std::to_string(i));
+
+    ChunkHeader header{};
+    std::memcpy(&header, stored.data(), sizeof(header));
+    const uint8_t *payload = stored.data() + sizeof(header);
+    const std::size_t payload_bytes = stored.size() - sizeof(header);
+
+    if (header.sampleCount != entry.sampleCount ||
+        header.payloadBytes != payload_bytes)
+        return fail(error, "chunk " + std::to_string(i) +
+                               " header disagrees with footer index");
+    uint32_t crc = crc32c(0, &header, offsetof(ChunkHeader, crc));
+    crc = crc32c(crc, payload, payload_bytes);
+    if (crc != header.crc)
+        return fail(error,
+                    "chunk " + std::to_string(i) + " CRC mismatch");
+
+    out.resize(entry.sampleCount);
+    if (!store::decodeChunk(payload, payload_bytes,
+                            static_cast<ChunkEncoding>(header.encoding),
+                            info_.codec, header.scale, out.size(),
+                            out.data()))
+        return fail(error, "chunk " + std::to_string(i) +
+                               " payload malformed");
+    return true;
+}
+
+bool
+CaptureReader::readRange(uint64_t first, uint64_t count,
+                         std::vector<dsp::Sample> &out,
+                         std::string *error) const
+{
+    if (!isOpen())
+        return fail(error, "reader not open");
+    if (first + count < first || first + count > info_.totalSamples)
+        return fail(error, "sample range exceeds capture");
+
+    out.resize(static_cast<std::size_t>(count));
+    if (count == 0)
+        return true;
+
+    std::vector<dsp::Sample> scratch;
+    uint64_t cursor = first;
+    std::size_t ci = chunkContaining(first);
+    while (cursor < first + count) {
+        const ChunkIndexEntry &entry = index_[ci];
+        if (!decodeChunk(ci, scratch, error))
+            return false;
+        const uint64_t lo = cursor - entry.firstSample;
+        const uint64_t hi = std::min<uint64_t>(
+            entry.sampleCount, first + count - entry.firstSample);
+        std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(lo),
+                  scratch.begin() + static_cast<std::ptrdiff_t>(hi),
+                  out.begin() +
+                      static_cast<std::ptrdiff_t>(cursor - first));
+        cursor = entry.firstSample + hi;
+        ++ci;
+    }
+    return true;
+}
+
+bool
+CaptureReader::readAll(dsp::TimeSeries &out, std::string *error) const
+{
+    out.sampleRateHz = info_.sampleRateHz;
+    return readRange(0, info_.totalSamples, out.samples, error);
+}
+
+CaptureReader::VerifyResult
+CaptureReader::verify() const
+{
+    VerifyResult result;
+    if (!isOpen()) {
+        result.error = "reader not open";
+        return result;
+    }
+
+    // open() already vetted header + footer; walk every payload too.
+    std::vector<dsp::Sample> scratch;
+    for (std::size_t i = 0; i < index_.size(); ++i) {
+        ++result.chunksChecked;
+        if (!decodeChunk(i, scratch))
+            result.badChunks.push_back(i);
+    }
+    result.ok = result.badChunks.empty();
+    return result;
+}
+
+bool
+CaptureReader::isEmcap(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return false;
+    char magic[4] = {};
+    const bool ok =
+        std::fread(magic, 1, sizeof(magic), f) == sizeof(magic) &&
+        std::memcmp(magic, kEmcapMagic, sizeof(magic)) == 0;
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace emprof::store

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Random-access EMCAP reader.
+ *
+ * open() validates the header and the footer index (magic, version,
+ * CRC32C, chunk-table consistency) without touching any payload, so
+ * opening a multi-GB capture is O(chunks), not O(samples).  Chunks are
+ * then decoded on demand:
+ *
+ *  - decodeChunk() checks the chunk's CRC and decodes it — it is
+ *    `const` and uses positioned reads (pread), so any number of
+ *    threads may decode different chunks of one reader concurrently;
+ *    this is what lets ParallelAnalyzer overlap decode with analysis.
+ *  - readRange() seeks straight to the covering chunks via the footer
+ *    index: O(1) per lookup plus one decode per touched chunk.
+ *  - verify() walks every byte of the file against its CRC and reports
+ *    which chunks are damaged — a capture with one flipped bit loses
+ *    one chunk, not the corpus.
+ */
+
+#ifndef EMPROF_STORE_CAPTURE_READER_HPP
+#define EMPROF_STORE_CAPTURE_READER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "store/emcap_format.hpp"
+
+namespace emprof::store {
+
+/** Decoded file-header metadata. */
+struct CaptureInfo
+{
+    uint32_t version = 0;
+    SampleCodec codec = SampleCodec::F32;
+    unsigned quantBits = 0;
+    double sampleRateHz = 0.0;
+    double clockHz = 0.0;
+    std::string deviceName;
+    uint64_t totalSamples = 0;
+};
+
+class CaptureReader
+{
+  public:
+    CaptureReader() = default;
+    ~CaptureReader();
+
+    CaptureReader(const CaptureReader &) = delete;
+    CaptureReader &operator=(const CaptureReader &) = delete;
+
+    /**
+     * Open and validate header + footer.
+     *
+     * @param error Receives a one-line reason on failure.
+     */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    void close();
+
+    bool isOpen() const { return fd_ >= 0; }
+
+    const CaptureInfo &info() const { return info_; }
+
+    std::size_t chunkCount() const { return index_.size(); }
+
+    const ChunkIndexEntry &chunk(std::size_t i) const
+    {
+        return index_[i];
+    }
+
+    /** Index of the chunk containing global sample @p sample. */
+    std::size_t chunkContaining(uint64_t sample) const;
+
+    /**
+     * CRC-check and decode chunk @p i into @p out (resized to the
+     * chunk's sample count).  Thread-safe.
+     */
+    bool decodeChunk(std::size_t i, std::vector<dsp::Sample> &out,
+                     std::string *error = nullptr) const;
+
+    /**
+     * Decode exactly samples [first, first + count) into @p out.
+     * Thread-safe.  Fails if the range exceeds the capture or any
+     * covering chunk is corrupt.
+     */
+    bool readRange(uint64_t first, uint64_t count,
+                   std::vector<dsp::Sample> &out,
+                   std::string *error = nullptr) const;
+
+    /** Whole capture as a TimeSeries (sample rate attached). */
+    bool readAll(dsp::TimeSeries &out,
+                 std::string *error = nullptr) const;
+
+    /** Outcome of a full-file integrity walk. */
+    struct VerifyResult
+    {
+        bool ok = false;
+        std::size_t chunksChecked = 0;
+        std::vector<std::size_t> badChunks;
+        std::string error; ///< non-chunk failure (header/footer/...)
+    };
+
+    /** Re-check every CRC in the file, payloads included. */
+    VerifyResult verify() const;
+
+    /** Cheap magic probe: does @p path start with an EMCAP header? */
+    static bool isEmcap(const std::string &path);
+
+  private:
+    bool fail(std::string *error, const std::string &message) const;
+
+    /** Positioned read at @p offset; thread-safe. */
+    bool preadAt(uint64_t offset, void *buf, std::size_t len) const;
+
+    int fd_ = -1;
+    std::string path_;
+    uint64_t fileSize_ = 0;
+    CaptureInfo info_;
+    std::vector<ChunkIndexEntry> index_;
+};
+
+} // namespace emprof::store
+
+#endif // EMPROF_STORE_CAPTURE_READER_HPP

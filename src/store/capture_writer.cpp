@@ -1,0 +1,185 @@
+#include "store/capture_writer.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "store/crc32c.hpp"
+
+namespace emprof::store {
+
+namespace {
+
+FileHeader
+makeHeader(const WriterOptions &options, uint64_t total_samples)
+{
+    FileHeader header{};
+    std::memcpy(header.magic, kEmcapMagic, sizeof(kEmcapMagic));
+    header.version = kEmcapVersion;
+    header.codec = static_cast<uint32_t>(options.codec);
+    header.quantBits =
+        options.codec == SampleCodec::QuantI16 ? options.quantBits : 0;
+    header.sampleRateHz = options.sampleRateHz;
+    header.clockHz = options.clockHz;
+    header.totalSamples = total_samples;
+    std::strncpy(header.deviceName, options.deviceName.c_str(),
+                 sizeof(header.deviceName) - 1);
+    header.headerCrc =
+        crc32c(0, &header, offsetof(FileHeader, headerCrc));
+    return header;
+}
+
+} // namespace
+
+CaptureWriter::~CaptureWriter()
+{
+    if (file_ != nullptr)
+        std::fclose(file_); // abandoned without finalize(): no footer
+}
+
+bool
+CaptureWriter::open(const std::string &path, const WriterOptions &options)
+{
+    if (file_ != nullptr || options.chunkSamples == 0)
+        return false;
+    if (options.codec == SampleCodec::QuantI16 &&
+        (options.quantBits < 2 || options.quantBits > 16))
+        return false;
+    if (options.codec != SampleCodec::F32 &&
+        options.codec != SampleCodec::QuantI16)
+        return false;
+
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr)
+        return false;
+
+    options_ = options;
+    buffer_.clear();
+    buffer_.reserve(options.chunkSamples);
+    index_.clear();
+    stats_ = WriterStats{};
+
+    // Provisional header; finalize() rewrites it with the true sample
+    // count (and therefore the true CRC).
+    const FileHeader header = makeHeader(options_, 0);
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
+        std::fclose(file_);
+        file_ = nullptr;
+        return false;
+    }
+    offset_ = sizeof(FileHeader);
+    return true;
+}
+
+bool
+CaptureWriter::append(const dsp::Sample *samples, std::size_t count)
+{
+    if (file_ == nullptr)
+        return false;
+    while (count > 0) {
+        const std::size_t take = std::min(
+            count, options_.chunkSamples - buffer_.size());
+        buffer_.insert(buffer_.end(), samples, samples + take);
+        samples += take;
+        count -= take;
+        if (buffer_.size() == options_.chunkSamples && !flushChunk())
+            return false;
+    }
+    return true;
+}
+
+bool
+CaptureWriter::flushChunk()
+{
+    if (buffer_.empty())
+        return true;
+
+    EncoderOptions enc;
+    enc.codec = options_.codec;
+    enc.quantBits = options_.quantBits;
+    enc.compress = options_.compress;
+    const EncodedChunk chunk =
+        encodeChunk(buffer_.data(), buffer_.size(), enc);
+
+    ChunkHeader header{};
+    header.encoding = static_cast<uint32_t>(chunk.encoding);
+    header.sampleCount = static_cast<uint32_t>(buffer_.size());
+    header.payloadBytes = static_cast<uint32_t>(chunk.payload.size());
+    header.scale = chunk.scale;
+    uint32_t crc = crc32c(0, &header, offsetof(ChunkHeader, crc));
+    crc = crc32c(crc, chunk.payload.data(), chunk.payload.size());
+    header.crc = crc;
+
+    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
+        return false;
+    if (!chunk.payload.empty() &&
+        std::fwrite(chunk.payload.data(), 1, chunk.payload.size(),
+                    file_) != chunk.payload.size()) {
+        return false;
+    }
+
+    ChunkIndexEntry entry{};
+    entry.fileOffset = offset_;
+    entry.firstSample = stats_.samples;
+    entry.sampleCount = header.sampleCount;
+    entry.storedBytes = static_cast<uint32_t>(sizeof(ChunkHeader) +
+                                              chunk.payload.size());
+    index_.push_back(entry);
+
+    offset_ += entry.storedBytes;
+    stats_.samples += buffer_.size();
+    ++stats_.chunks;
+    buffer_.clear();
+    return true;
+}
+
+bool
+CaptureWriter::finalize()
+{
+    if (file_ == nullptr)
+        return false;
+    bool ok = flushChunk();
+
+    FooterTail tail{};
+    tail.chunkCount = index_.size();
+    tail.totalSamples = stats_.samples;
+    uint32_t crc = crc32c(0, index_.data(),
+                          index_.size() * sizeof(ChunkIndexEntry));
+    crc = crc32c(crc, &tail, offsetof(FooterTail, footerCrc));
+    tail.footerCrc = crc;
+    std::memcpy(tail.magic, kFooterMagic, sizeof(kFooterMagic));
+
+    ok = ok && (index_.empty() ||
+                std::fwrite(index_.data(), sizeof(ChunkIndexEntry),
+                            index_.size(),
+                            file_) == index_.size());
+    ok = ok && std::fwrite(&tail, sizeof(tail), 1, file_) == 1;
+
+    const FileHeader header = makeHeader(options_, stats_.samples);
+    ok = ok && std::fseek(file_, 0, SEEK_SET) == 0 &&
+         std::fwrite(&header, sizeof(header), 1, file_) == 1;
+
+    ok = std::fclose(file_) == 0 && ok;
+    file_ = nullptr;
+
+    stats_.fileBytes = offset_ +
+                       index_.size() * sizeof(ChunkIndexEntry) +
+                       sizeof(FooterTail);
+    return ok;
+}
+
+bool
+writeCapture(const std::string &path, const dsp::TimeSeries &series,
+             WriterOptions options, WriterStats *stats)
+{
+    if (options.sampleRateHz <= 0.0)
+        options.sampleRateHz = series.sampleRateHz;
+    CaptureWriter writer;
+    const bool ok = writer.open(path, options) &&
+                    writer.append(series) && writer.finalize();
+    if (stats != nullptr)
+        *stats = writer.stats();
+    return ok;
+}
+
+} // namespace emprof::store

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Streaming EMCAP writer.
+ *
+ * Buffers at most one chunk of samples (bounded memory no matter how
+ * long the capture runs — emprof_capture streams into it as the probe
+ * chain produces magnitude), encodes and CRCs each full chunk to disk,
+ * and on finalize() appends the footer index and back-patches the
+ * header with the final sample count.  The footer index grows by 24
+ * bytes per chunk, i.e. ~1.5 KB per GB of f32 payload.
+ */
+
+#ifndef EMPROF_STORE_CAPTURE_WRITER_HPP
+#define EMPROF_STORE_CAPTURE_WRITER_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dsp/types.hpp"
+#include "store/chunk_codec.hpp"
+#include "store/emcap_format.hpp"
+
+namespace emprof::store {
+
+/** Everything the writer needs to know up front. */
+struct WriterOptions
+{
+    double sampleRateHz = 0.0;
+    double clockHz = 0.0;
+
+    /** Capture source label (truncated to 23 chars in the header). */
+    std::string deviceName;
+
+    SampleCodec codec = SampleCodec::F32;
+    unsigned quantBits = 16; ///< used when codec == QuantI16
+    bool compress = true;
+    std::size_t chunkSamples = kDefaultChunkSamples;
+};
+
+/** Size accounting, valid after finalize(). */
+struct WriterStats
+{
+    uint64_t samples = 0;
+    uint64_t chunks = 0;
+    uint64_t fileBytes = 0;
+
+    /** File-size ratio against the raw-f32 dump it replaces. */
+    double
+    compressionRatio() const
+    {
+        return fileBytes == 0
+                   ? 0.0
+                   : static_cast<double>(samples) * 4.0 /
+                         static_cast<double>(fileBytes);
+    }
+};
+
+class CaptureWriter
+{
+  public:
+    CaptureWriter() = default;
+    ~CaptureWriter();
+
+    CaptureWriter(const CaptureWriter &) = delete;
+    CaptureWriter &operator=(const CaptureWriter &) = delete;
+
+    /**
+     * Create @p path and write a provisional header.
+     *
+     * @retval false The file could not be created, or the options are
+     *         unusable (quantBits outside 2..16, chunkSamples 0).
+     */
+    bool open(const std::string &path, const WriterOptions &options);
+
+    /** Append samples; full chunks are encoded and written. */
+    bool append(const dsp::Sample *samples, std::size_t count);
+
+    /** Convenience for in-memory series. */
+    bool
+    append(const dsp::TimeSeries &series)
+    {
+        return append(series.samples.data(), series.samples.size());
+    }
+
+    /**
+     * Flush the partial chunk, write the footer, patch the header.
+     * The writer is closed afterwards; stats() stays valid.
+     */
+    bool finalize();
+
+    bool isOpen() const { return file_ != nullptr; }
+
+    const WriterStats &stats() const { return stats_; }
+
+  private:
+    bool flushChunk();
+
+    std::FILE *file_ = nullptr;
+    WriterOptions options_;
+    std::vector<dsp::Sample> buffer_;
+    std::vector<ChunkIndexEntry> index_;
+    uint64_t offset_ = 0; ///< next chunk's file offset
+    WriterStats stats_;
+};
+
+/** One-shot convenience: open + append + finalize. */
+bool writeCapture(const std::string &path,
+                  const dsp::TimeSeries &series, WriterOptions options,
+                  WriterStats *stats = nullptr);
+
+} // namespace emprof::store
+
+#endif // EMPROF_STORE_CAPTURE_WRITER_HPP

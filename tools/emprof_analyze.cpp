@@ -7,8 +7,15 @@
  * IQ or magnitude samples (raw float32 works, e.g. a GNU Radio file
  * sink), and analyse:
  *
+ *   emprof_analyze capture.emcap --threads 8
  *   emprof_analyze capture.emsig --clock-ghz 1.008
  *   emprof_analyze iq.f32 --raw-iq --rate-mhz 40 --clock-ghz 1.008
+ *
+ * The container is detected from the file's magic bytes: EMCAP
+ * captures (emprof_capture/emprof_store) are decoded chunk-by-chunk on
+ * the analysis thread pool, .emsig is the legacy one-blob container,
+ * and anything unrecognised must be explicitly declared raw with
+ * --raw-f32/--raw-iq — a garbage file is an error, not a profile.
  *
  * Options tune the Sec. IV parameters (thresholds, duration floor,
  * normalisation window); --section isolates the part of the signal
@@ -29,6 +36,7 @@
 #include "profiler/parallel_analyzer.hpp"
 #include "profiler/profiler.hpp"
 #include "profiler/report.hpp"
+#include "store/capture_reader.hpp"
 
 using namespace emprof;
 
@@ -40,13 +48,15 @@ usage(const char *argv0)
     std::printf(
         "usage: %s <signal-file> [options]\n"
         "\n"
-        "input (default: .emsig container written by emprof_capture):\n"
+        "input (.emcap and .emsig containers are auto-detected from\n"
+        "their magic bytes; anything else must be declared raw):\n"
         "  --raw-f32           raw float32 magnitude samples\n"
         "  --raw-iq            raw interleaved float32 I/Q samples\n"
         "  --rate-mhz <f>      sample rate for raw inputs (required)\n"
         "\n"
         "target:\n"
-        "  --clock-ghz <f>     processor clock (default 1.008)\n"
+        "  --clock-ghz <f>     processor clock (default: the capture's\n"
+        "                      recorded clock, else 1.008)\n"
         "\n"
         "detector (defaults per the paper, Sec. IV):\n"
         "  --enter <f>         dip entry threshold   (default 0.22)\n"
@@ -92,6 +102,7 @@ main(int argc, char **argv)
     std::string path = argv[1];
     bool raw_f32 = false, raw_iq = false;
     bool use_section = false, histogram = false;
+    bool clock_set = false;
     double rate_mhz = 0.0, clock_ghz = 1.008, boot_bucket_us = 0.0;
     std::size_t threads = common::ThreadPool::hardwareThreads();
     std::string events_csv;
@@ -105,8 +116,10 @@ main(int argc, char **argv)
             raw_iq = true;
         else if (arg == "--rate-mhz")
             rate_mhz = argValue(argc, argv, i);
-        else if (arg == "--clock-ghz")
+        else if (arg == "--clock-ghz") {
             clock_ghz = argValue(argc, argv, i);
+            clock_set = true;
+        }
         else if (arg == "--enter")
             config.enterThreshold = argValue(argc, argv, i);
         else if (arg == "--exit")
@@ -135,29 +148,83 @@ main(int argc, char **argv)
         }
     }
 
+    const dsp::SignalFileType ftype = dsp::sniffSignalFile(path);
+    store::CaptureReader reader;
     dsp::TimeSeries signal;
-    bool loaded;
+    bool emcap_direct = false;
+
     if (raw_f32 || raw_iq) {
         if (rate_mhz <= 0.0) {
             std::fprintf(stderr,
                          "--rate-mhz is required for raw inputs\n");
             return 2;
         }
-        loaded = dsp::loadRawF32(path, rate_mhz * 1e6, raw_iq, signal);
+        if (!dsp::loadRawF32(path, rate_mhz * 1e6, raw_iq, signal)) {
+            std::fprintf(stderr,
+                         "%s: missing, unreadable, or not raw float32 "
+                         "(byte count must be a multiple of %zu)\n",
+                         path.c_str(),
+                         (raw_iq ? 2 : 1) * sizeof(float));
+            return 1;
+        }
+    } else if (ftype == dsp::SignalFileType::Emcap) {
+        std::string err;
+        if (!reader.open(path, &err)) {
+            std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+            return 1;
+        }
+        const auto &info = reader.info();
+        if (!clock_set && info.clockHz > 0.0)
+            clock_ghz = info.clockHz / 1e9;
+        std::printf("EMCAP capture: %llu samples, %zu chunks, "
+                    "codec %s, device '%s'\n",
+                    static_cast<unsigned long long>(info.totalSamples),
+                    reader.chunkCount(),
+                    info.codec == store::SampleCodec::F32
+                        ? "f32 (lossless)"
+                        : "i16 quantised",
+                    info.deviceName.c_str());
+        // Marker search and the streaming path both need the whole
+        // series in memory; otherwise chunks are decoded on the pool.
+        if (use_section || threads <= 1) {
+            if (!reader.readAll(signal, &err)) {
+                std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                             err.c_str());
+                return 1;
+            }
+        } else {
+            emcap_direct = true;
+        }
+    } else if (ftype == dsp::SignalFileType::Emsig) {
+        if (!dsp::loadSignal(path, signal)) {
+            std::fprintf(stderr, "could not load signal from %s\n",
+                         path.c_str());
+            return 1;
+        }
     } else {
-        loaded = dsp::loadSignal(path, signal);
-    }
-    if (!loaded || signal.empty()) {
-        std::fprintf(stderr, "could not load signal from %s\n",
+        std::fprintf(stderr,
+                     "%s: unrecognised magic — not an .emcap/.emsig "
+                     "capture; pass --raw-f32 or --raw-iq (with "
+                     "--rate-mhz) if this is a headerless raw dump\n",
                      path.c_str());
         return 1;
     }
 
-    std::printf("loaded %zu samples at %.3f MHz (%.3f ms)\n",
-                signal.samples.size(), signal.sampleRateHz / 1e6,
-                signal.duration() * 1e3);
+    const double sample_rate =
+        emcap_direct ? reader.info().sampleRateHz : signal.sampleRateHz;
+    uint64_t total_samples =
+        emcap_direct ? reader.info().totalSamples : signal.size();
+    if (total_samples == 0) {
+        std::fprintf(stderr, "no samples in %s\n", path.c_str());
+        return 1;
+    }
 
-    if (use_section) {
+    std::printf("loaded %llu samples at %.3f MHz (%.3f ms)\n",
+                static_cast<unsigned long long>(total_samples),
+                sample_rate / 1e6,
+                static_cast<double>(total_samples) / sample_rate * 1e3);
+
+    if (use_section && !emcap_direct) {
         const auto sections = profiler::findMarkerSections(signal);
         if (sections.measured.empty()) {
             std::fprintf(stderr,
@@ -170,14 +237,26 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             sections.measured.end));
             signal = profiler::slice(signal, sections.measured);
+            total_samples = signal.size();
         }
     }
 
     config.clockHz = clock_ghz * 1e9;
-    const auto result =
-        threads > 1
-            ? profiler::EmProf::analyzeParallel(signal, config, threads)
-            : profiler::EmProf::analyze(signal, config);
+    profiler::ProfileResult result;
+    if (emcap_direct) {
+        profiler::ParallelAnalyzerConfig pcfg;
+        pcfg.threads = threads;
+        std::string err;
+        if (!profiler::analyzeCaptureParallel(reader, config, result,
+                                              pcfg, &err)) {
+            std::fprintf(stderr, "analysis failed: %s\n", err.c_str());
+            return 1;
+        }
+    } else {
+        result = threads > 1 ? profiler::EmProf::analyzeParallel(
+                                   signal, config, threads)
+                             : profiler::EmProf::analyze(signal, config);
+    }
     std::printf("\n%s", result.report.toText("EMPROF report:").c_str());
 
     if (histogram) {
@@ -188,7 +267,7 @@ main(int argc, char **argv)
     }
     if (boot_bucket_us > 0.0) {
         const auto profile = profiler::makeBootProfile(
-            result.events, signal.sampleRateHz, signal.samples.size(),
+            result.events, sample_rate, total_samples,
             boot_bucket_us * 1e-6);
         std::printf("\nmiss rate over time:\n%s",
                     profile.toText().c_str());
@@ -203,7 +282,7 @@ main(int argc, char **argv)
         for (const auto &ev : result.events) {
             std::fprintf(f, "%.9f,%.1f,%.1f,%s\n",
                          static_cast<double>(ev.startSample) /
-                             signal.sampleRateHz,
+                             sample_rate,
                          ev.durationNs, ev.stallCycles,
                          ev.kind == profiler::StallKind::RefreshCoincident
                              ? "refresh"

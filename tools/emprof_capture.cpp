@@ -1,12 +1,19 @@
 /**
  * @file
  * emprof_capture — simulate a device running a workload and record the
- * received EM signal to an .emsig file for emprof_analyze (or any
- * external tool; --csv exports plottable text).
+ * received EM signal for emprof_analyze (or any external tool; --csv
+ * exports plottable text).
  *
- *   emprof_capture --device olimex --workload mcf --out mcf.emsig
+ *   emprof_capture --device olimex --workload mcf --out mcf.emcap
  *   emprof_capture --workload microbench --tm 1024 --cm 10 \
- *                  --bandwidth-mhz 80 --out mb.emsig
+ *                  --bandwidth-mhz 80 --out mb.emcap --quantize-bits 16
+ *
+ * Outputs named *.emsig get the legacy one-blob container; everything
+ * else is written as a chunked EMCAP capture (chunked + checksummed +
+ * optionally compressed, see src/store/).  The default EMCAP codec is
+ * lossless f32 so analysis results are bit-identical to a raw dump;
+ * --quantize-bits 16 halves the file (and more, with compression) at
+ * ~1e-5 relative error.
  *
  * This stands in for the paper's probe + spectrum-analyzer setup; on a
  * real bench you would record the signal with an SDR instead and feed
@@ -21,6 +28,7 @@
 #include "devices/devices.hpp"
 #include "dsp/signal_io.hpp"
 #include "em/capture.hpp"
+#include "store/capture_writer.hpp"
 #include "workloads/boot.hpp"
 #include "workloads/microbenchmark.hpp"
 #include "workloads/spec.hpp"
@@ -45,7 +53,12 @@ usage(const char *argv0)
         "  --seed <n>           workload seed (default 42)\n"
         "  --tm <n> --cm <n>    microbench parameters (1024 / 10)\n"
         "  --bandwidth-mhz <f>  measurement bandwidth (default 40)\n"
-        "  --csv <path>         also export the magnitude as CSV\n");
+        "  --csv <path>         also export the magnitude as CSV\n"
+        "EMCAP output (any --out not named *.emsig):\n"
+        "  --quantize-bits <n>  quantise samples to n bits (2..16;\n"
+        "                       default 0 = lossless float32)\n"
+        "  --no-compress        store chunks verbatim (no bit packing)\n"
+        "  --chunk-samples <n>  samples per chunk (default 65536)\n");
 }
 
 } // namespace
@@ -56,6 +69,8 @@ main(int argc, char **argv)
     std::string device_name = "olimex", workload_name = "microbench";
     std::string out_path, csv_path;
     uint64_t scale = 8'000'000, seed = 42, tm = 1024, cm = 10;
+    uint64_t quantize_bits = 0, chunk_samples = 0;
+    bool compress = true;
     double bandwidth_mhz = 40.0;
 
     for (int i = 1; i < argc; ++i) {
@@ -82,6 +97,12 @@ main(int argc, char **argv)
             cm = strtoull(next(), nullptr, 10);
         else if (arg == "--bandwidth-mhz")
             bandwidth_mhz = std::atof(next());
+        else if (arg == "--quantize-bits")
+            quantize_bits = strtoull(next(), nullptr, 10);
+        else if (arg == "--chunk-samples")
+            chunk_samples = strtoull(next(), nullptr, 10);
+        else if (arg == "--no-compress")
+            compress = false;
         else if (arg == "--out")
             out_path = next();
         else if (arg == "--csv")
@@ -145,11 +166,52 @@ main(int argc, char **argv)
                 capture.magnitude.samples.size(),
                 capture.magnitude.sampleRateHz / 1e6);
 
-    if (!dsp::saveSignal(out_path, capture.magnitude)) {
-        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-        return 1;
+    const bool legacy_emsig =
+        out_path.size() >= 6 &&
+        out_path.compare(out_path.size() - 6, 6, ".emsig") == 0;
+    if (legacy_emsig) {
+        if (!dsp::saveSignal(out_path, capture.magnitude)) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::printf("wrote %s (legacy .emsig)\n", out_path.c_str());
+    } else {
+        if (quantize_bits != 0 &&
+            (quantize_bits < 2 || quantize_bits > 16)) {
+            std::fprintf(stderr,
+                         "--quantize-bits must be 0 (lossless) or "
+                         "2..16\n");
+            return 2;
+        }
+        store::WriterOptions wopt;
+        wopt.sampleRateHz = capture.magnitude.sampleRateHz;
+        wopt.clockHz = device.clockHz();
+        wopt.deviceName = device.name;
+        wopt.codec = quantize_bits == 0 ? store::SampleCodec::F32
+                                        : store::SampleCodec::QuantI16;
+        wopt.quantBits = static_cast<unsigned>(quantize_bits);
+        wopt.compress = compress;
+        if (chunk_samples > 0)
+            wopt.chunkSamples = static_cast<std::size_t>(chunk_samples);
+        store::WriterStats wstats;
+        if (!store::writeCapture(out_path, capture.magnitude, wopt,
+                                 &wstats)) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 1;
+        }
+        std::printf(
+            "wrote %s: %llu bytes in %llu chunks, %.2fx vs raw f32 "
+            "(%s%s)\n",
+            out_path.c_str(),
+            static_cast<unsigned long long>(wstats.fileBytes),
+            static_cast<unsigned long long>(wstats.chunks),
+            wstats.compressionRatio(),
+            quantize_bits == 0
+                ? "lossless f32"
+                : ("i16 @ " + std::to_string(quantize_bits) + " bits")
+                      .c_str(),
+            compress ? ", packed" : ", raw chunks");
     }
-    std::printf("wrote %s\n", out_path.c_str());
     std::printf("analyse with: emprof_analyze %s --clock-ghz %.3f\n",
                 out_path.c_str(), device.clockHz() / 1e9);
 
