@@ -1,13 +1,16 @@
 #include "dsp/signal_io.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <memory>
 
 namespace emprof::dsp {
 
 namespace {
+
+using common::io::CheckedFile;
+using common::io::IoError;
 
 constexpr char kMagic[4] = {'E', 'M', 'S', 'G'};
 constexpr uint32_t kVersion = 1;
@@ -24,25 +27,31 @@ struct FileHeader
 
 static_assert(sizeof(FileHeader) == 32, "header layout is the format");
 
-struct FileCloser
+bool
+reportFileError(const CheckedFile &file, IoError *error)
 {
-    void
-    operator()(std::FILE *f) const
-    {
-        if (f)
-            std::fclose(f);
-    }
-};
+    if (error != nullptr)
+        *error = file.error();
+    return false;
+}
 
-using File = std::unique_ptr<std::FILE, FileCloser>;
+bool
+reportFormat(const std::string &path, const std::string &what,
+             IoError *error)
+{
+    if (error != nullptr)
+        *error = common::io::formatError(path, what);
+    return false;
+}
 
 bool
 writePayload(const std::string &path, SignalKind kind,
-             double sample_rate_hz, const float *data, uint64_t count)
+             double sample_rate_hz, const float *data, uint64_t count,
+             IoError *error)
 {
-    File file(std::fopen(path.c_str(), "wb"));
-    if (!file)
-        return false;
+    CheckedFile file;
+    if (!file.open(path, CheckedFile::Mode::WriteTruncate))
+        return reportFileError(file, error);
 
     FileHeader header{};
     std::memcpy(header.magic, kMagic, sizeof(kMagic));
@@ -51,76 +60,110 @@ writePayload(const std::string &path, SignalKind kind,
     header.sampleRateHz = sample_rate_hz;
     header.sampleCount = count;
 
-    if (std::fwrite(&header, sizeof(header), 1, file.get()) != 1)
-        return false;
-    return count == 0 ||
-           std::fwrite(data, sizeof(float), count, file.get()) == count;
+    const bool ok =
+        file.writeAll(&header, sizeof(header), "emsig header") &&
+        (count == 0 ||
+         file.writeAll(data, count * sizeof(float), "emsig payload")) &&
+        file.syncToDisk("emsig fsync") && file.close();
+    if (!ok)
+        return reportFileError(file, error);
+    return true;
 }
 
 } // namespace
 
 bool
-saveSignal(const std::string &path, const TimeSeries &series)
+saveSignal(const std::string &path, const TimeSeries &series,
+           IoError *error)
 {
     return writePayload(path, SignalKind::Magnitude, series.sampleRateHz,
-                        series.samples.data(), series.samples.size());
+                        series.samples.data(), series.samples.size(),
+                        error);
 }
 
 bool
-saveSignal(const std::string &path, const ComplexSeries &series)
+saveSignal(const std::string &path, const ComplexSeries &series,
+           IoError *error)
 {
     // std::complex<float> is layout-compatible with float[2].
     return writePayload(
         path, SignalKind::Iq, series.sampleRateHz,
         reinterpret_cast<const float *>(series.samples.data()),
-        series.samples.size() * 2);
+        series.samples.size() * 2, error);
 }
 
 bool
-loadSignal(const std::string &path, TimeSeries &out)
+loadSignal(const std::string &path, TimeSeries &out, IoError *error)
 {
-    File file(std::fopen(path.c_str(), "rb"));
-    if (!file)
-        return false;
+    CheckedFile file;
+    if (!file.open(path, CheckedFile::Mode::Read))
+        return reportFileError(file, error);
+
+    uint64_t file_size = 0;
+    if (!file.size(file_size, "emsig stat"))
+        return reportFileError(file, error);
+    if (file_size < sizeof(FileHeader))
+        return reportFormat(path, "shorter than an .emsig header",
+                            error);
 
     FileHeader header{};
-    if (std::fread(&header, sizeof(header), 1, file.get()) != 1)
-        return false;
+    if (!file.readAll(&header, sizeof(header), "emsig header"))
+        return reportFileError(file, error);
     if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0 ||
-        header.version != kVersion) {
-        return false;
-    }
+        header.version != kVersion)
+        return reportFormat(path, "bad magic or version", error);
 
-    std::vector<float> payload(header.sampleCount);
-    if (std::fread(payload.data(), sizeof(float), payload.size(),
-                   file.get()) != payload.size()) {
-        return false;
-    }
+    // The header's count must agree with the bytes actually present;
+    // checking before the allocation also stops a hostile count from
+    // requesting terabytes.
+    if (header.sampleCount !=
+        (file_size - sizeof(FileHeader)) / sizeof(float) ||
+        header.sampleCount * sizeof(float) !=
+            file_size - sizeof(FileHeader))
+        return reportFormat(
+            path, "payload size disagrees with header (truncated?)",
+            error);
+
+    const bool is_magnitude =
+        header.kind == static_cast<uint32_t>(SignalKind::Magnitude);
+    const bool is_iq =
+        header.kind == static_cast<uint32_t>(SignalKind::Iq);
+    if (!is_magnitude && !is_iq)
+        return reportFormat(path, "unknown payload kind", error);
+    if (is_iq && header.sampleCount % 2 != 0)
+        return reportFormat(path, "odd float count in an I/Q payload",
+                            error);
+
+    std::vector<float> payload(
+        static_cast<std::size_t>(header.sampleCount));
+    if (!payload.empty() &&
+        !file.readAll(payload.data(), payload.size() * sizeof(float),
+                      "emsig payload"))
+        return reportFileError(file, error);
 
     out.sampleRateHz = header.sampleRateHz;
     out.samples.clear();
-    if (header.kind == static_cast<uint32_t>(SignalKind::Magnitude)) {
+    if (is_magnitude) {
         out.samples = std::move(payload);
         return true;
     }
-    if (header.kind == static_cast<uint32_t>(SignalKind::Iq)) {
-        out.samples.reserve(payload.size() / 2);
-        for (std::size_t i = 0; i + 1 < payload.size(); i += 2)
-            out.samples.push_back(
-                std::hypot(payload[i], payload[i + 1]));
-        return true;
-    }
-    return false;
+    out.samples.reserve(payload.size() / 2);
+    for (std::size_t i = 0; i + 1 < payload.size(); i += 2)
+        out.samples.push_back(std::hypot(payload[i], payload[i + 1]));
+    return true;
 }
 
 SignalFileType
 sniffSignalFile(const std::string &path)
 {
-    File file(std::fopen(path.c_str(), "rb"));
-    if (!file)
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr)
         return SignalFileType::Unknown;
     char magic[4] = {};
-    if (std::fread(magic, 1, sizeof(magic), file.get()) != sizeof(magic))
+    const bool got =
+        std::fread(magic, 1, sizeof(magic), file) == sizeof(magic);
+    std::fclose(file);
+    if (!got)
         return SignalFileType::Unknown;
     if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0)
         return SignalFileType::Emsig;
@@ -131,69 +174,76 @@ sniffSignalFile(const std::string &path)
 
 bool
 loadRawF32(const std::string &path, double sample_rate_hz, bool iq,
-           TimeSeries &out)
+           TimeSeries &out, IoError *error)
 {
-    File file(std::fopen(path.c_str(), "rb"));
-    if (!file)
-        return false;
+    CheckedFile file;
+    if (!file.open(path, CheckedFile::Mode::Read))
+        return reportFileError(file, error);
 
     // A raw capture is an exact array of f32 (or f32 I/Q pairs); a
     // remainder means truncation or a non-raw file.  Refuse rather
     // than analyse a silently-mangled signal.
-    if (std::fseek(file.get(), 0, SEEK_END) != 0)
-        return false;
-    const long bytes = std::ftell(file.get());
-    if (bytes < 0 ||
-        bytes % static_cast<long>(iq ? 2 * sizeof(float)
-                                     : sizeof(float)) != 0)
-        return false;
-    std::rewind(file.get());
+    uint64_t bytes = 0;
+    if (!file.size(bytes, "raw stat"))
+        return reportFileError(file, error);
+    const uint64_t sample_bytes =
+        iq ? 2 * sizeof(float) : sizeof(float);
+    if (bytes % sample_bytes != 0)
+        return reportFormat(path,
+                            "byte count is not a multiple of the "
+                            "sample size (truncated or not raw f32)",
+                            error);
 
     out.sampleRateHz = sample_rate_hz;
     out.samples.clear();
-    out.samples.reserve(static_cast<std::size_t>(bytes) /
-                        (iq ? 2 * sizeof(float) : sizeof(float)));
+    out.samples.reserve(static_cast<std::size_t>(bytes / sample_bytes));
 
     float buf[4096];
-    float pending_i = 0.0f;
-    bool have_pending = false;
-    for (;;) {
-        const std::size_t got =
-            std::fread(buf, sizeof(float), 4096, file.get());
-        if (got == 0)
-            break;
+    uint64_t remaining = bytes / sizeof(float);
+    while (remaining > 0) {
+        const std::size_t got = static_cast<std::size_t>(
+            std::min<uint64_t>(remaining, 4096));
+        if (!file.readAll(buf, got * sizeof(float), "raw payload"))
+            return reportFileError(file, error);
+        remaining -= got;
         if (!iq) {
             out.samples.insert(out.samples.end(), buf, buf + got);
             continue;
         }
-        std::size_t i = 0;
-        if (have_pending) {
-            out.samples.push_back(std::hypot(pending_i, buf[0]));
-            have_pending = false;
-            i = 1;
-        }
-        for (; i + 1 < got; i += 2)
+        // got is even: 4096 is even and the total float count is even.
+        for (std::size_t i = 0; i + 1 < got; i += 2)
             out.samples.push_back(std::hypot(buf[i], buf[i + 1]));
-        if (i < got) {
-            pending_i = buf[i];
-            have_pending = true;
-        }
     }
     return true;
 }
 
 bool
-saveCsv(const std::string &path, const TimeSeries &series)
+saveCsv(const std::string &path, const TimeSeries &series,
+        IoError *error)
 {
-    File file(std::fopen(path.c_str(), "w"));
-    if (!file)
-        return false;
-    std::fprintf(file.get(), "time_s,magnitude\n");
+    CheckedFile file;
+    if (!file.open(path, CheckedFile::Mode::WriteTruncate))
+        return reportFileError(file, error);
+
+    std::string block = "time_s,magnitude\n";
+    char line[64];
     for (std::size_t i = 0; i < series.samples.size(); ++i) {
-        std::fprintf(file.get(), "%.9f,%.6f\n",
-                     static_cast<double>(i) / series.sampleRateHz,
-                     static_cast<double>(series.samples[i]));
+        std::snprintf(line, sizeof(line), "%.9f,%.6f\n",
+                      static_cast<double>(i) / series.sampleRateHz,
+                      static_cast<double>(series.samples[i]));
+        block += line;
+        if (block.size() >= 64 * 1024) {
+            if (!file.writeAll(block.data(), block.size(), "csv rows"))
+                return reportFileError(file, error);
+            block.clear();
+        }
     }
+    const bool ok = (block.empty() ||
+                     file.writeAll(block.data(), block.size(),
+                                   "csv rows")) &&
+                    file.close();
+    if (!ok)
+        return reportFileError(file, error);
     return true;
 }
 

@@ -8,6 +8,13 @@
  * container — magic, version, sample rate, payload kind, raw float32
  * samples, little-endian — plus raw-f32 and CSV import/export, so the
  * tools in tools/ can exchange signals with GNU Radio-style pipelines.
+ *
+ * All functions run their I/O through common::io::CheckedFile; the
+ * optional IoError out-parameter reports the typed failure (short
+ * read, disk full, bad format, ...) instead of a bare `false`, and a
+ * header whose sample count disagrees with the file size is rejected
+ * before any allocation — a truncated or hostile file must never turn
+ * into a plausible-looking signal or an OOM.
  */
 
 #ifndef EMPROF_DSP_SIGNAL_IO_HPP
@@ -15,6 +22,7 @@
 
 #include <string>
 
+#include "common/io/checked_file.hpp"
 #include "dsp/types.hpp"
 
 namespace emprof::dsp {
@@ -41,22 +49,30 @@ enum class SignalFileType
 SignalFileType sniffSignalFile(const std::string &path);
 
 /**
- * Write a real series as an .emsig file.
+ * Write a real series as an .emsig file (fsynced before close).
  *
- * @retval false The file could not be written.
+ * @retval false The file could not be written; @p error (if non-null)
+ *         carries the typed reason.
  */
-bool saveSignal(const std::string &path, const TimeSeries &series);
+bool saveSignal(const std::string &path, const TimeSeries &series,
+                common::io::IoError *error = nullptr);
 
 /** Write an IQ series as an .emsig file. */
-bool saveSignal(const std::string &path, const ComplexSeries &series);
+bool saveSignal(const std::string &path, const ComplexSeries &series,
+                common::io::IoError *error = nullptr);
 
 /**
  * Load an .emsig file as a real series.  IQ payloads are converted to
  * magnitude (which is all EMPROF consumes).
  *
- * @retval false Missing file, bad magic or truncated payload.
+ * The header's sample count must match the file's byte count exactly;
+ * a truncated payload is a typed error, not a shorter signal.
+ *
+ * @retval false Missing file, bad magic, size mismatch, or I/O
+ *         failure; @p error (if non-null) carries the typed reason.
  */
-bool loadSignal(const std::string &path, TimeSeries &out);
+bool loadSignal(const std::string &path, TimeSeries &out,
+                common::io::IoError *error = nullptr);
 
 /**
  * Load raw float32 samples (no header — e.g. a GNU Radio file sink).
@@ -69,14 +85,16 @@ bool loadSignal(const std::string &path, TimeSeries &out);
  * @param sample_rate_hz Sample rate to attach (raw files carry none).
  * @param iq Interpret the payload as interleaved I/Q and output
  *        magnitude.
- * @retval false Missing file, or byte count not a multiple of the
- *         sample size.
+ * @retval false Missing file, byte count not a multiple of the sample
+ *         size, or I/O failure; @p error carries the typed reason.
  */
 bool loadRawF32(const std::string &path, double sample_rate_hz, bool iq,
-                TimeSeries &out);
+                TimeSeries &out,
+                common::io::IoError *error = nullptr);
 
 /** Write one sample per line ("time_s,magnitude") for plotting. */
-bool saveCsv(const std::string &path, const TimeSeries &series);
+bool saveCsv(const std::string &path, const TimeSeries &series,
+             common::io::IoError *error = nullptr);
 
 } // namespace emprof::dsp
 

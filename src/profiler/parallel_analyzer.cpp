@@ -220,6 +220,13 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
     const store::CaptureInfo &info = reader.info();
     if (info.sampleRateHz > 0.0)
         config.sampleRateHz = info.sampleRateHz;
+
+    std::string config_error;
+    if (!config.validate(&config_error)) {
+        if (error != nullptr)
+            *error = "invalid profiler config: " + config_error;
+        return false;
+    }
     const uint64_t n = info.totalSamples;
 
     const std::size_t threads =

@@ -1,10 +1,49 @@
 #include "profiler/profiler.hpp"
 
+#include <cmath>
+
 namespace emprof::profiler {
+
+bool
+EmProfConfig::validate(std::string *why) const
+{
+    const auto bad = [&](const char *reason) {
+        if (why != nullptr)
+            *why = reason;
+        return false;
+    };
+    if (!std::isfinite(sampleRateHz) || sampleRateHz <= 0.0)
+        return bad("sampleRateHz must be finite and > 0");
+    if (!std::isfinite(clockHz) || clockHz <= 0.0)
+        return bad("clockHz must be finite and > 0");
+    if (!std::isfinite(normWindowSeconds) || normWindowSeconds <= 0.0)
+        return bad("normWindowSeconds must be finite and > 0");
+    if (!std::isfinite(minContrast) || minContrast < 0.0)
+        return bad("minContrast must be finite and >= 0");
+    if (!std::isfinite(enterThreshold) || !std::isfinite(exitThreshold))
+        return bad("dip thresholds must be finite");
+    if (enterThreshold > exitThreshold)
+        return bad("enterThreshold must not exceed exitThreshold "
+                   "(hysteresis would invert)");
+    if (!std::isfinite(minStallNs) || minStallNs < 0.0)
+        return bad("minStallNs must be finite and >= 0");
+    if (!std::isfinite(refreshStallNs) || refreshStallNs < 0.0)
+        return bad("refreshStallNs must be finite and >= 0");
+    return true;
+}
 
 void
 classifyStall(StallEvent &ev, const EmProfConfig &config)
 {
+    // Belt-and-braces for callers without an error channel: a config
+    // that validate() would reject yields zeroed fields, never NaN.
+    if (!std::isfinite(config.sampleRateHz) ||
+        config.sampleRateHz <= 0.0 || !std::isfinite(config.clockHz)) {
+        ev.durationNs = 0.0;
+        ev.stallCycles = 0.0;
+        ev.kind = StallKind::LlcMiss;
+        return;
+    }
     const double sample_ns = 1e9 / config.sampleRateHz;
     ev.durationNs = static_cast<double>(ev.durationSamples()) * sample_ns;
     ev.stallCycles = ev.durationNs * 1e-9 * config.clockHz;

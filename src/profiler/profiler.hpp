@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "dsp/types.hpp"
@@ -94,6 +95,19 @@ struct EmProfConfig
             s < 1.0 ? uint64_t{1} : static_cast<uint64_t>(s + 0.5);
         return std::max(from_ns, minDurationFloorSamples);
     }
+
+    /**
+     * Check the config for values that would poison the analysis
+     * (non-finite or non-positive rates, inverted hysteresis, negative
+     * durations).  classifyStall and makeReport divide by
+     * sampleRateHz / clockHz-derived quantities; an unvalidated config
+     * would turn those into NaN/Inf event fields and a garbage report
+     * rather than an error.  Callers with an error channel (the
+     * analyzers, the tools) must validate before analysing.
+     *
+     * @param why Receives a one-line reason on failure.
+     */
+    bool validate(std::string *why = nullptr) const;
 
     /** Derived: the dip-detector thresholds this config implies. */
     DipDetectorConfig

@@ -1,5 +1,6 @@
 #include "profiler/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace emprof::profiler {
@@ -10,9 +11,14 @@ makeReport(const std::vector<StallEvent> &events, double sample_rate_hz,
 {
     ProfileReport report;
     report.totalEvents = events.size();
-    report.durationSeconds =
-        static_cast<double>(total_samples) / sample_rate_hz;
-    report.executionCycles = report.durationSeconds * clock_hz;
+    // A non-positive or non-finite rate cannot produce a duration; the
+    // derived fields stay 0 instead of going NaN/Inf (callers with an
+    // error channel reject such configs via EmProfConfig::validate).
+    if (std::isfinite(sample_rate_hz) && sample_rate_hz > 0.0)
+        report.durationSeconds =
+            static_cast<double>(total_samples) / sample_rate_hz;
+    if (std::isfinite(clock_hz) && clock_hz > 0.0)
+        report.executionCycles = report.durationSeconds * clock_hz;
 
     std::vector<double> latencies;
     latencies.reserve(events.size());

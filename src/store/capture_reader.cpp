@@ -5,93 +5,19 @@
 #include <cstdio>
 #include <cstring>
 
-#ifndef _WIN32
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
-
 #include "store/chunk_codec.hpp"
 #include "store/crc32c.hpp"
 
 namespace emprof::store {
 
-namespace {
-
-#ifndef _WIN32
-
-int
-openFile(const std::string &path, uint64_t &size)
-{
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
-        return -1;
-    struct stat st{};
-    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-        ::close(fd);
-        return -1;
-    }
-    size = static_cast<uint64_t>(st.st_size);
-    return fd;
-}
-
-void
-closeFile(int fd)
-{
-    if (fd >= 0)
-        ::close(fd);
-}
-
-#else // Portable fallback: a fresh handle per positioned read.
-
-int
-openFile(const std::string &path, uint64_t &size)
-{
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (f == nullptr)
-        return -1;
-    std::fseek(f, 0, SEEK_END);
-    const long end = std::ftell(f);
-    std::fclose(f);
-    if (end < 0)
-        return -1;
-    size = static_cast<uint64_t>(end);
-    return 0; // liveness token only; reads reopen by path
-}
-
-void
-closeFile(int)
-{}
-
-#endif
-
-} // namespace
-
 bool
-CaptureReader::preadAt(uint64_t offset, void *buf, std::size_t len) const
+CaptureReader::preadAt(uint64_t offset, void *buf, std::size_t len,
+                       const char *context, std::string *error) const
 {
-#ifndef _WIN32
-    auto *p = static_cast<uint8_t *>(buf);
-    while (len > 0) {
-        const ssize_t got =
-            ::pread(fd_, p, len, static_cast<off_t>(offset));
-        if (got <= 0)
-            return false;
-        p += got;
-        offset += static_cast<uint64_t>(got);
-        len -= static_cast<std::size_t>(got);
-    }
-    return true;
-#else
-    std::FILE *f = std::fopen(path_.c_str(), "rb");
-    if (f == nullptr)
-        return false;
-    const bool ok =
-        std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0 &&
-        std::fread(buf, 1, len, f) == len;
-    std::fclose(f);
-    return ok;
-#endif
+    common::io::IoError e;
+    if (file_.preadAt(offset, buf, len, context, &e))
+        return true;
+    return fail(error, e.describe());
 }
 
 CaptureReader::~CaptureReader() { close(); }
@@ -99,9 +25,7 @@ CaptureReader::~CaptureReader() { close(); }
 void
 CaptureReader::close()
 {
-    closeFile(fd_);
-    fd_ = -1;
-    path_.clear();
+    file_.reset();
     index_.clear();
     info_ = CaptureInfo{};
     fileSize_ = 0;
@@ -116,41 +40,56 @@ CaptureReader::fail(std::string *error, const std::string &message) const
 }
 
 bool
+CaptureReader::loadHeader(FileHeader &header, std::string *error)
+{
+    if (!preadAt(0, &header, sizeof(header), "file header", error))
+        return false;
+    if (std::memcmp(header.magic, kEmcapMagic, sizeof(kEmcapMagic)) != 0)
+        return fail(error, "bad magic: not an EMCAP file");
+    if (header.version != kEmcapVersion)
+        return fail(error, "unsupported EMCAP version");
+    if (crc32c(0, &header, offsetof(FileHeader, headerCrc)) !=
+        header.headerCrc)
+        return fail(error, "file header CRC mismatch");
+    if (header.codec != static_cast<uint32_t>(SampleCodec::F32) &&
+        header.codec != static_cast<uint32_t>(SampleCodec::QuantI16))
+        return fail(error, "unknown sample codec");
+    return true;
+}
+
+bool
 CaptureReader::open(const std::string &path, std::string *error)
 {
     close();
-    path_ = path;
-    fd_ = openFile(path, fileSize_);
-    if (fd_ < 0)
-        return fail(error, "cannot open " + path);
+    if (!file_.open(path, common::io::CheckedFile::Mode::Read)) {
+        const std::string why = file_.error().describe();
+        close();
+        return fail(error, "cannot open " + path + ": " + why);
+    }
 
     const auto bail = [&](const std::string &message) {
         close();
         return fail(error, message);
     };
 
+    if (!file_.size(fileSize_, "stat"))
+        return bail("cannot stat " + path);
     if (fileSize_ < sizeof(FileHeader) + sizeof(FooterTail))
         return bail("file too short to be an EMCAP capture");
 
     FileHeader header{};
-    if (!preadAt(0, &header, sizeof(header)))
-        return bail("cannot read file header");
-    if (std::memcmp(header.magic, kEmcapMagic, sizeof(kEmcapMagic)) != 0)
-        return bail("bad magic: not an EMCAP file");
-    if (header.version != kEmcapVersion)
-        return bail("unsupported EMCAP version");
-    if (crc32c(0, &header, offsetof(FileHeader, headerCrc)) !=
-        header.headerCrc)
-        return bail("file header CRC mismatch");
-    if (header.codec != static_cast<uint32_t>(SampleCodec::F32) &&
-        header.codec != static_cast<uint32_t>(SampleCodec::QuantI16))
-        return bail("unknown sample codec");
+    std::string header_error;
+    if (!loadHeader(header, &header_error))
+        return bail(header_error);
 
     FooterTail tail{};
-    if (!preadAt(fileSize_ - sizeof(tail), &tail, sizeof(tail)))
-        return bail("cannot read footer");
+    if (!preadAt(fileSize_ - sizeof(tail), &tail, sizeof(tail),
+                 "footer tail", error)) {
+        close();
+        return false;
+    }
     if (std::memcmp(tail.magic, kFooterMagic, sizeof(kFooterMagic)) != 0)
-        return bail("bad footer magic (truncated file?)");
+        return bail("bad footer magic (truncated file? try recovery)");
 
     // Each chunk needs >= 20 bytes of body plus its 24-byte index
     // entry, which bounds the plausible chunk count before we allocate.
@@ -168,8 +107,11 @@ CaptureReader::open(const std::string &path, std::string *error)
 
     index_.resize(static_cast<std::size_t>(tail.chunkCount));
     if (index_bytes != 0 &&
-        !preadAt(footer_start, index_.data(), index_bytes))
-        return bail("cannot read footer index");
+        !preadAt(footer_start, index_.data(), index_bytes,
+                 "footer index", error)) {
+        close();
+        return false;
+    }
 
     uint32_t crc = crc32c(0, index_.data(), index_bytes);
     crc = crc32c(crc, &tail, offsetof(FooterTail, footerCrc));
@@ -205,6 +147,113 @@ CaptureReader::open(const std::string &path, std::string *error)
     return true;
 }
 
+bool
+CaptureReader::openRecovered(const std::string &path,
+                             RecoveryReport *report, std::string *error)
+{
+    close();
+    if (!file_.open(path, common::io::CheckedFile::Mode::Read)) {
+        const std::string why = file_.error().describe();
+        close();
+        return fail(error, "cannot open " + path + ": " + why);
+    }
+
+    const auto bail = [&](const std::string &message) {
+        close();
+        return fail(error, message + "; nothing recoverable");
+    };
+
+    if (!file_.size(fileSize_, "stat"))
+        return bail("cannot stat " + path);
+
+    // The 72-byte header is written first, before any chunk, and never
+    // moves; without it there is no sample rate, codec or quantiser to
+    // decode chunks with.
+    if (fileSize_ < sizeof(FileHeader))
+        return bail("file shorter than the EMCAP header");
+    FileHeader header{};
+    std::string header_error;
+    if (!loadHeader(header, &header_error))
+        return bail(header_error);
+
+    // Walk the chunk stream from the front.  A chunk counts as
+    // salvaged only if its full header + payload are present and the
+    // CRC over both checks out; the first byte that fails ends the
+    // salvageable prefix (it is a torn write, corruption, or the start
+    // of a footer index).
+    std::string stop_reason;
+    std::vector<uint8_t> payload;
+    uint64_t offset = sizeof(FileHeader);
+    uint64_t samples = 0;
+    while (offset < fileSize_) {
+        if (fileSize_ - offset < sizeof(ChunkHeader)) {
+            stop_reason = "truncated mid chunk header";
+            break;
+        }
+        ChunkHeader chunk{};
+        std::string io_error;
+        if (!preadAt(offset, &chunk, sizeof(chunk), "chunk header",
+                     &io_error)) {
+            stop_reason = io_error;
+            break;
+        }
+        if (chunk.sampleCount == 0) {
+            stop_reason = "empty chunk (footer or torn write)";
+            break;
+        }
+        if (chunk.payloadBytes >
+            fileSize_ - offset - sizeof(ChunkHeader)) {
+            stop_reason = "truncated mid chunk payload";
+            break;
+        }
+        payload.resize(chunk.payloadBytes);
+        if (!preadAt(offset + sizeof(ChunkHeader), payload.data(),
+                     payload.size(), "chunk payload", &io_error)) {
+            stop_reason = io_error;
+            break;
+        }
+        uint32_t crc = crc32c(0, &chunk, offsetof(ChunkHeader, crc));
+        crc = crc32c(crc, payload.data(), payload.size());
+        if (crc != chunk.crc) {
+            stop_reason = "chunk CRC mismatch (footer, torn write, or "
+                          "corruption)";
+            break;
+        }
+
+        ChunkIndexEntry entry{};
+        entry.fileOffset = offset;
+        entry.firstSample = samples;
+        entry.sampleCount = chunk.sampleCount;
+        entry.storedBytes = static_cast<uint32_t>(sizeof(ChunkHeader)) +
+                            chunk.payloadBytes;
+        index_.push_back(entry);
+        samples += chunk.sampleCount;
+        offset += entry.storedBytes;
+    }
+
+    info_.version = header.version;
+    info_.codec = static_cast<SampleCodec>(header.codec);
+    info_.quantBits = header.quantBits;
+    info_.sampleRateHz = header.sampleRateHz;
+    info_.clockHz = header.clockHz;
+    info_.deviceName.assign(
+        header.deviceName,
+        ::strnlen(header.deviceName, sizeof(header.deviceName)));
+    // The header's own count is untrustworthy here (a crashed capture
+    // still carries the provisional 0); the scan is the truth.
+    info_.totalSamples = samples;
+
+    if (report != nullptr) {
+        *report = RecoveryReport{};
+        report->salvagedChunks = index_.size();
+        report->salvagedSamples = samples;
+        report->salvagedBytes = offset;
+        report->droppedTailBytes = fileSize_ - offset;
+        report->stopReason = stop_reason;
+    }
+    return true;
+}
+
 std::size_t
 CaptureReader::chunkContaining(uint64_t sample) const
 {
@@ -227,8 +276,9 @@ CaptureReader::decodeChunk(std::size_t i, std::vector<dsp::Sample> &out,
     const ChunkIndexEntry &entry = index_[i];
 
     std::vector<uint8_t> stored(entry.storedBytes);
-    if (!preadAt(entry.fileOffset, stored.data(), stored.size()))
-        return fail(error, "cannot read chunk " + std::to_string(i));
+    if (!preadAt(entry.fileOffset, stored.data(), stored.size(),
+                 "chunk body", error))
+        return false;
 
     ChunkHeader header{};
     std::memcpy(&header, stored.data(), sizeof(header));

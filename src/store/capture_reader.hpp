@@ -16,6 +16,13 @@
  *  - verify() walks every byte of the file against its CRC and reports
  *    which chunks are damaged — a capture with one flipped bit loses
  *    one chunk, not the corpus.
+ *
+ * A capture interrupted before finalize() has no footer; openRecovered()
+ * rebuilds the index by scanning the per-chunk headers and CRCs from
+ * the front of the file, salvaging every fully-flushed chunk (see
+ * DESIGN.md §10, "Failure model & recovery").  All I/O runs through
+ * common::io::CheckedFile, so every failure surfaces as a typed
+ * IoError-derived message rather than a silent short read.
  */
 
 #ifndef EMPROF_STORE_CAPTURE_READER_HPP
@@ -25,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/io/checked_file.hpp"
 #include "dsp/types.hpp"
 #include "store/emcap_format.hpp"
 
@@ -40,6 +48,23 @@ struct CaptureInfo
     double clockHz = 0.0;
     std::string deviceName;
     uint64_t totalSamples = 0;
+};
+
+/** What openRecovered() managed to salvage. */
+struct RecoveryReport
+{
+    uint64_t salvagedChunks = 0;
+    uint64_t salvagedSamples = 0;
+
+    /** File prefix (header + salvaged chunks) proven intact, bytes. */
+    uint64_t salvagedBytes = 0;
+
+    /** Trailing bytes abandoned (torn chunk, corruption, footer...). */
+    uint64_t droppedTailBytes = 0;
+
+    /** Why the scan stopped where it did (empty if it consumed the
+     *  whole file, i.e. the capture had no footer at all). */
+    std::string stopReason;
 };
 
 class CaptureReader
@@ -58,9 +83,28 @@ class CaptureReader
      */
     bool open(const std::string &path, std::string *error = nullptr);
 
+    /**
+     * Open a damaged or truncated capture by rebuilding the chunk
+     * index from the per-chunk headers and CRCs, ignoring the footer
+     * entirely.  Salvages the longest prefix of fully-flushed,
+     * CRC-valid chunks; info().totalSamples reflects the salvaged
+     * count, and every reader operation then works on the salvaged
+     * prefix exactly as if it had been a finalized capture.
+     *
+     * Requires an intact 72-byte file header (it is written first and
+     * never moves, so any capture that produced at least one byte of
+     * chunk data has one).
+     *
+     * @retval false Nothing recoverable: the file is missing, shorter
+     *         than a header, or the header itself is damaged.
+     */
+    bool openRecovered(const std::string &path,
+                       RecoveryReport *report = nullptr,
+                       std::string *error = nullptr);
+
     void close();
 
-    bool isOpen() const { return fd_ >= 0; }
+    bool isOpen() const { return file_.isOpen(); }
 
     const CaptureInfo &info() const { return info_; }
 
@@ -112,11 +156,14 @@ class CaptureReader
   private:
     bool fail(std::string *error, const std::string &message) const;
 
-    /** Positioned read at @p offset; thread-safe. */
-    bool preadAt(uint64_t offset, void *buf, std::size_t len) const;
+    /** Read + fully validate the 72-byte file header. */
+    bool loadHeader(FileHeader &header, std::string *error);
 
-    int fd_ = -1;
-    std::string path_;
+    /** Positioned read at @p offset; thread-safe. */
+    bool preadAt(uint64_t offset, void *buf, std::size_t len,
+                 const char *context, std::string *error) const;
+
+    common::io::CheckedFile file_;
     uint64_t fileSize_ = 0;
     CaptureInfo info_;
     std::vector<ChunkIndexEntry> index_;

@@ -31,27 +31,36 @@ makeHeader(const WriterOptions &options, uint64_t total_samples)
 
 } // namespace
 
-CaptureWriter::~CaptureWriter()
+bool
+CaptureWriter::failWithFileError()
 {
-    if (file_ != nullptr)
-        std::fclose(file_); // abandoned without finalize(): no footer
+    failed_ = true;
+    if (error_.ok())
+        error_ = file_.error();
+    return false;
 }
 
 bool
 CaptureWriter::open(const std::string &path, const WriterOptions &options)
 {
-    if (file_ != nullptr || options.chunkSamples == 0)
+    if (file_.isOpen())
         return false;
-    if (options.codec == SampleCodec::QuantI16 &&
-        (options.quantBits < 2 || options.quantBits > 16))
+    failed_ = false;
+    error_ = common::io::IoError{};
+    if (options.chunkSamples == 0 ||
+        (options.codec == SampleCodec::QuantI16 &&
+         (options.quantBits < 2 || options.quantBits > 16)) ||
+        (options.codec != SampleCodec::F32 &&
+         options.codec != SampleCodec::QuantI16)) {
+        error_ = common::io::formatError(path, "unusable writer options");
         return false;
-    if (options.codec != SampleCodec::F32 &&
-        options.codec != SampleCodec::QuantI16)
-        return false;
+    }
 
-    file_ = std::fopen(path.c_str(), "wb");
-    if (file_ == nullptr)
+    if (!file_.open(path,
+                    common::io::CheckedFile::Mode::ReadWriteTruncate)) {
+        error_ = file_.error();
         return false;
+    }
 
     options_ = options;
     buffer_.clear();
@@ -62,19 +71,18 @@ CaptureWriter::open(const std::string &path, const WriterOptions &options)
     // Provisional header; finalize() rewrites it with the true sample
     // count (and therefore the true CRC).
     const FileHeader header = makeHeader(options_, 0);
-    if (std::fwrite(&header, sizeof(header), 1, file_) != 1) {
-        std::fclose(file_);
-        file_ = nullptr;
+    if (!file_.writeAll(&header, sizeof(header), "file header")) {
+        error_ = file_.error();
+        file_.close();
         return false;
     }
-    offset_ = sizeof(FileHeader);
     return true;
 }
 
 bool
 CaptureWriter::append(const dsp::Sample *samples, std::size_t count)
 {
-    if (file_ == nullptr)
+    if (!isOpen())
         return false;
     while (count > 0) {
         const std::size_t take = std::min(
@@ -110,23 +118,25 @@ CaptureWriter::flushChunk()
     crc = crc32c(crc, chunk.payload.data(), chunk.payload.size());
     header.crc = crc;
 
-    if (std::fwrite(&header, sizeof(header), 1, file_) != 1)
-        return false;
-    if (!chunk.payload.empty() &&
-        std::fwrite(chunk.payload.data(), 1, chunk.payload.size(),
-                    file_) != chunk.payload.size()) {
-        return false;
-    }
-
+    // The index entry records where the chunk actually starts; taking
+    // the offset from the checked file (rather than a parallel counter)
+    // makes a header-landed/payload-failed desync impossible — after
+    // any failed write the writer is invalid and nothing more lands.
     ChunkIndexEntry entry{};
-    entry.fileOffset = offset_;
+    entry.fileOffset = file_.offset();
     entry.firstSample = stats_.samples;
     entry.sampleCount = header.sampleCount;
     entry.storedBytes = static_cast<uint32_t>(sizeof(ChunkHeader) +
                                               chunk.payload.size());
-    index_.push_back(entry);
 
-    offset_ += entry.storedBytes;
+    if (!file_.writeAll(&header, sizeof(header), "chunk header"))
+        return failWithFileError();
+    if (!chunk.payload.empty() &&
+        !file_.writeAll(chunk.payload.data(), chunk.payload.size(),
+                        "chunk payload"))
+        return failWithFileError();
+
+    index_.push_back(entry);
     stats_.samples += buffer_.size();
     ++stats_.chunks;
     buffer_.clear();
@@ -136,9 +146,12 @@ CaptureWriter::flushChunk()
 bool
 CaptureWriter::finalize()
 {
-    if (file_ == nullptr)
+    if (!file_.isOpen())
         return false;
-    bool ok = flushChunk();
+    if (failed_ || !flushChunk()) {
+        file_.close();
+        return false;
+    }
 
     FooterTail tail{};
     tail.chunkCount = index_.size();
@@ -149,28 +162,32 @@ CaptureWriter::finalize()
     tail.footerCrc = crc;
     std::memcpy(tail.magic, kFooterMagic, sizeof(kFooterMagic));
 
-    ok = ok && (index_.empty() ||
-                std::fwrite(index_.data(), sizeof(ChunkIndexEntry),
-                            index_.size(),
-                            file_) == index_.size());
-    ok = ok && std::fwrite(&tail, sizeof(tail), 1, file_) == 1;
-
     const FileHeader header = makeHeader(options_, stats_.samples);
-    ok = ok && std::fseek(file_, 0, SEEK_SET) == 0 &&
-         std::fwrite(&header, sizeof(header), 1, file_) == 1;
 
-    ok = std::fclose(file_) == 0 && ok;
-    file_ = nullptr;
+    bool ok =
+        (index_.empty() ||
+         file_.writeAll(index_.data(),
+                        index_.size() * sizeof(ChunkIndexEntry),
+                        "footer index")) &&
+        file_.writeAll(&tail, sizeof(tail), "footer tail");
+    if (ok)
+        stats_.fileBytes = file_.offset();
+    ok = ok && file_.seekTo(0, "header back-patch") &&
+         file_.writeAll(&header, sizeof(header), "header back-patch") &&
+         file_.syncToDisk("finalize fsync");
 
-    stats_.fileBytes = offset_ +
-                       index_.size() * sizeof(ChunkIndexEntry) +
-                       sizeof(FooterTail);
-    return ok;
+    // close() reports both a pending error and a failing close(2);
+    // order matters so a clean close cannot mask a failed write.
+    ok = file_.close() && ok;
+    if (!ok)
+        return failWithFileError();
+    return true;
 }
 
 bool
 writeCapture(const std::string &path, const dsp::TimeSeries &series,
-             WriterOptions options, WriterStats *stats)
+             WriterOptions options, WriterStats *stats,
+             std::string *error)
 {
     if (options.sampleRateHz <= 0.0)
         options.sampleRateHz = series.sampleRateHz;
@@ -179,6 +196,8 @@ writeCapture(const std::string &path, const dsp::TimeSeries &series,
                     writer.append(series) && writer.finalize();
     if (stats != nullptr)
         *stats = writer.stats();
+    if (!ok && error != nullptr)
+        *error = writer.lastError().describe();
     return ok;
 }
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "dsp/rng.hpp"
@@ -155,6 +156,92 @@ TEST(DipDetector, DepthIsMeanOfDipSamples)
     const auto events = detect(sig, testConfig());
     ASSERT_EQ(events.size(), 1u);
     EXPECT_NEAR(events[0].depth, 0.1, 1e-9);
+}
+
+// --- threshold boundary semantics -----------------------------------
+//
+// The comparisons are strict in both directions: a sample exactly AT
+// enterThreshold does not open a dip, and a sample exactly AT
+// exitThreshold does not close one.  These are locked down because the
+// parallel stitcher replays prefixes assuming exactly these semantics;
+// an off-by-one here silently desynchronises streaming and parallel
+// results.
+
+TEST(DipDetector, SampleExactlyAtEnterThresholdDoesNotEnter)
+{
+    const auto cfg = testConfig();
+    std::vector<double> sig(40, 1.0);
+    for (int i = 10; i < 20; ++i)
+        sig[i] = cfg.enterThreshold; // == enter: strictly-below required
+    EXPECT_TRUE(detect(sig, cfg).empty());
+
+    // One ulp below the threshold does enter.
+    std::vector<double> below(40, 1.0);
+    for (int i = 10; i < 20; ++i)
+        below[i] = std::nextafter(cfg.enterThreshold, 0.0);
+    EXPECT_EQ(detect(below, cfg).size(), 1u);
+}
+
+TEST(DipDetector, SampleExactlyAtExitThresholdStaysInDip)
+{
+    const auto cfg = testConfig();
+    std::vector<double> sig(40, 1.0);
+    for (int i = 10; i < 14; ++i)
+        sig[i] = 0.05;
+    // Samples at exactly exitThreshold must extend the dip, not end it.
+    for (int i = 14; i < 18; ++i)
+        sig[i] = cfg.exitThreshold;
+    const auto events = detect(sig, cfg);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].startSample, 10u);
+    EXPECT_EQ(events[0].endSample, 17u); // last ==exit sample included
+
+    // One ulp above exit closes the dip at the previous sample.
+    std::vector<double> above(40, 1.0);
+    for (int i = 10; i < 14; ++i)
+        above[i] = 0.05;
+    above[14] = std::nextafter(cfg.exitThreshold, 1.0);
+    const auto closed = detect(above, cfg);
+    ASSERT_EQ(closed.size(), 1u);
+    EXPECT_EQ(closed[0].endSample, 13u);
+}
+
+TEST(DipDetector, BackToBackDipsWithOneRecoverySample)
+{
+    // A single above-exit sample between two dips must yield two
+    // events, not one bridged event.
+    std::vector<double> sig(40, 1.0);
+    for (int i = 10; i < 15; ++i)
+        sig[i] = 0.05;
+    sig[15] = 0.9;
+    for (int i = 16; i < 21; ++i)
+        sig[i] = 0.05;
+    const auto events = detect(sig, testConfig());
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].startSample, 10u);
+    EXPECT_EQ(events[0].endSample, 14u);
+    EXPECT_EQ(events[1].startSample, 16u);
+    EXPECT_EQ(events[1].endSample, 20u);
+}
+
+TEST(DipDetector, OpenDipAtStreamEndRespectsMinDuration)
+{
+    // finish() applies the same duration floor as a closed dip: an
+    // open dip one sample short of the floor is dropped, one exactly
+    // at the floor is emitted.
+    const uint64_t min_dur = 4;
+    std::vector<double> short_dip(20, 1.0);
+    for (std::size_t i = 17; i < 20; ++i)
+        short_dip[i] = 0.05; // 3 samples, floor is 4
+    EXPECT_TRUE(detect(short_dip, testConfig(min_dur)).empty());
+
+    std::vector<double> exact(20, 1.0);
+    for (std::size_t i = 16; i < 20; ++i)
+        exact[i] = 0.05; // exactly 4 samples
+    const auto events = detect(exact, testConfig(min_dur));
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].startSample, 16u);
+    EXPECT_EQ(events[0].endSample, 19u);
 }
 
 } // namespace

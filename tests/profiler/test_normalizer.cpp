@@ -90,5 +90,60 @@ TEST(Normalizer, EnvelopeAccessors)
     EXPECT_FALSE(norm.warm());
 }
 
+// --- low-contrast boundary semantics --------------------------------
+//
+// The contrast gate is `range < minContrast * hi`: a window whose
+// contrast is exactly at the threshold is treated as contrasted (it
+// normalises), strictly below as flat (reports 1.0).  The parallel
+// analyzer's halo re-feed reproduces these windows at chunk seams, so
+// the exact boundary behaviour is part of the streaming/parallel
+// equivalence contract.
+
+TEST(Normalizer, ContrastExactlyAtThresholdNormalises)
+{
+    // hi = 1.0, lo = 0.75 -> range 0.25 == minContrast * hi with
+    // minContrast 0.25 (all exactly representable): NOT below the
+    // threshold, so the window normalises.
+    MovingMinMaxNormalizer norm(4, 0.25);
+    norm.push(1.0);
+    norm.push(1.0);
+    norm.push(0.75);
+    const double n = norm.push(0.75);
+    EXPECT_DOUBLE_EQ(n, 0.0); // 0.75 is the window floor
+}
+
+TEST(Normalizer, ContrastJustBelowThresholdReadsBusy)
+{
+    // Same shape, floor one ulp higher: range dips below the gate and
+    // every sample reports fully busy.
+    const double floor = std::nextafter(0.75, 1.0);
+    MovingMinMaxNormalizer norm(4, 0.25);
+    norm.push(1.0);
+    norm.push(1.0);
+    norm.push(floor);
+    EXPECT_DOUBLE_EQ(norm.push(floor), 1.0);
+}
+
+TEST(Normalizer, AllZeroWindowReadsBusy)
+{
+    // hi == 0 has no usable ceiling; the gate must report busy rather
+    // than divide by a zero range.
+    MovingMinMaxNormalizer norm(4, 0.2);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(norm.push(0.0), 1.0);
+}
+
+TEST(Normalizer, NegativeCeilingReadsBusy)
+{
+    // A window of negative values (hi <= 0) is degenerate for a
+    // magnitude signal; it must read busy, not produce values outside
+    // [0, 1] from the negative range arithmetic.
+    MovingMinMaxNormalizer norm(4, 0.2);
+    for (int i = 0; i < 8; ++i) {
+        const double n = norm.push(-1.0 - 0.1 * i);
+        EXPECT_DOUBLE_EQ(n, 1.0);
+    }
+}
+
 } // namespace
 } // namespace emprof::profiler

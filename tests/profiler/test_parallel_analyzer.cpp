@@ -206,5 +206,40 @@ TEST(ParallelAnalyzer, WholeChunksBelowExitStayOneEvent)
         expectParallelMatchesStreaming(sig, testConfig(), chunk, threads);
 }
 
+TEST(ParallelAnalyzer, LowContrastRegionsMatchStreaming)
+{
+    // Exactly-flat stretches make the normaliser's low-contrast gate
+    // report "busy"; the halo re-feed must reproduce the same gated
+    // windows at every chunk seam.  Mixed flat/noisy/dipped content
+    // with seams landing inside each region locks the equivalence.
+    auto sig = busySignal(4000, 7);
+    for (std::size_t i = 600; i < 1400; ++i)
+        sig.samples[i] = 1.0f; // bit-exact flat: zero contrast
+    writeDip(sig, 1900, 60);
+    for (std::size_t i = 2500; i < 3100; ++i)
+        sig.samples[i] = 0.5f; // flat at a different level
+    writeDip(sig, 3500, 40);
+    for (const std::size_t chunk :
+         {std::size_t{97}, std::size_t{256}, std::size_t{800}})
+        for (const std::size_t threads :
+             {std::size_t{2}, std::size_t{4}})
+            expectParallelMatchesStreaming(sig, testConfig(), chunk,
+                                           threads);
+}
+
+TEST(ParallelAnalyzer, BackToBackDipsStraddlingChunkSeams)
+{
+    // Two dips separated by a single recovery sample, positioned so a
+    // chunk boundary falls between them (and, for chunk 100, ON the
+    // recovery sample): the stitcher must not bridge them into one.
+    auto sig = busySignal(2000, 11);
+    writeDip(sig, 380, 19);
+    sig.samples[399] = 1.2f; // recovery sample at a chunk-100 boundary
+    writeDip(sig, 400, 20);
+    for (const std::size_t chunk :
+         {std::size_t{100}, std::size_t{200}, std::size_t{390}})
+        expectParallelMatchesStreaming(sig, testConfig(), chunk, 4);
+}
+
 } // namespace
 } // namespace emprof::profiler

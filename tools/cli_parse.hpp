@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Strict numeric flag parsing shared by the emprof_* tools.
+ *
+ * std::atof silently turns "abc" into 0.0 and "1e999" into inf, which
+ * then flows into thresholds and sample rates as a plausible-looking
+ * config.  These helpers accept a value only if the whole string parses
+ * and the result is finite and inside the flag's documented range;
+ * anything else prints a diagnostic naming the flag and exits 2 (the
+ * usage-error code), before any file is touched.
+ */
+
+#ifndef EMPROF_TOOLS_CLI_PARSE_HPP
+#define EMPROF_TOOLS_CLI_PARSE_HPP
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace emprof::tools {
+
+[[noreturn]] inline void
+badFlag(const char *flag, const char *text, const char *why)
+{
+    std::fprintf(stderr, "%s: invalid value '%s' (%s)\n", flag, text,
+                 why);
+    std::exit(2);
+}
+
+/** Parse a whole-string finite double in [lo, hi], or exit 2. */
+inline double
+parseDoubleFlag(const char *flag, const char *text, double lo, double hi)
+{
+    if (text == nullptr || *text == '\0')
+        badFlag(flag, text == nullptr ? "" : text, "empty");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        badFlag(flag, text, "not a number");
+    if (errno == ERANGE || !std::isfinite(value))
+        badFlag(flag, text, "out of range for a double");
+    if (value < lo || value > hi) {
+        std::fprintf(stderr,
+                     "%s: value %s outside the accepted range "
+                     "[%g, %g]\n",
+                     flag, text, lo, hi);
+        std::exit(2);
+    }
+    return value;
+}
+
+/** Parse a whole-string base-10 uint64 in [lo, hi], or exit 2. */
+inline uint64_t
+parseU64Flag(const char *flag, const char *text, uint64_t lo,
+             uint64_t hi)
+{
+    if (text == nullptr || *text == '\0')
+        badFlag(flag, text == nullptr ? "" : text, "empty");
+    // strtoull "accepts" a leading minus by wrapping modulo 2^64;
+    // reject any sign explicitly.
+    const char *p = text;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p == '-' || *p == '+')
+        badFlag(flag, text, "must be an unsigned integer");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        badFlag(flag, text, "not an unsigned integer");
+    if (errno == ERANGE)
+        badFlag(flag, text, "out of range for a 64-bit integer");
+    if (value < lo || value > hi) {
+        std::fprintf(stderr,
+                     "%s: value %s outside the accepted range "
+                     "[%" PRIu64 ", %" PRIu64 "]\n",
+                     flag, text, lo, hi);
+        std::exit(2);
+    }
+    return value;
+}
+
+} // namespace emprof::tools
+
+#endif // EMPROF_TOOLS_CLI_PARSE_HPP

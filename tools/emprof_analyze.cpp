@@ -29,6 +29,7 @@
 #include <cstring>
 #include <string>
 
+#include "cli_parse.hpp"
 #include "common/thread_pool.hpp"
 #include "dsp/signal_io.hpp"
 #include "profiler/boot_profile.hpp"
@@ -71,6 +72,12 @@ usage(const char *argv0)
         "                      (default: hardware concurrency, 1\n"
         "                      forces the streaming path)\n"
         "\n"
+        "recovery:\n"
+        "  --recover           open a truncated/unfinalized EMCAP\n"
+        "                      capture by rebuilding the chunk index\n"
+        "                      from per-chunk CRCs (see also\n"
+        "                      `emprof_store recover`)\n"
+        "\n"
         "views:\n"
         "  --section           analyse only between marker loops\n"
         "  --histogram         print the stall-latency histogram\n"
@@ -79,14 +86,21 @@ usage(const char *argv0)
         argv0);
 }
 
-double
-argValue(int argc, char **argv, int &i)
+const char *
+argText(int argc, char **argv, int &i)
 {
     if (i + 1 >= argc) {
         std::fprintf(stderr, "missing value for %s\n", argv[i]);
         std::exit(2);
     }
-    return std::atof(argv[++i]);
+    return argv[++i];
+}
+
+double
+argDouble(int argc, char **argv, int &i, double lo, double hi)
+{
+    const char *flag = argv[i];
+    return tools::parseDoubleFlag(flag, argText(argc, argv, i), lo, hi);
 }
 
 } // namespace
@@ -102,7 +116,7 @@ main(int argc, char **argv)
     std::string path = argv[1];
     bool raw_f32 = false, raw_iq = false;
     bool use_section = false, histogram = false;
-    bool clock_set = false;
+    bool clock_set = false, recover = false;
     double rate_mhz = 0.0, clock_ghz = 1.008, boot_bucket_us = 0.0;
     std::size_t threads = common::ThreadPool::hardwareThreads();
     std::string events_csv;
@@ -115,32 +129,35 @@ main(int argc, char **argv)
         else if (arg == "--raw-iq")
             raw_iq = true;
         else if (arg == "--rate-mhz")
-            rate_mhz = argValue(argc, argv, i);
+            rate_mhz = argDouble(argc, argv, i, 1e-6, 1e6);
         else if (arg == "--clock-ghz") {
-            clock_ghz = argValue(argc, argv, i);
+            clock_ghz = argDouble(argc, argv, i, 1e-3, 1e3);
             clock_set = true;
         }
         else if (arg == "--enter")
-            config.enterThreshold = argValue(argc, argv, i);
+            config.enterThreshold = argDouble(argc, argv, i, 0.0, 10.0);
         else if (arg == "--exit")
-            config.exitThreshold = argValue(argc, argv, i);
+            config.exitThreshold = argDouble(argc, argv, i, 0.0, 10.0);
         else if (arg == "--min-stall-ns")
-            config.minStallNs = argValue(argc, argv, i);
+            config.minStallNs = argDouble(argc, argv, i, 0.0, 1e12);
         else if (arg == "--refresh-ns")
-            config.refreshStallNs = argValue(argc, argv, i);
+            config.refreshStallNs = argDouble(argc, argv, i, 0.0, 1e12);
         else if (arg == "--window-ms")
-            config.normWindowSeconds = argValue(argc, argv, i) * 1e-3;
+            config.normWindowSeconds =
+                argDouble(argc, argv, i, 1e-6, 1e6) * 1e-3;
         else if (arg == "--threads")
-            threads = static_cast<std::size_t>(
-                std::max(1.0, argValue(argc, argv, i)));
+            threads = static_cast<std::size_t>(tools::parseU64Flag(
+                "--threads", argText(argc, argv, i), 1, 4096));
+        else if (arg == "--recover")
+            recover = true;
         else if (arg == "--section")
             use_section = true;
         else if (arg == "--histogram")
             histogram = true;
         else if (arg == "--boot")
-            boot_bucket_us = argValue(argc, argv, i);
-        else if (arg == "--events-csv" && i + 1 < argc)
-            events_csv = argv[++i];
+            boot_bucket_us = argDouble(argc, argv, i, 1e-3, 1e9);
+        else if (arg == "--events-csv")
+            events_csv = argText(argc, argv, i);
         else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
@@ -159,17 +176,33 @@ main(int argc, char **argv)
                          "--rate-mhz is required for raw inputs\n");
             return 2;
         }
-        if (!dsp::loadRawF32(path, rate_mhz * 1e6, raw_iq, signal)) {
-            std::fprintf(stderr,
-                         "%s: missing, unreadable, or not raw float32 "
-                         "(byte count must be a multiple of %zu)\n",
-                         path.c_str(),
-                         (raw_iq ? 2 : 1) * sizeof(float));
+        common::io::IoError io_error;
+        if (!dsp::loadRawF32(path, rate_mhz * 1e6, raw_iq, signal,
+                             &io_error)) {
+            std::fprintf(stderr, "%s\n", io_error.describe().c_str());
             return 1;
         }
-    } else if (ftype == dsp::SignalFileType::Emcap) {
+    } else if (ftype == dsp::SignalFileType::Emcap || recover) {
         std::string err;
-        if (!reader.open(path, &err)) {
+        bool opened;
+        if (recover) {
+            store::RecoveryReport rec;
+            opened = reader.openRecovered(path, &rec, &err);
+            if (opened)
+                std::printf(
+                    "recovered %llu chunks / %llu samples; dropped "
+                    "%llu tail bytes%s%s\n",
+                    static_cast<unsigned long long>(rec.salvagedChunks),
+                    static_cast<unsigned long long>(
+                        rec.salvagedSamples),
+                    static_cast<unsigned long long>(
+                        rec.droppedTailBytes),
+                    rec.stopReason.empty() ? "" : ": ",
+                    rec.stopReason.c_str());
+        } else {
+            opened = reader.open(path, &err);
+        }
+        if (!opened) {
             std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
             return 1;
         }
@@ -196,9 +229,9 @@ main(int argc, char **argv)
             emcap_direct = true;
         }
     } else if (ftype == dsp::SignalFileType::Emsig) {
-        if (!dsp::loadSignal(path, signal)) {
-            std::fprintf(stderr, "could not load signal from %s\n",
-                         path.c_str());
+        common::io::IoError io_error;
+        if (!dsp::loadSignal(path, signal, &io_error)) {
+            std::fprintf(stderr, "%s\n", io_error.describe().c_str());
             return 1;
         }
     } else {
@@ -242,6 +275,14 @@ main(int argc, char **argv)
     }
 
     config.clockHz = clock_ghz * 1e9;
+    if (sample_rate > 0.0)
+        config.sampleRateHz = sample_rate;
+    std::string config_error;
+    if (!config.validate(&config_error)) {
+        std::fprintf(stderr, "invalid configuration: %s\n",
+                     config_error.c_str());
+        return 2;
+    }
     profiler::ProfileResult result;
     if (emcap_direct) {
         profiler::ParallelAnalyzerConfig pcfg;

@@ -25,6 +25,7 @@
 #include <cstring>
 #include <string>
 
+#include "cli_parse.hpp"
 #include "devices/devices.hpp"
 #include "dsp/signal_io.hpp"
 #include "em/capture.hpp"
@@ -88,19 +89,25 @@ main(int argc, char **argv)
         else if (arg == "--workload")
             workload_name = next();
         else if (arg == "--scale")
-            scale = strtoull(next(), nullptr, 10);
+            scale = tools::parseU64Flag("--scale", next(), 1,
+                                        uint64_t{1} << 40);
         else if (arg == "--seed")
-            seed = strtoull(next(), nullptr, 10);
+            seed = tools::parseU64Flag("--seed", next(), 0, UINT64_MAX);
         else if (arg == "--tm")
-            tm = strtoull(next(), nullptr, 10);
+            tm = tools::parseU64Flag("--tm", next(), 1,
+                                     uint64_t{1} << 32);
         else if (arg == "--cm")
-            cm = strtoull(next(), nullptr, 10);
+            cm = tools::parseU64Flag("--cm", next(), 1,
+                                     uint64_t{1} << 32);
         else if (arg == "--bandwidth-mhz")
-            bandwidth_mhz = std::atof(next());
+            bandwidth_mhz = tools::parseDoubleFlag("--bandwidth-mhz",
+                                                   next(), 1e-6, 1e6);
         else if (arg == "--quantize-bits")
-            quantize_bits = strtoull(next(), nullptr, 10);
+            quantize_bits = tools::parseU64Flag("--quantize-bits",
+                                                next(), 0, 16);
         else if (arg == "--chunk-samples")
-            chunk_samples = strtoull(next(), nullptr, 10);
+            chunk_samples = tools::parseU64Flag(
+                "--chunk-samples", next(), 1, uint64_t{1} << 32);
         else if (arg == "--no-compress")
             compress = false;
         else if (arg == "--out")
@@ -170,8 +177,9 @@ main(int argc, char **argv)
         out_path.size() >= 6 &&
         out_path.compare(out_path.size() - 6, 6, ".emsig") == 0;
     if (legacy_emsig) {
-        if (!dsp::saveSignal(out_path, capture.magnitude)) {
-            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        common::io::IoError io_error;
+        if (!dsp::saveSignal(out_path, capture.magnitude, &io_error)) {
+            std::fprintf(stderr, "%s\n", io_error.describe().c_str());
             return 1;
         }
         std::printf("wrote %s (legacy .emsig)\n", out_path.c_str());
@@ -194,9 +202,11 @@ main(int argc, char **argv)
         if (chunk_samples > 0)
             wopt.chunkSamples = static_cast<std::size_t>(chunk_samples);
         store::WriterStats wstats;
+        std::string write_error;
         if (!store::writeCapture(out_path, capture.magnitude, wopt,
-                                 &wstats)) {
-            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+                                 &wstats, &write_error)) {
+            std::fprintf(stderr, "cannot write %s: %s\n",
+                         out_path.c_str(), write_error.c_str());
             return 1;
         }
         std::printf(
@@ -215,9 +225,10 @@ main(int argc, char **argv)
     std::printf("analyse with: emprof_analyze %s --clock-ghz %.3f\n",
                 out_path.c_str(), device.clockHz() / 1e9);
 
+    common::io::IoError csv_error;
     if (!csv_path.empty() &&
-        !dsp::saveCsv(csv_path, capture.magnitude)) {
-        std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+        !dsp::saveCsv(csv_path, capture.magnitude, &csv_error)) {
+        std::fprintf(stderr, "%s\n", csv_error.describe().c_str());
         return 1;
     }
     return 0;

@@ -16,7 +16,12 @@
  * legacy .emsig, and raw float32 (output format chosen by the output
  * extension); `cut` re-encodes a sample range into a new EMCAP file
  * using the footer index to seek — it never decodes the rest of the
- * capture.
+ * capture; `recover` salvages a truncated or unfinalized capture
+ * (crashed writer, power cut, torn download) by rebuilding the chunk
+ * index from the per-chunk headers and CRCs:
+ *
+ *   emprof_store recover damaged.emcap            # report only
+ *   emprof_store recover damaged.emcap fixed.emcap
  */
 
 #include <cstdio>
@@ -24,6 +29,7 @@
 #include <cstring>
 #include <string>
 
+#include "cli_parse.hpp"
 #include "dsp/signal_io.hpp"
 #include "store/capture_reader.hpp"
 #include "store/capture_writer.hpp"
@@ -42,13 +48,18 @@ usage(const char *argv0)
         "  convert <in> <out> [options]\n"
         "  cut     <in.emcap> <out.emcap> --start-sample <n>"
         " --num-samples <n>\n"
+        "  recover <damaged.emcap> [<out.emcap>] [options]\n"
         "\n"
         "convert input: EMCAP/.emsig auto-detected by magic; raw dumps\n"
         "need --raw-f32 or --raw-iq plus --rate-mhz <f>.\n"
         "convert output by extension: .emcap | .emsig | anything else\n"
         "is written as raw float32.\n"
         "\n"
-        "EMCAP output options (convert and cut):\n"
+        "recover salvages every fully-flushed, CRC-valid chunk of a\n"
+        "truncated or unfinalized capture; with an output path it\n"
+        "re-encodes the salvage as a fresh finalized EMCAP file.\n"
+        "\n"
+        "EMCAP output options (convert, cut, and recover):\n"
         "  --quantize-bits <n>  0 = lossless f32 (default), 2..16\n"
         "  --no-compress        store chunks verbatim\n"
         "  --chunk-samples <n>  samples per chunk (default 65536)\n"
@@ -169,13 +180,16 @@ parseOptions(int argc, char **argv, int first, OutputOptions &opt)
             return argv[++i];
         };
         if (arg == "--quantize-bits")
-            opt.quantizeBits = strtoull(next(), nullptr, 10);
+            opt.quantizeBits = tools::parseU64Flag("--quantize-bits",
+                                                   next(), 0, 16);
         else if (arg == "--chunk-samples")
-            opt.chunkSamples = strtoull(next(), nullptr, 10);
+            opt.chunkSamples = tools::parseU64Flag(
+                "--chunk-samples", next(), 1, uint64_t{1} << 32);
         else if (arg == "--no-compress")
             opt.compress = false;
         else if (arg == "--clock-ghz")
-            opt.clockGhz = std::atof(next());
+            opt.clockGhz = tools::parseDoubleFlag("--clock-ghz", next(),
+                                                  0.0, 1e3);
         else if (arg == "--device")
             opt.deviceName = next();
         else if (arg == "--raw-f32")
@@ -183,20 +197,22 @@ parseOptions(int argc, char **argv, int first, OutputOptions &opt)
         else if (arg == "--raw-iq")
             opt.rawIq = true;
         else if (arg == "--rate-mhz")
-            opt.rateMhz = std::atof(next());
+            opt.rateMhz = tools::parseDoubleFlag("--rate-mhz", next(),
+                                                 1e-6, 1e6);
         else if (arg == "--start-sample") {
-            opt.startSample = strtoull(next(), nullptr, 10);
+            opt.startSample = tools::parseU64Flag(
+                "--start-sample", next(), 0, UINT64_MAX);
             opt.haveStart = true;
         } else if (arg == "--num-samples") {
-            opt.numSamples = strtoull(next(), nullptr, 10);
+            opt.numSamples = tools::parseU64Flag("--num-samples", next(),
+                                                 1, UINT64_MAX);
             opt.haveCount = true;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return -1;
         }
     }
-    if (opt.quantizeBits != 0 &&
-        (opt.quantizeBits < 2 || opt.quantizeBits > 16)) {
+    if (opt.quantizeBits == 1) {
         std::fprintf(stderr,
                      "--quantize-bits must be 0 (lossless) or 2..16\n");
         return -1;
@@ -221,17 +237,20 @@ writerOptions(const OutputOptions &opt, double sample_rate_hz)
 }
 
 bool
-writeRawF32(const std::string &path, const dsp::TimeSeries &series)
+writeRawF32(const std::string &path, const dsp::TimeSeries &series,
+            std::string &error)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (f == nullptr)
-        return false;
+    common::io::CheckedFile file;
     const bool ok =
-        series.samples.empty() ||
-        std::fwrite(series.samples.data(), sizeof(float),
-                    series.samples.size(),
-                    f) == series.samples.size();
-    return std::fclose(f) == 0 && ok;
+        file.open(path, common::io::CheckedFile::Mode::WriteTruncate) &&
+        (series.samples.empty() ||
+         file.writeAll(series.samples.data(),
+                       series.samples.size() * sizeof(float),
+                       "raw f32 payload")) &&
+        file.close();
+    if (!ok)
+        error = file.error().describe();
+    return ok;
 }
 
 int
@@ -249,11 +268,10 @@ convert(const std::string &in, const std::string &out,
                          "--rate-mhz is required for raw inputs\n");
             return 2;
         }
-        if (!dsp::loadRawF32(in, opt.rateMhz * 1e6, opt.rawIq,
-                             series)) {
-            std::fprintf(stderr,
-                         "%s: missing, unreadable, or not raw float32\n",
-                         in.c_str());
+        common::io::IoError io_error;
+        if (!dsp::loadRawF32(in, opt.rateMhz * 1e6, opt.rawIq, series,
+                             &io_error)) {
+            std::fprintf(stderr, "%s\n", io_error.describe().c_str());
             return 1;
         }
     } else if (ftype == dsp::SignalFileType::Emcap) {
@@ -269,8 +287,9 @@ convert(const std::string &in, const std::string &out,
         if (device.empty())
             device = reader.info().deviceName;
     } else if (ftype == dsp::SignalFileType::Emsig) {
-        if (!dsp::loadSignal(in, series)) {
-            std::fprintf(stderr, "could not load %s\n", in.c_str());
+        common::io::IoError io_error;
+        if (!dsp::loadSignal(in, series, &io_error)) {
+            std::fprintf(stderr, "%s\n", io_error.describe().c_str());
             return 1;
         }
     } else {
@@ -282,6 +301,7 @@ convert(const std::string &in, const std::string &out,
     }
 
     bool ok;
+    std::string write_error;
     if (hasSuffix(out, ".emcap")) {
         OutputOptions emcap_opt = opt;
         emcap_opt.clockGhz = clock_ghz;
@@ -290,7 +310,7 @@ convert(const std::string &in, const std::string &out,
         ok = store::writeCapture(out, series,
                                  writerOptions(emcap_opt,
                                                series.sampleRateHz),
-                                 &stats);
+                                 &stats, &write_error);
         if (ok)
             std::printf("wrote %s: %llu samples, %llu chunks, "
                         "%.2fx vs raw f32\n",
@@ -299,20 +319,83 @@ convert(const std::string &in, const std::string &out,
                         static_cast<unsigned long long>(stats.chunks),
                         stats.compressionRatio());
     } else if (hasSuffix(out, ".emsig")) {
-        ok = dsp::saveSignal(out, series);
+        common::io::IoError io_error;
+        ok = dsp::saveSignal(out, series, &io_error);
         if (ok)
             std::printf("wrote %s: %zu samples (.emsig)\n", out.c_str(),
                         series.samples.size());
+        else
+            write_error = io_error.describe();
     } else {
-        ok = writeRawF32(out, series);
+        ok = writeRawF32(out, series, write_error);
         if (ok)
             std::printf("wrote %s: %zu samples (raw f32)\n",
                         out.c_str(), series.samples.size());
     }
     if (!ok) {
-        std::fprintf(stderr, "cannot write %s\n", out.c_str());
+        std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                     write_error.c_str());
         return 1;
     }
+    return 0;
+}
+
+int
+recover(const std::string &in, const std::string &out,
+        const OutputOptions &opt)
+{
+    store::CaptureReader reader;
+    store::RecoveryReport report;
+    std::string error;
+    if (!reader.openRecovered(in, &report, &error)) {
+        std::fprintf(stderr, "%s: %s\n", in.c_str(), error.c_str());
+        return 1;
+    }
+
+    std::printf("%s: salvaged %llu chunks / %llu samples "
+                "(%llu bytes intact, %llu tail bytes dropped)\n",
+                in.c_str(),
+                static_cast<unsigned long long>(report.salvagedChunks),
+                static_cast<unsigned long long>(report.salvagedSamples),
+                static_cast<unsigned long long>(report.salvagedBytes),
+                static_cast<unsigned long long>(
+                    report.droppedTailBytes));
+    if (!report.stopReason.empty())
+        std::printf("  scan stopped: %s\n", report.stopReason.c_str());
+
+    if (out.empty())
+        return 0; // report-only dry run
+
+    dsp::TimeSeries series;
+    series.sampleRateHz = reader.info().sampleRateHz;
+    if (!reader.readAll(series, &error)) {
+        std::fprintf(stderr, "%s: %s\n", in.c_str(), error.c_str());
+        return 1;
+    }
+
+    OutputOptions emcap_opt = opt;
+    if (emcap_opt.clockGhz == 0.0)
+        emcap_opt.clockGhz = reader.info().clockHz / 1e9;
+    if (emcap_opt.deviceName.empty())
+        emcap_opt.deviceName = reader.info().deviceName;
+    if (emcap_opt.quantizeBits == 0 &&
+        reader.info().codec == store::SampleCodec::QuantI16)
+        emcap_opt.quantizeBits = reader.info().quantBits;
+
+    store::WriterStats stats;
+    std::string write_error;
+    if (!store::writeCapture(out, series,
+                             writerOptions(emcap_opt,
+                                           series.sampleRateHz),
+                             &stats, &write_error)) {
+        std::fprintf(stderr, "cannot write %s: %s\n", out.c_str(),
+                     write_error.c_str());
+        return 1;
+    }
+    std::printf("wrote %s: %llu samples in %llu chunks (finalized)\n",
+                out.c_str(),
+                static_cast<unsigned long long>(stats.samples),
+                static_cast<unsigned long long>(stats.chunks));
     return 0;
 }
 
@@ -382,6 +465,21 @@ main(int argc, char **argv)
         return inspect(argv[2]);
     if (command == "verify")
         return verify(argv[2]);
+
+    if (command == "recover") {
+        // The optional second path is the output; options may follow
+        // either form.
+        std::string out;
+        int first_option = 3;
+        if (argc >= 4 && std::strncmp(argv[3], "--", 2) != 0) {
+            out = argv[3];
+            first_option = 4;
+        }
+        OutputOptions opt;
+        if (parseOptions(argc, argv, first_option, opt) != 0)
+            return 2;
+        return recover(argv[2], out, opt);
+    }
 
     if (command == "convert" || command == "cut") {
         if (argc < 4) {
