@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace emprof::common {
 
 std::size_t
@@ -35,11 +37,23 @@ ThreadPool::submit(std::function<void()> task)
 {
     std::packaged_task<void()> packaged(std::move(task));
     auto future = packaged.get_future();
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(packaged));
+        depth = queue_.size();
     }
     cv_.notify_one();
+    if (obs::MetricsRegistry::enabled()) {
+        static const obs::Counter submitted =
+            obs::MetricsRegistry::instance().counter(
+                "threadpool.tasks_submitted");
+        static const obs::Gauge peak =
+            obs::MetricsRegistry::instance().gauge(
+                "threadpool.queue_depth_peak");
+        submitted.inc();
+        peak.max(static_cast<int64_t>(depth));
+    }
     return future;
 }
 

@@ -3,7 +3,29 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
+
 namespace emprof::em {
+
+namespace {
+
+// One call per capture run, never per sample/cycle.
+void
+countCapture(uint64_t cycles, std::size_t magnitude_samples)
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &registry = obs::MetricsRegistry::instance();
+    static const obs::Counter cycles_simulated =
+        registry.counter("capture.cycles_simulated");
+    static const obs::Counter samples_out =
+        registry.counter("capture.magnitude_samples");
+    cycles_simulated.add(cycles);
+    samples_out.add(magnitude_samples);
+}
+
+} // namespace
 
 ProbeChain::ProbeChain(const ProbeChainConfig &config, double clock_hz)
     : emanation_(config.emanation),
@@ -26,6 +48,7 @@ EmCaptureResult
 captureRun(sim::Simulator &simulator, sim::TraceSource &trace,
            const ProbeChainConfig &config, sim::Cycle max_cycles)
 {
+    EMPROF_OBS_STAGE("capture.synthesis");
     EmCaptureResult result;
     ProbeChain chain(config, simulator.config().clockHz);
     result.magnitude.sampleRateHz = chain.outputRateHz();
@@ -36,6 +59,7 @@ captureRun(sim::Simulator &simulator, sim::TraceSource &trace,
             result.magnitude.samples.push_back(mag);
     };
     result.simResult = simulator.run(trace, sink, max_cycles);
+    countCapture(result.simResult.cycles, result.magnitude.samples.size());
     return result;
 }
 
@@ -110,6 +134,7 @@ dualProbeRun(sim::Simulator &simulator, sim::TraceSource &trace,
              const ProbeChainConfig &mem_chain,
              const MemoryEmanationConfig &mem_levels)
 {
+    EMPROF_OBS_STAGE("capture.dual_probe");
     DualProbeResult result;
     const double clock_hz = simulator.config().clockHz;
 

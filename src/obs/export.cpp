@@ -1,0 +1,171 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/io/checked_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
+#include "obs/tracer.hpp"
+
+namespace emprof::obs {
+
+namespace {
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[256];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    if (n > 0)
+        out.append(buf, std::min(static_cast<std::size_t>(n),
+                                 sizeof(buf) - 1));
+}
+
+bool
+writeStringToFile(const std::string &path, const std::string &body,
+                  std::string *error)
+{
+    common::io::CheckedFile file;
+    if (!file.open(path, common::io::CheckedFile::Mode::WriteTruncate) ||
+        !file.writeAll(body.data(), body.size(), "observability json") ||
+        !file.close()) {
+        if (error != nullptr)
+            *error = file.error().describe();
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+metricsToJson()
+{
+    const MetricsSnapshot snap = MetricsRegistry::instance().scrape();
+    std::string out = "{\n  \"counters\": {";
+
+    bool first = true;
+    for (const auto &[name, value] : snap.counters) {
+        appendf(out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+                jsonEscape(name).c_str(), value);
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : snap.gauges) {
+        appendf(out, "%s\n    \"%s\": %" PRId64, first ? "" : ",",
+                jsonEscape(name).c_str(), value);
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : snap.histograms) {
+        appendf(out,
+                "%s\n    \"%s\": {\"count\": %" PRIu64
+                ", \"sum\": %" PRIu64 ", \"mean\": %.3f, \"buckets\": {",
+                first ? "" : ",", jsonEscape(name).c_str(), h.count,
+                h.sum, h.mean());
+        bool first_bucket = true;
+        for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            if (h.buckets[b] == 0)
+                continue;
+            // Keyed by the bucket's inclusive lower bound.
+            appendf(out, "%s\"%" PRIu64 "\": %" PRIu64,
+                    first_bucket ? "" : ", ", histogramBucketLo(b),
+                    h.buckets[b]);
+            first_bucket = false;
+        }
+        out += "}}";
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"labels\": {";
+    first = true;
+    for (const auto &[name, value] : snap.labels) {
+        appendf(out, "%s\n    \"%s\": \"%s\"", first ? "" : ",",
+                jsonEscape(name).c_str(), jsonEscape(value).c_str());
+        first = false;
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    appendf(out, "  \"dropped_registrations\": %" PRIu64 "\n}\n",
+            snap.droppedRegistrations);
+    return out;
+}
+
+std::string
+traceToJson()
+{
+    const std::vector<SpanRecord> spans = Tracer::instance().snapshot();
+    std::string out = "{\n  \"displayTimeUnit\": \"ms\",\n"
+                      "  \"traceEvents\": [";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const SpanRecord &s = spans[i];
+        // Complete events; timestamps are microseconds in this format.
+        appendf(out,
+                "%s\n    {\"name\": \"%s\", \"cat\": \"%s\", "
+                "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                "\"pid\": 1, \"tid\": %u, \"args\": {\"id\": %" PRIu64
+                ", \"parent\": %" PRIu64 "}}",
+                i == 0 ? "" : ",", jsonEscape(s.name).c_str(),
+                jsonEscape(s.category).c_str(),
+                static_cast<double>(s.startNs) / 1e3,
+                static_cast<double>(s.durationNs) / 1e3, s.tid, s.id,
+                s.parent);
+    }
+    out += spans.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return out;
+}
+
+bool
+writeMetricsJson(const std::string &path, std::string *error)
+{
+    return writeStringToFile(path, metricsToJson(), error);
+}
+
+bool
+writeTraceJson(const std::string &path, std::string *error)
+{
+    return writeStringToFile(path, traceToJson(), error);
+}
+
+std::string
+stageSummaryLine()
+{
+    const MetricsSnapshot snap = MetricsRegistry::instance().scrape();
+    const std::string prefix = kStageMetricPrefix;
+    const std::string suffix = kStageMetricSuffix;
+    std::string out;
+    for (const auto &[name, h] : snap.histograms) {
+        if (h.count == 0 || name.size() <= prefix.size() + suffix.size())
+            continue;
+        if (name.compare(0, prefix.size(), prefix) != 0 ||
+            name.compare(name.size() - suffix.size(), suffix.size(),
+                         suffix) != 0)
+            continue;
+        const std::string stage = name.substr(
+            prefix.size(), name.size() - prefix.size() - suffix.size());
+        if (out.empty())
+            out = "stages:";
+        else
+            out += " |";
+        appendf(out, " %s %.3f ms", stage.c_str(),
+                static_cast<double>(h.sum) / 1e6);
+        if (h.count > 1)
+            appendf(out, " (x%" PRIu64 ")", h.count);
+    }
+    return out;
+}
+
+} // namespace emprof::obs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Observability export: serialize the metrics registry and the span
+ * buffer to JSON files.
+ *
+ * Lives in its own translation unit (and CMake target, emprof_obs_io)
+ * because it is the one part of the obs layer that touches the
+ * filesystem: all writes go through common::io::CheckedFile — the same
+ * checked, fault-injectable I/O layer as the capture store — so a disk
+ * that fills up while dumping metrics surfaces as a typed IoError
+ * message, never a silently truncated JSON file.  (The obs core stays
+ * dependency-free so that common/ itself can be instrumented.)
+ *
+ * The trace export is Chrome trace_event format: an object with a
+ * "traceEvents" array of complete ("ph":"X") events, timestamps in
+ * microseconds — loadable directly in chrome://tracing or Perfetto.
+ */
+
+#ifndef EMPROF_OBS_EXPORT_HPP
+#define EMPROF_OBS_EXPORT_HPP
+
+#include <string>
+
+namespace emprof::obs {
+
+/**
+ * Scrape the metrics registry and write it to @p path as JSON.
+ *
+ * @param error Receives a one-line reason on failure.
+ */
+bool writeMetricsJson(const std::string &path,
+                      std::string *error = nullptr);
+
+/** Render the metrics scrape as a JSON string (what the file gets). */
+std::string metricsToJson();
+
+/**
+ * Write the tracer's span buffer to @p path as Chrome trace JSON.
+ *
+ * @param error Receives a one-line reason on failure.
+ */
+bool writeTraceJson(const std::string &path,
+                    std::string *error = nullptr);
+
+/** Render the span buffer as a Chrome trace JSON string. */
+std::string traceToJson();
+
+/**
+ * One-line per-stage timing summary from the `stage.*` histograms,
+ * e.g. "stages: tool.load 12.3 ms | analyze.parallel 45.6 ms (x1)".
+ * Empty when no stage has recorded anything.
+ */
+std::string stageSummaryLine();
+
+} // namespace emprof::obs
+
+#endif // EMPROF_OBS_EXPORT_HPP

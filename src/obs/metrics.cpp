@@ -1,0 +1,265 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace emprof::obs {
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    // Leaked on purpose: call sites cache handles in function-local
+    // statics, and worker threads may record into their shards during
+    // static destruction; a destructed registry would turn those into
+    // use-after-free.
+    static MetricsRegistry *registry = new MetricsRegistry();
+    return *registry;
+}
+
+detail::Shard *
+MetricsRegistry::shardForThisThread()
+{
+    // One shard per (thread, process): only this thread writes its
+    // slots, so updates are plain relaxed adds with no contention.
+    // The registry owns the shard, so counts survive thread exit and
+    // are still visible to later scrapes.
+    thread_local detail::Shard *shard = nullptr;
+    if (shard == nullptr) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shards_.push_back(std::make_unique<detail::Shard>());
+        shard = shards_.back().get();
+    }
+    return shard;
+}
+
+namespace detail {
+
+void
+slotAdd(uint32_t slot, uint64_t delta)
+{
+    Shard *shard = MetricsRegistry::instance().shardForThisThread();
+    shard->slots[slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void
+Counter::add(uint64_t delta) const
+{
+    if (!MetricsRegistry::enabled() || !valid())
+        return;
+    detail::slotAdd(slot_, delta);
+}
+
+void
+Histogram::observe(uint64_t value) const
+{
+    if (!MetricsRegistry::enabled() || !valid())
+        return;
+    detail::slotAdd(base_ + static_cast<uint32_t>(histogramBucket(value)),
+                    1);
+    detail::slotAdd(base_ + kHistogramBuckets, value);
+}
+
+void
+Gauge::set(int64_t value) const
+{
+    if (!MetricsRegistry::enabled() || !valid())
+        return;
+    MetricsRegistry::instance().gauges_[index_].store(
+        value, std::memory_order_relaxed);
+}
+
+void
+Gauge::add(int64_t delta) const
+{
+    if (!MetricsRegistry::enabled() || !valid())
+        return;
+    MetricsRegistry::instance().gauges_[index_].fetch_add(
+        delta, std::memory_order_relaxed);
+}
+
+void
+Gauge::max(int64_t value) const
+{
+    if (!MetricsRegistry::enabled() || !valid())
+        return;
+    auto &cell = MetricsRegistry::instance().gauges_[index_];
+    int64_t seen = cell.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !cell.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed))
+        ;
+}
+
+bool
+MetricsRegistry::allocate(Kind kind, const std::string &name,
+                          std::size_t slots_needed, uint32_t &out)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = byName_.find(name);
+    if (it != byName_.end()) {
+        if (it->second.kind != kind) {
+            ++droppedRegistrations_; // name reused with another kind
+            return false;
+        }
+        out = it->second.slot;
+        return true;
+    }
+    if (kind == Kind::Gauge) {
+        if (nextGauge_ >= kMaxGauges) {
+            ++droppedRegistrations_;
+            return false;
+        }
+        out = nextGauge_++;
+    } else {
+        if (nextSlot_ + slots_needed > detail::Shard::kCapacity) {
+            ++droppedRegistrations_;
+            return false;
+        }
+        out = nextSlot_;
+        nextSlot_ += static_cast<uint32_t>(slots_needed);
+    }
+    byName_.emplace(name, Registration{kind, out});
+    return true;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    Counter c;
+    uint32_t slot = 0;
+    if (allocate(Kind::Counter, name, 1, slot))
+        c.slot_ = slot;
+    return c;
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    Gauge g;
+    uint32_t index = 0;
+    if (allocate(Kind::Gauge, name, 1, index))
+        g.index_ = index;
+    return g;
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name)
+{
+    Histogram h;
+    uint32_t base = 0;
+    if (allocate(Kind::Histogram, name, kHistogramBuckets + 1, base))
+        h.base_ = base;
+    return h;
+}
+
+void
+MetricsRegistry::setLabel(const std::string &name,
+                          const std::string &value)
+{
+    if (!enabled())
+        return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    labels_[name] = value;
+}
+
+MetricsSnapshot
+MetricsRegistry::scrape() const
+{
+    MetricsSnapshot snap;
+    const std::lock_guard<std::mutex> lock(mutex_);
+
+    const auto slotTotal = [&](uint32_t slot) {
+        uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total +=
+                shard->slots[slot].load(std::memory_order_relaxed);
+        return total;
+    };
+
+    for (const auto &[name, reg] : byName_) {
+        switch (reg.kind) {
+        case Kind::Counter:
+            snap.counters[name] = slotTotal(reg.slot);
+            break;
+        case Kind::Gauge:
+            snap.gauges[name] =
+                gauges_[reg.slot].load(std::memory_order_relaxed);
+            break;
+        case Kind::Histogram: {
+            MetricsSnapshot::HistogramValue h;
+            for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+                h.buckets[b] =
+                    slotTotal(reg.slot + static_cast<uint32_t>(b));
+                h.count += h.buckets[b];
+            }
+            h.sum = slotTotal(reg.slot +
+                              static_cast<uint32_t>(kHistogramBuckets));
+            snap.histograms[name] = h;
+            break;
+        }
+        }
+    }
+    snap.labels = labels_;
+    snap.droppedRegistrations = droppedRegistrations_;
+    return snap;
+}
+
+void
+MetricsRegistry::resetValues()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &shard : shards_)
+        for (auto &slot : shard->slots)
+            slot.store(0, std::memory_order_relaxed);
+    for (auto &g : gauges_)
+        g.store(0, std::memory_order_relaxed);
+    labels_.clear();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\b':
+            out += "\\b";
+            break;
+        case '\f':
+            out += "\\f";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace emprof::obs

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Process-wide metrics registry: counters, gauges, and histograms with
+ * fixed log2 buckets.
+ *
+ * The paper's numbers (Tables II/III accuracy, Sec. V throughput) are
+ * per-stage numbers; when a run is slow or a result drifts, aggregate
+ * wall clock says nothing about *which* stage moved.  Every pipeline
+ * stage therefore reports into this registry — bytes moved by the
+ * store, chunks decoded, CRC failures, dips found and rejected, chunk
+ * analysis timings — and the tools dump a scrape as JSON via
+ * `--metrics-out`.
+ *
+ * Design constraints, in priority order:
+ *
+ *  1. Zero overhead when disabled (the default).  Every update starts
+ *     with one relaxed atomic load of a process-wide flag and returns
+ *     immediately when observability is off; nothing is allocated and
+ *     no lock is taken.  Hot per-sample loops are never instrumented
+ *     at all — only per-chunk, per-event and per-stage paths are.
+ *
+ *  2. Lock-free fast path when enabled.  Counter and histogram updates
+ *     go to a per-thread shard (a fixed array of relaxed atomics that
+ *     only the owning thread writes), so enabled-mode updates never
+ *     contend either.  scrape() merges all shards under the registry
+ *     mutex; shards outlive their threads (the registry owns them), so
+ *     totals survive worker-pool teardown.
+ *
+ *  3. Handles are POD.  Registration (by name, deduplicated) happens
+ *     once per call site behind a function-local static; the returned
+ *     handle carries the slot offset directly, so the fast path never
+ *     touches registry data structures that could grow concurrently.
+ *
+ * Histograms use 64 fixed log2 buckets: bucket b counts values whose
+ * bit width is b (i.e. 2^(b-1) <= v < 2^b, with v == 0 in bucket 0).
+ * That is exact enough for latency work (each bucket is a 2x band)
+ * and makes the fast path one bit-width instruction plus two relaxed
+ * adds, with no per-metric bucket configuration to get wrong.
+ *
+ * Gauges are single shared atomics (set/add/max) — they are updated at
+ * low frequency (queue depths, pool sizes), so sharding would only
+ * complicate the merge semantics of set().
+ */
+
+#ifndef EMPROF_OBS_METRICS_HPP
+#define EMPROF_OBS_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace emprof::obs {
+
+/** Number of log2 histogram buckets (covers the full uint64 range). */
+constexpr std::size_t kHistogramBuckets = 64;
+
+/** Bucket index for one observed value: its bit width, 0 for 0. */
+constexpr std::size_t
+histogramBucket(uint64_t value)
+{
+    return static_cast<std::size_t>(std::bit_width(value));
+}
+
+/** Lower bound of bucket @p b (inclusive); 0 for bucket 0. */
+constexpr uint64_t
+histogramBucketLo(std::size_t b)
+{
+    return b <= 1 ? 0 : uint64_t{1} << (b - 1);
+}
+
+class MetricsRegistry;
+
+namespace detail {
+/** Slots one thread owns; only scrape() reads other threads' shards. */
+struct Shard
+{
+    /** Total slots a shard provides; registration past this yields
+     *  inert handles (updates dropped, scrape flags it). */
+    static constexpr std::size_t kCapacity = 4096;
+
+    std::array<std::atomic<uint64_t>, kCapacity> slots{};
+};
+
+void slotAdd(uint32_t slot, uint64_t delta);
+} // namespace detail
+
+/**
+ * Monotonic counter handle.  Copyable POD; obtain once per call site
+ * (function-local static) via MetricsRegistry::counter().
+ */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p delta; no-op while the registry is disabled. */
+    void add(uint64_t delta) const;
+
+    /** add(1). */
+    void inc() const { add(1); }
+
+    bool valid() const { return slot_ != UINT32_MAX; }
+
+  private:
+    friend class MetricsRegistry;
+    uint32_t slot_ = UINT32_MAX;
+};
+
+/** Shared-atomic gauge handle (set / add / max semantics). */
+class Gauge
+{
+  public:
+    Gauge() = default;
+
+    void set(int64_t value) const;
+    void add(int64_t delta) const;
+
+    /** Raise the gauge to @p value if it is below it. */
+    void max(int64_t value) const;
+
+    bool valid() const { return index_ != UINT32_MAX; }
+
+  private:
+    friend class MetricsRegistry;
+    uint32_t index_ = UINT32_MAX;
+};
+
+/** Log2-bucket histogram handle. */
+class Histogram
+{
+  public:
+    Histogram() = default;
+
+    /** Record one observation; no-op while disabled. */
+    void observe(uint64_t value) const;
+
+    bool valid() const { return base_ != UINT32_MAX; }
+
+  private:
+    friend class MetricsRegistry;
+    /** Slot layout: base_ + [0, 64) buckets, base_ + 64 the sum. */
+    uint32_t base_ = UINT32_MAX;
+};
+
+/** Point-in-time merged view of every metric. */
+struct MetricsSnapshot
+{
+    struct HistogramValue
+    {
+        uint64_t count = 0;
+        uint64_t sum = 0;
+        std::array<uint64_t, kHistogramBuckets> buckets{};
+
+        double
+        mean() const
+        {
+            return count == 0 ? 0.0
+                              : static_cast<double>(sum) /
+                                    static_cast<double>(count);
+        }
+    };
+
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, int64_t> gauges;
+    std::map<std::string, HistogramValue> histograms;
+
+    /** Free-form string metrics (device names, codec names, ...). */
+    std::map<std::string, std::string> labels;
+
+    /** Registrations dropped because the slot space was exhausted. */
+    uint64_t droppedRegistrations = 0;
+};
+
+/**
+ * The process-wide registry.  All members are thread-safe.
+ */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Global observability switch; one relaxed load on the fast path. */
+    static bool
+    enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    static void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    /**
+     * Register (or look up) a metric by name.  Same name + same kind
+     * returns the same handle; a name reused with a different kind, or
+     * registration past the slot capacity, returns an inert handle
+     * whose updates are dropped (and scrape() reports the drop count).
+     */
+    Counter counter(const std::string &name);
+    Gauge gauge(const std::string &name);
+    Histogram histogram(const std::string &name);
+
+    /** Set a string-valued metric (e.g. "store.device"). */
+    void setLabel(const std::string &name, const std::string &value);
+
+    /** Merge every shard into one consistent snapshot. */
+    MetricsSnapshot scrape() const;
+
+    /**
+     * Zero every value (counters, gauges, histograms, labels) while
+     * keeping all registrations — handles cached in function-local
+     * statics at call sites stay valid.  Test-only.
+     */
+    void resetValues();
+
+  private:
+    MetricsRegistry() = default;
+
+    enum class Kind : uint8_t
+    {
+        Counter,
+        Gauge,
+        Histogram
+    };
+
+    struct Registration
+    {
+        Kind kind;
+        uint32_t slot; ///< shard slot base, or gauge index
+    };
+
+    friend void detail::slotAdd(uint32_t slot, uint64_t delta);
+    friend class Gauge;
+
+    detail::Shard *shardForThisThread();
+    bool allocate(Kind kind, const std::string &name,
+                  std::size_t slots_needed, uint32_t &out);
+
+    static std::atomic<bool> enabled_;
+
+    static constexpr std::size_t kMaxGauges = 256;
+    std::array<std::atomic<int64_t>, kMaxGauges> gauges_{};
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Registration> byName_;
+    std::map<std::string, std::string> labels_;
+    std::vector<std::unique_ptr<detail::Shard>> shards_;
+    uint32_t nextSlot_ = 0;
+    uint32_t nextGauge_ = 0;
+    uint64_t droppedRegistrations_ = 0;
+};
+
+/**
+ * Escape @p s for inclusion inside a JSON string literal: quotes,
+ * backslashes, and control characters (the device-name field is user
+ * input and may contain any of them).
+ */
+std::string jsonEscape(const std::string &s);
+
+} // namespace emprof::obs
+
+#endif // EMPROF_OBS_METRICS_HPP

@@ -1,6 +1,36 @@
 #include "profiler/dip_detector.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace emprof::profiler {
+
+namespace {
+
+// Dip bookkeeping runs once per dip *close* — orders of magnitude
+// rarer than the per-sample push path, so a guarded counter update
+// here stays invisible in the throughput bench.
+void
+countDipOutcome(bool kept, bool at_finish)
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &registry = obs::MetricsRegistry::instance();
+    static const obs::Counter found =
+        registry.counter("detector.dips_found");
+    static const obs::Counter rejected_short =
+        registry.counter("detector.dips_rejected.short_duration");
+    static const obs::Counter flushed =
+        registry.counter("detector.dips_flushed_at_end");
+    if (kept) {
+        found.inc();
+        if (at_finish)
+            flushed.inc();
+    } else {
+        rejected_short.inc();
+    }
+}
+
+} // namespace
 
 DipDetector::DipDetector(const DipDetectorConfig &config) : config_(config)
 {}
@@ -40,6 +70,7 @@ DipDetector::push(double normalized, StallEvent &out)
             fillEvent(out);
             emitted = true;
         }
+        countDipOutcome(emitted, false);
         inDip_ = false;
         depthSum_ = 0.0;
         depthCount_ = 0;
@@ -69,9 +100,12 @@ DipDetector::finish(StallEvent &out)
     if (!inDip_)
         return false;
     inDip_ = false;
-    if (dipLastBelowExit_ - dipStart_ + 1 < config_.minDurationSamples)
+    if (dipLastBelowExit_ - dipStart_ + 1 < config_.minDurationSamples) {
+        countDipOutcome(false, true);
         return false;
+    }
     fillEvent(out);
+    countDipOutcome(true, true);
     return true;
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
 #include "profiler/dip_detector.hpp"
 #include "profiler/normalizer.hpp"
 #include "profiler/report.hpp"
@@ -15,6 +17,21 @@
 namespace emprof::profiler {
 
 namespace {
+
+/** Batched (per analysis, never per sample) result accounting. */
+void
+countParallelAnalyzed(uint64_t samples, std::size_t events)
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &registry = obs::MetricsRegistry::instance();
+    static const obs::Counter samples_processed =
+        registry.counter("profiler.samples_processed");
+    static const obs::Counter events_emitted =
+        registry.counter("profiler.events_emitted");
+    samples_processed.add(samples);
+    events_emitted.add(events);
+}
 
 /**
  * Everything one chunk contributes to the stitch pass.
@@ -48,6 +65,19 @@ ChunkResult
 analyzeChunk(const dsp::Sample *data, uint64_t dataBegin, uint64_t begin,
              uint64_t end, const EmProfConfig &config)
 {
+    // Per-worker chunk timing: the span carries the worker's thread
+    // number, the stage histogram aggregates the distribution.
+    EMPROF_OBS_STAGE("analyzer.chunk");
+    if (obs::MetricsRegistry::enabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        static const obs::Counter chunks =
+            registry.counter("analyzer.chunks_analyzed");
+        static const obs::Counter normalized =
+            registry.counter("normalizer.samples_normalized");
+        chunks.inc();
+        normalized.add(end - begin);
+    }
+
     ChunkResult r;
     r.begin = begin;
     r.end = end;
@@ -100,6 +130,16 @@ analyzeChunk(const dsp::Sample *data, uint64_t dataBegin, uint64_t begin,
 std::vector<StallEvent>
 stitch(const std::vector<ChunkResult> &chunks, const EmProfConfig &config)
 {
+    EMPROF_OBS_STAGE("analyze.stitch");
+    obs::Counter carried_dips, replayed_samples;
+    if (obs::MetricsRegistry::enabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        carried_dips =
+            registry.counter("analyzer.stitch.carried_dips");
+        replayed_samples =
+            registry.counter("analyzer.stitch.replayed_samples");
+    }
+
     std::vector<StallEvent> events;
     const uint64_t min_duration = config.minDurationSamples();
     DipDetector::DipState carry;
@@ -120,6 +160,8 @@ stitch(const std::vector<ChunkResult> &chunks, const EmProfConfig &config)
     for (const auto &chunk : chunks) {
         uint64_t first_valid = chunk.begin;
         if (carry.inDip) {
+            carried_dips.inc();
+            replayed_samples.add(chunk.prefixNorms.size());
             // Replay the prefix into the carried dip sample by sample,
             // in order, exactly as streaming would have accumulated it.
             for (std::size_t k = 0; k < chunk.prefixNorms.size(); ++k) {
@@ -183,6 +225,7 @@ ParallelAnalyzer::analyze(const dsp::TimeSeries &magnitude,
     if (threads <= 1 || num_chunks < 2)
         return EmProf::analyze(magnitude, config);
 
+    EMPROF_OBS_STAGE("analyze.parallel");
     std::vector<ChunkResult> results(num_chunks);
     {
         common::ThreadPool pool(std::min(threads, num_chunks));
@@ -209,6 +252,7 @@ ParallelAnalyzer::analyze(const dsp::TimeSeries &magnitude,
         classifyStall(ev, config);
     result.report = makeReport(result.events, config.sampleRateHz,
                                config.clockHz, n);
+    countParallelAnalyzed(n, result.events.size());
     return result;
 }
 
@@ -275,6 +319,7 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
     if (threads <= 1 || spans.size() < 2)
         return streaming();
 
+    EMPROF_OBS_STAGE("analyze.parallel");
     std::vector<ChunkResult> results(spans.size());
     std::atomic<bool> ok{true};
     std::mutex error_mutex;
@@ -322,6 +367,7 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
         classifyStall(ev, config);
     out.report = makeReport(out.events, config.sampleRateHz,
                             config.clockHz, n);
+    countParallelAnalyzed(n, out.events.size());
     return true;
 }
 

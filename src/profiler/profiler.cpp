@@ -2,7 +2,30 @@
 
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
+
 namespace emprof::profiler {
+
+namespace {
+
+// Sample/event totals are added once per batch (never per sample) so
+// the streaming hot loop stays untouched.
+void
+countAnalyzed(uint64_t samples, std::size_t events)
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &registry = obs::MetricsRegistry::instance();
+    static const obs::Counter samples_processed =
+        registry.counter("profiler.samples_processed");
+    static const obs::Counter events_emitted =
+        registry.counter("profiler.events_emitted");
+    samples_processed.add(samples);
+    events_emitted.add(events);
+}
+
+} // namespace
 
 bool
 EmProfConfig::validate(std::string *why) const
@@ -99,12 +122,15 @@ EmProf::finish()
 ProfileResult
 EmProf::analyze(const dsp::TimeSeries &magnitude, EmProfConfig config)
 {
+    EMPROF_OBS_STAGE("analyze.streaming");
     if (magnitude.sampleRateHz > 0.0)
         config.sampleRateHz = magnitude.sampleRateHz;
     EmProf prof(config);
     for (dsp::Sample s : magnitude.samples)
         prof.push(s);
-    return prof.finish();
+    ProfileResult result = prof.finish();
+    countAnalyzed(prof.samplesSeen(), result.events.size());
+    return result;
 }
 
 } // namespace emprof::profiler

@@ -3,12 +3,15 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/stage_profiler.hpp"
+
 namespace emprof::profiler {
 
 ProfileReport
 makeReport(const std::vector<StallEvent> &events, double sample_rate_hz,
            double clock_hz, uint64_t total_samples)
 {
+    EMPROF_OBS_STAGE("report.build");
     ProfileReport report;
     report.totalEvents = events.size();
     // A non-positive or non-finite rate cannot produce a duration; the

@@ -5,10 +5,27 @@
 #include <cstdio>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
 #include "store/chunk_codec.hpp"
 #include "store/crc32c.hpp"
 
 namespace emprof::store {
+
+namespace {
+
+void
+countCrcFailure()
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    static const obs::Counter failures =
+        obs::MetricsRegistry::instance().counter(
+            "store.read.crc_failures");
+    failures.inc();
+}
+
+} // namespace
 
 bool
 CaptureReader::preadAt(uint64_t offset, void *buf, std::size_t len,
@@ -144,6 +161,10 @@ CaptureReader::open(const std::string &path, std::string *error)
         header.deviceName,
         ::strnlen(header.deviceName, sizeof(header.deviceName)));
     info_.totalSamples = header.totalSamples;
+    // Device names are user input: the JSON export escapes them, which
+    // is exactly what the obs escaping tests pin down.
+    obs::MetricsRegistry::instance().setLabel("store.device",
+                                              info_.deviceName);
     return true;
 }
 
@@ -151,6 +172,7 @@ bool
 CaptureReader::openRecovered(const std::string &path,
                              RecoveryReport *report, std::string *error)
 {
+    EMPROF_OBS_STAGE("store.recover");
     close();
     if (!file_.open(path, common::io::CheckedFile::Mode::Read)) {
         const std::string why = file_.error().describe();
@@ -215,6 +237,7 @@ CaptureReader::openRecovered(const std::string &path,
         uint32_t crc = crc32c(0, &chunk, offsetof(ChunkHeader, crc));
         crc = crc32c(crc, payload.data(), payload.size());
         if (crc != chunk.crc) {
+            countCrcFailure();
             stop_reason = "chunk CRC mismatch (footer, torn write, or "
                           "corruption)";
             break;
@@ -251,6 +274,21 @@ CaptureReader::openRecovered(const std::string &path,
         report->droppedTailBytes = fileSize_ - offset;
         report->stopReason = stop_reason;
     }
+    if (obs::MetricsRegistry::enabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        static const obs::Counter recoveries =
+            registry.counter("store.recovery.opens");
+        static const obs::Counter salvaged_chunks =
+            registry.counter("store.recovery.salvaged_chunks");
+        static const obs::Counter salvaged_samples =
+            registry.counter("store.recovery.salvaged_samples");
+        static const obs::Counter dropped_bytes =
+            registry.counter("store.recovery.dropped_tail_bytes");
+        recoveries.inc();
+        salvaged_chunks.add(index_.size());
+        salvaged_samples.add(samples);
+        dropped_bytes.add(fileSize_ - offset);
+    }
     return true;
 }
 
@@ -271,6 +309,7 @@ bool
 CaptureReader::decodeChunk(std::size_t i, std::vector<dsp::Sample> &out,
                            std::string *error) const
 {
+    EMPROF_OBS_STAGE("store.decode_chunk");
     if (!isOpen() || i >= index_.size())
         return fail(error, "chunk index out of range");
     const ChunkIndexEntry &entry = index_[i];
@@ -291,9 +330,11 @@ CaptureReader::decodeChunk(std::size_t i, std::vector<dsp::Sample> &out,
                                " header disagrees with footer index");
     uint32_t crc = crc32c(0, &header, offsetof(ChunkHeader, crc));
     crc = crc32c(crc, payload, payload_bytes);
-    if (crc != header.crc)
+    if (crc != header.crc) {
+        countCrcFailure();
         return fail(error,
                     "chunk " + std::to_string(i) + " CRC mismatch");
+    }
 
     out.resize(entry.sampleCount);
     if (!store::decodeChunk(payload, payload_bytes,
@@ -302,6 +343,18 @@ CaptureReader::decodeChunk(std::size_t i, std::vector<dsp::Sample> &out,
                             out.data()))
         return fail(error, "chunk " + std::to_string(i) +
                                " payload malformed");
+    if (obs::MetricsRegistry::enabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        static const obs::Counter chunks =
+            registry.counter("store.read.chunks_decoded");
+        static const obs::Counter samples =
+            registry.counter("store.read.samples");
+        static const obs::Counter bytes =
+            registry.counter("store.read.bytes");
+        chunks.inc();
+        samples.add(entry.sampleCount);
+        bytes.add(entry.storedBytes);
+    }
     return true;
 }
 

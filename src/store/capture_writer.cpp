@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstring>
 
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
 #include "store/crc32c.hpp"
 
 namespace emprof::store {
@@ -101,6 +103,7 @@ CaptureWriter::flushChunk()
 {
     if (buffer_.empty())
         return true;
+    EMPROF_OBS_STAGE("store.encode_chunk");
 
     EncoderOptions enc;
     enc.codec = options_.codec;
@@ -139,6 +142,18 @@ CaptureWriter::flushChunk()
     index_.push_back(entry);
     stats_.samples += buffer_.size();
     ++stats_.chunks;
+    if (obs::MetricsRegistry::enabled()) {
+        auto &registry = obs::MetricsRegistry::instance();
+        static const obs::Counter chunks =
+            registry.counter("store.write.chunks_encoded");
+        static const obs::Counter samples =
+            registry.counter("store.write.samples");
+        static const obs::Counter bytes =
+            registry.counter("store.write.bytes");
+        chunks.inc();
+        samples.add(buffer_.size());
+        bytes.add(entry.storedBytes);
+    }
     buffer_.clear();
     return true;
 }
@@ -146,6 +161,7 @@ CaptureWriter::flushChunk()
 bool
 CaptureWriter::finalize()
 {
+    EMPROF_OBS_STAGE("store.finalize");
     if (!file_.isOpen())
         return false;
     if (failed_ || !flushChunk()) {

@@ -1,6 +1,8 @@
 #include "store/chunk_codec.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cfloat>
 #include <cmath>
 #include <cstring>
 
@@ -157,7 +159,12 @@ encodeChunk(const dsp::Sample *samples, std::size_t count,
         }
         const auto qmax = static_cast<float>(
             (uint32_t{1} << (options.quantBits - 1)) - 1);
-        chunk.scale = max_abs > 0.0f ? max_abs / qmax : 1.0f;
+        // Floor at the smallest normal float: an all-denormal chunk
+        // would otherwise underflow the scale to 0, which quantize()
+        // treats as invalid and the whole chunk would decode as zeros.
+        chunk.scale = max_abs > 0.0f
+                          ? std::max(max_abs / qmax, FLT_MIN)
+                          : 1.0f;
     }
 
     if (count == 0)

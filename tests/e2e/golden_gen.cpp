@@ -1,0 +1,127 @@
+/**
+ * @file
+ * golden_gen — (re)generate the golden end-to-end fixture.
+ *
+ *   golden_gen [output-dir]
+ *
+ * Writes the deterministic capture, its deliberately-truncated
+ * variant, and the two expected-events files described in
+ * golden_common.hpp.  Run it only when the pipeline's intended output
+ * changes; the point of the checked-in fixture is that an *unintended*
+ * change anywhere between the container format and the event math
+ * fails test_golden_pipeline instead of silently shifting the truth.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/io/checked_file.hpp"
+#include "golden_common.hpp"
+#include "store/capture_reader.hpp"
+
+using namespace emprof;
+
+namespace {
+
+bool
+writeFile(const std::string &path, const void *data, std::size_t size)
+{
+    common::io::CheckedFile file;
+    const bool ok =
+        file.open(path, common::io::CheckedFile::Mode::WriteTruncate) &&
+        file.writeAll(data, size, "fixture") && file.close();
+    if (!ok)
+        std::fprintf(stderr, "%s\n", file.error().describe().c_str());
+    return ok;
+}
+
+bool
+writeText(const std::string &path, const std::string &text)
+{
+    return writeFile(path, text.data(), text.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : ".";
+
+    const dsp::TimeSeries signal = golden::goldenSignal();
+    const std::string capture_path =
+        dir + "/" + golden::kCaptureFile;
+    std::string error;
+    if (!store::writeCapture(capture_path, signal,
+                             golden::goldenWriterOptions(), nullptr,
+                             &error)) {
+        std::fprintf(stderr, "write capture: %s\n", error.c_str());
+        return 1;
+    }
+
+    // Truncate a copy mid-way through the chunk after the last
+    // salvageable one, and drop the footer with it.
+    store::CaptureReader reader;
+    if (!reader.open(capture_path, &error)) {
+        std::fprintf(stderr, "reopen capture: %s\n", error.c_str());
+        return 1;
+    }
+    if (reader.chunkCount() <= golden::kTruncatedSalvagedChunks) {
+        std::fprintf(stderr, "fixture has too few chunks to truncate\n");
+        return 1;
+    }
+    const uint64_t cut =
+        reader.chunk(golden::kTruncatedSalvagedChunks).fileOffset + 7;
+
+    std::vector<uint8_t> raw(cut);
+    common::io::CheckedFile in;
+    if (!in.open(capture_path, common::io::CheckedFile::Mode::Read) ||
+        !in.readAll(raw.data(), raw.size(), "fixture reread")) {
+        std::fprintf(stderr, "%s\n", in.error().describe().c_str());
+        return 1;
+    }
+    if (!writeFile(dir + "/" + golden::kTruncatedFile, raw.data(),
+                   raw.size()))
+        return 1;
+
+    // Expected events: the streaming path is the definition of truth;
+    // the parallel and recovered paths must reproduce it bit-for-bit.
+    const auto result =
+        profiler::EmProf::analyze(signal, golden::goldenConfig());
+    if (!writeText(dir + "/" + golden::kExpectedFile,
+                   golden::eventsToJson(result.events)))
+        return 1;
+
+    store::CaptureReader recovered;
+    store::RecoveryReport report;
+    if (!recovered.openRecovered(dir + "/" + golden::kTruncatedFile,
+                                 &report, &error)) {
+        std::fprintf(stderr, "recover: %s\n", error.c_str());
+        return 1;
+    }
+    if (report.salvagedChunks != golden::kTruncatedSalvagedChunks) {
+        std::fprintf(stderr, "expected %zu salvaged chunks, got %llu\n",
+                      golden::kTruncatedSalvagedChunks,
+                      static_cast<unsigned long long>(
+                          report.salvagedChunks));
+        return 1;
+    }
+    dsp::TimeSeries salvaged;
+    if (!recovered.readAll(salvaged, &error)) {
+        std::fprintf(stderr, "read salvage: %s\n", error.c_str());
+        return 1;
+    }
+    const auto truncated_result =
+        profiler::EmProf::analyze(salvaged, golden::goldenConfig());
+    if (!writeText(dir + "/" + golden::kTruncatedExpectedFile,
+                   golden::eventsToJson(truncated_result.events)))
+        return 1;
+
+    std::printf("golden fixture written to %s: %zu events full, "
+                "%zu events truncated (%llu bytes cut)\n",
+                dir.c_str(), result.events.size(),
+                truncated_result.events.size(),
+                static_cast<unsigned long long>(cut));
+    return 0;
+}

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * MetricsRegistry tests: the disabled no-op contract, multithreaded
+ * shard merging, log2 bucket math, gauge semantics, kind-mismatch and
+ * exhaustion behaviour, JSON escaping, and the --metrics-out writer
+ * (which must go through the checked I/O layer, so a bad path is a
+ * reported failure, not a silent half-file).
+ */
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+using namespace emprof;
+using namespace emprof::obs;
+
+namespace {
+
+/** Enable metrics for one test, restoring the previous state after. */
+class MetricsOn
+{
+  public:
+    MetricsOn()
+    {
+        was_ = MetricsRegistry::enabled();
+        MetricsRegistry::setEnabled(true);
+        MetricsRegistry::instance().resetValues();
+    }
+    ~MetricsOn()
+    {
+        MetricsRegistry::instance().resetValues();
+        MetricsRegistry::setEnabled(was_);
+    }
+
+  private:
+    bool was_;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr)
+        return {};
+    std::string text;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    std::fclose(f);
+    return text;
+}
+
+} // namespace
+
+TEST(MetricsRegistry, DisabledUpdatesAreDropped)
+{
+    ASSERT_FALSE(MetricsRegistry::enabled())
+        << "tests assume observability defaults to off";
+    auto &registry = MetricsRegistry::instance();
+    const Counter c = registry.counter("test.disabled.counter");
+    const Histogram h = registry.histogram("test.disabled.hist");
+    const Gauge g = registry.gauge("test.disabled.gauge");
+    c.add(1000);
+    h.observe(42);
+    g.set(7);
+
+    const MetricsSnapshot snap = registry.scrape();
+    EXPECT_EQ(snap.counters.at("test.disabled.counter"), 0u);
+    EXPECT_EQ(snap.histograms.at("test.disabled.hist").count, 0u);
+    EXPECT_EQ(snap.gauges.at("test.disabled.gauge"), 0);
+}
+
+TEST(MetricsRegistry, HistogramBucketMathIsBitWidth)
+{
+    EXPECT_EQ(histogramBucket(0), 0u);
+    EXPECT_EQ(histogramBucket(1), 1u);
+    EXPECT_EQ(histogramBucket(2), 2u);
+    EXPECT_EQ(histogramBucket(3), 2u);
+    EXPECT_EQ(histogramBucket(4), 3u);
+    EXPECT_EQ(histogramBucket(1023), 10u);
+    EXPECT_EQ(histogramBucket(1024), 11u);
+    EXPECT_EQ(histogramBucket(UINT64_MAX), 64u);
+
+    EXPECT_EQ(histogramBucketLo(0), 0u);
+    EXPECT_EQ(histogramBucketLo(1), 0u);
+    EXPECT_EQ(histogramBucketLo(2), 2u);
+    EXPECT_EQ(histogramBucketLo(11), 1024u);
+}
+
+TEST(MetricsRegistry, CountersMergeAcrossThreads)
+{
+    MetricsOn on;
+    auto &registry = MetricsRegistry::instance();
+    const Counter c = registry.counter("test.merge.counter");
+    const Histogram h = registry.histogram("test.merge.hist");
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.inc();
+                h.observe(100);
+            }
+        });
+    for (auto &t : threads)
+        t.join();
+
+    const MetricsSnapshot snap = registry.scrape();
+    EXPECT_EQ(snap.counters.at("test.merge.counter"),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    const auto &hist = snap.histograms.at("test.merge.hist");
+    EXPECT_EQ(hist.count, static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(hist.sum, 100ull * kThreads * kPerThread);
+    // 100 has bit width 7: every observation lands in bucket 7.
+    EXPECT_EQ(hist.buckets[7], hist.count);
+    EXPECT_DOUBLE_EQ(hist.mean(), 100.0);
+}
+
+TEST(MetricsRegistry, GaugeSetAddMax)
+{
+    MetricsOn on;
+    auto &registry = MetricsRegistry::instance();
+    const Gauge g = registry.gauge("test.gauge");
+    g.set(10);
+    g.add(5);
+    EXPECT_EQ(registry.scrape().gauges.at("test.gauge"), 15);
+    g.max(12); // below: no change
+    EXPECT_EQ(registry.scrape().gauges.at("test.gauge"), 15);
+    g.max(99); // above: raises
+    EXPECT_EQ(registry.scrape().gauges.at("test.gauge"), 99);
+    g.set(-3);
+    EXPECT_EQ(registry.scrape().gauges.at("test.gauge"), -3);
+}
+
+TEST(MetricsRegistry, SameNameSameKindIsTheSameMetric)
+{
+    MetricsOn on;
+    auto &registry = MetricsRegistry::instance();
+    const Counter a = registry.counter("test.dedup");
+    const Counter b = registry.counter("test.dedup");
+    a.add(2);
+    b.add(3);
+    EXPECT_EQ(registry.scrape().counters.at("test.dedup"), 5u);
+}
+
+TEST(MetricsRegistry, KindMismatchYieldsInertHandle)
+{
+    MetricsOn on;
+    auto &registry = MetricsRegistry::instance();
+    const Counter c = registry.counter("test.kind.clash");
+    ASSERT_TRUE(c.valid());
+    const Histogram h = registry.histogram("test.kind.clash");
+    EXPECT_FALSE(h.valid());
+    h.observe(1); // must be a harmless no-op
+    c.inc();
+    const MetricsSnapshot snap = registry.scrape();
+    EXPECT_EQ(snap.counters.at("test.kind.clash"), 1u);
+    EXPECT_GE(snap.droppedRegistrations, 1u);
+}
+
+TEST(MetricsRegistry, LabelsAreScrapedAndResettable)
+{
+    MetricsOn on;
+    auto &registry = MetricsRegistry::instance();
+    registry.setLabel("test.device", "golden \"probe\\1\"");
+    EXPECT_EQ(registry.scrape().labels.at("test.device"),
+              "golden \"probe\\1\"");
+    registry.resetValues();
+    EXPECT_EQ(registry.scrape().labels.count("test.device"), 0u);
+}
+
+TEST(MetricsRegistry, JsonEscapeHandlesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+    EXPECT_EQ(jsonEscape("golden \"probe\\1\""),
+              "golden \\\"probe\\\\1\\\"");
+}
+
+TEST(MetricsExport, MetricsJsonRoundTripsThroughTheFile)
+{
+    MetricsOn on;
+    auto &registry = MetricsRegistry::instance();
+    registry.counter("test.export.counter").add(0); // ensure exists
+    const Counter c = registry.counter("test.export.counter");
+    c.add(41);
+    c.inc();
+    registry.setLabel("test.export.device", "dev \"x\\y\"");
+
+    const std::string path =
+        testing::TempDir() + "metrics_export_test.json";
+    std::string error;
+    ASSERT_TRUE(writeMetricsJson(path, &error)) << error;
+
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("\"test.export.counter\": 42"),
+              std::string::npos)
+        << text;
+    // The device label must appear escaped, never verbatim.
+    EXPECT_NE(text.find("dev \\\"x\\\\y\\\""), std::string::npos)
+        << text;
+    std::remove(path.c_str());
+}
+
+TEST(MetricsExport, UnwritablePathIsAReportedError)
+{
+    MetricsOn on;
+    std::string error;
+    EXPECT_FALSE(writeMetricsJson(
+        "/nonexistent-dir-for-sure/metrics.json", &error));
+    EXPECT_FALSE(error.empty());
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tracer tests: disabled no-op, parent links across nesting, thread
+ * numbering, bounded-ring rotation, and the Chrome trace JSON export.
+ */
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.hpp"
+#include "obs/tracer.hpp"
+
+using namespace emprof;
+using namespace emprof::obs;
+
+namespace {
+
+/** Enable tracing for one test, restoring and clearing after. */
+class TracingOn
+{
+  public:
+    explicit TracingOn(std::size_t capacity = Tracer::kDefaultCapacity)
+    {
+        was_ = Tracer::enabled();
+        Tracer::instance().resetForTest(capacity);
+        Tracer::setEnabled(true);
+    }
+    ~TracingOn()
+    {
+        Tracer::setEnabled(was_);
+        Tracer::instance().resetForTest();
+    }
+
+  private:
+    bool was_;
+};
+
+} // namespace
+
+TEST(Tracer, DisabledSpansRecordNothing)
+{
+    ASSERT_FALSE(Tracer::enabled());
+    Tracer::instance().resetForTest();
+    {
+        SpanScope span("test.disabled");
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_TRUE(Tracer::instance().snapshot().empty());
+}
+
+TEST(Tracer, NestedSpansLinkToTheirParents)
+{
+    TracingOn on;
+    {
+        SpanScope outer("outer");
+        {
+            SpanScope inner("inner");
+            (void)inner;
+        }
+        (void)outer;
+    }
+    const auto spans = Tracer::instance().snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    // Inner closes first, so it is recorded first.
+    EXPECT_STREQ(spans[0].name, "inner");
+    EXPECT_STREQ(spans[1].name, "outer");
+    EXPECT_EQ(spans[0].parent, spans[1].id);
+    EXPECT_EQ(spans[1].parent, 0u);
+    EXPECT_EQ(spans[0].tid, spans[1].tid);
+    // The inner interval must lie within the outer one.
+    EXPECT_GE(spans[0].startNs, spans[1].startNs);
+    EXPECT_LE(spans[0].startNs + spans[0].durationNs,
+              spans[1].startNs + spans[1].durationNs);
+}
+
+TEST(Tracer, SiblingSpansShareAParentAndRestoreIt)
+{
+    TracingOn on;
+    {
+        SpanScope outer("outer");
+        { SpanScope a("a"); (void)a; }
+        { SpanScope b("b"); (void)b; }
+        (void)outer;
+    }
+    const auto spans = Tracer::instance().snapshot();
+    ASSERT_EQ(spans.size(), 3u);
+    EXPECT_STREQ(spans[0].name, "a");
+    EXPECT_STREQ(spans[1].name, "b");
+    EXPECT_EQ(spans[0].parent, spans[2].id);
+    EXPECT_EQ(spans[1].parent, spans[2].id)
+        << "the second sibling must see outer restored as parent, "
+           "not its closed sibling";
+}
+
+TEST(Tracer, ThreadsGetDistinctDenseNumbers)
+{
+    TracingOn on;
+    { SpanScope here("main-thread"); (void)here; }
+    std::thread other([] {
+        SpanScope there("other-thread");
+        (void)there;
+    });
+    other.join();
+
+    const auto spans = Tracer::instance().snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_NE(spans[0].tid, spans[1].tid);
+    EXPECT_GE(spans[0].tid, 1u);
+    EXPECT_GE(spans[1].tid, 1u);
+}
+
+TEST(Tracer, RingIsBoundedAndKeepsTheNewestSpans)
+{
+    TracingOn on(8);
+    EXPECT_EQ(Tracer::instance().capacity(), 8u);
+    for (uint64_t i = 0; i < 20; ++i) {
+        SpanRecord span;
+        span.name = "filler";
+        span.id = i + 1;
+        span.startNs = i;
+        Tracer::instance().record(span);
+    }
+    const auto spans = Tracer::instance().snapshot();
+    ASSERT_EQ(spans.size(), 8u);
+    EXPECT_EQ(Tracer::instance().droppedSpans(), 12u);
+    // Oldest-first snapshot of the 8 newest records: startNs 12..19.
+    for (std::size_t i = 0; i < spans.size(); ++i)
+        EXPECT_EQ(spans[i].startNs, 12 + i);
+}
+
+TEST(Tracer, TraceJsonIsChromeLoadable)
+{
+    TracingOn on;
+    {
+        SpanScope outer("tool.test");
+        { SpanScope inner("stage.inner"); (void)inner; }
+        (void)outer;
+    }
+    const std::string json = traceToJson();
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"tool.test\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"pid\": 1"), std::string::npos);
+
+    const std::string path = testing::TempDir() + "trace_test.json";
+    std::string error;
+    ASSERT_TRUE(writeTraceJson(path, &error)) << error;
+    std::remove(path.c_str());
+}

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Property-based round-trip tests for the chunk codec.
+ *
+ * ~200 seeded random configurations sweep chunk sizes, quantiser
+ * resolutions, compression on/off, and signal shapes (plateau noise,
+ * constants, ramps, denormals, huge magnitudes, alternating extremes).
+ * Every configuration must satisfy the codec's contract:
+ *
+ *  - F32 is bit-exact: the decoded floats carry the identical bit
+ *    patterns, whatever the input (including denormals and -0.0).
+ *  - QuantI16 stays within the documented bound
+ *    |x - decoded| <= scale/2, with the per-chunk scale the encoder
+ *    actually chose.
+ *
+ * Seeds are fixed, so a failure names a reproducible configuration.
+ */
+
+#include <cfloat>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "store/chunk_codec.hpp"
+
+using namespace emprof;
+using namespace emprof::store;
+
+namespace {
+
+enum class Shape
+{
+    PlateauNoise, ///< the intended workload: 1.0 plus small noise
+    Constant,     ///< zero deltas end to end
+    Ramp,         ///< monotone, constant delta
+    Denormal,     ///< tiny values around FLT_MIN and below
+    Huge,         ///< +/- values near FLT_MAX / 2
+    Alternating,  ///< worst-case deltas between extremes
+    kCount
+};
+
+std::vector<dsp::Sample>
+makeSignal(Shape shape, std::size_t n, dsp::Rng &rng)
+{
+    std::vector<dsp::Sample> s(n);
+    switch (shape) {
+      case Shape::PlateauNoise:
+        for (auto &x : s)
+            x = static_cast<dsp::Sample>(1.0 +
+                                         rng.uniform(-0.05, 0.05));
+        break;
+      case Shape::Constant: {
+        const auto v =
+            static_cast<dsp::Sample>(rng.uniform(-2.0, 2.0));
+        for (auto &x : s)
+            x = v;
+        break;
+      }
+      case Shape::Ramp:
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = static_cast<dsp::Sample>(
+                -1.0 + 2.0 * static_cast<double>(i) /
+                           static_cast<double>(n ? n : 1));
+        break;
+      case Shape::Denormal:
+        for (auto &x : s)
+            x = static_cast<dsp::Sample>(rng.uniform(0.0, 1.0) *
+                                         1e-40);
+        break;
+      case Shape::Huge:
+        for (auto &x : s)
+            x = static_cast<dsp::Sample>(rng.uniform(-1.0, 1.0) *
+                                         1.5e38);
+        break;
+      case Shape::Alternating:
+        for (std::size_t i = 0; i < n; ++i)
+            s[i] = (i % 2 == 0) ? 1.0e30f : -1.0e30f;
+        break;
+      case Shape::kCount:
+        break;
+    }
+    return s;
+}
+
+const char *
+shapeName(Shape shape)
+{
+    switch (shape) {
+      case Shape::PlateauNoise: return "plateau-noise";
+      case Shape::Constant: return "constant";
+      case Shape::Ramp: return "ramp";
+      case Shape::Denormal: return "denormal";
+      case Shape::Huge: return "huge";
+      case Shape::Alternating: return "alternating";
+      case Shape::kCount: break;
+    }
+    return "?";
+}
+
+struct Config
+{
+    Shape shape;
+    std::size_t chunk;
+    unsigned quantBits; ///< 0 = F32
+    bool compress;
+    uint64_t seed;
+};
+
+std::vector<Config>
+makeConfigs()
+{
+    // Deterministic sweep: 6 shapes x chunk sizes x codec settings,
+    // a little over 200 configurations.
+    const std::size_t chunks[] = {1, 2, 127, 128, 129, 1024, 65536};
+    const unsigned bit_settings[] = {0, 2, 3, 8, 15, 16};
+    std::vector<Config> configs;
+    uint64_t seed = 1;
+    for (int shape = 0; shape < static_cast<int>(Shape::kCount);
+         ++shape) {
+        for (std::size_t chunk : chunks) {
+            for (unsigned bits : bit_settings) {
+                // Alternate compression; huge chunks only once per
+                // codec to keep the suite fast.
+                if (chunk == 65536 && bits != 0 && bits != 16)
+                    continue;
+                configs.push_back({static_cast<Shape>(shape), chunk,
+                                   bits, (seed % 2) == 0, seed});
+                ++seed;
+            }
+        }
+    }
+    return configs;
+}
+
+} // namespace
+
+TEST(CodecProperty, RoundTripHoldsAcrossTwoHundredConfigs)
+{
+    const auto configs = makeConfigs();
+    ASSERT_GE(configs.size(), 200u);
+
+    for (const auto &config : configs) {
+        SCOPED_TRACE(testing::Message()
+                     << shapeName(config.shape) << " chunk="
+                     << config.chunk << " bits=" << config.quantBits
+                     << " compress=" << config.compress
+                     << " seed=" << config.seed);
+
+        dsp::Rng rng(config.seed);
+        const auto samples =
+            makeSignal(config.shape, config.chunk, rng);
+
+        EncoderOptions enc;
+        enc.codec = config.quantBits == 0 ? SampleCodec::F32
+                                          : SampleCodec::QuantI16;
+        enc.quantBits = config.quantBits == 0 ? 16 : config.quantBits;
+        enc.compress = config.compress;
+        const EncodedChunk chunk =
+            encodeChunk(samples.data(), samples.size(), enc);
+
+        std::vector<dsp::Sample> decoded(samples.size());
+        ASSERT_TRUE(decodeChunk(chunk.payload.data(),
+                                chunk.payload.size(), chunk.encoding,
+                                enc.codec, chunk.scale, decoded.size(),
+                                decoded.data()));
+
+        if (enc.codec == SampleCodec::F32) {
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                uint32_t a, b;
+                std::memcpy(&a, &samples[i], sizeof(a));
+                std::memcpy(&b, &decoded[i], sizeof(b));
+                ASSERT_EQ(a, b) << "F32 not bit-exact at sample " << i;
+            }
+        } else {
+            // Documented bound is scale/2 from the quantiser, plus the
+            // float dequantise multiply (q * scale), worth a couple of
+            // ULPs of the sample magnitude.
+            const double half_step =
+                static_cast<double>(chunk.scale) / 2.0;
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                const double bound =
+                    half_step +
+                    2.0 * FLT_EPSILON *
+                        std::abs(static_cast<double>(samples[i]));
+                ASSERT_LE(std::abs(static_cast<double>(samples[i]) -
+                                   static_cast<double>(decoded[i])),
+                          bound)
+                    << "QuantI16 error bound exceeded at sample " << i
+                    << " (scale " << chunk.scale << ")";
+            }
+        }
+    }
+}
+
+TEST(CodecProperty, QuantizerScaleCoversFullRange)
+{
+    // The per-chunk scale must make the documented bound tight-ish:
+    // the largest-magnitude sample quantises to the top of the range,
+    // so halving quantBits roughly doubles the error bound.
+    dsp::Rng rng(7);
+    std::vector<dsp::Sample> samples(512);
+    for (auto &x : samples)
+        x = static_cast<dsp::Sample>(rng.uniform(-3.0, 3.0));
+
+    float prev_scale = 0.0f;
+    for (unsigned bits : {16u, 8u, 4u}) {
+        EncoderOptions enc;
+        enc.codec = SampleCodec::QuantI16;
+        enc.quantBits = bits;
+        const EncodedChunk chunk =
+            encodeChunk(samples.data(), samples.size(), enc);
+        EXPECT_GT(chunk.scale, prev_scale)
+            << "fewer bits must mean a coarser step";
+        prev_scale = chunk.scale;
+    }
+}

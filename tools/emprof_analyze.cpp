@@ -30,8 +30,11 @@
 #include <string>
 
 #include "cli_parse.hpp"
+#include "common/io/checked_file.hpp"
 #include "common/thread_pool.hpp"
 #include "dsp/signal_io.hpp"
+#include "obs/stage_profiler.hpp"
+#include "obs_cli.hpp"
 #include "profiler/boot_profile.hpp"
 #include "profiler/marker.hpp"
 #include "profiler/parallel_analyzer.hpp"
@@ -82,8 +85,10 @@ usage(const char *argv0)
         "  --section           analyse only between marker loops\n"
         "  --histogram         print the stall-latency histogram\n"
         "  --boot <bucket-us>  print a boot-style rate-vs-time profile\n"
-        "  --events-csv <path> write one line per detected stall\n",
-        argv0);
+        "  --events-csv <path> write one line per detected stall\n"
+        "  --verbose           print a per-stage timing summary\n"
+        "\n%s",
+        argv0, tools::ObsCli::kUsage);
 }
 
 const char *
@@ -120,10 +125,14 @@ main(int argc, char **argv)
     double rate_mhz = 0.0, clock_ghz = 1.008, boot_bucket_us = 0.0;
     std::size_t threads = common::ThreadPool::hardwareThreads();
     std::string events_csv;
+    bool verbose = false;
+    tools::ObsCli obs_cli;
     profiler::EmProfConfig config;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (obs_cli.parseArg(argc, argv, i))
+            continue;
         if (arg == "--raw-f32")
             raw_f32 = true;
         else if (arg == "--raw-iq")
@@ -158,6 +167,8 @@ main(int argc, char **argv)
             boot_bucket_us = argDouble(argc, argv, i, 1e-3, 1e9);
         else if (arg == "--events-csv")
             events_csv = argText(argc, argv, i);
+        else if (arg == "--verbose")
+            verbose = true;
         else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
@@ -165,11 +176,16 @@ main(int argc, char **argv)
         }
     }
 
-    const dsp::SignalFileType ftype = dsp::sniffSignalFile(path);
+    if (verbose)
+        tools::ObsCli::enable();
+
     store::CaptureReader reader;
     dsp::TimeSeries signal;
     bool emcap_direct = false;
 
+    {
+    EMPROF_OBS_STAGE("tool.load");
+    const dsp::SignalFileType ftype = dsp::sniffSignalFile(path);
     if (raw_f32 || raw_iq) {
         if (rate_mhz <= 0.0) {
             std::fprintf(stderr,
@@ -242,6 +258,7 @@ main(int argc, char **argv)
                      path.c_str());
         return 1;
     }
+    }
 
     const double sample_rate =
         emcap_direct ? reader.info().sampleRateHz : signal.sampleRateHz;
@@ -284,20 +301,28 @@ main(int argc, char **argv)
         return 2;
     }
     profiler::ProfileResult result;
-    if (emcap_direct) {
-        profiler::ParallelAnalyzerConfig pcfg;
-        pcfg.threads = threads;
-        std::string err;
-        if (!profiler::analyzeCaptureParallel(reader, config, result,
-                                              pcfg, &err)) {
-            std::fprintf(stderr, "analysis failed: %s\n", err.c_str());
-            return 1;
+    {
+        EMPROF_OBS_STAGE("tool.analyze");
+        if (emcap_direct) {
+            profiler::ParallelAnalyzerConfig pcfg;
+            pcfg.threads = threads;
+            std::string err;
+            if (!profiler::analyzeCaptureParallel(reader, config, result,
+                                                  pcfg, &err)) {
+                std::fprintf(stderr, "analysis failed: %s\n",
+                             err.c_str());
+                return 1;
+            }
+        } else {
+            result =
+                threads > 1 ? profiler::EmProf::analyzeParallel(
+                                  signal, config, threads)
+                            : profiler::EmProf::analyze(signal, config);
         }
-    } else {
-        result = threads > 1 ? profiler::EmProf::analyzeParallel(
-                                   signal, config, threads)
-                             : profiler::EmProf::analyze(signal, config);
     }
+    int rc = 0;
+    {
+    EMPROF_OBS_STAGE("tool.report");
     std::printf("\n%s", result.report.toText("EMPROF report:").c_str());
 
     if (histogram) {
@@ -314,24 +339,42 @@ main(int argc, char **argv)
                     profile.toText().c_str());
     }
     if (!events_csv.empty()) {
-        std::FILE *f = std::fopen(events_csv.c_str(), "w");
-        if (!f) {
-            std::fprintf(stderr, "cannot write %s\n", events_csv.c_str());
-            return 1;
-        }
-        std::fprintf(f, "start_s,duration_ns,stall_cycles,kind\n");
+        // Build the CSV in memory and hand it to the checked I/O layer
+        // in one write: a full disk surfaces as a typed error instead
+        // of a silently short file.
+        std::string csv = "start_s,duration_ns,stall_cycles,kind\n";
+        char line[128];
         for (const auto &ev : result.events) {
-            std::fprintf(f, "%.9f,%.1f,%.1f,%s\n",
-                         static_cast<double>(ev.startSample) /
-                             sample_rate,
-                         ev.durationNs, ev.stallCycles,
-                         ev.kind == profiler::StallKind::RefreshCoincident
-                             ? "refresh"
-                             : "miss");
+            std::snprintf(line, sizeof(line), "%.9f,%.1f,%.1f,%s\n",
+                          static_cast<double>(ev.startSample) /
+                              sample_rate,
+                          ev.durationNs, ev.stallCycles,
+                          ev.kind ==
+                                  profiler::StallKind::RefreshCoincident
+                              ? "refresh"
+                              : "miss");
+            csv += line;
         }
-        std::fclose(f);
-        std::printf("\nwrote %zu events to %s\n", result.events.size(),
-                    events_csv.c_str());
+        common::io::CheckedFile f;
+        if (!f.open(events_csv,
+                    common::io::CheckedFile::Mode::WriteTruncate) ||
+            !f.writeAll(csv.data(), csv.size(), "events csv") ||
+            !f.close()) {
+            std::fprintf(stderr, "%s\n", f.error().describe().c_str());
+            rc = 1;
+        } else {
+            std::printf("\nwrote %zu events to %s\n",
+                        result.events.size(), events_csv.c_str());
+        }
     }
-    return 0;
+    }
+
+    if (verbose) {
+        const std::string stages = obs::stageSummaryLine();
+        if (!stages.empty())
+            std::printf("\n%s\n", stages.c_str());
+    }
+    if (!obs_cli.finish() && rc == 0)
+        rc = 1;
+    return rc;
 }

@@ -27,6 +27,8 @@
 
 #include "cli_parse.hpp"
 #include "devices/devices.hpp"
+#include "obs/stage_profiler.hpp"
+#include "obs_cli.hpp"
 #include "dsp/signal_io.hpp"
 #include "em/capture.hpp"
 #include "store/capture_writer.hpp"
@@ -59,7 +61,9 @@ usage(const char *argv0)
         "  --quantize-bits <n>  quantise samples to n bits (2..16;\n"
         "                       default 0 = lossless float32)\n"
         "  --no-compress        store chunks verbatim (no bit packing)\n"
-        "  --chunk-samples <n>  samples per chunk (default 65536)\n");
+        "  --chunk-samples <n>  samples per chunk (default 65536)\n"
+        "%s",
+        tools::ObsCli::kUsage);
 }
 
 } // namespace
@@ -73,9 +77,12 @@ main(int argc, char **argv)
     uint64_t quantize_bits = 0, chunk_samples = 0;
     bool compress = true;
     double bandwidth_mhz = 40.0;
+    tools::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (obs_cli.parseArg(argc, argv, i))
+            continue;
         auto next = [&]() -> const char * {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "missing value for %s\n",
@@ -162,7 +169,10 @@ main(int argc, char **argv)
     probe.receiver.bandwidthHz = bandwidth_mhz * 1e6;
 
     sim::Simulator simulator(device.sim);
-    const auto capture = em::captureRun(simulator, *workload, probe);
+    const auto capture = [&] {
+        EMPROF_OBS_STAGE("tool.capture");
+        return em::captureRun(simulator, *workload, probe);
+    }();
 
     std::printf("%s on %s: %llu cycles, %llu raw LLC misses\n",
                 workload_name.c_str(), device.name.c_str(),
@@ -176,6 +186,8 @@ main(int argc, char **argv)
     const bool legacy_emsig =
         out_path.size() >= 6 &&
         out_path.compare(out_path.size() - 6, 6, ".emsig") == 0;
+    {
+    EMPROF_OBS_STAGE("tool.write");
     if (legacy_emsig) {
         common::io::IoError io_error;
         if (!dsp::saveSignal(out_path, capture.magnitude, &io_error)) {
@@ -222,6 +234,7 @@ main(int argc, char **argv)
                       .c_str(),
             compress ? ", packed" : ", raw chunks");
     }
+    }
     std::printf("analyse with: emprof_analyze %s --clock-ghz %.3f\n",
                 out_path.c_str(), device.clockHz() / 1e9);
 
@@ -231,5 +244,5 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s\n", csv_error.describe().c_str());
         return 1;
     }
-    return 0;
+    return obs_cli.finish() ? 0 : 1;
 }

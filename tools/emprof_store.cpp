@@ -28,9 +28,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "cli_parse.hpp"
 #include "dsp/signal_io.hpp"
+#include "obs/stage_profiler.hpp"
+#include "obs_cli.hpp"
 #include "store/capture_reader.hpp"
 #include "store/capture_writer.hpp"
 
@@ -64,8 +67,9 @@ usage(const char *argv0)
         "  --no-compress        store chunks verbatim\n"
         "  --chunk-samples <n>  samples per chunk (default 65536)\n"
         "  --clock-ghz <f>      record a target clock in the header\n"
-        "  --device <name>      record a device name in the header\n",
-        argv0);
+        "  --device <name>      record a device name in the header\n"
+        "\n%s",
+        argv0, tools::ObsCli::kUsage);
 }
 
 bool
@@ -455,45 +459,65 @@ cut(const std::string &in, const std::string &out,
 int
 main(int argc, char **argv)
 {
-    if (argc < 3) {
-        usage(argv[0]);
-        return 2;
+    // Observability flags are accepted anywhere on the command line
+    // and stripped before command dispatch so the per-command option
+    // parsers never see them.
+    tools::ObsCli obs_cli;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (obs_cli.parseArg(argc, argv, i))
+            continue;
+        args.push_back(argv[i]);
     }
-    const std::string command = argv[1];
+    argc = static_cast<int>(args.size());
+    argv = args.data();
 
-    if (command == "inspect")
-        return inspect(argv[2]);
-    if (command == "verify")
-        return verify(argv[2]);
-
-    if (command == "recover") {
-        // The optional second path is the output; options may follow
-        // either form.
-        std::string out;
-        int first_option = 3;
-        if (argc >= 4 && std::strncmp(argv[3], "--", 2) != 0) {
-            out = argv[3];
-            first_option = 4;
-        }
-        OutputOptions opt;
-        if (parseOptions(argc, argv, first_option, opt) != 0)
-            return 2;
-        return recover(argv[2], out, opt);
-    }
-
-    if (command == "convert" || command == "cut") {
-        if (argc < 4) {
+    const int rc = [&]() -> int {
+        EMPROF_OBS_STAGE("tool.run");
+        if (argc < 3) {
             usage(argv[0]);
             return 2;
         }
-        OutputOptions opt;
-        if (parseOptions(argc, argv, 4, opt) != 0)
-            return 2;
-        return command == "convert" ? convert(argv[2], argv[3], opt)
-                                    : cut(argv[2], argv[3], opt);
-    }
+        const std::string command = argv[1];
 
-    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-    usage(argv[0]);
-    return 2;
+        if (command == "inspect")
+            return inspect(argv[2]);
+        if (command == "verify")
+            return verify(argv[2]);
+
+        if (command == "recover") {
+            // The optional second path is the output; options may
+            // follow either form.
+            std::string out;
+            int first_option = 3;
+            if (argc >= 4 && std::strncmp(argv[3], "--", 2) != 0) {
+                out = argv[3];
+                first_option = 4;
+            }
+            OutputOptions opt;
+            if (parseOptions(argc, argv, first_option, opt) != 0)
+                return 2;
+            return recover(argv[2], out, opt);
+        }
+
+        if (command == "convert" || command == "cut") {
+            if (argc < 4) {
+                usage(argv[0]);
+                return 2;
+            }
+            OutputOptions opt;
+            if (parseOptions(argc, argv, 4, opt) != 0)
+                return 2;
+            return command == "convert" ? convert(argv[2], argv[3], opt)
+                                        : cut(argv[2], argv[3], opt);
+        }
+
+        std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+        usage(argv[0]);
+        return 2;
+    }();
+    if (!obs_cli.finish() && rc == 0)
+        return 1;
+    return rc;
 }

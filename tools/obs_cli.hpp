@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared observability plumbing for the CLI tools.
+ *
+ * Every tool accepts the same two flags:
+ *
+ *   --metrics-out <file.json>   scrape the metrics registry on exit
+ *   --trace-out <file.json>     dump spans as Chrome trace JSON
+ *
+ * Passing either flag flips the process-wide observability switch on
+ * (it defaults to off, so an uninstrumented run pays only one relaxed
+ * atomic load per hook).  The files are written by finish(), which the
+ * tool calls once on the way out — including error exits, so a failed
+ * run still leaves its partial metrics behind for diagnosis.
+ */
+
+#ifndef EMPROF_TOOLS_OBS_CLI_HPP
+#define EMPROF_TOOLS_OBS_CLI_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+
+namespace emprof::tools {
+
+class ObsCli {
+  public:
+    /**
+     * Consume `argv[i]` if it is an observability flag (advancing @p i
+     * past the flag's value).  Returns false for unrelated arguments.
+     * Exits with status 2 on a flag with a missing value, matching the
+     * tools' handling of their own flags.
+     */
+    bool
+    parseArg(int argc, char **argv, int &i)
+    {
+        const std::string arg = argv[i];
+        if (arg != "--metrics-out" && arg != "--trace-out")
+            return false;
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+            std::exit(2);
+        }
+        (arg == "--metrics-out" ? metricsPath_ : tracePath_) = argv[++i];
+        enable();
+        return true;
+    }
+
+    /** Flip the process-wide observability switch on. */
+    static void
+    enable()
+    {
+        obs::MetricsRegistry::setEnabled(true);
+        obs::Tracer::setEnabled(true);
+    }
+
+    bool
+    enabled() const
+    {
+        return !metricsPath_.empty() || !tracePath_.empty();
+    }
+
+    /**
+     * Write whichever outputs were requested.  Returns false after
+     * printing a diagnostic if any write fails; a tool that was
+     * otherwise successful should turn that into a non-zero exit.
+     */
+    bool
+    finish() const
+    {
+        bool ok = true;
+        std::string error;
+        if (!metricsPath_.empty()) {
+            if (obs::writeMetricsJson(metricsPath_, &error)) {
+                std::printf("wrote metrics to %s\n",
+                            metricsPath_.c_str());
+            } else {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                ok = false;
+            }
+        }
+        if (!tracePath_.empty()) {
+            if (obs::writeTraceJson(tracePath_, &error)) {
+                std::printf("wrote trace to %s\n", tracePath_.c_str());
+            } else {
+                std::fprintf(stderr, "%s\n", error.c_str());
+                ok = false;
+            }
+        }
+        return ok;
+    }
+
+    /** Usage text block shared by every tool's --help. */
+    static constexpr const char *kUsage =
+        "observability:\n"
+        "  --metrics-out <path>  write pipeline metrics JSON on exit\n"
+        "  --trace-out <path>    write Chrome trace JSON on exit\n"
+        "                        (load in chrome://tracing or Perfetto)\n";
+
+  private:
+    std::string metricsPath_;
+    std::string tracePath_;
+};
+
+} // namespace emprof::tools
+
+#endif // EMPROF_TOOLS_OBS_CLI_HPP
