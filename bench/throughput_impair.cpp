@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Resilience-layer throughput: impairment injection cost and the
+ * overhead of the signal-quality path relative to the classic
+ * pipeline.
+ *
+ * Measures, on a synthetic memory-bound capture:
+ *
+ *   - applyImpairments() throughput for the mild and harsh presets,
+ *   - streaming analysis with the resilience layer off vs. on,
+ *   - 8-way parallel analysis with the layer off vs. on,
+ *
+ * and emits BENCH_impair.json so the overhead trajectory is tracked
+ * across PRs (the disabled layer is budgeted at <= 5% slowdown; the
+ * enabled layer is reported, not budgeted).
+ *
+ *   throughput_impair [--samples N] [--json PATH]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "dsp/impairment.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "profiler/parallel_analyzer.hpp"
+#include "profiler/profiler.hpp"
+
+using namespace emprof;
+
+namespace {
+
+dsp::TimeSeries
+syntheticCapture(std::size_t total)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 40e6;
+    s.samples.assign(total, 1.0f);
+    dsp::Rng rng(0xca97);
+    for (auto &x : s.samples)
+        x += static_cast<float>(0.02 * (rng.uniform() - 0.5));
+    std::size_t pos = 1000;
+    while (pos + 120 < total) {
+        const std::size_t len = rng.chance(0.01) ? 100 : 8 + rng.below(7);
+        // Dips carry the same sensor noise as the busy level — an
+        // exactly constant floor would (correctly) read as a
+        // stuck-sample dropout to the quality classifier.
+        for (std::size_t i = pos; i < pos + len; ++i)
+            s.samples[i] =
+                0.2f + static_cast<float>(0.02 * (rng.uniform() - 0.5));
+        pos += len + 40 + rng.below(120);
+    }
+    return s;
+}
+
+double
+seconds(std::chrono::steady_clock::time_point a,
+        std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+struct Measurement
+{
+    std::string mode;
+    double sec;
+    double samplesPerSec;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t total = 20'000'000;
+    std::string json_path = "BENCH_impair.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--samples") && i + 1 < argc)
+            total = static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--samples N] [--json PATH]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("synthesising %zu-sample capture...\n", total);
+    const auto sig = syntheticCapture(total);
+
+    std::vector<Measurement> runs;
+    const auto time_run = [&](const std::string &mode, auto &&fn) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        const double sec = seconds(t0, t1);
+        runs.push_back({mode, sec, static_cast<double>(total) / sec});
+        std::printf("%-22s: %7.3f s  %8.1f Msamples/s\n", mode.c_str(),
+                    sec, runs.back().samplesPerSec / 1e6);
+        return sec;
+    };
+
+    // Injection throughput per preset.
+    for (const char *preset : {"mild", "harsh"}) {
+        dsp::ImpairmentSpec spec;
+        if (!dsp::parseImpairmentSpec(preset, spec)) {
+            std::fprintf(stderr, "preset %s failed to parse\n", preset);
+            return 1;
+        }
+        auto copy = sig;
+        time_run(std::string("impair ") + preset,
+                 [&] { dsp::applyImpairments(copy, spec); });
+    }
+
+    profiler::EmProfConfig config;
+    config.clockHz = 1e9;
+
+    // Untimed warmup (first-touch page faults).
+    (void)profiler::EmProf::analyze(sig, config);
+
+    std::size_t events_off = 0, events_on = 0;
+    const double stream_off = time_run("streaming off", [&] {
+        events_off = profiler::EmProf::analyze(sig, config).events.size();
+    });
+    config.signal.enabled = true;
+    const double stream_on = time_run("streaming resilient", [&] {
+        events_on = profiler::EmProf::analyze(sig, config).events.size();
+    });
+
+    profiler::ParallelAnalyzerConfig pcfg;
+    pcfg.threads = 8;
+    config.signal.enabled = false;
+    const double par_off = time_run("parallel x8 off", [&] {
+        (void)profiler::analyzeParallel(sig, config, pcfg);
+    });
+    config.signal.enabled = true;
+    const double par_on = time_run("parallel x8 resilient", [&] {
+        (void)profiler::analyzeParallel(sig, config, pcfg);
+    });
+
+    std::printf("resilient overhead: streaming %.2fx, parallel %.2fx "
+                "(%zu -> %zu events)\n",
+                stream_on / stream_off, par_on / par_off, events_off,
+                events_on);
+
+    std::FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"throughput_impair\",\n"
+                 "  \"samples\": %zu,\n"
+                 "  \"sample_rate_hz\": 40000000.0,\n"
+                 "  \"resilient_overhead_streaming\": %.4f,\n"
+                 "  \"resilient_overhead_parallel\": %.4f,\n"
+                 "  \"runs\": [\n",
+                 total, stream_on / stream_off, par_on / par_off);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const auto &r = runs[i];
+        std::fprintf(f,
+                     "    {\"mode\": \"%s\", \"seconds\": %.6f, "
+                     "\"samples_per_sec\": %.1f}%s\n",
+                     r.mode.c_str(), r.sec, r.samplesPerSec,
+                     i + 1 == runs.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -1,0 +1,384 @@
+#include "dsp/impairment.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
+
+namespace emprof::dsp {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/** Independent RNG stream per impairment, all derived from one seed. */
+uint64_t
+derivedSeed(uint64_t seed, uint64_t stream)
+{
+    uint64_t state = seed ^ (0xd1f4a7c15eedbeefull * (stream + 1));
+    return splitMix64(state);
+}
+
+/** Map a raw 64-bit draw to [0, 1). */
+double
+toUnit(uint64_t word)
+{
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+/** Strict double parse: the whole token must be a finite number. */
+bool
+parseNumber(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno != 0 || end != text.c_str() + text.size() ||
+        !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &text, uint64_t &out)
+{
+    if (text.empty() || text[0] == '-')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    out = v;
+    return true;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (true) {
+        const std::size_t next = text.find(sep, pos);
+        if (next == std::string::npos) {
+            parts.push_back(text.substr(pos));
+            return parts;
+        }
+        parts.push_back(text.substr(pos, next - pos));
+        pos = next + 1;
+    }
+}
+
+/** Reset every impairment field (seed and reference survive presets). */
+void
+clearImpairments(ImpairmentSpec &spec)
+{
+    const uint64_t seed = spec.seed;
+    const double reference = spec.referenceLevel;
+    spec = ImpairmentSpec{};
+    spec.seed = seed;
+    spec.referenceLevel = reference;
+}
+
+bool
+applyPreset(const std::string &name, ImpairmentSpec &spec)
+{
+    if (name == "clean") {
+        clearImpairments(spec);
+        return true;
+    }
+    if (name == "mild") {
+        clearImpairments(spec);
+        spec.snrDb = 30.0;
+        spec.gainDriftFraction = 0.1;
+        return true;
+    }
+    if (name == "harsh") {
+        clearImpairments(spec);
+        spec.snrDb = 12.0;
+        spec.gainDriftFraction = 0.3;
+        spec.gainDriftPeriodSeconds = 0.2;
+        spec.impulseRate = 2e-4;
+        spec.impulseAmplitude = 6.0;
+        spec.dropoutRate = 5e-5;
+        spec.dropoutLenSamples = 48;
+        spec.dropoutHold = false;
+        spec.clipLevel = 2.5;
+        spec.humHz = 50.0;
+        spec.humDepth = 0.05;
+        return true;
+    }
+    return false;
+}
+
+/** Batched (once per apply, never per sample) injection accounting. */
+void
+countApply(const ImpairmentStats &stats)
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &registry = obs::MetricsRegistry::instance();
+    static const obs::Counter samples =
+        registry.counter("impair.samples");
+    static const obs::Counter impulses =
+        registry.counter("impair.impulses");
+    static const obs::Counter dropouts =
+        registry.counter("impair.dropout_samples");
+    static const obs::Counter clipped =
+        registry.counter("impair.clipped_samples");
+    samples.add(stats.samples);
+    impulses.add(stats.impulses);
+    dropouts.add(stats.dropoutSamples);
+    clipped.add(stats.clippedSamples);
+}
+
+} // namespace
+
+bool
+ImpairmentSpec::any() const
+{
+    return std::isfinite(snrDb) || gainDriftFraction > 0.0 ||
+           impulseRate > 0.0 || dropoutRate > 0.0 ||
+           std::isfinite(clipLevel) || (humHz > 0.0 && humDepth > 0.0);
+}
+
+bool
+ImpairmentSpec::validate(std::string *why) const
+{
+    const auto bad = [&](const char *reason) {
+        if (why != nullptr)
+            *why = reason;
+        return false;
+    };
+    if (std::isnan(snrDb) || snrDb == -std::numeric_limits<double>::infinity())
+        return bad("snr must be a number (or +inf to disable)");
+    if (!std::isfinite(gainDriftFraction) || gainDriftFraction < 0.0 ||
+        gainDriftFraction > 10.0)
+        return bad("drift fraction must be in [0, 10]");
+    if (!std::isfinite(gainDriftPeriodSeconds) ||
+        gainDriftPeriodSeconds <= 0.0)
+        return bad("drift period must be finite and > 0");
+    if (!std::isfinite(impulseRate) || impulseRate < 0.0 ||
+        impulseRate > 1.0)
+        return bad("impulse rate must be a probability in [0, 1]");
+    if (!std::isfinite(impulseAmplitude) || impulseAmplitude < 0.0)
+        return bad("impulse amplitude must be finite and >= 0");
+    if (!std::isfinite(dropoutRate) || dropoutRate < 0.0 ||
+        dropoutRate > 1.0)
+        return bad("dropout rate must be a probability in [0, 1]");
+    if (dropoutLenSamples == 0)
+        return bad("dropout length must be >= 1 sample");
+    if (std::isnan(clipLevel) || clipLevel <= 0.0)
+        return bad("clip level must be > 0 (or +inf to disable)");
+    if (!std::isfinite(humHz) || humHz < 0.0)
+        return bad("hum frequency must be finite and >= 0");
+    if (!std::isfinite(humDepth) || humDepth < 0.0)
+        return bad("hum depth must be finite and >= 0");
+    if (!std::isfinite(referenceLevel) || referenceLevel < 0.0)
+        return bad("reference level must be finite and >= 0");
+    return true;
+}
+
+const char *
+impairmentSpecHelp()
+{
+    return "impairment spec: comma-separated settings and/or presets;\n"
+           "later tokens override earlier ones.\n"
+           "  snr=<db>                  AWGN at this SNR vs signal RMS\n"
+           "  drift=<frac>[:<period_s>] sinusoidal gain drift (+-frac)\n"
+           "  impulse=<rate>[:<amp>]    bipolar spikes, amp x RMS\n"
+           "  dropout=<rate>[:<len>[:zero|hold]]  sample dropouts\n"
+           "  clip=<mult>               ADC full-scale at mult x RMS\n"
+           "  hum=<hz>[:<depth>]        additive mains hum\n"
+           "  ref=<level>               explicit amplitude reference\n"
+           "  seed=<n>                  master seed (deterministic)\n"
+           "presets: clean, mild (snr=30,drift=0.1),\n"
+           "  harsh (snr=12,drift=0.3:0.2,impulse=2e-4:6,\n"
+           "         dropout=5e-5:48:zero,clip=2.5,hum=50:0.05)\n";
+}
+
+bool
+parseImpairmentSpec(const std::string &text, ImpairmentSpec &out,
+                    std::string *why)
+{
+    const auto fail = [&](const std::string &reason) {
+        if (why != nullptr)
+            *why = reason;
+        return false;
+    };
+    if (text.empty())
+        return fail("empty impairment spec");
+
+    ImpairmentSpec spec = out;
+    for (const std::string &token : split(text, ',')) {
+        if (token.empty())
+            return fail("empty token in impairment spec");
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos) {
+            if (!applyPreset(token, spec))
+                return fail("unknown impairment preset '" + token + "'");
+            continue;
+        }
+        const std::string key = token.substr(0, eq);
+        const auto parts = split(token.substr(eq + 1), ':');
+        const auto number = [&](std::size_t idx, double &value) {
+            return idx < parts.size() && parseNumber(parts[idx], value);
+        };
+        if (key == "snr") {
+            if (parts.size() != 1 || !number(0, spec.snrDb))
+                return fail("snr wants snr=<db>");
+        } else if (key == "drift") {
+            if (parts.size() > 2 || !number(0, spec.gainDriftFraction))
+                return fail("drift wants drift=<frac>[:<period_s>]");
+            if (parts.size() == 2 &&
+                !number(1, spec.gainDriftPeriodSeconds))
+                return fail("drift period must be a number");
+        } else if (key == "impulse") {
+            if (parts.size() > 2 || !number(0, spec.impulseRate))
+                return fail("impulse wants impulse=<rate>[:<amp>]");
+            if (parts.size() == 2 && !number(1, spec.impulseAmplitude))
+                return fail("impulse amplitude must be a number");
+        } else if (key == "dropout") {
+            if (parts.size() > 3 || !number(0, spec.dropoutRate))
+                return fail(
+                    "dropout wants dropout=<rate>[:<len>[:zero|hold]]");
+            if (parts.size() >= 2 &&
+                !parseUnsigned(parts[1], spec.dropoutLenSamples))
+                return fail("dropout length must be a sample count");
+            if (parts.size() == 3) {
+                if (parts[2] == "zero")
+                    spec.dropoutHold = false;
+                else if (parts[2] == "hold")
+                    spec.dropoutHold = true;
+                else
+                    return fail("dropout mode must be 'zero' or 'hold'");
+            }
+        } else if (key == "clip") {
+            if (parts.size() != 1 || !number(0, spec.clipLevel))
+                return fail("clip wants clip=<mult>");
+        } else if (key == "hum") {
+            if (parts.size() > 2 || !number(0, spec.humHz))
+                return fail("hum wants hum=<hz>[:<depth>]");
+            if (parts.size() == 2) {
+                if (!number(1, spec.humDepth))
+                    return fail("hum depth must be a number");
+            } else if (spec.humDepth <= 0.0) {
+                spec.humDepth = 0.05;
+            }
+        } else if (key == "ref") {
+            if (parts.size() != 1 || !number(0, spec.referenceLevel))
+                return fail("ref wants ref=<level>");
+        } else if (key == "seed") {
+            if (parts.size() != 1 ||
+                !parseUnsigned(parts[0], spec.seed))
+                return fail("seed wants seed=<n>");
+        } else {
+            return fail("unknown impairment key '" + key + "'");
+        }
+    }
+
+    std::string invalid;
+    if (!spec.validate(&invalid))
+        return fail(invalid);
+    out = spec;
+    return true;
+}
+
+ImpairmentInjector::ImpairmentInjector(const ImpairmentSpec &spec,
+                                       double sample_rate_hz)
+    : spec_(spec),
+      reference_(spec.referenceLevel > 0.0 ? spec.referenceLevel : 1.0),
+      sampleRateHz_(sample_rate_hz > 0.0 ? sample_rate_hz : 1.0),
+      clipAbs_(std::isfinite(spec.clipLevel)
+                   ? spec.clipLevel * reference_
+                   : std::numeric_limits<double>::infinity()),
+      noise_(std::isfinite(spec.snrDb)
+                 ? reference_ * std::pow(10.0, -spec.snrDb / 20.0)
+                 : 0.0,
+             derivedSeed(spec.seed, 1)),
+      impulseRng_(derivedSeed(spec.seed, 2)),
+      dropoutRng_(derivedSeed(spec.seed, 3))
+{
+    uint64_t phase_state = spec.seed ^ 0x706861736573ull;
+    driftPhase_ = kTwoPi * toUnit(splitMix64(phase_state));
+    humPhase_ = kTwoPi * toUnit(splitMix64(phase_state));
+    stats_.referenceLevel = reference_;
+}
+
+Sample
+ImpairmentInjector::push(Sample x)
+{
+    double v = x;
+    const double t = static_cast<double>(index_) / sampleRateHz_;
+
+    if (spec_.gainDriftFraction > 0.0)
+        v *= 1.0 + spec_.gainDriftFraction *
+                       std::sin(kTwoPi * t /
+                                    spec_.gainDriftPeriodSeconds +
+                                driftPhase_);
+    if (spec_.humHz > 0.0 && spec_.humDepth > 0.0)
+        v += spec_.humDepth * reference_ *
+             std::sin(kTwoPi * spec_.humHz * t + humPhase_);
+    if (std::isfinite(spec_.snrDb))
+        v += noise_.real();
+    if (spec_.impulseRate > 0.0 &&
+        impulseRng_.chance(spec_.impulseRate)) {
+        ++stats_.impulses;
+        v += (impulseRng_.chance(0.5) ? 1.0 : -1.0) *
+             spec_.impulseAmplitude * reference_;
+    }
+    if (dropoutRemaining_ > 0) {
+        --dropoutRemaining_;
+        ++stats_.dropoutSamples;
+        v = spec_.dropoutHold ? lastOut_ : 0.0;
+    } else if (spec_.dropoutRate > 0.0 &&
+               dropoutRng_.chance(spec_.dropoutRate)) {
+        dropoutRemaining_ = spec_.dropoutLenSamples - 1;
+        ++stats_.dropoutSamples;
+        v = spec_.dropoutHold ? lastOut_ : 0.0;
+    }
+    if (v > clipAbs_) {
+        v = clipAbs_;
+        ++stats_.clippedSamples;
+    }
+    if (v < 0.0)
+        v = 0.0;
+
+    ++index_;
+    ++stats_.samples;
+    lastOut_ = static_cast<Sample>(v);
+    return lastOut_;
+}
+
+void
+applyImpairments(TimeSeries &series, const ImpairmentSpec &spec,
+                 ImpairmentStats *stats)
+{
+    EMPROF_OBS_STAGE("dsp.impair");
+    ImpairmentSpec effective = spec;
+    if (effective.referenceLevel <= 0.0 && !series.samples.empty()) {
+        // RMS in push order: deterministic, and the natural "signal
+        // power" reference for the SNR-dB sweep.
+        double sum_sq = 0.0;
+        for (Sample s : series.samples)
+            sum_sq += static_cast<double>(s) * static_cast<double>(s);
+        const double rms = std::sqrt(
+            sum_sq / static_cast<double>(series.samples.size()));
+        effective.referenceLevel = rms > 0.0 ? rms : 1.0;
+    }
+
+    ImpairmentInjector injector(effective, series.sampleRateHz);
+    for (Sample &s : series.samples)
+        s = injector.push(s);
+    countApply(injector.stats());
+    if (stats != nullptr)
+        *stats = injector.stats();
+}
+
+} // namespace emprof::dsp

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic, seeded RF-impairment injection.
+ *
+ * Real EM captures are never as clean as the simulator's output: probe
+ * coupling drifts, mains hum rides on the supply, the ADC clips on
+ * nearby transmitters, USB hiccups drop samples.  This module models
+ * those impairments as a composable transform over any magnitude
+ * stream, so robustness tests can degrade the golden fixture in memory
+ * and `emprof_capture --impair` can record realistic captures.
+ *
+ * Everything is seeded: the same spec + seed produces bit-identical
+ * output, sample for sample, which is what lets the SNR-ladder tests
+ * assert exact streaming/parallel equivalence at every rung.  Each
+ * impairment draws from its own seed-derived RNG stream, so enabling
+ * one (say, impulses) does not perturb another's sequence (the AWGN).
+ */
+
+#ifndef EMPROF_DSP_IMPAIRMENT_HPP
+#define EMPROF_DSP_IMPAIRMENT_HPP
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "dsp/noise.hpp"
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+
+namespace emprof::dsp {
+
+/**
+ * One composable impairment chain.  Defaults are all inert: a
+ * default-constructed spec is an exact no-op.
+ *
+ * Amplitudes (impulse, clip, hum, AWGN sigma) are expressed relative to
+ * a reference level — the series RMS in batch mode, or an explicit
+ * referenceLevel for streaming use where the RMS is not yet known.
+ */
+struct ImpairmentSpec
+{
+    /** AWGN at this signal-to-noise ratio in dB; +inf disables. */
+    double snrDb = std::numeric_limits<double>::infinity();
+
+    /** Slow multiplicative gain drift: gain swings by ±this fraction
+     *  sinusoidally with the period below (probe creep, thermal). */
+    double gainDriftFraction = 0.0;
+    double gainDriftPeriodSeconds = 0.5;
+
+    /** Per-sample probability of a bipolar single-sample spike of
+     *  `impulseAmplitude` × reference (ignition, ESD, radar). */
+    double impulseRate = 0.0;
+    double impulseAmplitude = 8.0;
+
+    /** Per-sample probability of starting a dropout of
+     *  `dropoutLenSamples`; dropped samples read zero, or repeat the
+     *  last delivered value when `dropoutHold` is set (USB stall with
+     *  a sample-and-hold front end). */
+    double dropoutRate = 0.0;
+    uint64_t dropoutLenSamples = 32;
+    bool dropoutHold = false;
+
+    /** ADC full-scale at this multiple of reference; +inf disables. */
+    double clipLevel = std::numeric_limits<double>::infinity();
+
+    /** Additive mains hum: depth × reference at humHz (50/60 Hz). */
+    double humHz = 0.0;
+    double humDepth = 0.0;
+
+    /** Amplitude reference; <= 0 means "derive from the series RMS"
+     *  (batch apply) or 1.0 (streaming, where no RMS exists yet). */
+    double referenceLevel = 0.0;
+
+    /** Master seed; every sub-generator derives its own stream. */
+    uint64_t seed = 0x1337c0deull;
+
+    /** True when any impairment is actually enabled. */
+    bool any() const;
+
+    /** Reject non-finite/out-of-range fields with a one-line reason. */
+    bool validate(std::string *why = nullptr) const;
+};
+
+/**
+ * Parse a comma-separated impairment spec, e.g.
+ * "snr=20,drift=0.2:0.1,dropout=1e-4:64:hold,seed=7".  Tokens are
+ * either `key=value[:sub[:sub]]` settings or preset names; later
+ * tokens override earlier ones, so "harsh,snr=30" is harsh with the
+ * noise eased off.  See impairmentSpecHelp() for the full grammar.
+ */
+bool parseImpairmentSpec(const std::string &text, ImpairmentSpec &out,
+                         std::string *why = nullptr);
+
+/** Usage text describing the spec grammar and presets (for tools). */
+const char *impairmentSpecHelp();
+
+/** What an injection pass actually did (for reports and metrics). */
+struct ImpairmentStats
+{
+    uint64_t samples = 0;
+    uint64_t impulses = 0;
+    uint64_t dropoutSamples = 0;
+    uint64_t clippedSamples = 0;
+    double referenceLevel = 0.0;
+};
+
+/**
+ * Streaming impairment injector: push samples through, get impaired
+ * samples out.  Stateful (dropout runs, RNG streams) but fully
+ * deterministic for a given (spec, sample_rate) pair.
+ */
+class ImpairmentInjector
+{
+  public:
+    /**
+     * @param spec Validated impairment chain.
+     * @param sample_rate_hz Rate of the stream being impaired; drives
+     *        the drift/hum oscillator phases.  Non-positive rates fall
+     *        back to 1 Hz (periods are then measured in samples).
+     */
+    ImpairmentInjector(const ImpairmentSpec &spec, double sample_rate_hz);
+
+    /** Impair one sample.  Output is floored at zero: the stream is a
+     *  received magnitude, and no analog impairment makes it negative. */
+    Sample push(Sample x);
+
+    const ImpairmentStats &stats() const { return stats_; }
+
+    double referenceLevel() const { return reference_; }
+
+  private:
+    ImpairmentSpec spec_;
+    double reference_;
+    double sampleRateHz_;
+    double driftPhase_ = 0.0;
+    double humPhase_ = 0.0;
+    double clipAbs_;
+    AwgnSource noise_;
+    Rng impulseRng_;
+    Rng dropoutRng_;
+    uint64_t index_ = 0;
+    uint64_t dropoutRemaining_ = 0;
+    Sample lastOut_ = 0.0f;
+    ImpairmentStats stats_;
+};
+
+/**
+ * Batch transform: impair a whole series in place.  When the spec has
+ * no explicit referenceLevel the series RMS is used, so `snr=20` means
+ * 20 dB below the actual signal power regardless of capture gain.
+ */
+void applyImpairments(TimeSeries &series, const ImpairmentSpec &spec,
+                      ImpairmentStats *stats = nullptr);
+
+} // namespace emprof::dsp
+
+#endif // EMPROF_DSP_IMPAIRMENT_HPP

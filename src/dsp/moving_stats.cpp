@@ -13,10 +13,10 @@ double
 MovingAverage::push(double x)
 {
     buf_.push_back(x);
-    sum_ += x;
+    sum_.add(x);
     ++count_;
     if (buf_.size() > window_) {
-        sum_ -= buf_.front();
+        sum_.add(-buf_.front());
         buf_.pop_front();
     }
     return value();
@@ -27,14 +27,14 @@ MovingAverage::value() const
 {
     if (buf_.empty())
         return 0.0;
-    return sum_ / static_cast<double>(buf_.size());
+    return sum_.value() / static_cast<double>(buf_.size());
 }
 
 void
 MovingAverage::reset()
 {
     buf_.clear();
-    sum_ = 0.0;
+    sum_.reset();
     count_ = 0;
 }
 
@@ -60,17 +60,39 @@ MovingVariance::MovingVariance(std::size_t window)
 double
 MovingVariance::push(double x)
 {
+    if (buf_.empty() && count_ == 0)
+        pivot_ = x;
     buf_.push_back(x);
-    sum_ += x;
-    sum_sq_ += x * x;
+    const double d = x - pivot_;
+    shifted_.add(d);
+    shiftedSq_.add(d * d);
     ++count_;
     if (buf_.size() > window_) {
-        const double old = buf_.front();
-        sum_ -= old;
-        sum_sq_ -= old * old;
+        const double od = buf_.front() - pivot_;
+        shifted_.add(-od);
+        shiftedSq_.add(-(od * od));
         buf_.pop_front();
     }
+    // Re-centring every window-full of pushes keeps the pivot near the
+    // window mean even when the signal wanders far from its first
+    // sample, at amortised O(1).
+    if (count_ % window_ == 0)
+        repivot();
     return variance();
+}
+
+void
+MovingVariance::repivot()
+{
+    const double new_pivot = mean();
+    shifted_.reset();
+    shiftedSq_.reset();
+    for (double x : buf_) {
+        const double d = x - new_pivot;
+        shifted_.add(d);
+        shiftedSq_.add(d * d);
+    }
+    pivot_ = new_pivot;
 }
 
 double
@@ -78,7 +100,8 @@ MovingVariance::mean() const
 {
     if (buf_.empty())
         return 0.0;
-    return sum_ / static_cast<double>(buf_.size());
+    return pivot_ +
+           shifted_.value() / static_cast<double>(buf_.size());
 }
 
 double
@@ -87,17 +110,18 @@ MovingVariance::variance() const
     if (buf_.empty())
         return 0.0;
     const double n = static_cast<double>(buf_.size());
-    const double m = sum_ / n;
+    const double m = shifted_.value() / n;
     // Guard against tiny negative values from cancellation.
-    return std::max(0.0, sum_sq_ / n - m * m);
+    return std::max(0.0, shiftedSq_.value() / n - m * m);
 }
 
 void
 MovingVariance::reset()
 {
     buf_.clear();
-    sum_ = 0.0;
-    sum_sq_ = 0.0;
+    pivot_ = 0.0;
+    shifted_.reset();
+    shiftedSq_.reset();
     count_ = 0;
 }
 

@@ -22,6 +22,40 @@
 
 namespace emprof::dsp {
 
+/**
+ * Kahan-compensated running sum.
+ *
+ * A plain double accumulator loses one ulp of the running total per
+ * add/subtract pair; over the 1e8+ samples of a long capture the moving
+ * mean visibly drifts away from the window's true mean.  Compensated
+ * summation keeps the error bounded independently of stream length.
+ */
+class KahanSum
+{
+  public:
+    void
+    add(double x)
+    {
+        const double y = x - comp_;
+        const double t = sum_ + y;
+        comp_ = (t - sum_) - y;
+        sum_ = t;
+    }
+
+    double value() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        comp_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double comp_ = 0.0;
+};
+
 /** Streaming moving average over a fixed-length window. */
 class MovingAverage
 {
@@ -45,7 +79,7 @@ class MovingAverage
   private:
     std::size_t window_;
     std::deque<double> buf_;
-    double sum_ = 0.0;
+    KahanSum sum_;
     uint64_t count_ = 0;
 };
 
@@ -140,7 +174,18 @@ class MovingMinMax
     uint64_t count_ = 0;
 };
 
-/** Streaming moving variance (Welford over a ring buffer). */
+/**
+ * Streaming moving variance over a fixed-length window.
+ *
+ * Sums are taken of pivot-shifted values (x - pivot) with Kahan
+ * compensation, and the pivot is re-centred on the window mean every
+ * `window` pushes (an amortised O(1) rebuild from the buffer).  The
+ * shift defeats the catastrophic cancellation of the naive
+ * sum/sum-of-squares form when the signal sits on a large offset
+ * (variance 0.25 at level 1e8 needs ~17 more digits than a double
+ * carries without it), and the compensation stops the long-stream
+ * drift of the running subtract-the-oldest update.
+ */
 class MovingVariance
 {
   public:
@@ -155,10 +200,14 @@ class MovingVariance
     void reset();
 
   private:
+    /** Re-centre the pivot on the current mean and rebuild the sums. */
+    void repivot();
+
     std::size_t window_;
     std::deque<double> buf_;
-    double sum_ = 0.0;
-    double sum_sq_ = 0.0;
+    double pivot_ = 0.0;
+    KahanSum shifted_;    // sum of (x - pivot)
+    KahanSum shiftedSq_;  // sum of (x - pivot)^2
     uint64_t count_ = 0;
 };
 

@@ -31,7 +31,10 @@ ProbeChain::ProbeChain(const ProbeChainConfig &config, double clock_hz)
     : emanation_(config.emanation),
       channel_(config.channel, clock_hz),
       receiver_(config.receiver, clock_hz)
-{}
+{
+    if (config.impairment.any())
+        impairer_.emplace(config.impairment, receiver_.outputRateHz());
+}
 
 bool
 ProbeChain::push(dsp::Sample power, dsp::Sample &mag_out)
@@ -41,6 +44,8 @@ ProbeChain::push(dsp::Sample power, dsp::Sample &mag_out)
     if (!receiver_.push(iq, received))
         return false;
     mag_out = std::abs(received);
+    if (impairer_)
+        mag_out = impairer_->push(mag_out);
     return true;
 }
 

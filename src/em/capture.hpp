@@ -7,8 +7,10 @@
 #ifndef EMPROF_EM_CAPTURE_HPP
 #define EMPROF_EM_CAPTURE_HPP
 
+#include <optional>
 #include <vector>
 
+#include "dsp/impairment.hpp"
 #include "dsp/types.hpp"
 #include "em/channel.hpp"
 #include "em/config.hpp"
@@ -26,6 +28,17 @@ struct ProbeChainConfig
     EmanationConfig emanation;
     ChannelConfig channel;
     ReceiverConfig receiver;
+
+    /**
+     * Post-receiver RF impairments (AWGN, gain drift, impulses,
+     * dropouts, clipping, hum) applied to the magnitude stream.
+     * Defaults to none; see dsp/impairment.hpp for the model and
+     * parseImpairmentSpec for the command-line grammar.  In the
+     * streaming chain the impairment reference level must be set
+     * explicitly (spec.referenceLevel); it defaults to 1.0 here since
+     * a stream has no RMS to measure up front.
+     */
+    dsp::ImpairmentSpec impairment;
 };
 
 /**
@@ -53,6 +66,7 @@ class ProbeChain
     EmanationSynthesizer emanation_;
     Channel channel_;
     SdrReceiver receiver_;
+    std::optional<dsp::ImpairmentInjector> impairer_;
 };
 
 /** Result of an instrumented run. */

@@ -45,6 +45,13 @@ struct StallEvent
     /** Stall duration in target clock cycles. */
     double stallCycles = 0.0;
 
+    /**
+     * Detection confidence in [0, 1]: threshold margin x duration x
+     * local SNR (see profiler/signal_quality.hpp).  1.0 when the
+     * resilience layer is disabled, so legacy consumers see no change.
+     */
+    double confidence = 1.0;
+
     StallKind kind = StallKind::LlcMiss;
 
     uint64_t durationSamples() const { return endSample - startSample + 1; }

@@ -14,6 +14,8 @@
 #define EMPROF_PROFILER_NORMALIZER_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "dsp/minmax_filter.hpp"
 
@@ -58,6 +60,93 @@ class MovingMinMaxNormalizer
     // sample, which is what the hot path wants.
     dsp::MinMaxFilter<double> minmax_;
     double minContrast_;
+};
+
+/**
+ * Exact windowed-mean pre-smoother for the adaptive normaliser.
+ *
+ * The sum over the (at most @c window) most recent samples is
+ * recomputed from the ring oldest-to-newest on every push.  That is
+ * O(window) instead of O(1), but the windows here are tiny (<= 16
+ * samples) and it buys the property the parallel analyzer depends on:
+ * the output at index i is a pure function of the last `window` raw
+ * samples, with a fixed summation order, so a chunk that re-feeds a
+ * halo reproduces the streaming values bit for bit.
+ */
+class BoxSmoother
+{
+  public:
+    explicit BoxSmoother(std::size_t window);
+
+    /** Push a raw sample, get the mean of the trailing window. */
+    double push(double x);
+
+    void reset();
+
+    std::size_t window() const { return ring_.size(); }
+
+  private:
+    std::vector<double> ring_;
+    std::size_t head_ = 0; // next write position
+    uint64_t count_ = 0;
+};
+
+/**
+ * Self-recalibrating normaliser for impaired captures.
+ *
+ * Same moving min/max idea as MovingMinMaxNormalizer, with two
+ * additions for noisy/drifting signals:
+ *
+ *  - the envelope is tracked over a short boxcar-smoothed version of
+ *    the magnitude, so single-sample noise spikes and impulse bursts
+ *    do not poison the floor/ceiling estimates for a whole window;
+ *  - the floor and ceiling are snapped to a deterministic logarithmic
+ *    grid (step = driftTolerance x ceiling) before use, so the
+ *    calibration only moves when the envelope genuinely drifts across
+ *    a grid step — sub-step jitter of the window extrema leaves the
+ *    mapping untouched.
+ *
+ * The snap is memoryless (a pure function of the current window
+ * extrema), which keeps the output at index i a pure function of the
+ * last window+smoother-1 raw samples — the invariant the parallel
+ * analyzer's halo re-feed relies on for bit parity with streaming.
+ */
+class AdaptiveNormalizer
+{
+  public:
+    /**
+     * @param window Envelope window length in samples (over the
+     *        smoothed signal).
+     * @param smoother Pre-smoother length in samples.
+     * @param drift_tolerance Calibration grid step as a fraction of
+     *        the envelope ceiling, in (0, 1].
+     * @param min_contrast As for MovingMinMaxNormalizer.
+     */
+    AdaptiveNormalizer(std::size_t window, std::size_t smoother,
+                       double drift_tolerance,
+                       double min_contrast = 0.2);
+
+    /** Push one magnitude sample, get its normalised value in [0,1]. */
+    double push(double magnitude);
+
+    /** Current (snapped) envelope floor. */
+    double envelopeMin() const { return lastLo_; }
+
+    /** Current (snapped) envelope ceiling. */
+    double envelopeMax() const { return lastHi_; }
+
+    std::size_t window() const { return minmax_.window(); }
+
+    std::size_t smoother() const { return smoother_.window(); }
+
+  private:
+    BoxSmoother smoother_;
+    dsp::MinMaxFilter<double> minmax_;
+    double driftTolerance_;
+    double minContrast_;
+    double gridScale_; // 1 / log2(1 + driftTolerance)
+    double lastLo_ = 0.0;
+    double lastHi_ = 0.0;
 };
 
 } // namespace emprof::profiler

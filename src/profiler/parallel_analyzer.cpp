@@ -12,6 +12,7 @@
 #include "profiler/dip_detector.hpp"
 #include "profiler/normalizer.hpp"
 #include "profiler/report.hpp"
+#include "profiler/signal_quality.hpp"
 #include "store/capture_reader.hpp"
 
 namespace emprof::profiler {
@@ -47,6 +48,7 @@ struct ChunkResult
     uint64_t end = 0;
     std::vector<double> prefixNorms;
     std::vector<StallEvent> events;       // raw dips, unclassified
+    std::vector<SignalBlock> blocks;      // quality blocks owned here
     DipDetector::DipState open;           // dip still open at chunk end
 };
 
@@ -57,13 +59,15 @@ struct ChunkResult
  *
  * @param data Sample storage; data[i - dataBegin] is global sample i.
  *        Must cover at least [begin - halo, end), where the halo is
- *        the usual min(begin, normWindowSamples() - 1) — the in-memory
- *        path passes the whole capture (dataBegin 0), the EMCAP path
- *        passes just the task's decoded span.
+ *        min(begin, config.haloSamples()) — the in-memory path passes
+ *        the whole capture (dataBegin 0), the EMCAP path passes just
+ *        the task's decoded span.
+ * @param is_final True for the last chunk, which additionally owns the
+ *        trailing partial quality block.
  */
 ChunkResult
 analyzeChunk(const dsp::Sample *data, uint64_t dataBegin, uint64_t begin,
-             uint64_t end, const EmProfConfig &config)
+             uint64_t end, bool is_final, const EmProfConfig &config)
 {
     // Per-worker chunk timing: the span carries the worker's thread
     // number, the stage histogram aggregates the distribution.
@@ -83,21 +87,34 @@ analyzeChunk(const dsp::Sample *data, uint64_t dataBegin, uint64_t begin,
     r.end = end;
 
     const std::size_t window = config.normWindowSamples();
-    const uint64_t halo =
-        std::min<uint64_t>(begin, window > 0 ? window - 1 : 0);
+    const bool resilient = config.signal.enabled;
+    const uint64_t halo = std::min<uint64_t>(begin, config.haloSamples());
     const auto at = [&](uint64_t i) {
         return data[static_cast<std::size_t>(i - dataBegin)];
     };
 
-    MovingMinMaxNormalizer normalizer(window, config.minContrast);
+    // Warm whichever normaliser this config uses by re-feeding the
+    // halo: both are pure functions of a bounded trailing history
+    // (haloSamples() covers it), so the values from `begin` on are
+    // bit-identical to streaming.
+    MovingMinMaxNormalizer classic(window, config.minContrast);
+    AdaptiveNormalizer adaptive(
+        resilient ? window : 1, resilient ? config.smootherSamples() : 1,
+        config.signal.driftToleranceFraction > 0.0
+            ? config.signal.driftToleranceFraction
+            : 0.05,
+        config.minContrast);
+    const auto norm = [&](double x) {
+        return resilient ? adaptive.push(x) : classic.push(x);
+    };
     for (uint64_t i = begin - halo; i < begin; ++i)
-        normalizer.push(at(i));
+        norm(at(i));
 
     DipDetector detector(config.detectorConfig());
     bool in_prefix = true;
     StallEvent ev;
     for (uint64_t i = begin; i < end; ++i) {
-        const double normalized = normalizer.push(at(i));
+        const double normalized = norm(at(i));
         if (in_prefix) {
             // The prefix ends at the first sample that would close any
             // incoming dip; from there on chunk-local detection is
@@ -118,6 +135,32 @@ analyzeChunk(const dsp::Sample *data, uint64_t dataBegin, uint64_t begin,
     if (r.open.inDip) {
         r.open.start += begin;
         r.open.lastBelowExit += begin;
+    }
+
+    if (resilient) {
+        // Quality blocks are absolute-index aligned and each is owned
+        // by exactly one chunk: the one containing its last sample
+        // (the final chunk also owns the trailing partial block).  The
+        // owner recomputes the whole block from scratch in index
+        // order, so the block is bit-identical to streaming no matter
+        // how the capture was chunked.  haloSamples() >= Q - 1
+        // guarantees the owner's data covers a block that started in
+        // the previous chunk.
+        const uint64_t q =
+            std::max<uint64_t>(config.qualityBlockSamples(), 1);
+        BlockAccumulator acc;
+        for (uint64_t bs = (begin / q) * q; bs < end; bs += q) {
+            uint64_t be = bs + q;
+            if (be > end) {
+                if (!is_final)
+                    break; // next chunk owns it
+                be = end;
+            }
+            acc.begin(bs);
+            for (uint64_t i = bs; i < be; ++i)
+                acc.push(at(i));
+            r.blocks.push_back(acc.finish(be, config.signal));
+        }
     }
     return r;
 }
@@ -141,7 +184,9 @@ stitch(const std::vector<ChunkResult> &chunks, const EmProfConfig &config)
     }
 
     std::vector<StallEvent> events;
-    const uint64_t min_duration = config.minDurationSamples();
+    // Same duration cut the chunk-local detectors used (the resilient
+    // path relaxes it to compensate for pre-smoother dip widening).
+    const uint64_t min_duration = config.effectiveMinDurationSamples();
     DipDetector::DipState carry;
 
     const auto emit = [&](const DipDetector::DipState &dip) {
@@ -190,6 +235,37 @@ stitch(const std::vector<ChunkResult> &chunks, const EmProfConfig &config)
     return events;
 }
 
+/**
+ * Sequential tail shared by both parallel paths: stitch, classify,
+ * quarantine (when the resilience layer is on), report.  Mirrors the
+ * order of EmProf::finish() so the parallel result is bit-identical to
+ * streaming.
+ */
+ProfileResult
+finalizeChunks(const std::vector<ChunkResult> &chunks,
+               const EmProfConfig &config, uint64_t total_samples)
+{
+    ProfileResult result;
+    result.events = stitch(chunks, config);
+    for (auto &ev : result.events)
+        classifyStall(ev, config);
+    SignalQualitySummary quality;
+    if (config.signal.enabled) {
+        std::vector<SignalBlock> blocks;
+        for (const auto &chunk : chunks)
+            blocks.insert(blocks.end(), chunk.blocks.begin(),
+                          chunk.blocks.end());
+        quality = applySignalQuality(result.events, blocks,
+                                     config.detectorConfig(),
+                                     config.signal, total_samples);
+    }
+    result.report = makeReport(result.events, config.sampleRateHz,
+                               config.clockHz, total_samples);
+    result.report.quality = quality;
+    countParallelAnalyzed(total_samples, result.events.size());
+    return result;
+}
+
 } // namespace
 
 ParallelAnalyzer::ParallelAnalyzer(ParallelAnalyzerConfig config)
@@ -236,24 +312,18 @@ ParallelAnalyzer::analyze(const dsp::TimeSeries &magnitude,
             const uint64_t begin = static_cast<uint64_t>(c) * chunk;
             const uint64_t end =
                 std::min<uint64_t>(begin + chunk, n);
+            const bool is_final = (c + 1 == num_chunks);
             pending.push_back(pool.submit([&samples, &results, begin,
-                                           end, c, &config] {
+                                           end, is_final, c, &config] {
                 results[c] = analyzeChunk(samples.data(), 0, begin,
-                                          end, config);
+                                          end, is_final, config);
             }));
         }
         for (auto &f : pending)
             f.get();
     }
 
-    ProfileResult result;
-    result.events = stitch(results, config);
-    for (auto &ev : result.events)
-        classifyStall(ev, config);
-    result.report = makeReport(result.events, config.sampleRateHz,
-                               config.clockHz, n);
-    countParallelAnalyzed(n, result.events.size());
-    return result;
+    return finalizeChunks(results, config, n);
 }
 
 bool
@@ -324,7 +394,7 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
     std::atomic<bool> ok{true};
     std::mutex error_mutex;
     std::string first_error;
-    const std::size_t window = config.normWindowSamples();
+    const uint64_t halo_depth = config.haloSamples();
     {
         common::ThreadPool pool(std::min(threads, spans.size()));
         std::vector<std::future<void>> pending;
@@ -334,8 +404,8 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
                 if (!ok.load(std::memory_order_relaxed))
                     return; // a sibling already failed
                 const Span span = spans[t];
-                const uint64_t halo = std::min<uint64_t>(
-                    span.begin, window > 0 ? window - 1 : 0);
+                const uint64_t halo =
+                    std::min<uint64_t>(span.begin, halo_depth);
                 std::vector<dsp::Sample> local;
                 std::string chunk_error;
                 if (!reader.readRange(span.begin - halo,
@@ -349,7 +419,8 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
                 }
                 results[t] =
                     analyzeChunk(local.data(), span.begin - halo,
-                                 span.begin, span.end, config);
+                                 span.begin, span.end,
+                                 t + 1 == spans.size(), config);
             }));
         }
         for (auto &f : pending)
@@ -361,13 +432,7 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
         return false;
     }
 
-    out = ProfileResult{};
-    out.events = stitch(results, config);
-    for (auto &ev : out.events)
-        classifyStall(ev, config);
-    out.report = makeReport(out.events, config.sampleRateHz,
-                            config.clockHz, n);
-    countParallelAnalyzed(n, out.events.size());
+    out = finalizeChunks(results, config, n);
     return true;
 }
 

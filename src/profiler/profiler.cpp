@@ -52,6 +52,8 @@ EmProfConfig::validate(std::string *why) const
         return bad("minStallNs must be finite and >= 0");
     if (!std::isfinite(refreshStallNs) || refreshStallNs < 0.0)
         return bad("refreshStallNs must be finite and >= 0");
+    if (!signal.validate(why))
+        return false;
     return true;
 }
 
@@ -78,7 +80,18 @@ classifyStall(StallEvent &ev, const EmProfConfig &config)
 EmProf::EmProf(const EmProfConfig &config)
     : config_(config),
       normalizer_(config.normWindowSamples(), config.minContrast),
-      detector_(config.detectorConfig())
+      detector_(config.detectorConfig()),
+      resilient_(config.signal.enabled),
+      // When the resilience layer is off the adaptive normaliser is
+      // never pushed; size it trivially so it costs no memory.
+      adaptive_(config.signal.enabled ? config.normWindowSamples() : 1,
+                config.signal.enabled ? config.smootherSamples() : 1,
+                config.signal.driftToleranceFraction > 0.0
+                    ? config.signal.driftToleranceFraction
+                    : 0.05,
+                config.minContrast),
+      blockLen_(config.signal.enabled ? config.qualityBlockSamples()
+                                      : 0)
 {}
 
 void
@@ -87,11 +100,29 @@ EmProf::classify(StallEvent &ev) const
     classifyStall(ev, config_);
 }
 
+double
+EmProf::pushResilient(double magnitude)
+{
+    const uint64_t idx = samples_;
+    if (idx == 0) {
+        blockAcc_.begin(0);
+    } else if (idx - blockStart_ == blockLen_) {
+        blocks_.push_back(blockAcc_.finish(idx, config_.signal));
+        blockAcc_.begin(idx);
+        blockStart_ = idx;
+    }
+    blockAcc_.push(magnitude);
+    return adaptive_.push(magnitude);
+}
+
 bool
 EmProf::push(dsp::Sample magnitude)
 {
+    const double m = magnitude;
+    // One predicted branch keeps the classic hot path untouched.
+    const double normalized =
+        resilient_ ? pushResilient(m) : normalizer_.push(m);
     ++samples_;
-    const double normalized = normalizer_.push(magnitude);
     StallEvent ev;
     if (detector_.push(normalized, ev)) {
         classify(ev);
@@ -114,8 +145,18 @@ EmProf::finish()
 
     ProfileResult result;
     result.events = events_;
-    result.report = makeReport(events_, config_.sampleRateHz,
+    SignalQualitySummary quality;
+    if (resilient_) {
+        if (samples_ > 0)
+            blocks_.push_back(
+                blockAcc_.finish(samples_, config_.signal));
+        quality = applySignalQuality(result.events, blocks_,
+                                     config_.detectorConfig(),
+                                     config_.signal, samples_);
+    }
+    result.report = makeReport(result.events, config_.sampleRateHz,
                                config_.clockHz, samples_);
+    result.report.quality = quality;
     return result;
 }
 

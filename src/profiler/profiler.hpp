@@ -23,6 +23,7 @@
 #include "profiler/events.hpp"
 #include "profiler/normalizer.hpp"
 #include "profiler/report.hpp"
+#include "profiler/signal_quality.hpp"
 
 namespace emprof::profiler {
 
@@ -75,6 +76,14 @@ struct EmProfConfig
      */
     uint64_t minDurationFloorSamples = 4;
 
+    /**
+     * Signal-domain resilience layer (adaptive normalisation, segment
+     * quarantine, per-event confidence).  Off by default: with
+     * signal.enabled == false the pipeline is bit-identical to the
+     * classic one.
+     */
+    SignalQualityConfig signal;
+
     /** Derived: envelope window in samples. */
     std::size_t
     normWindowSamples() const
@@ -94,6 +103,65 @@ struct EmProfConfig
         const auto from_ns =
             s < 1.0 ? uint64_t{1} : static_cast<uint64_t>(s + 0.5);
         return std::max(from_ns, minDurationFloorSamples);
+    }
+
+    /** Derived: adaptive pre-smoother length in samples (resilient
+     *  path only).  About half the minimum dip duration, so a genuine
+     *  dip still swings the smoothed signal, clamped to [2, 16]. */
+    std::size_t
+    smootherSamples() const
+    {
+        if (signal.smootherSamples != 0)
+            return signal.smootherSamples;
+        const uint64_t half = minDurationSamples() / 2;
+        return static_cast<std::size_t>(
+            std::clamp<uint64_t>(half, 2, 16));
+    }
+
+    /** Derived: quality-block length in samples. */
+    std::size_t
+    qualityBlockSamples() const
+    {
+        return signal.blockSamples != 0 ? signal.blockSamples
+                                        : normWindowSamples();
+    }
+
+    /**
+     * Derived: the duration threshold the dip detector actually uses.
+     * The resilient path's pre-smoother widens every dip by up to
+     * S - 1 samples of ramp, so the detector threshold is relaxed by
+     * the same amount to keep the effective duration cut in raw
+     * samples unchanged (floored at 2 — a single low sample is still
+     * indistinguishable from noise).
+     */
+    uint64_t
+    effectiveMinDurationSamples() const
+    {
+        const uint64_t base = minDurationSamples();
+        if (!signal.enabled)
+            return base;
+        const uint64_t widen =
+            static_cast<uint64_t>(smootherSamples()) - 1;
+        return std::max<uint64_t>(
+            base > widen ? base - widen : 0, 2);
+    }
+
+    /**
+     * Derived: how many samples of history one output depends on —
+     * the halo a parallel chunk must re-feed for bit parity.  Classic
+     * path: the envelope window.  Resilient path: the envelope window
+     * over smoothed values (each a function of the smoother window)
+     * plus whole-block ownership of quality blocks.
+     */
+    std::size_t
+    haloSamples() const
+    {
+        const std::size_t w = normWindowSamples();
+        if (!signal.enabled)
+            return w - 1;
+        const std::size_t s = smootherSamples();
+        const std::size_t q = qualityBlockSamples();
+        return std::max(w + s - 2, q - 1);
     }
 
     /**
@@ -116,7 +184,7 @@ struct EmProfConfig
         DipDetectorConfig dc;
         dc.enterThreshold = enterThreshold;
         dc.exitThreshold = exitThreshold;
-        dc.minDurationSamples = minDurationSamples();
+        dc.minDurationSamples = effectiveMinDurationSamples();
         return dc;
     }
 };
@@ -201,12 +269,24 @@ class EmProf
     /** Convert a raw dip into a classified stall event. */
     void classify(StallEvent &ev) const;
 
+    /** Resilient-path per-sample work (adaptive norm + block stats). */
+    double pushResilient(double magnitude);
+
     EmProfConfig config_;
     MovingMinMaxNormalizer normalizer_;
     DipDetector detector_;
     std::vector<StallEvent> events_;
     EventCallback callback_;
     uint64_t samples_ = 0;
+
+    // Resilient path (unused when config.signal.enabled is false; the
+    // hot path then costs one predicted branch).
+    bool resilient_ = false;
+    AdaptiveNormalizer adaptive_;
+    BlockAccumulator blockAcc_;
+    std::vector<SignalBlock> blocks_;
+    uint64_t blockStart_ = 0;
+    uint64_t blockLen_ = 0;
 };
 
 } // namespace emprof::profiler

@@ -94,6 +94,28 @@ ProfileReport::toText(const std::string &title) const
                   "  miss rate: %.1f per million cycles\n",
                   missesPerMillionCycles);
     out += line;
+    if (quality.enabled) {
+        std::snprintf(
+            line, sizeof(line),
+            "  signal quality: coverage %.1f%%, blocks %llu "
+            "(clean %llu, degraded %llu, unusable %llu)\n",
+            quality.coverageFraction * 100.0,
+            static_cast<unsigned long long>(quality.totalBlocks),
+            static_cast<unsigned long long>(quality.cleanBlocks),
+            static_cast<unsigned long long>(quality.degradedBlocks),
+            static_cast<unsigned long long>(quality.unusableBlocks));
+        out += line;
+        std::snprintf(
+            line, sizeof(line),
+            "  quarantined: clipping %llu, dropout %llu, low-SNR %llu; "
+            "events dropped %llu; mean confidence %.2f\n",
+            static_cast<unsigned long long>(quality.quarantinedClipping),
+            static_cast<unsigned long long>(quality.quarantinedDropout),
+            static_cast<unsigned long long>(quality.quarantinedLowSnr),
+            static_cast<unsigned long long>(quality.eventsDropped),
+            quality.meanConfidence);
+        out += line;
+    }
     return out;
 }
 

@@ -15,6 +15,7 @@
 
 #include "dsp/series_ops.hpp"
 #include "profiler/events.hpp"
+#include "profiler/signal_quality.hpp"
 
 namespace emprof::profiler {
 
@@ -51,6 +52,10 @@ struct ProfileReport
 
     /** LLC miss rate in events per million cycles. */
     double missesPerMillionCycles = 0.0;
+
+    /** Signal-quality outcome (quality.enabled == false unless the
+     *  resilience layer ran; all-defaults then). */
+    SignalQualitySummary quality;
 
     /** Render as a human-readable block of text. */
     std::string toText(const std::string &title = "") const;

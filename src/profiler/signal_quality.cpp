@@ -1,0 +1,277 @@
+#include "profiler/signal_quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
+
+namespace emprof::profiler {
+
+namespace {
+
+// sqrt(pi / 2): converts the mean absolute difference of consecutive
+// Gaussian-noise samples into the noise sigma (E|dx| = 2 sigma/sqrt(pi)
+// for the first difference of iid noise, dx sigma = sigma * sqrt(2)).
+constexpr double kMadToSigma = 0.886226925452758;
+
+void
+countQuality(const SignalQualitySummary &summary)
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &reg = obs::MetricsRegistry::instance();
+    static const obs::Counter clean =
+        reg.counter("signal.blocks_clean");
+    static const obs::Counter degraded =
+        reg.counter("signal.blocks_degraded");
+    static const obs::Counter unusable =
+        reg.counter("signal.blocks_unusable");
+    static const obs::Counter clip =
+        reg.counter("signal.quarantine.clipping");
+    static const obs::Counter drop =
+        reg.counter("signal.quarantine.dropout");
+    static const obs::Counter snr =
+        reg.counter("signal.quarantine.low_snr");
+    static const obs::Counter dropped =
+        reg.counter("signal.events_dropped");
+    static const obs::Gauge coverage =
+        reg.gauge("signal.coverage_fraction");
+    clean.add(summary.cleanBlocks);
+    degraded.add(summary.degradedBlocks);
+    unusable.add(summary.unusableBlocks);
+    clip.add(summary.quarantinedClipping);
+    drop.add(summary.quarantinedDropout);
+    snr.add(summary.quarantinedLowSnr);
+    dropped.add(summary.eventsDropped);
+    coverage.set(summary.coverageFraction);
+}
+
+} // namespace
+
+bool
+SignalQualityConfig::validate(std::string *why) const
+{
+    auto fail = [&](const char *msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (!(driftToleranceFraction > 0.0) || driftToleranceFraction > 1.0)
+        return fail("signal.driftToleranceFraction must be in (0, 1]");
+    if (!(maxClipFraction >= 0.0) || maxClipFraction > 1.0)
+        return fail("signal.maxClipFraction must be in [0, 1]");
+    if (!(maxDropoutFraction >= 0.0) || maxDropoutFraction > 1.0)
+        return fail("signal.maxDropoutFraction must be in [0, 1]");
+    if (std::isnan(minSnrDb) || std::isnan(degradedSnrDb))
+        return fail("signal SNR thresholds must not be NaN");
+    if (degradedSnrDb < minSnrDb)
+        return fail("signal.degradedSnrDb must be >= signal.minSnrDb");
+    if (!(fullConfidenceSnrDb > 0.0))
+        return fail("signal.fullConfidenceSnrDb must be > 0");
+    return true;
+}
+
+void
+BlockAccumulator::begin(uint64_t start)
+{
+    start_ = start;
+    count_ = 0;
+    sum_ = 0.0;
+    sumAbsDx_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    atMax_ = 0;
+    zeros_ = 0;
+    repeats_ = 0;
+    prev_ = 0.0;
+}
+
+void
+BlockAccumulator::push(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+        atMax_ = 1;
+    } else {
+        if (x < min_)
+            min_ = x;
+        if (x > max_) {
+            max_ = x;
+            atMax_ = 1;
+        } else if (x == max_) {
+            ++atMax_;
+        }
+        sumAbsDx_ += std::fabs(x - prev_);
+        if (x == prev_)
+            ++repeats_;
+    }
+    if (x == 0.0)
+        ++zeros_;
+    sum_ += x;
+    prev_ = x;
+    ++count_;
+}
+
+SignalBlock
+BlockAccumulator::finish(uint64_t end,
+                         const SignalQualityConfig &config) const
+{
+    SignalBlock b;
+    b.begin = start_;
+    b.end = end;
+    b.samplesAtMax = atMax_;
+    b.zeroSamples = zeros_;
+    b.repeatSamples = repeats_;
+    b.minValue = min_;
+    b.maxValue = max_;
+
+    const double n = static_cast<double>(count_);
+    b.mean = count_ > 0 ? sum_ / n : 0.0;
+    b.noiseSigma =
+        count_ > 1 ? (sumAbsDx_ / (n - 1.0)) * kMadToSigma : 0.0;
+    if (b.noiseSigma <= 0.0)
+        b.snrDb = 99.0; // noiseless (e.g. constant block)
+    else if (b.mean <= 0.0)
+        b.snrDb = -99.0;
+    else
+        b.snrDb = std::clamp(20.0 * std::log10(b.mean / b.noiseSigma),
+                             -99.0, 99.0);
+
+    // A lone maximum is the normal case; only a repeated plateau at the
+    // top of the range smells like ADC clipping.
+    const double clipFrac = (count_ > 0 && atMax_ > 1 && max_ > 0.0)
+                                ? static_cast<double>(atMax_) / n
+                                : 0.0;
+    const double dropFrac =
+        count_ > 0 ? static_cast<double>(std::max(zeros_, repeats_)) / n
+                   : 0.0;
+
+    if (clipFrac > config.maxClipFraction) {
+        b.cls = BlockClass::Unusable;
+        b.reason = QuarantineReason::Clipping;
+    } else if (dropFrac > config.maxDropoutFraction) {
+        b.cls = BlockClass::Unusable;
+        b.reason = QuarantineReason::Dropout;
+    } else if (b.snrDb < config.minSnrDb) {
+        b.cls = BlockClass::Unusable;
+        b.reason = QuarantineReason::LowSnr;
+    } else if (clipFrac > 0.5 * config.maxClipFraction ||
+               dropFrac > 0.5 * config.maxDropoutFraction ||
+               b.snrDb < config.degradedSnrDb) {
+        b.cls = BlockClass::Degraded;
+    } else {
+        b.cls = BlockClass::Clean;
+    }
+    return b;
+}
+
+double
+eventConfidence(const StallEvent &ev, const SignalBlock &block,
+                const DipDetectorConfig &detector,
+                const SignalQualityConfig &config)
+{
+    const double exit = detector.exitThreshold;
+    const double margin =
+        exit > 0.0 ? std::clamp((exit - ev.depth) / exit, 0.0, 1.0)
+                   : 1.0;
+    const double min_dur =
+        static_cast<double>(std::max<std::size_t>(
+            detector.minDurationSamples, 1));
+    const double duration = std::min(
+        1.0, static_cast<double>(ev.durationSamples()) / (2.0 * min_dur));
+    const double snr = std::clamp(
+        block.snrDb / config.fullConfidenceSnrDb, 0.0, 1.0);
+    return margin * duration * snr;
+}
+
+SignalQualitySummary
+applySignalQuality(std::vector<StallEvent> &events,
+                   const std::vector<SignalBlock> &blocks,
+                   const DipDetectorConfig &detector,
+                   const SignalQualityConfig &config,
+                   uint64_t total_samples)
+{
+    EMPROF_OBS_STAGE("analyze.signal_quality");
+
+    SignalQualitySummary summary;
+    summary.enabled = true;
+    summary.totalBlocks = blocks.size();
+
+    uint64_t usable_samples = 0;
+    for (const SignalBlock &b : blocks) {
+        switch (b.cls) {
+        case BlockClass::Clean:
+            ++summary.cleanBlocks;
+            break;
+        case BlockClass::Degraded:
+            ++summary.degradedBlocks;
+            break;
+        case BlockClass::Unusable:
+            ++summary.unusableBlocks;
+            switch (b.reason) {
+            case QuarantineReason::Clipping:
+                ++summary.quarantinedClipping;
+                break;
+            case QuarantineReason::Dropout:
+                ++summary.quarantinedDropout;
+                break;
+            case QuarantineReason::LowSnr:
+                ++summary.quarantinedLowSnr;
+                break;
+            case QuarantineReason::None:
+                break;
+            }
+            break;
+        }
+        if (b.cls != BlockClass::Unusable)
+            usable_samples += b.samples();
+    }
+    summary.coverageFraction =
+        (total_samples > 0 && !blocks.empty())
+            ? static_cast<double>(usable_samples) /
+                  static_cast<double>(total_samples)
+            : 1.0;
+
+    // Events and blocks are both sorted and disjoint: walk them with
+    // two cursors.  An event is quarantined when any block it overlaps
+    // is unusable; otherwise its confidence comes from the block that
+    // holds its first sample.
+    std::vector<StallEvent> kept;
+    kept.reserve(events.size());
+    double confidence_sum = 0.0;
+    std::size_t bi = 0;
+    for (StallEvent &ev : events) {
+        while (bi < blocks.size() && blocks[bi].end <= ev.startSample)
+            ++bi;
+        bool quarantined = false;
+        const SignalBlock *home = nullptr;
+        for (std::size_t j = bi;
+             j < blocks.size() && blocks[j].begin <= ev.endSample; ++j) {
+            if (blocks[j].cls == BlockClass::Unusable)
+                quarantined = true;
+            if (!home && ev.startSample >= blocks[j].begin &&
+                ev.startSample < blocks[j].end)
+                home = &blocks[j];
+        }
+        if (quarantined) {
+            ++summary.eventsDropped;
+            continue;
+        }
+        if (home)
+            ev.confidence = eventConfidence(ev, *home, detector, config);
+        confidence_sum += ev.confidence;
+        kept.push_back(ev);
+    }
+    events.swap(kept);
+    summary.meanConfidence =
+        events.empty() ? 0.0
+                       : confidence_sum /
+                             static_cast<double>(events.size());
+
+    countQuality(summary);
+    return summary;
+}
+
+} // namespace emprof::profiler

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Signal-quality model: segment quarantine and per-event confidence.
+ *
+ * A real capture is not uniformly usable — a clipped span has no dip
+ * contrast left, a dropout span is one giant fake dip, and a span whose
+ * local SNR collapsed yields noise events.  This module scores the
+ * signal in fixed disjoint blocks, classifies each block clean /
+ * degraded / unusable, drops events that touch unusable blocks, and
+ * attaches a [0, 1] confidence (threshold margin × duration × local
+ * SNR) to every surviving event.
+ *
+ * Determinism contract: every block statistic is computed from that
+ * block's own samples alone, in index order, so the streaming path and
+ * any chunked parallel path produce bit-identical blocks as long as
+ * chunk boundaries respect block ownership (the chunk containing a
+ * block's last sample computes the whole block via its halo).
+ */
+
+#ifndef EMPROF_PROFILER_SIGNAL_QUALITY_HPP
+#define EMPROF_PROFILER_SIGNAL_QUALITY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profiler/dip_detector.hpp"
+#include "profiler/events.hpp"
+
+namespace emprof::profiler {
+
+/** Knobs for the resilience layer; disabled by default, and the whole
+ *  layer is an exact no-op (bit-identical events) when disabled. */
+struct SignalQualityConfig
+{
+    /** Master switch for adaptive normalisation + quarantine. */
+    bool enabled = false;
+
+    /** Quality-block length in samples; 0 = one normalisation window. */
+    std::size_t blockSamples = 0;
+
+    /** Adaptive pre-smoother length in samples; 0 derives it from the
+     *  minimum dip duration (about half of it, clamped to [2, 16]). */
+    std::size_t smootherSamples = 0;
+
+    /** Envelope recalibration granularity: the adaptive normaliser
+     *  snaps its floor/ceiling to a grid this coarse (as a fraction of
+     *  the ceiling), so calibration only moves when the window estimate
+     *  drifts across a grid step — hysteresis against jitter. */
+    double driftToleranceFraction = 0.05;
+
+    /** A block is unusable when more than this fraction of its samples
+     *  sit at its (repeated) maximum — ADC clipping plateau. */
+    double maxClipFraction = 0.05;
+
+    /** A block is unusable when more than this fraction of its samples
+     *  are zero or exact repeats of their predecessor — dropouts. */
+    double maxDropoutFraction = 0.05;
+
+    /** A block is unusable below this estimated local SNR (dB). */
+    double minSnrDb = 3.0;
+
+    /** A block is merely degraded below this estimated SNR (dB). */
+    double degradedSnrDb = 10.0;
+
+    /** SNR (dB) at which the confidence SNR factor saturates at 1. */
+    double fullConfidenceSnrDb = 30.0;
+
+    /** Reject out-of-range fields with a one-line reason. */
+    bool validate(std::string *why = nullptr) const;
+};
+
+/** Block classification tiers. */
+enum class BlockClass : uint8_t
+{
+    Clean,
+    Degraded,
+    Unusable,
+};
+
+/** Why a block was quarantined (meaningful when Unusable). */
+enum class QuarantineReason : uint8_t
+{
+    None,
+    Clipping,
+    Dropout,
+    LowSnr,
+};
+
+/** Quality statistics of one disjoint block of samples. */
+struct SignalBlock
+{
+    uint64_t begin = 0; ///< first sample (global index)
+    uint64_t end = 0;   ///< one past the last sample
+
+    uint64_t samplesAtMax = 0; ///< samples equal to the block max
+    uint64_t zeroSamples = 0;
+    uint64_t repeatSamples = 0; ///< exact repeats of the predecessor
+
+    double minValue = 0.0;
+    double maxValue = 0.0;
+    double mean = 0.0;
+
+    /** Noise sigma estimated from the mean absolute first difference
+     *  (robust against the slow signal component). */
+    double noiseSigma = 0.0;
+
+    /** 20·log10(mean / noiseSigma), clamped to ±99 dB. */
+    double snrDb = 0.0;
+
+    BlockClass cls = BlockClass::Clean;
+    QuarantineReason reason = QuarantineReason::None;
+
+    uint64_t samples() const { return end - begin; }
+};
+
+/**
+ * Streaming per-block statistics accumulator.  All state is reset by
+ * begin(); push order is sample order, so a chunked path that replays
+ * a whole block through a fresh accumulator reproduces the streaming
+ * block bit for bit.
+ */
+class BlockAccumulator
+{
+  public:
+    /** Start a new block at global sample index @p start. */
+    void begin(uint64_t start);
+
+    /** Account one sample. */
+    void push(double x);
+
+    /** Close the block at @p end (exclusive) and classify it. */
+    SignalBlock finish(uint64_t end,
+                       const SignalQualityConfig &config) const;
+
+  private:
+    uint64_t start_ = 0;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sumAbsDx_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    uint64_t atMax_ = 0;
+    uint64_t zeros_ = 0;
+    uint64_t repeats_ = 0;
+    double prev_ = 0.0;
+};
+
+/** What the quarantine/confidence pass did, for the report and JSON. */
+struct SignalQualitySummary
+{
+    /** False when the resilience layer was off (all defaults below). */
+    bool enabled = false;
+
+    uint64_t totalBlocks = 0;
+    uint64_t cleanBlocks = 0;
+    uint64_t degradedBlocks = 0;
+    uint64_t unusableBlocks = 0;
+
+    /** Unusable blocks by reason. */
+    uint64_t quarantinedClipping = 0;
+    uint64_t quarantinedDropout = 0;
+    uint64_t quarantinedLowSnr = 0;
+
+    /** Events dropped because they touched an unusable block. */
+    uint64_t eventsDropped = 0;
+
+    /** Fraction of samples in non-quarantined blocks. */
+    double coverageFraction = 1.0;
+
+    /** Mean confidence of the surviving events (0 when none). */
+    double meanConfidence = 0.0;
+};
+
+/**
+ * Confidence of one event given the quality block containing its first
+ * sample: margin below the exit threshold × duration (saturating at
+ * twice the minimum) × local SNR (saturating at fullConfidenceSnrDb).
+ */
+double eventConfidence(const StallEvent &ev, const SignalBlock &block,
+                       const DipDetectorConfig &detector,
+                       const SignalQualityConfig &config);
+
+/**
+ * The quarantine + confidence pass shared by the streaming and the
+ * parallel analyzers (sequential, after stitching): drops events
+ * overlapping any unusable block, attaches confidence to the
+ * survivors, and summarises coverage.  @p blocks must be sorted,
+ * disjoint, and cover [0, total_samples).
+ */
+SignalQualitySummary
+applySignalQuality(std::vector<StallEvent> &events,
+                   const std::vector<SignalBlock> &blocks,
+                   const DipDetectorConfig &detector,
+                   const SignalQualityConfig &config,
+                   uint64_t total_samples);
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_SIGNAL_QUALITY_HPP

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Tests for the seeded RF-impairment injector: spec grammar, exact
+ * determinism, stream independence, and the statistical behaviour of
+ * each impairment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "dsp/impairment.hpp"
+
+namespace emprof::dsp {
+namespace {
+
+TimeSeries
+constantSeries(std::size_t n, float level, double rate = 40e6)
+{
+    TimeSeries s;
+    s.sampleRateHz = rate;
+    s.samples.assign(n, level);
+    return s;
+}
+
+// --- spec grammar ---------------------------------------------------
+
+TEST(ImpairmentSpec, DefaultIsInert)
+{
+    ImpairmentSpec spec;
+    EXPECT_FALSE(spec.any());
+    EXPECT_TRUE(spec.validate());
+}
+
+TEST(ImpairmentParse, AcceptsFullGrammar)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec(
+        "snr=20,drift=0.2:0.1,impulse=1e-3:5,dropout=1e-4:64:hold,"
+        "clip=2.5,hum=50:0.1,ref=1.5,seed=7",
+        spec));
+    EXPECT_DOUBLE_EQ(spec.snrDb, 20.0);
+    EXPECT_DOUBLE_EQ(spec.gainDriftFraction, 0.2);
+    EXPECT_DOUBLE_EQ(spec.gainDriftPeriodSeconds, 0.1);
+    EXPECT_DOUBLE_EQ(spec.impulseRate, 1e-3);
+    EXPECT_DOUBLE_EQ(spec.impulseAmplitude, 5.0);
+    EXPECT_DOUBLE_EQ(spec.dropoutRate, 1e-4);
+    EXPECT_EQ(spec.dropoutLenSamples, 64u);
+    EXPECT_TRUE(spec.dropoutHold);
+    EXPECT_DOUBLE_EQ(spec.clipLevel, 2.5);
+    EXPECT_DOUBLE_EQ(spec.humHz, 50.0);
+    EXPECT_DOUBLE_EQ(spec.humDepth, 0.1);
+    EXPECT_DOUBLE_EQ(spec.referenceLevel, 1.5);
+    EXPECT_EQ(spec.seed, 7u);
+    EXPECT_TRUE(spec.any());
+}
+
+TEST(ImpairmentParse, PresetsAndOverrides)
+{
+    ImpairmentSpec mild;
+    ASSERT_TRUE(parseImpairmentSpec("mild", mild));
+    EXPECT_TRUE(mild.any());
+    EXPECT_DOUBLE_EQ(mild.snrDb, 30.0);
+
+    // Later tokens override earlier ones.
+    ImpairmentSpec eased;
+    ASSERT_TRUE(parseImpairmentSpec("harsh,snr=35", eased));
+    EXPECT_DOUBLE_EQ(eased.snrDb, 35.0);
+    EXPECT_GT(eased.impulseRate, 0.0); // rest of harsh still there
+
+    ImpairmentSpec clean;
+    ASSERT_TRUE(parseImpairmentSpec("harsh,clean", clean));
+    EXPECT_FALSE(clean.any());
+}
+
+TEST(ImpairmentParse, RejectsGarbage)
+{
+    ImpairmentSpec spec;
+    std::string why;
+    EXPECT_FALSE(parseImpairmentSpec("bogus", spec, &why));
+    EXPECT_FALSE(why.empty());
+    EXPECT_FALSE(parseImpairmentSpec("snr=abc", spec));
+    EXPECT_FALSE(parseImpairmentSpec("snr=", spec));
+    EXPECT_FALSE(parseImpairmentSpec("drift=0.2:0", spec));
+    EXPECT_FALSE(parseImpairmentSpec("impulse=2", spec)); // rate > 1
+    EXPECT_FALSE(parseImpairmentSpec("dropout=0.5:0", spec));
+    EXPECT_FALSE(parseImpairmentSpec("clip=0", spec));
+    EXPECT_FALSE(parseImpairmentSpec("seed=-3", spec));
+    EXPECT_FALSE(parseImpairmentSpec("", spec));
+}
+
+TEST(ImpairmentParse, FailedParseLeavesOutputUntouched)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec("snr=12", spec));
+    ImpairmentSpec copy = spec;
+    EXPECT_FALSE(parseImpairmentSpec("snr=12,clip=0", spec));
+    EXPECT_DOUBLE_EQ(spec.snrDb, copy.snrDb);
+    EXPECT_DOUBLE_EQ(spec.clipLevel, copy.clipLevel);
+}
+
+// --- determinism ----------------------------------------------------
+
+TEST(ImpairmentInjector, DeterministicUnderFixedSeed)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec(
+        "snr=15,drift=0.2:0.0001,impulse=1e-3:6,dropout=1e-4:16,"
+        "clip=2,hum=50:0.05,ref=1,seed=42",
+        spec));
+
+    auto a = constantSeries(8192, 1.0f);
+    auto b = constantSeries(8192, 1.0f);
+    applyImpairments(a, spec);
+    applyImpairments(b, spec);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i)
+        ASSERT_EQ(a.samples[i], b.samples[i]) << "sample " << i;
+
+    spec.seed = 43;
+    auto c = constantSeries(8192, 1.0f);
+    applyImpairments(c, spec);
+    std::size_t diffs = 0;
+    for (std::size_t i = 0; i < a.samples.size(); ++i)
+        diffs += a.samples[i] != c.samples[i];
+    EXPECT_GT(diffs, a.samples.size() / 2);
+}
+
+TEST(ImpairmentInjector, StreamingMatchesBatchWithExplicitReference)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec("snr=20,impulse=1e-3:4,ref=1,seed=9",
+                                    spec));
+    auto batch = constantSeries(4096, 0.8f);
+    applyImpairments(batch, spec);
+
+    ImpairmentInjector inj(spec, 40e6);
+    for (std::size_t i = 0; i < 4096; ++i)
+        ASSERT_EQ(inj.push(0.8f), batch.samples[i]) << "sample " << i;
+}
+
+TEST(ImpairmentInjector, EnablingOneImpairmentDoesNotPerturbAnother)
+{
+    // The AWGN stream must be the same sequence whether or not hum is
+    // also enabled: each impairment derives its own RNG stream from
+    // the master seed.  Hum is deterministic (no RNG), so the outputs
+    // differ exactly by the hum term.
+    ImpairmentSpec noise_only, with_hum;
+    ASSERT_TRUE(parseImpairmentSpec("snr=20,ref=1,seed=3", noise_only));
+    ASSERT_TRUE(parseImpairmentSpec("snr=20,hum=50:0.01,ref=1,seed=3",
+                                    with_hum));
+    const double rate = 1e4; // several hum cycles over the series
+    ImpairmentInjector a(noise_only, rate), b(with_hum, rate);
+    for (int i = 0; i < 4096; ++i) {
+        const float va = a.push(1.0f);
+        const float vb = b.push(1.0f);
+        // Same noise draw underneath: difference is bounded by the hum
+        // amplitude (plus float rounding), not by the noise sigma.
+        EXPECT_NEAR(va, vb, 0.0101f) << "sample " << i;
+    }
+}
+
+// --- per-impairment behaviour --------------------------------------
+
+TEST(ImpairmentInjector, AwgnDeliversRequestedSnr)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec("snr=20,ref=1,seed=1", spec));
+    auto s = constantSeries(65536, 1.0f);
+    applyImpairments(s, spec);
+    double sum = 0.0, sumsq = 0.0;
+    for (float v : s.samples) {
+        sum += v;
+        sumsq += static_cast<double>(v) * v;
+    }
+    const double n = static_cast<double>(s.samples.size());
+    const double mean = sum / n;
+    const double sigma = std::sqrt(sumsq / n - mean * mean);
+    // 20 dB below a reference of 1.0 -> sigma 0.1.  The floor-at-zero
+    // only bites ~1e-23 of draws at this SNR.
+    EXPECT_NEAR(mean, 1.0, 0.01);
+    EXPECT_NEAR(sigma, 0.1, 0.01);
+}
+
+TEST(ImpairmentInjector, BatchDerivesReferenceFromRms)
+{
+    // Same SNR, twice the signal level -> twice the noise sigma.
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec("snr=20,seed=1", spec));
+    ImpairmentStats stats;
+    auto s = constantSeries(16384, 2.0f);
+    applyImpairments(s, spec, &stats);
+    EXPECT_NEAR(stats.referenceLevel, 2.0, 1e-6);
+    double sum = 0.0, sumsq = 0.0;
+    for (float v : s.samples) {
+        sum += v;
+        sumsq += static_cast<double>(v) * v;
+    }
+    const double n = static_cast<double>(s.samples.size());
+    const double mean = sum / n;
+    EXPECT_NEAR(std::sqrt(sumsq / n - mean * mean), 0.2, 0.02);
+}
+
+TEST(ImpairmentInjector, DropoutZeroAndHold)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(
+        parseImpairmentSpec("dropout=1e-3:32:zero,seed=5", spec));
+    ImpairmentStats stats;
+    auto s = constantSeries(32768, 1.0f);
+    applyImpairments(s, spec, &stats);
+    EXPECT_GT(stats.dropoutSamples, 0u);
+    uint64_t zeros = 0;
+    for (float v : s.samples)
+        zeros += v == 0.0f;
+    EXPECT_EQ(zeros, stats.dropoutSamples);
+
+    ASSERT_TRUE(
+        parseImpairmentSpec("dropout=1e-3:32:hold,seed=5", spec));
+    auto h = constantSeries(32768, 1.0f);
+    ImpairmentStats hstats;
+    applyImpairments(h, spec, &hstats);
+    EXPECT_EQ(hstats.dropoutSamples, stats.dropoutSamples);
+    for (float v : h.samples)
+        EXPECT_EQ(v, 1.0f); // held value of a constant stream
+}
+
+TEST(ImpairmentInjector, ClippingCapsAndCounts)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec("clip=1.2,ref=1,seed=5", spec));
+    ImpairmentStats stats;
+    auto s = constantSeries(1024, 2.0f);
+    applyImpairments(s, spec, &stats);
+    EXPECT_EQ(stats.clippedSamples, 1024u);
+    for (float v : s.samples)
+        EXPECT_FLOAT_EQ(v, 1.2f);
+}
+
+TEST(ImpairmentInjector, ImpulsesAreCountedAndLarge)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(
+        parseImpairmentSpec("impulse=1e-2:8,ref=1,seed=11", spec));
+    ImpairmentStats stats;
+    auto s = constantSeries(65536, 1.0f);
+    applyImpairments(s, spec, &stats);
+    // ~655 expected; allow wide slack, it's a fixed-seed constant.
+    EXPECT_GT(stats.impulses, 400u);
+    EXPECT_LT(stats.impulses, 1000u);
+    uint64_t big = 0;
+    for (float v : s.samples)
+        big += v > 5.0f; // positive-going impulses stand clear
+    EXPECT_GT(big, stats.impulses / 4);
+}
+
+TEST(ImpairmentInjector, OutputNeverNegative)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec(
+        "snr=0,impulse=1e-2:8,hum=50:0.5,ref=1,seed=2", spec));
+    auto s = constantSeries(16384, 0.1f, 1e4);
+    applyImpairments(s, spec);
+    for (float v : s.samples)
+        EXPECT_GE(v, 0.0f);
+}
+
+TEST(ImpairmentInjector, StatsCountSamples)
+{
+    ImpairmentSpec spec;
+    ASSERT_TRUE(parseImpairmentSpec("snr=30,seed=1", spec));
+    ImpairmentStats stats;
+    auto s = constantSeries(5000, 1.0f);
+    applyImpairments(s, spec, &stats);
+    EXPECT_EQ(stats.samples, 5000u);
+}
+
+} // namespace
+} // namespace emprof::dsp

@@ -160,6 +160,77 @@ TEST(MovingVariance, WindowSlides)
     EXPECT_NEAR(var.push(10.0), 25.0, 1e-12);
 }
 
+// --- long-stream numeric-drift regressions -------------------------
+//
+// The incremental add/subtract-the-oldest update loses one rounding
+// error per sample; with a plain double accumulator the windowed mean
+// and variance drift visibly over multi-million-sample captures, and
+// the naive sum/sum-of-squares variance collapses entirely when the
+// signal rides on a large DC offset.  These tests pin the compensated
+// implementations against brute-force window recomputation.
+
+TEST(MovingAverage, NoDriftOverLongStreamAtLargeOffset)
+{
+    const std::size_t window = 64;
+    MovingAverage avg(window);
+    std::deque<double> ref;
+    Rng rng(0xd41f7u);
+    double last = 0.0;
+    for (int i = 0; i < 2'000'000; ++i) {
+        const double x = 1e8 + rng.uniform(-0.5, 0.5);
+        last = avg.push(x);
+        ref.push_back(x);
+        if (ref.size() > window)
+            ref.pop_front();
+    }
+    long double exact = 0.0L;
+    for (double x : ref)
+        exact += x;
+    exact /= static_cast<long double>(ref.size());
+    // One windowed sum of 64 values carries ~1 ulp; what must NOT be
+    // here is the accumulated error of 2M add/subtract pairs.
+    EXPECT_NEAR(last, static_cast<double>(exact), 1e-6);
+}
+
+TEST(MovingVariance, SurvivesLargeDcOffset)
+{
+    // Alternating +/-0.5 around 1e8: true population variance 0.25.
+    // The naive sum/sumsq form needs ~33 significant digits here and
+    // returns garbage (usually 0 after the max(0, ...) clamp).
+    MovingVariance var(32);
+    double v = 0.0;
+    for (int i = 0; i < 1000; ++i)
+        v = var.push(1e8 + (i % 2 == 0 ? 0.5 : -0.5));
+    EXPECT_NEAR(v, 0.25, 1e-6);
+    EXPECT_NEAR(var.mean(), 1e8, 1e-3);
+}
+
+TEST(MovingVariance, NoDriftOverLongStream)
+{
+    const std::size_t window = 128;
+    MovingVariance var(window);
+    std::deque<double> ref;
+    Rng rng(0xbeefu);
+    double last = 0.0;
+    for (int i = 0; i < 1'000'000; ++i) {
+        const double x = 50.0 + rng.uniform(-1.0, 1.0);
+        last = var.push(x);
+        ref.push_back(x);
+        if (ref.size() > window)
+            ref.pop_front();
+    }
+    long double mean = 0.0L;
+    for (double x : ref)
+        mean += x;
+    mean /= static_cast<long double>(ref.size());
+    long double acc = 0.0L;
+    for (double x : ref)
+        acc += (x - mean) * (x - mean);
+    const double exact =
+        static_cast<double>(acc / static_cast<long double>(ref.size()));
+    EXPECT_NEAR(last, exact, 1e-9);
+}
+
 TEST(MovingAverageBatch, SmoothsSeries)
 {
     TimeSeries in;

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Build and run the end-to-end pipeline throughput benchmark, leaving
-# BENCH_pipeline.json in the repository root so the streaming vs.
-# parallel perf trajectory is tracked across PRs.
+# Build and run the end-to-end pipeline throughput benchmarks, leaving
+# BENCH_pipeline.json and BENCH_impair.json in the repository root so
+# the streaming vs. parallel perf trajectory — and the resilience
+# layer's overhead — are tracked across PRs.
 #
 #   tools/bench_pipeline.sh [--samples N]
 #
@@ -9,5 +10,6 @@
 set -e
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
-cmake --build "$BUILD_DIR" --target throughput_pipeline -j
+cmake --build "$BUILD_DIR" --target throughput_pipeline throughput_impair -j
 "$BUILD_DIR/bench/throughput_pipeline" --json BENCH_pipeline.json "$@"
+"$BUILD_DIR/bench/throughput_impair" --json BENCH_impair.json "$@"

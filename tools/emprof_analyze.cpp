@@ -69,6 +69,13 @@ usage(const char *argv0)
         "  --refresh-ns <f>    refresh classifier    (default 1200)\n"
         "  --window-ms <f>     normalisation window  (default 4)\n"
         "\n"
+        "resilience (impaired/real-world captures):\n"
+        "  --resilient         adaptive envelope recalibration, segment\n"
+        "                      quarantine (clipping/dropout/low-SNR)\n"
+        "                      and per-event confidence; quarantined\n"
+        "                      spans emit no events and the report\n"
+        "                      gains a coverage figure\n"
+        "\n"
         "performance:\n"
         "  --threads <n>       analysis worker threads; events are\n"
         "                      bit-identical to single-threaded\n"
@@ -87,6 +94,9 @@ usage(const char *argv0)
         "  --boot <bucket-us>  print a boot-style rate-vs-time profile\n"
         "  --events-csv <path> write one line per detected stall\n"
         "  --verbose           print a per-stage timing summary\n"
+        "\n"
+        "exit codes: 0 ok, 1 error, 2 bad usage, 3 degraded result\n"
+        "(recovered capture or signal coverage below 100%%)\n"
         "\n%s",
         argv0, tools::ObsCli::kUsage);
 }
@@ -159,6 +169,8 @@ main(int argc, char **argv)
                 "--threads", argText(argc, argv, i), 1, 4096));
         else if (arg == "--recover")
             recover = true;
+        else if (arg == "--resilient")
+            config.signal.enabled = true;
         else if (arg == "--section")
             use_section = true;
         else if (arg == "--histogram")
@@ -182,6 +194,7 @@ main(int argc, char **argv)
     store::CaptureReader reader;
     dsp::TimeSeries signal;
     bool emcap_direct = false;
+    bool recovered_capture = false;
 
     {
     EMPROF_OBS_STAGE("tool.load");
@@ -204,6 +217,7 @@ main(int argc, char **argv)
         if (recover) {
             store::RecoveryReport rec;
             opened = reader.openRecovered(path, &rec, &err);
+            recovered_capture = opened;
             if (opened)
                 std::printf(
                     "recovered %llu chunks / %llu samples; dropped "
@@ -342,17 +356,19 @@ main(int argc, char **argv)
         // Build the CSV in memory and hand it to the checked I/O layer
         // in one write: a full disk surfaces as a typed error instead
         // of a silently short file.
-        std::string csv = "start_s,duration_ns,stall_cycles,kind\n";
-        char line[128];
+        std::string csv =
+            "start_s,duration_ns,stall_cycles,kind,confidence\n";
+        char line[160];
         for (const auto &ev : result.events) {
-            std::snprintf(line, sizeof(line), "%.9f,%.1f,%.1f,%s\n",
+            std::snprintf(line, sizeof(line), "%.9f,%.1f,%.1f,%s,%.3f\n",
                           static_cast<double>(ev.startSample) /
                               sample_rate,
                           ev.durationNs, ev.stallCycles,
                           ev.kind ==
                                   profiler::StallKind::RefreshCoincident
                               ? "refresh"
-                              : "miss");
+                              : "miss",
+                          ev.confidence);
             csv += line;
         }
         common::io::CheckedFile f;
@@ -376,5 +392,15 @@ main(int argc, char **argv)
     }
     if (!obs_cli.finish() && rc == 0)
         rc = 1;
+
+    // Exit 3 flags a *degraded* (but successful) analysis: the capture
+    // had to be salvaged, or part of the signal was quarantined.  CI
+    // and scripts can treat it as "result present, trust with care".
+    const bool degraded =
+        recovered_capture ||
+        (result.report.quality.enabled &&
+         result.report.quality.coverageFraction < 1.0);
+    if (rc == 0 && degraded)
+        rc = 3;
     return rc;
 }

@@ -29,6 +29,7 @@
 #include "devices/devices.hpp"
 #include "obs/stage_profiler.hpp"
 #include "obs_cli.hpp"
+#include "dsp/impairment.hpp"
 #include "dsp/signal_io.hpp"
 #include "em/capture.hpp"
 #include "store/capture_writer.hpp"
@@ -56,6 +57,8 @@ usage(const char *argv0)
         "  --seed <n>           workload seed (default 42)\n"
         "  --tm <n> --cm <n>    microbench parameters (1024 / 10)\n"
         "  --bandwidth-mhz <f>  measurement bandwidth (default 40)\n"
+        "  --impair <spec>      inject RF impairments into the capture\n"
+        "%s"
         "  --csv <path>         also export the magnitude as CSV\n"
         "EMCAP output (any --out not named *.emsig):\n"
         "  --quantize-bits <n>  quantise samples to n bits (2..16;\n"
@@ -63,7 +66,7 @@ usage(const char *argv0)
         "  --no-compress        store chunks verbatim (no bit packing)\n"
         "  --chunk-samples <n>  samples per chunk (default 65536)\n"
         "%s",
-        tools::ObsCli::kUsage);
+        dsp::impairmentSpecHelp(), tools::ObsCli::kUsage);
 }
 
 } // namespace
@@ -77,6 +80,7 @@ main(int argc, char **argv)
     uint64_t quantize_bits = 0, chunk_samples = 0;
     bool compress = true;
     double bandwidth_mhz = 40.0;
+    std::string impair_spec;
     tools::ObsCli obs_cli;
 
     for (int i = 1; i < argc; ++i) {
@@ -109,6 +113,8 @@ main(int argc, char **argv)
         else if (arg == "--bandwidth-mhz")
             bandwidth_mhz = tools::parseDoubleFlag("--bandwidth-mhz",
                                                    next(), 1e-6, 1e6);
+        else if (arg == "--impair")
+            impair_spec = next();
         else if (arg == "--quantize-bits")
             quantize_bits = tools::parseU64Flag("--quantize-bits",
                                                 next(), 0, 16);
@@ -129,6 +135,17 @@ main(int argc, char **argv)
     if (out_path.empty()) {
         usage(argv[0]);
         return 2;
+    }
+
+    dsp::ImpairmentSpec impair;
+    if (!impair_spec.empty()) {
+        std::string impair_error;
+        if (!dsp::parseImpairmentSpec(impair_spec, impair,
+                                      &impair_error)) {
+            std::fprintf(stderr, "--impair: %s\n",
+                         impair_error.c_str());
+            return 2;
+        }
     }
 
     devices::DeviceModel device;
@@ -169,10 +186,27 @@ main(int argc, char **argv)
     probe.receiver.bandwidthHz = bandwidth_mhz * 1e6;
 
     sim::Simulator simulator(device.sim);
-    const auto capture = [&] {
+    auto capture = [&] {
         EMPROF_OBS_STAGE("tool.capture");
         return em::captureRun(simulator, *workload, probe);
     }();
+
+    // Impair the recorded magnitude in one batch pass (reference level
+    // measured from the clean capture's RMS) rather than inside the
+    // probe chain, so one clean run and its impaired variants share the
+    // exact same underlying signal.
+    if (impair.any()) {
+        dsp::ImpairmentStats istats;
+        dsp::applyImpairments(capture.magnitude, impair, &istats);
+        std::printf("impaired (ref %.4g): %llu impulses, %llu dropout "
+                    "samples, %llu clipped samples\n",
+                    istats.referenceLevel,
+                    static_cast<unsigned long long>(istats.impulses),
+                    static_cast<unsigned long long>(
+                        istats.dropoutSamples),
+                    static_cast<unsigned long long>(
+                        istats.clippedSamples));
+    }
 
     std::printf("%s on %s: %llu cycles, %llu raw LLC misses\n",
                 workload_name.c_str(), device.name.c_str(),

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "cli_parse.hpp"
+#include "dsp/impairment.hpp"
 #include "dsp/signal_io.hpp"
 #include "obs/stage_profiler.hpp"
 #include "obs_cli.hpp"
@@ -68,8 +69,12 @@ usage(const char *argv0)
         "  --chunk-samples <n>  samples per chunk (default 65536)\n"
         "  --clock-ghz <f>      record a target clock in the header\n"
         "  --device <name>      record a device name in the header\n"
+        "\n"
+        "convert only:\n"
+        "  --impair <spec>      inject RF impairments while converting\n"
+        "%s"
         "\n%s",
-        argv0, tools::ObsCli::kUsage);
+        argv0, dsp::impairmentSpecHelp(), tools::ObsCli::kUsage);
 }
 
 bool
@@ -167,6 +172,7 @@ struct OutputOptions
     uint64_t numSamples = 0;
     bool haveStart = false;
     bool haveCount = false;
+    dsp::ImpairmentSpec impair;
 };
 
 /** Parse trailing options shared by convert and cut.  -1 on error. */
@@ -211,6 +217,14 @@ parseOptions(int argc, char **argv, int first, OutputOptions &opt)
             opt.numSamples = tools::parseU64Flag("--num-samples", next(),
                                                  1, UINT64_MAX);
             opt.haveCount = true;
+        } else if (arg == "--impair") {
+            std::string impair_error;
+            if (!dsp::parseImpairmentSpec(next(), opt.impair,
+                                          &impair_error)) {
+                std::fprintf(stderr, "--impair: %s\n",
+                             impair_error.c_str());
+                return -1;
+            }
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return -1;
@@ -302,6 +316,19 @@ convert(const std::string &in, const std::string &out,
                      "for headerless dumps\n",
                      in.c_str());
         return 1;
+    }
+
+    if (opt.impair.any()) {
+        dsp::ImpairmentStats istats;
+        dsp::applyImpairments(series, opt.impair, &istats);
+        std::printf("impaired (ref %.4g): %llu impulses, %llu dropout "
+                    "samples, %llu clipped samples\n",
+                    istats.referenceLevel,
+                    static_cast<unsigned long long>(istats.impulses),
+                    static_cast<unsigned long long>(
+                        istats.dropoutSamples),
+                    static_cast<unsigned long long>(
+                        istats.clippedSamples));
     }
 
     bool ok;
