@@ -2,26 +2,38 @@
  * @file
  * End-to-end analysis throughput: streaming vs. parallel analyze.
  *
- * Synthesises a 1-second 40 MHz capture (40 M samples, dips every few
+ * Synthesises a 40 MHz capture (default 64 Mi samples, dips every few
  * microseconds like a memory-bound workload), then measures wall-clock
  * samples/s for the streaming path and for the parallel chunked
  * analyzer at 1/2/4/8 threads, asserting that every run produces the
- * same number of events.  Results go to stdout and, as machine-readable
- * JSON, to a file (default BENCH_pipeline.json) so the perf trajectory
- * can be tracked across PRs — see tools/bench_pipeline.sh.
+ * same number of events.  Each mode gets an untimed warm-up pass (an
+ * eighth of the capture) and the best of N timed runs; the JSON also
+ * records the run-to-run variance ((worst - best) / best) and a
+ * per-stage time breakdown, so a regression can be attributed to
+ * normalise vs. detect vs. stitch without rerunning under a profiler.
+ * The timed runs execute with the metrics registry *disabled* (the
+ * numbers measure the pipeline, not its instrumentation); the stage
+ * breakdown comes from one extra untimed instrumented pass per mode.
+ * Results go to stdout and, as machine-readable JSON, to a file
+ * (default BENCH_pipeline.json) so the perf trajectory can be tracked
+ * across PRs — see tools/bench_pipeline.sh.
  *
- *   throughput_pipeline [--samples N] [--json PATH]
+ *   throughput_pipeline [--samples N] [--runs N] [--json PATH]
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
+#include "obs/metrics.hpp"
 #include "profiler/parallel_analyzer.hpp"
 #include "profiler/profiler.hpp"
 
@@ -61,75 +73,131 @@ seconds(std::chrono::steady_clock::time_point a,
 struct Measurement
 {
     std::size_t threads; // 0 = streaming
-    double sec;
+    double bestSec;
+    double variance; // (worst - best) / best over the timed runs
     double samplesPerSec;
     std::size_t events;
+    std::map<std::string, uint64_t> stageNs;
 };
+
+/** Stage histograms scraped since the last resetValues(), as total ns
+ *  per stage (the `stage.` prefix and `.ns` suffix stripped). */
+std::map<std::string, uint64_t>
+scrapeStages()
+{
+    std::map<std::string, uint64_t> out;
+    const auto snap = obs::MetricsRegistry::instance().scrape();
+    for (const auto &[name, hist] : snap.histograms) {
+        constexpr const char *prefix = "stage.";
+        constexpr const char *suffix = ".ns";
+        if (name.rfind(prefix, 0) != 0 || hist.sum == 0)
+            continue;
+        std::string stage = name.substr(std::strlen(prefix));
+        if (stage.size() > 3 &&
+            stage.compare(stage.size() - 3, 3, suffix) == 0)
+            stage.resize(stage.size() - 3);
+        out[stage] = hist.sum;
+    }
+    return out;
+}
 
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::size_t total = 40'000'000;
+    std::size_t total = std::size_t{1} << 26; // 64 Mi samples
+    std::size_t timed_runs = 3;
     std::string json_path = "BENCH_pipeline.json";
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--samples") && i + 1 < argc)
             total = static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc)
+            timed_runs = std::max<std::size_t>(
+                1, static_cast<std::size_t>(std::atoll(argv[++i])));
         else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
             json_path = argv[++i];
         else {
-            std::fprintf(stderr,
-                         "usage: %s [--samples N] [--json PATH]\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--samples N] [--runs N] [--json PATH]\n",
+                argv[0]);
             return 2;
         }
     }
 
     std::printf("synthesising %zu-sample capture...\n", total);
     const auto sig = syntheticCapture(total);
+    // Warm-up input: an eighth of the capture, enough to fault in the
+    // code paths and branch predictors without doubling the runtime.
+    dsp::TimeSeries warm;
+    warm.sampleRateHz = sig.sampleRateHz;
+    warm.samples.assign(sig.samples.begin(),
+                        sig.samples.begin() +
+                            static_cast<std::ptrdiff_t>(total / 8));
+
     profiler::EmProfConfig config;
     config.clockHz = 1e9;
 
     std::vector<Measurement> runs;
-
-    // Untimed warmup so the streaming measurement does not pay the
-    // first-touch page faults for the whole capture.
-    (void)profiler::EmProf::analyze(sig, config);
-
-    auto t0 = std::chrono::steady_clock::now();
-    const auto streaming = profiler::EmProf::analyze(sig, config);
-    auto t1 = std::chrono::steady_clock::now();
-    const double stream_sec = seconds(t0, t1);
-    runs.push_back({0, stream_sec,
-                    static_cast<double>(total) / stream_sec,
-                    streaming.events.size()});
-    std::printf("streaming     : %7.3f s  %8.1f Msamples/s  %zu events\n",
-                stream_sec, runs.back().samplesPerSec / 1e6,
-                streaming.events.size());
-
+    std::size_t ref_events = 0;
     bool consistent = true;
+
+    // One mode = warm-up + N metrics-free timed runs (best-of) + one
+    // instrumented pass for the stage breakdown.
+    const auto measure = [&](std::size_t threads, auto &&fn) {
+        fn(warm); // untimed warm-up
+        obs::MetricsRegistry::setEnabled(false);
+        double best = 0.0, worst = 0.0;
+        std::size_t events = 0;
+        for (std::size_t r = 0; r < timed_runs; ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            const profiler::ProfileResult result = fn(sig);
+            const auto t1 = std::chrono::steady_clock::now();
+            const double sec = seconds(t0, t1);
+            events = result.events.size();
+            if (r == 0 || sec < best)
+                best = sec;
+            if (r == 0 || sec > worst)
+                worst = sec;
+        }
+        obs::MetricsRegistry::setEnabled(true);
+        obs::MetricsRegistry::instance().resetValues();
+        fn(sig); // untimed instrumented pass
+        Measurement m;
+        m.threads = threads;
+        m.bestSec = best;
+        m.variance = (worst - best) / best;
+        m.samplesPerSec = static_cast<double>(total) / best;
+        m.events = events;
+        m.stageNs = scrapeStages();
+        runs.push_back(std::move(m));
+        if (runs.size() == 1)
+            ref_events = events;
+        else if (events != ref_events)
+            consistent = false;
+        std::printf("%-14s: %7.3f s  %8.1f Msamples/s  %zu events  "
+                    "(%.2fx streaming, +-%.1f%%)\n",
+                    threads == 0
+                        ? "streaming"
+                        : ("parallel x" + std::to_string(threads))
+                              .c_str(),
+                    best, m.samplesPerSec / 1e6, events,
+                    runs.front().bestSec / best, m.variance * 100.0);
+    };
+
+    measure(0, [&](const dsp::TimeSeries &s) {
+        return profiler::EmProf::analyze(s, config);
+    });
     for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
         profiler::ParallelAnalyzerConfig pcfg;
         pcfg.threads = threads;
-        t0 = std::chrono::steady_clock::now();
-        const auto result = profiler::analyzeParallel(sig, config, pcfg);
-        t1 = std::chrono::steady_clock::now();
-        const double sec = seconds(t0, t1);
-        runs.push_back({threads, sec, static_cast<double>(total) / sec,
-                        result.events.size()});
-        std::printf(
-            "parallel x%-2zu  : %7.3f s  %8.1f Msamples/s  %zu events  "
-            "(%.2fx streaming)\n",
-            threads, sec, runs.back().samplesPerSec / 1e6,
-            result.events.size(), stream_sec / sec);
-        if (result.events.size() != streaming.events.size()) {
-            std::fprintf(stderr,
-                         "ERROR: event count diverged at %zu threads\n",
-                         threads);
-            consistent = false;
-        }
+        measure(threads, [&, pcfg](const dsp::TimeSeries &s) {
+            return profiler::analyzeParallel(s, config, pcfg);
+        });
     }
+    if (!consistent)
+        std::fprintf(stderr, "ERROR: event counts diverged\n");
 
     std::FILE *f = std::fopen(json_path.c_str(), "w");
     if (!f) {
@@ -141,21 +209,31 @@ main(int argc, char **argv)
                  "  \"bench\": \"throughput_pipeline\",\n"
                  "  \"samples\": %zu,\n"
                  "  \"sample_rate_hz\": 40000000.0,\n"
+                 "  \"timed_runs_per_mode\": %zu,\n"
+                 "  \"hardware_threads\": %zu,\n"
                  "  \"events\": %zu,\n"
                  "  \"consistent\": %s,\n"
                  "  \"runs\": [\n",
-                 total, streaming.events.size(),
-                 consistent ? "true" : "false");
+                 total, timed_runs, common::ThreadPool::hardwareThreads(),
+                 ref_events, consistent ? "true" : "false");
+    const double stream_best = runs.front().bestSec;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const auto &r = runs[i];
         std::fprintf(
             f,
             "    {\"mode\": \"%s\", \"threads\": %zu, "
             "\"seconds\": %.6f, \"samples_per_sec\": %.1f, "
-            "\"speedup_vs_streaming\": %.3f}%s\n",
-            r.threads == 0 ? "streaming" : "parallel", r.threads, r.sec,
-            r.samplesPerSec, stream_sec / r.sec,
-            i + 1 == runs.size() ? "" : ",");
+            "\"speedup_vs_streaming\": %.3f, "
+            "\"run_variance\": %.4f,\n      \"stages_ns\": {",
+            r.threads == 0 ? "streaming" : "parallel", r.threads,
+            r.bestSec, r.samplesPerSec, stream_best / r.bestSec,
+            r.variance);
+        std::size_t k = 0;
+        for (const auto &[stage, ns] : r.stageNs)
+            std::fprintf(f, "%s\"%s\": %llu",
+                         k++ == 0 ? "" : ", ", stage.c_str(),
+                         static_cast<unsigned long long>(ns));
+        std::fprintf(f, "}}%s\n", i + 1 == runs.size() ? "" : ",");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Scalar instantiation of the batch sliding-min/max kernel plus the
+ * runtime SIMD dispatch shared by every batch entry point.
+ */
+
+#include "dsp/batch_minmax.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "dsp/batch_minmax_impl.hpp"
+
+namespace emprof::dsp {
+
+namespace detail {
+
+#if !defined(EMPROF_DISABLE_SIMD)
+// Defined in batch_minmax_avx2.cpp (compiled with -mavx2).
+void slidingMinMaxBatchAvx2(const float *x, std::size_t n, std::size_t window,
+                            float *outMin, float *outMax);
+void slidingMinMaxBatchAvx2(const double *x, std::size_t n,
+                            std::size_t window, double *outMin,
+                            double *outMax);
+#endif
+
+static bool
+cpuHasAvx2()
+{
+#if !defined(EMPROF_DISABLE_SIMD) && defined(__GNUC__) && \
+    (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+static SimdVariant
+resolveVariant()
+{
+    if (!cpuHasAvx2())
+        return SimdVariant::Scalar;
+    if (const char *env = std::getenv("EMPROF_SIMD")) {
+        if (std::strcmp(env, "scalar") == 0)
+            return SimdVariant::Scalar;
+    }
+    return SimdVariant::Avx2;
+}
+
+} // namespace detail
+
+const char *
+simdVariantName(SimdVariant v)
+{
+    return v == SimdVariant::Avx2 ? "avx2" : "scalar";
+}
+
+bool
+avx2Available()
+{
+    static const bool available = detail::cpuHasAvx2();
+    return available;
+}
+
+SimdVariant
+activeSimdVariant()
+{
+    static const SimdVariant v = detail::resolveVariant();
+    return v;
+}
+
+void
+slidingMinMaxBatchVariant(SimdVariant v, const float *x, std::size_t n,
+                          std::size_t window, float *outMin, float *outMax)
+{
+#if !defined(EMPROF_DISABLE_SIMD)
+    if (v == SimdVariant::Avx2 && avx2Available()) {
+        detail::slidingMinMaxBatchAvx2(x, n, window, outMin, outMax);
+        return;
+    }
+#endif
+    (void)v;
+    detail::slidingMinMaxBatchImpl<lanes::Scalar>(x, n, window, outMin,
+                                                  outMax);
+}
+
+void
+slidingMinMaxBatchVariant(SimdVariant v, const double *x, std::size_t n,
+                          std::size_t window, double *outMin, double *outMax)
+{
+#if !defined(EMPROF_DISABLE_SIMD)
+    if (v == SimdVariant::Avx2 && avx2Available()) {
+        detail::slidingMinMaxBatchAvx2(x, n, window, outMin, outMax);
+        return;
+    }
+#endif
+    (void)v;
+    detail::slidingMinMaxBatchImpl<lanes::Scalar>(x, n, window, outMin,
+                                                  outMax);
+}
+
+void
+slidingMinMaxBatch(const float *x, std::size_t n, std::size_t window,
+                   float *outMin, float *outMax)
+{
+    slidingMinMaxBatchVariant(activeSimdVariant(), x, n, window, outMin,
+                              outMax);
+}
+
+void
+slidingMinMaxBatch(const double *x, std::size_t n, std::size_t window,
+                   double *outMin, double *outMax)
+{
+    slidingMinMaxBatchVariant(activeSimdVariant(), x, n, window, outMin,
+                              outMax);
+}
+
+} // namespace emprof::dsp

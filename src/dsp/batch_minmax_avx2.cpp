@@ -1,0 +1,35 @@
+/**
+ * @file
+ * AVX2 instantiation of the batch sliding-min/max kernel.
+ *
+ * This translation unit is compiled with -mavx2 (and deliberately
+ * without -mfma, so arithmetic rounds identically to the scalar
+ * variant).  It must contain no code that runs before the dispatcher
+ * has checked CPU support.
+ */
+
+#include <cstddef>
+
+#include "dsp/batch_minmax_impl.hpp"
+
+#if !defined(__AVX2__)
+#error "batch_minmax_avx2.cpp must be compiled with -mavx2"
+#endif
+
+namespace emprof::dsp::detail {
+
+void
+slidingMinMaxBatchAvx2(const float *x, std::size_t n, std::size_t window,
+                       float *outMin, float *outMax)
+{
+    slidingMinMaxBatchImpl<lanes::Avx2>(x, n, window, outMin, outMax);
+}
+
+void
+slidingMinMaxBatchAvx2(const double *x, std::size_t n, std::size_t window,
+                       double *outMin, double *outMax)
+{
+    slidingMinMaxBatchImpl<lanes::Avx2>(x, n, window, outMin, outMax);
+}
+
+} // namespace emprof::dsp::detail

@@ -31,6 +31,13 @@ double stddev(const std::vector<double> &values);
 double percentile(std::vector<double> values, double p);
 
 /**
+ * Same interpolation as percentile() but over an already ascending-
+ * sorted vector — callers extracting several percentiles sort once
+ * instead of paying a copy + sort per call.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
+
+/**
  * Fixed-bin histogram with optional logarithmic bin edges.
  *
  * Fig. 11 plots stall-latency histograms whose interesting structure

@@ -47,38 +47,19 @@ DipDetector::fillEvent(StallEvent &out) const
 }
 
 bool
-DipDetector::push(double normalized, StallEvent &out)
+DipDetector::closeDip(StallEvent &out)
 {
-    const uint64_t i = index_++;
+    // Dip ended at the last sample that was still below exit.
     bool emitted = false;
-
-    if (!inDip_) {
-        if (normalized < config_.enterThreshold) {
-            inDip_ = true;
-            dipStart_ = i;
-            dipLastBelowExit_ = i;
-            depthSum_ = normalized;
-            depthCount_ = 1;
-        }
-        return false;
+    if (dipLastBelowExit_ - dipStart_ + 1 >=
+        config_.minDurationSamples) {
+        fillEvent(out);
+        emitted = true;
     }
-
-    if (normalized > config_.exitThreshold) {
-        // Dip ended at the last sample that was still below exit.
-        if (dipLastBelowExit_ - dipStart_ + 1 >=
-            config_.minDurationSamples) {
-            fillEvent(out);
-            emitted = true;
-        }
-        countDipOutcome(emitted, false);
-        inDip_ = false;
-        depthSum_ = 0.0;
-        depthCount_ = 0;
-    } else {
-        dipLastBelowExit_ = i;
-        depthSum_ += normalized;
-        ++depthCount_;
-    }
+    countDipOutcome(emitted, false);
+    inDip_ = false;
+    depthSum_ = 0.0;
+    depthCount_ = 0;
     return emitted;
 }
 

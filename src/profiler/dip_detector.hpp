@@ -63,11 +63,35 @@ class DipDetector
     /**
      * Push one normalised sample.
      *
+     * Inline because this sits on the per-sample hot path of both the
+     * streaming and the batch analyzers; only the dip-close bookkeeping
+     * (orders of magnitude rarer) is out of line.
+     *
      * @param normalized Sample in [0, 1].
      * @param out Receives a completed event.
      * @retval true An event (a dip that just ended) was written.
      */
-    bool push(double normalized, StallEvent &out);
+    bool
+    push(double normalized, StallEvent &out)
+    {
+        const uint64_t i = index_++;
+        if (!inDip_) {
+            if (normalized < config_.enterThreshold) {
+                inDip_ = true;
+                dipStart_ = i;
+                dipLastBelowExit_ = i;
+                depthSum_ = normalized;
+                depthCount_ = 1;
+            }
+            return false;
+        }
+        if (normalized > config_.exitThreshold)
+            return closeDip(out);
+        dipLastBelowExit_ = i;
+        depthSum_ += normalized;
+        ++depthCount_;
+        return false;
+    }
 
     /**
      * Flush: if the signal ends inside a dip, emit it.
@@ -79,6 +103,19 @@ class DipDetector
     /** Samples processed so far. */
     uint64_t samplesSeen() const { return index_; }
 
+    /**
+     * Skip @p n samples the caller has proven are no-ops: outside a
+     * dip, a sample at or above enterThreshold only consumes an index
+     * in push(), so advancing the index directly is exactly equivalent
+     * to n pushes.  The batch analyzer uses this for vector runs its
+     * screen pass proved dip-free.  Must not be called while a dip is
+     * open (an in-dip sample always mutates state).
+     */
+    void advance(uint64_t n) { index_ += n; }
+
+    /** True while a dip is currently open. */
+    bool inDip() const { return inDip_; }
+
     /** State of the currently open dip (inDip == false if none). */
     DipState state() const;
 
@@ -87,6 +124,10 @@ class DipDetector
   private:
     /** Populate @p out from the currently open dip. */
     void fillEvent(StallEvent &out) const;
+
+    /** Close the open dip (a sample above exit arrived): emit if long
+     *  enough, reset the accumulators, update the dip counters. */
+    bool closeDip(StallEvent &out);
 
     DipDetectorConfig config_;
     uint64_t index_ = 0;

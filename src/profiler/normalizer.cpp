@@ -27,7 +27,11 @@ MovingMinMaxNormalizer::push(double magnitude)
 
 BoxSmoother::BoxSmoother(std::size_t window)
     : ring_(window == 0 ? 1 : window, 0.0)
-{}
+{
+    const std::size_t w = ring_.size();
+    if ((w & (w - 1)) == 0)
+        invWindow_ = 1.0 / static_cast<double>(w);
+}
 
 double
 BoxSmoother::push(double x)
@@ -48,6 +52,8 @@ BoxSmoother::push(double x)
         sum += ring_[idx];
         idx = (idx + 1 == w) ? 0 : idx + 1;
     }
+    if (n == w && invWindow_ != 0.0)
+        return sum * invWindow_;
     return sum / static_cast<double>(n);
 }
 
@@ -65,9 +71,8 @@ AdaptiveNormalizer::AdaptiveNormalizer(std::size_t window,
                                        double min_contrast)
     : smoother_(smoother),
       minmax_(window),
-      driftTolerance_(drift_tolerance),
       minContrast_(min_contrast),
-      gridScale_(1.0 / std::log2(1.0 + drift_tolerance))
+      snap_(drift_tolerance)
 {}
 
 double
@@ -91,10 +96,9 @@ AdaptiveNormalizer::push(double magnitude)
     // calibration in use only changes when an extremum crosses a grid
     // step, which is the hysteresis that keeps per-sample jitter from
     // modulating the normalised signal.
-    const double hiCal =
-        std::exp2(std::ceil(std::log2(hi) * gridScale_) / gridScale_);
-    const double q = driftTolerance_ * hiCal;
-    const double loCal = std::floor(lo / q) * q;
+    double loCal;
+    double hiCal;
+    snap_.snap(lo, hi, loCal, hiCal);
     lastLo_ = loCal;
     lastHi_ = hiCal;
 

@@ -13,6 +13,7 @@
 #ifndef EMPROF_PROFILER_NORMALIZER_HPP
 #define EMPROF_PROFILER_NORMALIZER_HPP
 
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -20,6 +21,55 @@
 #include "dsp/minmax_filter.hpp"
 
 namespace emprof::profiler {
+
+/**
+ * Memoised log-grid envelope snap shared by AdaptiveNormalizer and the
+ * batch analyzer's resilient kernel.
+ *
+ * snap() is a pure function of (lo, hi) — identical inputs give
+ * identical bits — but the ceiling/floor grids are recomputed only
+ * when their inputs change, which is what makes the per-sample cost
+ * negligible: inside a stable envelope stretch the exp2/log2/floor
+ * pipeline runs once, not per sample.
+ */
+class LogGridSnap
+{
+  public:
+    explicit LogGridSnap(double drift_tolerance)
+        : driftTolerance_(drift_tolerance),
+          gridScale_(1.0 / std::log2(1.0 + drift_tolerance))
+    {}
+
+    /** Snap envelope (lo, hi); requires hi > 0. */
+    void
+    snap(double lo, double hi, double &loCal, double &hiCal)
+    {
+        if (hi != cachedHi_) {
+            cachedHi_ = hi;
+            cachedHiCal_ = std::exp2(
+                std::ceil(std::log2(hi) * gridScale_) / gridScale_);
+        }
+        hiCal = cachedHiCal_;
+        const double q = driftTolerance_ * hiCal;
+        if (lo != cachedLo_ || q != cachedQ_) {
+            cachedLo_ = lo;
+            cachedQ_ = q;
+            cachedLoCal_ = std::floor(lo / q) * q;
+        }
+        loCal = cachedLoCal_;
+    }
+
+    double driftTolerance() const { return driftTolerance_; }
+
+  private:
+    double driftTolerance_;
+    double gridScale_; // 1 / log2(1 + driftTolerance)
+    double cachedHi_ = -1.0;
+    double cachedHiCal_ = 0.0;
+    double cachedLo_ = -1.0;
+    double cachedQ_ = -1.0;
+    double cachedLoCal_ = 0.0;
+};
 
 /**
  * Streaming [0, 1] normaliser against a moving min/max envelope.
@@ -89,6 +139,11 @@ class BoxSmoother
     std::vector<double> ring_;
     std::size_t head_ = 0; // next write position
     uint64_t count_ = 0;
+    // 1/window when the window is a power of two (division by a power
+    // of two is exact, so multiplying by the reciprocal returns the
+    // same bits as dividing while dodging the divide latency); 0 when
+    // the window is not a power of two.
+    double invWindow_ = 0.0;
 };
 
 /**
@@ -142,9 +197,8 @@ class AdaptiveNormalizer
   private:
     BoxSmoother smoother_;
     dsp::MinMaxFilter<double> minmax_;
-    double driftTolerance_;
     double minContrast_;
-    double gridScale_; // 1 / log2(1 + driftTolerance)
+    LogGridSnap snap_;
     double lastLo_ = 0.0;
     double lastHi_ = 0.0;
 };

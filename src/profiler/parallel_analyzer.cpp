@@ -9,10 +9,8 @@
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/stage_profiler.hpp"
-#include "profiler/dip_detector.hpp"
-#include "profiler/normalizer.hpp"
+#include "profiler/batch_pipeline.hpp"
 #include "profiler/report.hpp"
-#include "profiler/signal_quality.hpp"
 #include "store/capture_reader.hpp"
 
 namespace emprof::profiler {
@@ -35,134 +33,35 @@ countParallelAnalyzed(uint64_t samples, std::size_t events)
 }
 
 /**
- * Everything one chunk contributes to the stitch pass.
- *
- * All sample indices are global (capture-relative).  `prefixNorms`
- * holds the normalised values of the chunk's prefix — the leading run
- * of samples at or below the exit threshold — which is exactly the set
- * of samples that would extend a dip left open by the previous chunk.
+ * Worker count actually used: the requested count (0 = all cores)
+ * clamped to the hardware concurrency.  The per-chunk scan is purely
+ * CPU-bound, so oversubscription only adds scheduling contention;
+ * requests beyond the core count degrade gracefully to it.
  */
-struct ChunkResult
+std::size_t
+effectiveWorkers(std::size_t requested)
 {
-    uint64_t begin = 0;
-    uint64_t end = 0;
-    std::vector<double> prefixNorms;
-    std::vector<StallEvent> events;       // raw dips, unclassified
-    std::vector<SignalBlock> blocks;      // quality blocks owned here
-    DipDetector::DipState open;           // dip still open at chunk end
-};
+    const std::size_t hw = common::ThreadPool::hardwareThreads();
+    const std::size_t want = requested == 0 ? hw : requested;
+    return std::max<std::size_t>(1, std::min(want, hw));
+}
 
-/**
- * Analyse samples [begin, end): re-feed the halo to warm the
- * normaliser, then run a fresh dip detector over the chunk, recording
- * the prefix and the end-of-chunk open-dip state for the stitcher.
- *
- * @param data Sample storage; data[i - dataBegin] is global sample i.
- *        Must cover at least [begin - halo, end), where the halo is
- *        min(begin, config.haloSamples()) — the in-memory path passes
- *        the whole capture (dataBegin 0), the EMCAP path passes just
- *        the task's decoded span.
- * @param is_final True for the last chunk, which additionally owns the
- *        trailing partial quality block.
- */
-ChunkResult
-analyzeChunk(const dsp::Sample *data, uint64_t dataBegin, uint64_t begin,
-             uint64_t end, bool is_final, const EmProfConfig &config)
+/** Expose the effective parallel decomposition as gauges. */
+void
+recordParallelGauges(std::size_t workers, std::size_t chunk,
+                     std::size_t num_chunks)
 {
-    // Per-worker chunk timing: the span carries the worker's thread
-    // number, the stage histogram aggregates the distribution.
-    EMPROF_OBS_STAGE("analyzer.chunk");
-    if (obs::MetricsRegistry::enabled()) {
-        auto &registry = obs::MetricsRegistry::instance();
-        static const obs::Counter chunks =
-            registry.counter("analyzer.chunks_analyzed");
-        static const obs::Counter normalized =
-            registry.counter("normalizer.samples_normalized");
-        chunks.inc();
-        normalized.add(end - begin);
-    }
-
-    ChunkResult r;
-    r.begin = begin;
-    r.end = end;
-
-    const std::size_t window = config.normWindowSamples();
-    const bool resilient = config.signal.enabled;
-    const uint64_t halo = std::min<uint64_t>(begin, config.haloSamples());
-    const auto at = [&](uint64_t i) {
-        return data[static_cast<std::size_t>(i - dataBegin)];
-    };
-
-    // Warm whichever normaliser this config uses by re-feeding the
-    // halo: both are pure functions of a bounded trailing history
-    // (haloSamples() covers it), so the values from `begin` on are
-    // bit-identical to streaming.
-    MovingMinMaxNormalizer classic(window, config.minContrast);
-    AdaptiveNormalizer adaptive(
-        resilient ? window : 1, resilient ? config.smootherSamples() : 1,
-        config.signal.driftToleranceFraction > 0.0
-            ? config.signal.driftToleranceFraction
-            : 0.05,
-        config.minContrast);
-    const auto norm = [&](double x) {
-        return resilient ? adaptive.push(x) : classic.push(x);
-    };
-    for (uint64_t i = begin - halo; i < begin; ++i)
-        norm(at(i));
-
-    DipDetector detector(config.detectorConfig());
-    bool in_prefix = true;
-    StallEvent ev;
-    for (uint64_t i = begin; i < end; ++i) {
-        const double normalized = norm(at(i));
-        if (in_prefix) {
-            // The prefix ends at the first sample that would close any
-            // incoming dip; from there on chunk-local detection is
-            // independent of the incoming state.
-            if (normalized > config.exitThreshold)
-                in_prefix = false;
-            else
-                r.prefixNorms.push_back(normalized);
-        }
-        if (detector.push(normalized, ev)) {
-            ev.startSample += begin;
-            ev.endSample += begin;
-            r.events.push_back(ev);
-        }
-    }
-
-    r.open = detector.state();
-    if (r.open.inDip) {
-        r.open.start += begin;
-        r.open.lastBelowExit += begin;
-    }
-
-    if (resilient) {
-        // Quality blocks are absolute-index aligned and each is owned
-        // by exactly one chunk: the one containing its last sample
-        // (the final chunk also owns the trailing partial block).  The
-        // owner recomputes the whole block from scratch in index
-        // order, so the block is bit-identical to streaming no matter
-        // how the capture was chunked.  haloSamples() >= Q - 1
-        // guarantees the owner's data covers a block that started in
-        // the previous chunk.
-        const uint64_t q =
-            std::max<uint64_t>(config.qualityBlockSamples(), 1);
-        BlockAccumulator acc;
-        for (uint64_t bs = (begin / q) * q; bs < end; bs += q) {
-            uint64_t be = bs + q;
-            if (be > end) {
-                if (!is_final)
-                    break; // next chunk owns it
-                be = end;
-            }
-            acc.begin(bs);
-            for (uint64_t i = bs; i < be; ++i)
-                acc.push(at(i));
-            r.blocks.push_back(acc.finish(be, config.signal));
-        }
-    }
-    return r;
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.gauge("parallel.workers_effective")
+        .set(static_cast<int64_t>(workers));
+    registry.gauge("parallel.chunk_samples_effective")
+        .set(static_cast<int64_t>(chunk));
+    registry.gauge("parallel.chunks")
+        .set(static_cast<int64_t>(num_chunks));
+    registry.gauge("parallel.batch_kernel")
+        .set(batchPipelineActive() ? 1 : 0);
 }
 
 /**
@@ -184,6 +83,10 @@ stitch(const std::vector<ChunkResult> &chunks, const EmProfConfig &config)
     }
 
     std::vector<StallEvent> events;
+    std::size_t upper = 0;
+    for (const auto &chunk : chunks)
+        upper += chunk.events.size() + 1; // +1: possible carried dip
+    events.reserve(upper);
     // Same duration cut the chunk-local detectors used (the resilient
     // path relaxes it to compensate for pre-smoother dip widening).
     const uint64_t min_duration = config.effectiveMinDurationSamples();
@@ -280,45 +183,53 @@ ParallelAnalyzer::analyze(const dsp::TimeSeries &magnitude,
         config.sampleRateHz = magnitude.sampleRateHz;
 
     const std::size_t n = magnitude.samples.size();
-    const std::size_t threads =
-        config_.threads == 0 ? common::ThreadPool::hardwareThreads()
-                             : config_.threads;
+    const std::size_t workers = effectiveWorkers(config_.threads);
 
     std::size_t chunk = config_.chunkSamples;
     if (chunk == 0) {
-        if (threads <= 1 || n < config_.minParallelSamples)
+        // Automatic decomposition.  The chunked path only pays off when
+        // there is either real parallelism or the batch kernel; tiny
+        // inputs and scalar single-worker runs degrade to streaming.
+        if (n < config_.minParallelSamples ||
+            (workers <= 1 && !batchPipelineActive()))
             return EmProf::analyze(magnitude, config);
-        // A few chunks per thread for load balance, floored at eight
-        // normalisation windows so the halo re-feed (one window per
-        // chunk) stays under ~12% of each chunk's work.
+        // One span per worker: static partitioning, no queue
+        // contention.  The floor of eight normalisation windows keeps
+        // the halo re-feed (one window per chunk) under ~12% of each
+        // chunk's work.
         chunk = std::max<std::size_t>(8 * config.normWindowSamples(),
-                                      (n + 3 * threads - 1) /
-                                          (3 * threads));
+                                      (n + workers - 1) / workers);
     }
     chunk = std::max<std::size_t>(chunk, 1);
 
     const std::size_t num_chunks = (n + chunk - 1) / chunk;
-    if (threads <= 1 || num_chunks < 2)
+    if (num_chunks == 0)
         return EmProf::analyze(magnitude, config);
+    recordParallelGauges(workers, chunk, num_chunks);
 
     EMPROF_OBS_STAGE("analyze.parallel");
     std::vector<ChunkResult> results(num_chunks);
-    {
-        common::ThreadPool pool(std::min(threads, num_chunks));
+    const auto &samples = magnitude.samples;
+    const bool fast = config_.fastMathSimd;
+    const auto run = [&, chunk, n](std::size_t c) {
+        const uint64_t begin = static_cast<uint64_t>(c) * chunk;
+        const uint64_t end = std::min<uint64_t>(begin + chunk, n);
+        results[c] = analyzeChunkAuto(samples.data(), 0, begin, end,
+                                      c + 1 == num_chunks, config, fast);
+    };
+    if (workers <= 1 || num_chunks < 2) {
+        // Explicitly-sized chunks still go through the chunk + stitch
+        // machinery on one worker (results are identical; tests rely on
+        // exercising the stitcher regardless of core count) — just
+        // without spinning up a pool.
+        for (std::size_t c = 0; c < num_chunks; ++c)
+            run(c);
+    } else {
+        common::ThreadPool pool(std::min(workers, num_chunks));
         std::vector<std::future<void>> pending;
         pending.reserve(num_chunks);
-        const auto &samples = magnitude.samples;
-        for (std::size_t c = 0; c < num_chunks; ++c) {
-            const uint64_t begin = static_cast<uint64_t>(c) * chunk;
-            const uint64_t end =
-                std::min<uint64_t>(begin + chunk, n);
-            const bool is_final = (c + 1 == num_chunks);
-            pending.push_back(pool.submit([&samples, &results, begin,
-                                           end, is_final, c, &config] {
-                results[c] = analyzeChunk(samples.data(), 0, begin,
-                                          end, is_final, config);
-            }));
-        }
+        for (std::size_t c = 0; c < num_chunks; ++c)
+            pending.push_back(pool.submit([&run, c] { run(c); }));
         for (auto &f : pending)
             f.get();
     }
@@ -343,12 +254,10 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
     }
     const uint64_t n = info.totalSamples;
 
-    const std::size_t threads =
-        config_.threads == 0 ? common::ThreadPool::hardwareThreads()
-                             : config_.threads;
+    const std::size_t workers = effectiveWorkers(config_.threads);
 
-    // Short/serial inputs: decode once, run the streaming path — the
-    // same fallback rule (and therefore the same result) as analyze().
+    // Short inputs: decode once, run the streaming path — the same
+    // fallback rule (and therefore the same result) as analyze().
     const auto streaming = [&]() {
         dsp::TimeSeries series;
         if (!reader.readAll(series, error))
@@ -359,11 +268,11 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
 
     std::size_t chunk = config_.chunkSamples;
     if (chunk == 0) {
-        if (threads <= 1 || n < config_.minParallelSamples)
+        if (n < config_.minParallelSamples ||
+            (workers <= 1 && !batchPipelineActive()))
             return streaming();
         chunk = std::max<std::size_t>(8 * config.normWindowSamples(),
-                                      (n + 3 * threads - 1) /
-                                          (3 * threads));
+                                      (n + workers - 1) / workers);
     }
     chunk = std::max<std::size_t>(chunk, 1);
 
@@ -386,8 +295,9 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
             next_begin = end;
         }
     }
-    if (threads <= 1 || spans.size() < 2)
+    if (spans.empty())
         return streaming();
+    recordParallelGauges(workers, chunk, spans.size());
 
     EMPROF_OBS_STAGE("analyze.parallel");
     std::vector<ChunkResult> results(spans.size());
@@ -395,34 +305,37 @@ ParallelAnalyzer::analyzeCapture(const store::CaptureReader &reader,
     std::mutex error_mutex;
     std::string first_error;
     const uint64_t halo_depth = config.haloSamples();
-    {
-        common::ThreadPool pool(std::min(threads, spans.size()));
+    const bool fast = config_.fastMathSimd;
+    const auto run = [&](std::size_t t) {
+        if (!ok.load(std::memory_order_relaxed))
+            return; // a sibling already failed
+        const Span span = spans[t];
+        const uint64_t halo = std::min<uint64_t>(span.begin, halo_depth);
+        std::vector<dsp::Sample> local;
+        std::string chunk_error;
+        if (!reader.readRange(span.begin - halo,
+                              halo + (span.end - span.begin), local,
+                              &chunk_error)) {
+            ok.store(false, std::memory_order_relaxed);
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (first_error.empty())
+                first_error = chunk_error;
+            return;
+        }
+        results[t] = analyzeChunkAuto(local.data(), span.begin - halo,
+                                      span.begin, span.end,
+                                      t + 1 == spans.size(), config,
+                                      fast);
+    };
+    if (workers <= 1 || spans.size() < 2) {
+        for (std::size_t t = 0; t < spans.size(); ++t)
+            run(t);
+    } else {
+        common::ThreadPool pool(std::min(workers, spans.size()));
         std::vector<std::future<void>> pending;
         pending.reserve(spans.size());
-        for (std::size_t t = 0; t < spans.size(); ++t) {
-            pending.push_back(pool.submit([&, t] {
-                if (!ok.load(std::memory_order_relaxed))
-                    return; // a sibling already failed
-                const Span span = spans[t];
-                const uint64_t halo =
-                    std::min<uint64_t>(span.begin, halo_depth);
-                std::vector<dsp::Sample> local;
-                std::string chunk_error;
-                if (!reader.readRange(span.begin - halo,
-                                      halo + (span.end - span.begin),
-                                      local, &chunk_error)) {
-                    ok.store(false, std::memory_order_relaxed);
-                    const std::lock_guard<std::mutex> lock(error_mutex);
-                    if (first_error.empty())
-                        first_error = chunk_error;
-                    return;
-                }
-                results[t] =
-                    analyzeChunk(local.data(), span.begin - halo,
-                                 span.begin, span.end,
-                                 t + 1 == spans.size(), config);
-            }));
-        }
+        for (std::size_t t = 0; t < spans.size(); ++t)
+            pending.push_back(pool.submit([&run, t] { run(t); }));
         for (auto &f : pending)
             f.get();
     }

@@ -50,19 +50,31 @@ struct ParallelAnalyzerConfig
     std::size_t threads = 0;
 
     /**
-     * Chunk length in samples; 0 picks one automatically (a few chunks
-     * per thread, floored at several normalisation windows so the halo
-     * re-normalisation overhead stays small).
+     * Chunk length in samples; 0 picks one automatically (one span per
+     * effective worker — static partitioning — floored at eight
+     * normalisation windows so the halo re-normalisation overhead
+     * stays small).  An explicit value always runs the chunk + stitch
+     * machinery, even on one worker (tests use tiny chunks to exercise
+     * boundary stitching regardless of core count).
      */
     std::size_t chunkSamples = 0;
 
     /**
      * With automatic chunking, inputs shorter than this run on the
      * plain streaming path — the pool spin-up and halo overhead would
-     * dwarf any speedup.  Ignored when chunkSamples is set explicitly
-     * (tests use tiny chunks to exercise boundary stitching).
+     * dwarf any speedup.  Ignored when chunkSamples is set explicitly.
      */
     std::size_t minParallelSamples = 1u << 20;
+
+    /**
+     * Allow the batch kernel's reduced-precision (single-precision
+     * divide) normalisation on the classic path.  Off by default:
+     * results are then bit-identical to streaming.  When on, normalised
+     * values may differ from the reference by ~2 float ULP, which can
+     * move a dip boundary by one sample in razor-edge cases (see
+     * batch_pipeline.hpp).
+     */
+    bool fastMathSimd = false;
 };
 
 /**

@@ -75,62 +75,68 @@ SignalQualityConfig::validate(std::string *why) const
 void
 BlockAccumulator::begin(uint64_t start)
 {
-    start_ = start;
-    count_ = 0;
-    sum_ = 0.0;
-    sumAbsDx_ = 0.0;
-    min_ = 0.0;
-    max_ = 0.0;
-    atMax_ = 0;
-    zeros_ = 0;
-    repeats_ = 0;
+    s_ = RawStats{};
+    s_.start = start;
     prev_ = 0.0;
 }
 
 void
 BlockAccumulator::push(double x)
 {
-    if (count_ == 0) {
-        min_ = x;
-        max_ = x;
-        atMax_ = 1;
+    if (s_.count == 0) {
+        s_.min = x;
+        s_.max = x;
+        s_.atMax = 1;
     } else {
-        if (x < min_)
-            min_ = x;
-        if (x > max_) {
-            max_ = x;
-            atMax_ = 1;
-        } else if (x == max_) {
-            ++atMax_;
+        if (x < s_.min)
+            s_.min = x;
+        if (x > s_.max) {
+            s_.max = x;
+            s_.atMax = 1;
+        } else if (x == s_.max) {
+            ++s_.atMax;
         }
-        sumAbsDx_ += std::fabs(x - prev_);
+        s_.sumAbsDx[s_.count & 3] += std::fabs(x - prev_);
         if (x == prev_)
-            ++repeats_;
+            ++s_.repeats;
     }
     if (x == 0.0)
-        ++zeros_;
-    sum_ += x;
+        ++s_.zeros;
+    s_.sum[s_.count & 3] += x;
     prev_ = x;
-    ++count_;
+    ++s_.count;
 }
 
 SignalBlock
 BlockAccumulator::finish(uint64_t end,
                          const SignalQualityConfig &config) const
 {
-    SignalBlock b;
-    b.begin = start_;
-    b.end = end;
-    b.samplesAtMax = atMax_;
-    b.zeroSamples = zeros_;
-    b.repeatSamples = repeats_;
-    b.minValue = min_;
-    b.maxValue = max_;
+    return classifyStats(s_, end, config);
+}
 
-    const double n = static_cast<double>(count_);
-    b.mean = count_ > 0 ? sum_ / n : 0.0;
+SignalBlock
+BlockAccumulator::classifyStats(const RawStats &s, uint64_t end,
+                                const SignalQualityConfig &config)
+{
+    SignalBlock b;
+    b.begin = s.start;
+    b.end = end;
+    b.samplesAtMax = s.atMax;
+    b.zeroSamples = s.zeros;
+    b.repeatSamples = s.repeats;
+    b.minValue = s.min;
+    b.maxValue = s.max;
+
+    // Fixed bin-combine order (0+2)+(1+3): matches a 4-lane vector
+    // reduction of low half + high half, then lane 0 + lane 1.
+    const double sum = (s.sum[0] + s.sum[2]) + (s.sum[1] + s.sum[3]);
+    const double sumAbsDx =
+        (s.sumAbsDx[0] + s.sumAbsDx[2]) + (s.sumAbsDx[1] + s.sumAbsDx[3]);
+
+    const double n = static_cast<double>(s.count);
+    b.mean = s.count > 0 ? sum / n : 0.0;
     b.noiseSigma =
-        count_ > 1 ? (sumAbsDx_ / (n - 1.0)) * kMadToSigma : 0.0;
+        s.count > 1 ? (sumAbsDx / (n - 1.0)) * kMadToSigma : 0.0;
     if (b.noiseSigma <= 0.0)
         b.snrDb = 99.0; // noiseless (e.g. constant block)
     else if (b.mean <= 0.0)
@@ -141,12 +147,13 @@ BlockAccumulator::finish(uint64_t end,
 
     // A lone maximum is the normal case; only a repeated plateau at the
     // top of the range smells like ADC clipping.
-    const double clipFrac = (count_ > 0 && atMax_ > 1 && max_ > 0.0)
-                                ? static_cast<double>(atMax_) / n
+    const double clipFrac = (s.count > 0 && s.atMax > 1 && s.max > 0.0)
+                                ? static_cast<double>(s.atMax) / n
                                 : 0.0;
     const double dropFrac =
-        count_ > 0 ? static_cast<double>(std::max(zeros_, repeats_)) / n
-                   : 0.0;
+        s.count > 0
+            ? static_cast<double>(std::max(s.zeros, s.repeats)) / n
+            : 0.0;
 
     if (clipFrac > config.maxClipFraction) {
         b.cls = BlockClass::Unusable;

@@ -119,10 +119,37 @@ struct SignalBlock
  * begin(); push order is sample order, so a chunked path that replays
  * a whole block through a fresh accumulator reproduces the streaming
  * block bit for bit.
+ *
+ * The floating-point sums are kept in four bins indexed by the
+ * sample's position within the block modulo 4, and combined in a fixed
+ * order at finish().  That makes the totals reproducible by a 4-lane
+ * vectorised fill (lane k owns bin k) — the batch analyzer computes
+ * the identical bits without replaying samples one by one.
  */
 class BlockAccumulator
 {
   public:
+    /**
+     * Raw, order-insensitive statistics of one block.  Every field is
+     * either a pure selection (min/max), an exact integer count, or a
+     * 4-way binned sum with a fixed combine order — so a vectorised
+     * producer and the streaming push() agree bit for bit on finite
+     * input.  (NaN samples poison the two paths differently; callers
+     * feeding NaN get the streaming semantics only from push().)
+     */
+    struct RawStats
+    {
+        uint64_t start = 0;
+        uint64_t count = 0;
+        double sum[4] = {0.0, 0.0, 0.0, 0.0};
+        double sumAbsDx[4] = {0.0, 0.0, 0.0, 0.0};
+        double min = 0.0;
+        double max = 0.0;
+        uint64_t atMax = 0;
+        uint64_t zeros = 0;
+        uint64_t repeats = 0;
+    };
+
     /** Start a new block at global sample index @p start. */
     void begin(uint64_t start);
 
@@ -133,16 +160,12 @@ class BlockAccumulator
     SignalBlock finish(uint64_t end,
                        const SignalQualityConfig &config) const;
 
+    /** Classify directly from raw stats (shared with the batch path). */
+    static SignalBlock classifyStats(const RawStats &stats, uint64_t end,
+                                     const SignalQualityConfig &config);
+
   private:
-    uint64_t start_ = 0;
-    uint64_t count_ = 0;
-    double sum_ = 0.0;
-    double sumAbsDx_ = 0.0;
-    double min_ = 0.0;
-    double max_ = 0.0;
-    uint64_t atMax_ = 0;
-    uint64_t zeros_ = 0;
-    uint64_t repeats_ = 0;
+    RawStats s_;
     double prev_ = 0.0;
 };
 

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Parity tests for the batch sliding-min/max SIMD kernel.
+ *
+ * Three contracts are checked:
+ *  1. scalar-vs-AVX2 bit parity on *every* input, including NaN and
+ *     denormals (the two variants are the same templated body, but the
+ *     tests guard the lane policies against drift);
+ *  2. batch-vs-streaming MinMaxFilter bit parity on finite inputs
+ *     (selection-order independence of window extrema);
+ *  3. exhaustive window sweep 1..257 with unaligned lengths so every
+ *     block/tail/sentinel combination is exercised.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "dsp/batch_minmax.hpp"
+#include "dsp/minmax_filter.hpp"
+#include "dsp/rng.hpp"
+
+namespace {
+
+using emprof::dsp::MinMaxFilter;
+using emprof::dsp::SimdVariant;
+using emprof::dsp::slidingMinMaxBatch;
+using emprof::dsp::slidingMinMaxBatchVariant;
+
+template <typename T>
+std::vector<T>
+randomSeries(std::size_t n, uint64_t seed)
+{
+    emprof::dsp::Rng rng(seed);
+    std::vector<T> x(n);
+    for (auto &v : x)
+        v = static_cast<T>(rng.uniform() * 2.0 - 0.5);
+    return x;
+}
+
+/** Bitwise equality (distinguishes NaN payloads and signed zeros). */
+template <typename T>
+bool
+sameBits(T a, T b)
+{
+    return std::memcmp(&a, &b, sizeof(T)) == 0;
+}
+
+template <typename T>
+void
+expectBitEqual(const std::vector<T> &a, const std::vector<T> &b,
+               const char *what, std::size_t window)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!sameBits(a[i], b[i])) {
+            FAIL() << what << " mismatch at i=" << i << " window=" << window
+                   << ": " << a[i] << " vs " << b[i];
+        }
+    }
+}
+
+template <typename T>
+void
+runVariant(SimdVariant v, const std::vector<T> &x, std::size_t w,
+           std::vector<T> &mn, std::vector<T> &mx)
+{
+    mn.assign(x.size(), T(0));
+    mx.assign(x.size(), T(0));
+    slidingMinMaxBatchVariant(v, x.data(), x.size(), w, mn.data(), mx.data());
+}
+
+template <typename T>
+void
+runStreaming(const std::vector<T> &x, std::size_t w, std::vector<T> &mn,
+             std::vector<T> &mx)
+{
+    mn.resize(x.size());
+    mx.resize(x.size());
+    MinMaxFilter<T> f(w);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        f.push(x[i]);
+        mn[i] = f.min();
+        mx[i] = f.max();
+    }
+}
+
+template <typename T>
+void
+checkAllWindows(const std::vector<T> &x)
+{
+    std::vector<T> smn, smx, vmn, vmx, fmn, fmx;
+    for (std::size_t w = 1; w <= 257; ++w) {
+        runVariant(SimdVariant::Scalar, x, w, smn, smx);
+        // Contract 2: scalar batch == streaming filter (finite input).
+        runStreaming(x, w, fmn, fmx);
+        expectBitEqual(smn, fmn, "batch-vs-stream min", w);
+        expectBitEqual(smx, fmx, "batch-vs-stream max", w);
+        if (emprof::dsp::avx2Available()) {
+            runVariant(SimdVariant::Avx2, x, w, vmn, vmx);
+            expectBitEqual(smn, vmn, "scalar-vs-avx2 min", w);
+            expectBitEqual(smx, vmx, "scalar-vs-avx2 max", w);
+        }
+    }
+}
+
+TEST(BatchMinMax, ExhaustiveWindowSweepFloat)
+{
+    // 1031 is prime, so every window in 1..257 hits a partial final
+    // block and an unaligned vector tail somewhere.
+    checkAllWindows(randomSeries<float>(1031, 0xb01d));
+}
+
+TEST(BatchMinMax, ExhaustiveWindowSweepDouble)
+{
+    checkAllWindows(randomSeries<double>(1031, 0x5eed));
+}
+
+TEST(BatchMinMax, ShortSeriesAllLengths)
+{
+    // Lengths 0..40 x windows 1..40: warm-up-only and sub-vector cases.
+    for (std::size_t n = 0; n <= 40; ++n) {
+        const auto x = randomSeries<float>(n, 0x1000 + n);
+        std::vector<float> smn, smx, fmn, fmx, vmn, vmx;
+        for (std::size_t w = 1; w <= 40; ++w) {
+            runVariant(SimdVariant::Scalar, x, w, smn, smx);
+            runStreaming(x, w, fmn, fmx);
+            expectBitEqual(smn, fmn, "short batch-vs-stream min", w);
+            expectBitEqual(smx, fmx, "short batch-vs-stream max", w);
+            if (emprof::dsp::avx2Available()) {
+                runVariant(SimdVariant::Avx2, x, w, vmn, vmx);
+                expectBitEqual(smn, vmn, "short scalar-vs-avx2 min", w);
+                expectBitEqual(smx, vmx, "short scalar-vs-avx2 max", w);
+            }
+        }
+    }
+}
+
+TEST(BatchMinMax, NanAndDenormalParityScalarVsAvx2)
+{
+    if (!emprof::dsp::avx2Available())
+        GTEST_SKIP() << "AVX2 not available; nothing to compare";
+    auto x = randomSeries<float>(733, 0xdead);
+    emprof::dsp::Rng rng(0xf00d);
+    const float qnan = std::numeric_limits<float>::quiet_NaN();
+    const float denorm = std::numeric_limits<float>::denorm_min();
+    for (auto &v : x) {
+        const double u = rng.uniform();
+        if (u < 0.05)
+            v = qnan;
+        else if (u < 0.10)
+            v = denorm * float(1.0 + 100.0 * rng.uniform());
+        else if (u < 0.13)
+            v = -0.0f;
+        else if (u < 0.16)
+            v = std::numeric_limits<float>::infinity();
+        else if (u < 0.19)
+            v = -std::numeric_limits<float>::infinity();
+    }
+    std::vector<float> smn, smx, vmn, vmx;
+    for (std::size_t w : {1u, 2u, 3u, 7u, 8u, 9u, 16u, 31u, 64u, 257u}) {
+        runVariant(SimdVariant::Scalar, x, w, smn, smx);
+        runVariant(SimdVariant::Avx2, x, w, vmn, vmx);
+        expectBitEqual(smn, vmn, "nan scalar-vs-avx2 min", w);
+        expectBitEqual(smx, vmx, "nan scalar-vs-avx2 max", w);
+    }
+}
+
+TEST(BatchMinMax, DenormalsMatchStreaming)
+{
+    // Denormals are finite, so batch must match streaming bit for bit.
+    std::vector<double> x(300);
+    emprof::dsp::Rng rng(0xabcd);
+    for (auto &v : x)
+        v = std::numeric_limits<double>::denorm_min() *
+            double(1 + int(rng.uniform() * 1000.0));
+    std::vector<double> smn, smx, fmn, fmx;
+    for (std::size_t w : {1u, 3u, 8u, 17u, 100u}) {
+        runVariant(SimdVariant::Scalar, x, w, smn, smx);
+        runStreaming(x, w, fmn, fmx);
+        expectBitEqual(smn, fmn, "denorm batch-vs-stream min", w);
+        expectBitEqual(smx, fmx, "denorm batch-vs-stream max", w);
+        if (emprof::dsp::avx2Available()) {
+            std::vector<double> vmn, vmx;
+            runVariant(SimdVariant::Avx2, x, w, vmn, vmx);
+            expectBitEqual(smn, vmn, "denorm scalar-vs-avx2 min", w);
+        }
+    }
+}
+
+TEST(BatchMinMax, DispatchReportsAConsistentVariant)
+{
+    const SimdVariant v = emprof::dsp::activeSimdVariant();
+    if (v == SimdVariant::Avx2) {
+        EXPECT_TRUE(emprof::dsp::avx2Available());
+    }
+    EXPECT_STREQ(emprof::dsp::simdVariantName(SimdVariant::Scalar), "scalar");
+    EXPECT_STREQ(emprof::dsp::simdVariantName(SimdVariant::Avx2), "avx2");
+}
+
+} // namespace

@@ -4,9 +4,12 @@
 # the streaming vs. parallel perf trajectory — and the resilience
 # layer's overhead — are tracked across PRs.
 #
-#   tools/bench_pipeline.sh [--samples N]
+#   tools/bench_pipeline.sh [--samples N] [--runs N]
 #
-# BUILD_DIR overrides the build directory (default: build).
+# Both benches default to 64 Mi samples and best-of-3 timed runs per
+# mode (run-to-run variance lands in the JSON); pass --runs 5 on a
+# noisy host.  BUILD_DIR overrides the build directory (default:
+# build).
 set -e
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"

@@ -81,6 +81,10 @@ usage(const char *argv0)
         "                      bit-identical to single-threaded\n"
         "                      (default: hardware concurrency, 1\n"
         "                      forces the streaming path)\n"
+        "  --fast-math-simd    allow the AVX2 batch kernel to\n"
+        "                      normalise in single precision (~2\n"
+        "                      float ULP; a razor-edge dip boundary\n"
+        "                      may move by one sample)\n"
         "\n"
         "recovery:\n"
         "  --recover           open a truncated/unfinalized EMCAP\n"
@@ -135,7 +139,7 @@ main(int argc, char **argv)
     double rate_mhz = 0.0, clock_ghz = 1.008, boot_bucket_us = 0.0;
     std::size_t threads = common::ThreadPool::hardwareThreads();
     std::string events_csv;
-    bool verbose = false;
+    bool verbose = false, fast_math_simd = false, threads_set = false;
     tools::ObsCli obs_cli;
     profiler::EmProfConfig config;
 
@@ -164,9 +168,13 @@ main(int argc, char **argv)
         else if (arg == "--window-ms")
             config.normWindowSeconds =
                 argDouble(argc, argv, i, 1e-6, 1e6) * 1e-3;
-        else if (arg == "--threads")
+        else if (arg == "--threads") {
             threads = static_cast<std::size_t>(tools::parseU64Flag(
                 "--threads", argText(argc, argv, i), 1, 4096));
+            threads_set = true;
+        }
+        else if (arg == "--fast-math-simd")
+            fast_math_simd = true;
         else if (arg == "--recover")
             recover = true;
         else if (arg == "--resilient")
@@ -317,9 +325,10 @@ main(int argc, char **argv)
     profiler::ProfileResult result;
     {
         EMPROF_OBS_STAGE("tool.analyze");
+        profiler::ParallelAnalyzerConfig pcfg;
+        pcfg.threads = threads;
+        pcfg.fastMathSimd = fast_math_simd;
         if (emcap_direct) {
-            profiler::ParallelAnalyzerConfig pcfg;
-            pcfg.threads = threads;
             std::string err;
             if (!profiler::analyzeCaptureParallel(reader, config, result,
                                                   pcfg, &err)) {
@@ -327,11 +336,15 @@ main(int argc, char **argv)
                              err.c_str());
                 return 1;
             }
+        } else if (threads_set && threads <= 1 && !fast_math_simd) {
+            // `--threads 1` is the documented escape hatch to the
+            // plain streaming reference.
+            result = profiler::EmProf::analyze(signal, config);
         } else {
-            result =
-                threads > 1 ? profiler::EmProf::analyzeParallel(
-                                  signal, config, threads)
-                            : profiler::EmProf::analyze(signal, config);
+            // The analyzer picks the decomposition (and the batch
+            // kernel when the CPU has it — also worthwhile on one
+            // worker); short inputs fall back to streaming inside.
+            result = profiler::analyzeParallel(signal, config, pcfg);
         }
     }
     int rc = 0;
