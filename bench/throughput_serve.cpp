@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Served-ingest throughput: an open-loop Poisson load generator
+ * against an in-process emprof serve::Server on a unix socket.
+ *
+ *   throughput_serve [--devices N] [--rate R] [--samples-per-capture S]
+ *                    [--client-threads K] [--server-threads T]
+ *                    [--json PATH] [--fail-on-reject]
+ *
+ * Open-loop means the arrival schedule is drawn up front (exponential
+ * inter-arrival gaps at R sessions/s, fixed seed) and never reacts to
+ * completions: if the server falls behind, sessions start late and the
+ * lateness lands in their measured latency — the honest fleet-scale
+ * number, unlike closed-loop generators that politely wait.  Each
+ * session is one full EMCAP upload (the same blob for every device)
+ * pushed through the real client/EMFR/server/analysis path.
+ *
+ * Reported: sessions/s, p50/p99 session latency (scheduled arrival →
+ * Report in hand), aggregate analysis throughput in Msamples/s, and
+ * the rejected-session count.  Results go to stdout and to
+ * machine-readable JSON (default BENCH_serve.json); --fail-on-reject
+ * turns any rejected session into exit 1, which CI uses as the
+ * serve-bench gate.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "dsp/rng.hpp"
+#include "dsp/types.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "store/capture_writer.hpp"
+
+using namespace emprof;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Same memory-bound synthetic signal the other throughput rigs use. */
+dsp::TimeSeries
+syntheticCapture(std::size_t total)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = 40e6;
+    s.samples.assign(total, 1.0f);
+    dsp::Rng rng(0xca97);
+    for (auto &x : s.samples)
+        x += static_cast<float>(0.02 * (rng.uniform() - 0.5));
+    std::size_t pos = 1000;
+    while (pos + 120 < total) {
+        const std::size_t len =
+            rng.chance(0.01) ? 100 : 8 + rng.below(7);
+        for (std::size_t i = pos; i < pos + len; ++i)
+            s.samples[i] = 0.2f;
+        pos += len + 40 + rng.below(120);
+    }
+    return s;
+}
+
+/** Render the capture once; every device pushes the same bytes. */
+std::vector<uint8_t>
+captureBlob(std::size_t samples, std::string *error)
+{
+    const std::string path = "/tmp/emprof_bench_serve_" +
+                             std::to_string(::getpid()) + ".emcap";
+    store::WriterOptions opt;
+    opt.sampleRateHz = 40e6;
+    opt.clockHz = 1e9;
+    opt.deviceName = "bench";
+    std::vector<uint8_t> blob;
+    if (!store::writeCapture(path, syntheticCapture(samples), opt,
+                             nullptr, error))
+        return blob;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f != nullptr) {
+        char buf[1 << 16];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            blob.insert(blob.end(), buf, buf + got);
+        std::fclose(f);
+    }
+    ::unlink(path.c_str());
+    if (blob.empty() && error != nullptr)
+        *error = "could not read back " + path;
+    return blob;
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t devices = 1000;
+    std::size_t samples = 65536;
+    double rate = 400.0; // sessions per second
+    std::size_t client_threads = 16;
+    std::size_t server_threads = 0;
+    std::string json_path = "BENCH_serve.json";
+    bool fail_on_reject = false;
+
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--devices") && i + 1 < argc)
+            devices = static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--samples-per-capture") &&
+                 i + 1 < argc)
+            samples = static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--rate") && i + 1 < argc)
+            rate = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--client-threads") &&
+                 i + 1 < argc)
+            client_threads =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--server-threads") &&
+                 i + 1 < argc)
+            server_threads =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        else if (!std::strcmp(argv[i], "--json") && i + 1 < argc)
+            json_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--fail-on-reject"))
+            fail_on_reject = true;
+        else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--devices N] [--rate R]\n"
+                "          [--samples-per-capture S] "
+                "[--client-threads K]\n"
+                "          [--server-threads T] [--json PATH] "
+                "[--fail-on-reject]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (devices == 0 || rate <= 0.0 || client_threads == 0) {
+        std::fprintf(stderr, "nothing to do\n");
+        return 2;
+    }
+
+    std::printf("synthesising %zu-sample capture blob...\n", samples);
+    std::string error;
+    const std::vector<uint8_t> blob = captureBlob(samples, &error);
+    if (blob.empty()) {
+        std::fprintf(stderr, "capture synthesis failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+    std::printf("blob: %zu bytes (%zu samples)\n", blob.size(),
+                samples);
+
+    serve::ServerConfig config;
+    config.unixPath = "/tmp/emprof_bench_serve_" +
+                      std::to_string(::getpid()) + ".sock";
+    config.threads = server_threads;
+    config.maxSessions = devices; // open-loop: never reply Busy
+    serve::Server server(std::move(config));
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    // The arrival schedule, drawn before any session runs and never
+    // adjusted afterwards: that independence is what makes the
+    // generator open-loop.
+    std::vector<double> arrival_s(devices);
+    {
+        dsp::Rng rng(0x5e7e);
+        double t = 0.0;
+        for (std::size_t i = 0; i < devices; ++i) {
+            t += -std::log(1.0 - rng.uniform()) / rate;
+            arrival_s[i] = t;
+        }
+    }
+    std::printf("%zu sessions over %.2f s (Poisson, %.0f/s), "
+                "%zu client threads\n",
+                devices, arrival_s.back(), rate, client_threads);
+
+    std::vector<double> latency_ms(devices, 0.0);
+    std::vector<uint8_t> ok(devices, 0);
+    std::atomic<std::size_t> next{0};
+    const Clock::time_point start = Clock::now();
+
+    auto worker = [&] {
+        serve::Endpoint ep;
+        ep.tcp = false;
+        ep.unixPath = "/tmp/emprof_bench_serve_" +
+                      std::to_string(::getpid()) + ".sock";
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= devices)
+                return;
+            const Clock::time_point due =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                arrival_s[i]));
+            std::this_thread::sleep_until(due);
+            serve::Client client;
+            std::string why;
+            if (!client.connect(ep, &why)) {
+                ok[i] = 0;
+                continue;
+            }
+            const serve::PushResult result =
+                client.push(blob.data(), blob.size(), false,
+                            256 * 1024);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - due)
+                    .count();
+            latency_ms[i] = ms;
+            ok[i] = result.ok ? 1 : 0;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(client_threads);
+    for (std::size_t i = 0; i < client_threads; ++i)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    const double wall_s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    server.stop();
+    const serve::ServerStats stats = server.stats();
+
+    std::size_t completed = 0;
+    std::vector<double> sorted;
+    sorted.reserve(devices);
+    for (std::size_t i = 0; i < devices; ++i)
+        if (ok[i]) {
+            ++completed;
+            sorted.push_back(latency_ms[i]);
+        }
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t rejected = devices - completed;
+
+    const double sessions_per_s =
+        static_cast<double>(completed) / wall_s;
+    const double msamples_per_s =
+        static_cast<double>(completed) *
+        static_cast<double>(samples) / wall_s / 1e6;
+    const double p50 = percentile(sorted, 50.0);
+    const double p99 = percentile(sorted, 99.0);
+
+    std::printf("\n== served ingest ==\n");
+    std::printf("sessions        %zu ok, %zu rejected (server: %llu "
+                "completed, %llu rejected)\n",
+                completed, rejected,
+                static_cast<unsigned long long>(
+                    stats.sessionsCompleted),
+                static_cast<unsigned long long>(
+                    stats.sessionsRejected));
+    std::printf("wall            %.2f s\n", wall_s);
+    std::printf("throughput      %.1f sessions/s, %.1f Msamples/s\n",
+                sessions_per_s, msamples_per_s);
+    std::printf("latency         p50 %.2f ms, p99 %.2f ms\n", p50,
+                p99);
+
+    std::FILE *json = std::fopen(json_path.c_str(), "w");
+    if (json != nullptr) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"bench\": \"throughput_serve\",\n"
+            "  \"devices\": %zu,\n"
+            "  \"samples_per_capture\": %zu,\n"
+            "  \"offered_rate_per_s\": %.1f,\n"
+            "  \"completed\": %zu,\n"
+            "  \"rejected\": %zu,\n"
+            "  \"wall_s\": %.3f,\n"
+            "  \"sessions_per_s\": %.2f,\n"
+            "  \"msamples_per_s\": %.2f,\n"
+            "  \"latency_p50_ms\": %.3f,\n"
+            "  \"latency_p99_ms\": %.3f\n"
+            "}\n",
+            devices, samples, rate, completed, rejected, wall_s,
+            sessions_per_s, msamples_per_s, p50, p99);
+        std::fclose(json);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    else {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+
+    if (fail_on_reject && rejected > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %zu session(s) rejected under open-loop "
+                     "load\n",
+                     rejected);
+        return 1;
+    }
+    return 0;
+}

@@ -23,13 +23,33 @@ ThreadPool::ThreadPool(std::size_t threads)
 
 ThreadPool::~ThreadPool()
 {
+    drain();
+}
+
+void
+ThreadPool::drain()
+{
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
+    // Joining is single-shot, but concurrent drainers must all block
+    // until the workers are really gone — hence a dedicated mutex
+    // (mutex_ stays free for the workers finishing their queue).
+    std::lock_guard<std::mutex> join_lock(joinMutex_);
+    if (joined_)
+        return;
     for (auto &worker : workers_)
         worker.join();
+    joined_ = true;
+}
+
+bool
+ThreadPool::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stop_;
 }
 
 std::future<void>
@@ -40,6 +60,15 @@ ThreadPool::submit(std::function<void()> task)
     std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        if (stop_) {
+            // Late enqueue during shutdown: reject, never run.  The
+            // caller still holds a resolvable future, so a generic
+            // "submit then get()" call site cannot hang or crash.
+            std::promise<void> rejected;
+            rejected.set_exception(
+                std::make_exception_ptr(PoolDrained{}));
+            return rejected.get_future();
+        }
         queue_.push_back(std::move(packaged));
         depth = queue_.size();
     }

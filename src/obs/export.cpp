@@ -134,6 +134,28 @@ writeMetricsJson(const std::string &path, std::string *error)
     return writeStringToFile(path, metricsToJson(), error);
 }
 
+std::string
+metricsToText()
+{
+    const MetricsSnapshot snap = MetricsRegistry::instance().scrape();
+    std::string out;
+    for (const auto &[name, value] : snap.counters)
+        appendf(out, "%s %" PRIu64 "\n", name.c_str(), value);
+    for (const auto &[name, value] : snap.gauges)
+        appendf(out, "%s %" PRId64 "\n", name.c_str(), value);
+    for (const auto &[name, h] : snap.histograms) {
+        appendf(out, "%s_count %" PRIu64 "\n", name.c_str(), h.count);
+        appendf(out, "%s_sum %" PRIu64 "\n", name.c_str(), h.sum);
+        appendf(out, "%s_mean %.3f\n", name.c_str(), h.mean());
+    }
+    for (const auto &[name, value] : snap.labels)
+        appendf(out, "%s %s\n", name.c_str(), value.c_str());
+    if (snap.droppedRegistrations != 0)
+        appendf(out, "obs.dropped_registrations %" PRIu64 "\n",
+                snap.droppedRegistrations);
+    return out;
+}
+
 bool
 writeTraceJson(const std::string &path, std::string *error)
 {

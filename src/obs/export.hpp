@@ -35,6 +35,14 @@ bool writeMetricsJson(const std::string &path,
 std::string metricsToJson();
 
 /**
+ * Render the metrics scrape as line-oriented text — one
+ * `name value` pair per line (histograms expand to `_count`, `_sum`
+ * and `_mean` lines) — the format the ingest server's scrape endpoint
+ * returns, greppable and diffable without a JSON parser.
+ */
+std::string metricsToText();
+
+/**
  * Write the tracer's span buffer to @p path as Chrome trace JSON.
  *
  * @param error Receives a one-line reason on failure.

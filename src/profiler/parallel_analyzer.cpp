@@ -11,26 +11,12 @@
 #include "obs/stage_profiler.hpp"
 #include "profiler/batch_pipeline.hpp"
 #include "profiler/report.hpp"
+#include "profiler/stitch.hpp"
 #include "store/capture_reader.hpp"
 
 namespace emprof::profiler {
 
 namespace {
-
-/** Batched (per analysis, never per sample) result accounting. */
-void
-countParallelAnalyzed(uint64_t samples, std::size_t events)
-{
-    if (!obs::MetricsRegistry::enabled())
-        return;
-    auto &registry = obs::MetricsRegistry::instance();
-    static const obs::Counter samples_processed =
-        registry.counter("profiler.samples_processed");
-    static const obs::Counter events_emitted =
-        registry.counter("profiler.events_emitted");
-    samples_processed.add(samples);
-    events_emitted.add(events);
-}
 
 /**
  * Worker count actually used: the requested count (0 = all cores)
@@ -65,108 +51,20 @@ recordParallelGauges(std::size_t workers, std::size_t chunk,
 }
 
 /**
- * Sequentially merge per-chunk results into the event list streaming
- * would have produced.  `carry` is the streaming detector's open-dip
- * state at each chunk boundary.
- */
-std::vector<StallEvent>
-stitch(const std::vector<ChunkResult> &chunks, const EmProfConfig &config)
-{
-    EMPROF_OBS_STAGE("analyze.stitch");
-    obs::Counter carried_dips, replayed_samples;
-    if (obs::MetricsRegistry::enabled()) {
-        auto &registry = obs::MetricsRegistry::instance();
-        carried_dips =
-            registry.counter("analyzer.stitch.carried_dips");
-        replayed_samples =
-            registry.counter("analyzer.stitch.replayed_samples");
-    }
-
-    std::vector<StallEvent> events;
-    std::size_t upper = 0;
-    for (const auto &chunk : chunks)
-        upper += chunk.events.size() + 1; // +1: possible carried dip
-    events.reserve(upper);
-    // Same duration cut the chunk-local detectors used (the resilient
-    // path relaxes it to compensate for pre-smoother dip widening).
-    const uint64_t min_duration = config.effectiveMinDurationSamples();
-    DipDetector::DipState carry;
-
-    const auto emit = [&](const DipDetector::DipState &dip) {
-        if (dip.lastBelowExit - dip.start + 1 < min_duration)
-            return;
-        StallEvent ev;
-        ev.startSample = dip.start;
-        ev.endSample = dip.lastBelowExit;
-        ev.depth = dip.depthCount == 0
-                       ? 0.0
-                       : dip.depthSum /
-                             static_cast<double>(dip.depthCount);
-        events.push_back(ev);
-    };
-
-    for (const auto &chunk : chunks) {
-        uint64_t first_valid = chunk.begin;
-        if (carry.inDip) {
-            carried_dips.inc();
-            replayed_samples.add(chunk.prefixNorms.size());
-            // Replay the prefix into the carried dip sample by sample,
-            // in order, exactly as streaming would have accumulated it.
-            for (std::size_t k = 0; k < chunk.prefixNorms.size(); ++k) {
-                carry.lastBelowExit = chunk.begin + k;
-                carry.depthSum += chunk.prefixNorms[k];
-                ++carry.depthCount;
-            }
-            if (chunk.prefixNorms.size() == chunk.end - chunk.begin)
-                continue; // whole chunk below exit: dip stays open
-            emit(carry);
-            carry = DipDetector::DipState{};
-            // Chunk-local events inside the prefix belong to the
-            // carried dip, not to a fresh one.
-            first_valid = chunk.begin + chunk.prefixNorms.size();
-        }
-        for (const auto &ev : chunk.events)
-            if (ev.startSample >= first_valid)
-                events.push_back(ev);
-        if (chunk.open.inDip && chunk.open.start >= first_valid)
-            carry = chunk.open;
-    }
-
-    // Capture ends mid-dip: same flush rule as EmProf::finish().
-    if (carry.inDip)
-        emit(carry);
-    return events;
-}
-
-/**
- * Sequential tail shared by both parallel paths: stitch, classify,
- * quarantine (when the resilience layer is on), report.  Mirrors the
- * order of EmProf::finish() so the parallel result is bit-identical to
- * streaming.
+ * Sequential tail shared by both parallel paths: feed the pool-ordered
+ * chunk results through the incremental stitcher (see stitch.hpp), then
+ * classify / quarantine / report.  The serving path drives the same
+ * ChunkStitcher one chunk at a time as uploads arrive.
  */
 ProfileResult
 finalizeChunks(const std::vector<ChunkResult> &chunks,
                const EmProfConfig &config, uint64_t total_samples)
 {
-    ProfileResult result;
-    result.events = stitch(chunks, config);
-    for (auto &ev : result.events)
-        classifyStall(ev, config);
-    SignalQualitySummary quality;
-    if (config.signal.enabled) {
-        std::vector<SignalBlock> blocks;
-        for (const auto &chunk : chunks)
-            blocks.insert(blocks.end(), chunk.blocks.begin(),
-                          chunk.blocks.end());
-        quality = applySignalQuality(result.events, blocks,
-                                     config.detectorConfig(),
-                                     config.signal, total_samples);
-    }
-    result.report = makeReport(result.events, config.sampleRateHz,
-                               config.clockHz, total_samples);
-    result.report.quality = quality;
-    countParallelAnalyzed(total_samples, result.events.size());
-    return result;
+    EMPROF_OBS_STAGE("analyze.stitch");
+    ChunkStitcher stitcher(config);
+    for (const auto &chunk : chunks)
+        stitcher.feed(chunk);
+    return stitcher.finalize(total_samples);
 }
 
 } // namespace

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Incremental chunk stitching: the sequential tail of chunked analysis.
+ *
+ * Chunked analysis (parallel batch, or a long-lived serving session
+ * feeding chunks as they arrive off a socket) produces one ChunkResult
+ * per contiguous span of samples.  ChunkStitcher consumes those results
+ * *in order* and maintains exactly the state the streaming detector
+ * would have had at each chunk boundary: the open-dip carry, the event
+ * list so far, and the quality blocks.  finalize() then classifies,
+ * applies the signal-quality layer and builds the report in the same
+ * order as EmProf::finish(), so the stitched result is bit-identical to
+ * the streaming path no matter how the input was cut into chunks — or
+ * how long the gaps between feed() calls were.
+ *
+ * This is the piece that makes analysis *resumable*: a server session
+ * can feed a chunk, go idle for seconds while the next upload frame
+ * crosses the network, and feed the next — the stitcher carries the
+ * detector state across feeds with no buffered samples at all.
+ *
+ * Extracted from ParallelAnalyzer (which now drives it with
+ * pool-ordered results) so the one-shot and served paths share one
+ * stitch implementation.  See DESIGN.md §8 for the carry/replay
+ * argument and §14 for the serving pipeline built on top.
+ */
+
+#ifndef EMPROF_PROFILER_STITCH_HPP
+#define EMPROF_PROFILER_STITCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "profiler/batch_pipeline.hpp"
+#include "profiler/profiler.hpp"
+
+namespace emprof::profiler {
+
+/**
+ * Order-sensitive accumulator over ChunkResults.
+ *
+ * feed() must be called with contiguous, in-order chunks (chunk N's
+ * begin == chunk N-1's end).  finalize() may be called exactly once;
+ * the stitcher is single-use.
+ */
+class ChunkStitcher
+{
+  public:
+    explicit ChunkStitcher(const EmProfConfig &config);
+
+    /** Merge one chunk's result into the running streaming state. */
+    void feed(const ChunkResult &chunk);
+
+    /**
+     * Flush the open dip (same rule as EmProf::finish()), classify,
+     * apply signal quality, and build the report over @p totalSamples.
+     */
+    ProfileResult finalize(uint64_t totalSamples);
+
+    /** Events completed so far (pre-classification, pre-finalize). */
+    const std::vector<StallEvent> &events() const { return events_; }
+
+    /** Samples of chunk prefixes replayed into carried dips so far. */
+    uint64_t replayedSamples() const { return replayedSamples_; }
+
+    /** Dips carried open across a chunk boundary so far. */
+    uint64_t carriedDips() const { return carriedDips_; }
+
+  private:
+    void emitCarry();
+
+    EmProfConfig config_;
+    uint64_t minDuration_;
+    std::vector<StallEvent> events_;
+    std::vector<SignalBlock> blocks_;
+    DipDetector::DipState carry_;
+    uint64_t carriedDips_ = 0;
+    uint64_t replayedSamples_ = 0;
+    bool finalized_ = false;
+};
+
+} // namespace emprof::profiler
+
+#endif // EMPROF_PROFILER_STITCH_HPP

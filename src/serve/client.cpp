@@ -1,0 +1,278 @@
+#include "serve/client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace emprof::serve {
+
+namespace {
+
+bool
+fail(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+    return false;
+}
+
+} // namespace
+
+bool
+parseEndpoint(const std::string &spec, Endpoint &out,
+              std::string *error)
+{
+    if (spec.empty())
+        return fail(error, "empty endpoint");
+    if (spec.rfind("unix:", 0) == 0) {
+        out.tcp = false;
+        out.unixPath = spec.substr(5);
+        if (out.unixPath.empty())
+            return fail(error, "unix endpoint needs a path");
+        return true;
+    }
+    if (spec.rfind("tcp:", 0) == 0) {
+        const std::string rest = spec.substr(4);
+        const auto colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 == rest.size())
+            return fail(error,
+                        "tcp endpoint must be tcp:host:port, got '" +
+                            spec + "'");
+        out.tcp = true;
+        out.host = rest.substr(0, colon);
+        try {
+            out.port = std::stoi(rest.substr(colon + 1));
+        } catch (...) {
+            return fail(error, "bad tcp port in '" + spec + "'");
+        }
+        if (out.port <= 0 || out.port > 65535)
+            return fail(error, "tcp port out of range in '" + spec +
+                                   "'");
+        return true;
+    }
+    // A bare path is a unix socket — the common daemon case.
+    out.tcp = false;
+    out.unixPath = spec;
+    return true;
+}
+
+bool
+Client::connect(const Endpoint &endpoint, std::string *error)
+{
+    close();
+    if (!endpoint.tcp) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (endpoint.unixPath.size() >= sizeof(addr.sun_path))
+            return fail(error, "unix socket path too long");
+        std::strncpy(addr.sun_path, endpoint.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return fail(error, std::string("socket failed: ") +
+                                   std::strerror(errno));
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            const int e = errno;
+            close();
+            return fail(error, "cannot connect to " +
+                                   endpoint.unixPath + ": " +
+                                   std::strerror(e));
+        }
+        return true;
+    }
+
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int rc =
+        ::getaddrinfo(endpoint.host.c_str(),
+                      std::to_string(endpoint.port).c_str(), &hints,
+                      &res);
+    if (rc != 0 || res == nullptr)
+        return fail(error, "cannot resolve " + endpoint.host + ": " +
+                               ::gai_strerror(rc));
+    fd_ = ::socket(res->ai_family, res->ai_socktype,
+                   res->ai_protocol);
+    if (fd_ < 0) {
+        ::freeaddrinfo(res);
+        return fail(error, std::string("socket failed: ") +
+                               std::strerror(errno));
+    }
+    if (::connect(fd_, res->ai_addr, res->ai_addrlen) != 0) {
+        const int e = errno;
+        ::freeaddrinfo(res);
+        close();
+        return fail(error, "cannot connect to " + endpoint.host + ":" +
+                               std::to_string(endpoint.port) + ": " +
+                               std::strerror(e));
+    }
+    ::freeaddrinfo(res);
+    return true;
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+bool
+Client::open(bool resilient, std::string *error)
+{
+    if (fd_ < 0)
+        return fail(error, "not connected");
+    OpenRequest req{};
+    req.flags = resilient ? kOpenResilient : 0;
+    return writeFrame(fd_, FrameType::Open, &req, sizeof(req), error);
+}
+
+bool
+Client::sendData(const uint8_t *data, std::size_t bytes,
+                 std::string *error)
+{
+    if (fd_ < 0)
+        return fail(error, "not connected");
+    return writeFrame(fd_, FrameType::Data, data, bytes, error);
+}
+
+/**
+ * A write that fails mid-session usually means the server already
+ * rejected the session, queued a typed Error frame, and closed its
+ * end — the rejection is sitting in our receive buffer.  Surface it
+ * instead of the opaque EPIPE.  The peer's end is closed, so the read
+ * terminates immediately with either the frame or EOF.
+ */
+void
+Client::adoptPendingError(PushResult &result)
+{
+    if (fd_ < 0)
+        return;
+    Frame reply;
+    std::string ignored;
+    if (readFrame(fd_, reply, &ignored) &&
+        reply.type == FrameType::Error)
+        decodeErrorPayload(reply.payload, result.errorCode,
+                           result.error);
+}
+
+PushResult
+Client::finish()
+{
+    PushResult result;
+    std::string error;
+    if (fd_ < 0) {
+        result.error = "not connected";
+        return result;
+    }
+    if (!writeFrame(fd_, FrameType::Finish, nullptr, 0, &error)) {
+        result.error = error;
+        adoptPendingError(result);
+        close();
+        return result;
+    }
+    Frame reply;
+    if (!readFrame(fd_, reply, &error)) {
+        result.error = error;
+        close();
+        return result;
+    }
+    close();
+    if (reply.type == FrameType::Error) {
+        decodeErrorPayload(reply.payload, result.errorCode,
+                           result.error);
+        return result;
+    }
+    if (reply.type != FrameType::Report) {
+        result.error = "unexpected reply frame from server";
+        return result;
+    }
+    if (!decodeReportPayload(reply.payload, result.report, &error)) {
+        result.error = error;
+        return result;
+    }
+    result.ok = true;
+    return result;
+}
+
+PushResult
+Client::push(const uint8_t *capture, std::size_t bytes, bool resilient,
+             std::size_t uploadChunkBytes)
+{
+    PushResult result;
+    std::string error;
+    if (uploadChunkBytes == 0 || uploadChunkBytes > kMaxFramePayload)
+        uploadChunkBytes = kMaxFramePayload;
+    if (!open(resilient, &error)) {
+        result.error = error;
+        close();
+        return result;
+    }
+    for (std::size_t off = 0; off < bytes;) {
+        const std::size_t take =
+            std::min(uploadChunkBytes, bytes - off);
+        if (!sendData(capture + off, take, &error)) {
+            result.error = error;
+            adoptPendingError(result);
+            close();
+            return result;
+        }
+        off += take;
+    }
+    return finish();
+}
+
+bool
+Client::scrape(const Endpoint &endpoint, std::string &text,
+               std::string *error)
+{
+    Client client;
+    if (!client.connect(endpoint, error))
+        return false;
+    if (!writeFrame(client.fd_, FrameType::StatsRequest, nullptr, 0,
+                    error))
+        return false;
+    Frame reply;
+    if (!readFrame(client.fd_, reply, error))
+        return false;
+    if (reply.type != FrameType::Stats)
+        return fail(error, "unexpected reply to StatsRequest");
+    text.assign(reply.payload.begin(), reply.payload.end());
+    return true;
+}
+
+PushResult
+pushCapture(const Endpoint &endpoint, const std::string &capturePath,
+            bool resilient, std::size_t uploadChunkBytes)
+{
+    PushResult result;
+    std::ifstream in(capturePath, std::ios::binary);
+    if (!in) {
+        result.error = "cannot open " + capturePath;
+        return result;
+    }
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    Client client;
+    std::string error;
+    if (!client.connect(endpoint, &error)) {
+        result.error = error;
+        return result;
+    }
+    return client.push(bytes.data(), bytes.size(), resilient,
+                       uploadChunkBytes);
+}
+
+} // namespace emprof::serve

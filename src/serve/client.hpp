@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Client side of the EMFR protocol: connect, push one EMCAP capture,
+ * collect the Report — the code path shared by `emprof_capture
+ * --push`, the served-equivalence tests and the load generator.
+ *
+ * Endpoints are spelled like the daemon's --listen flag:
+ *
+ *     unix:/run/emprof.sock      unix-domain socket
+ *     tcp:127.0.0.1:7600         TCP (host:port)
+ *     /run/emprof.sock           bare path = unix
+ *
+ * Uploads are cut into Data frames of uploadChunkBytes; the cut is
+ * arbitrary by design (the server reassembles a byte stream), which
+ * the equivalence tests exploit by pushing the same capture in wildly
+ * different framings and asserting bit-identical reports.
+ */
+
+#ifndef EMPROF_SERVE_CLIENT_HPP
+#define EMPROF_SERVE_CLIENT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hpp"
+
+namespace emprof::serve {
+
+/** Parsed --listen / --push endpoint. */
+struct Endpoint
+{
+    bool tcp = false;
+    std::string unixPath; ///< when !tcp
+    std::string host;     ///< when tcp
+    int port = 0;         ///< when tcp
+};
+
+/** Parse an endpoint spec; false + reason when unintelligible. */
+bool parseEndpoint(const std::string &spec, Endpoint &out,
+                   std::string *error = nullptr);
+
+/** Outcome of one pushed session. */
+struct PushResult
+{
+    bool ok = false;          ///< Report received (status may be 3)
+    DecodedReport report;     ///< valid when ok
+    ErrorCode errorCode =     ///< valid when !ok and the server spoke
+        ErrorCode::Internal;
+    std::string error;        ///< human-readable failure reason
+};
+
+class Client
+{
+  public:
+    ~Client() { close(); }
+
+    /** Connect to @p endpoint; false + reason on failure. */
+    bool connect(const Endpoint &endpoint,
+                 std::string *error = nullptr);
+
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /**
+     * Run one full session over the open connection: Open (with
+     * @p resilient mapped to kOpenResilient), the capture bytes in
+     * Data frames of @p uploadChunkBytes, Finish, then block for the
+     * Report/Error.  The connection is closed afterwards either way.
+     */
+    PushResult push(const uint8_t *capture, std::size_t bytes,
+                    bool resilient = false,
+                    std::size_t uploadChunkBytes = 256 * 1024);
+
+    /**
+     * Low-level session steps, for callers that interleave uploads
+     * with other work (the load generator paces Data frames itself).
+     */
+    bool open(bool resilient, std::string *error = nullptr);
+    bool sendData(const uint8_t *data, std::size_t bytes,
+                  std::string *error = nullptr);
+    PushResult finish();
+
+    /** Fetch the server's text metrics scrape (StatsRequest). */
+    static bool scrape(const Endpoint &endpoint, std::string &text,
+                       std::string *error = nullptr);
+
+  private:
+    void adoptPendingError(PushResult &result);
+
+    int fd_ = -1;
+};
+
+/** Convenience: connect + push a capture file's bytes in one call. */
+PushResult pushCapture(const Endpoint &endpoint,
+                       const std::string &capturePath,
+                       bool resilient = false,
+                       std::size_t uploadChunkBytes = 256 * 1024);
+
+} // namespace emprof::serve
+
+#endif // EMPROF_SERVE_CLIENT_HPP

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * EMFR wire framing for the EMPROF ingest service.
+ *
+ * A served session is one capture upload over a byte stream (unix or
+ * TCP socket), cut into length-prefixed frames:
+ *
+ *     | FrameHeader | payload (payloadBytes) | FrameHeader | ... |
+ *
+ * The 16-byte header carries magic, protocol version, frame type, the
+ * payload length, and a CRC32C over the payload — the same checksum
+ * the EMCAP store uses (store/crc32c), so a flipped bit anywhere on
+ * the wire is pinned to one frame and rejected with a typed error
+ * instead of poisoning the decode.  All multi-byte fields are
+ * little-endian, like the EMCAP format itself.
+ *
+ * Session protocol (client side):
+ *
+ *     Open          options (resilient flag)
+ *     Data*         consecutive bytes of one EMCAP capture file
+ *     Finish        end of upload, request the report
+ *   ← Report        status + events (bit patterns) + text report
+ *   ← Error         typed rejection at any point; session is over
+ *
+ * Scrape protocol: a connection may instead send one StatsRequest and
+ * receives a Stats frame (text metrics rendering), then is closed.
+ *
+ * The payload cap bounds per-session framing memory: a header
+ * announcing more than kMaxFramePayload is malformed by definition
+ * (the server never buffers it), and well-behaved clients slice
+ * uploads into frames well under the cap.
+ */
+
+#ifndef EMPROF_SERVE_FRAME_HPP
+#define EMPROF_SERVE_FRAME_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profiler/events.hpp"
+
+namespace emprof::serve {
+
+/** First four bytes of every frame. */
+constexpr char kFrameMagic[4] = {'E', 'M', 'F', 'R'};
+
+/** Wire protocol version; bumped on any layout change. */
+constexpr uint16_t kProtocolVersion = 1;
+
+/** Hard cap on one frame's payload (bounds per-session memory). */
+constexpr std::size_t kMaxFramePayload = std::size_t{4} << 20;
+
+enum class FrameType : uint16_t
+{
+    Open = 1,         ///< client → server: session options
+    Data = 2,         ///< client → server: next EMCAP bytes
+    Finish = 3,       ///< client → server: upload complete
+    Report = 4,       ///< server → client: session result
+    Error = 5,        ///< server → client: typed rejection
+    StatsRequest = 6, ///< client → server: scrape the metrics
+    Stats = 7,        ///< server → client: text metrics rendering
+};
+
+/** 16-byte frame header; the struct layout is the wire format. */
+struct FrameHeader
+{
+    char magic[4];
+    uint16_t version;
+    uint16_t type;
+    uint32_t payloadBytes;
+    uint32_t payloadCrc; ///< CRC32C over the payload bytes
+};
+static_assert(sizeof(FrameHeader) == 16, "header layout is the format");
+
+/** Open payload. */
+struct OpenRequest
+{
+    /** kOpenResilient enables the signal-quality resilience layer. */
+    uint32_t flags;
+    uint32_t reserved; ///< zero
+};
+static_assert(sizeof(OpenRequest) == 8, "layout is the format");
+
+constexpr uint32_t kOpenResilient = 1u << 0;
+
+/** Why the server rejected a session (Error payload leads with it). */
+enum class ErrorCode : uint32_t
+{
+    Malformed = 1, ///< bad frame, bad EMCAP bytes, truncated upload
+    Busy = 2,      ///< session limit reached
+    Internal = 3,  ///< analysis failure on the server side
+    Shutdown = 4,  ///< server is stopping
+};
+
+/** Error payload: 4-byte code then a human-readable message. */
+struct ErrorHeader
+{
+    uint32_t code; ///< ErrorCode
+};
+static_assert(sizeof(ErrorHeader) == 4, "layout is the format");
+
+/**
+ * Report payload: header, then eventCount WireEvents, then the text
+ * report (the remainder of the payload, not NUL-terminated).
+ *
+ * status carries emprof_analyze exit semantics: 0 = ok, 3 = degraded
+ * (signal coverage below 100%).
+ */
+struct ReportHeader
+{
+    uint32_t status;
+    uint32_t eventCount;
+    uint64_t totalSamples;
+    double coverageFraction; ///< 1.0 unless the resilient layer ran
+};
+static_assert(sizeof(ReportHeader) == 24, "layout is the format");
+
+/**
+ * One stall event on the wire.  Doubles travel as their IEEE-754 bit
+ * patterns, so the served path's bit-identity guarantee survives
+ * serialization by construction.
+ */
+struct WireEvent
+{
+    uint64_t startSample;
+    uint64_t endSample;
+    uint64_t depthBits;
+    uint64_t durationNsBits;
+    uint64_t stallCyclesBits;
+    uint64_t confidenceBits;
+    uint32_t kind;
+    uint32_t reserved; ///< zero
+};
+static_assert(sizeof(WireEvent) == 56, "layout is the format");
+
+WireEvent toWire(const profiler::StallEvent &ev);
+profiler::StallEvent fromWire(const WireEvent &w);
+
+/** A parsed frame (header validated, payload CRC checked). */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::vector<uint8_t> payload;
+};
+
+/** Render a frame into @p out (appended): header + payload. */
+void appendFrame(std::vector<uint8_t> &out, FrameType type,
+                 const void *payload, std::size_t payloadBytes);
+
+/**
+ * Try to parse one frame from the front of @p buffer.
+ *
+ * @return The number of bytes consumed (header + payload) with
+ *         @p frame filled in; 0 when the buffer does not yet hold a
+ *         complete frame (read more); negative when the stream is
+ *         malformed — bad magic, unsupported version, oversized
+ *         payload, or CRC mismatch — with @p error describing which.
+ *         A malformed stream cannot be resynchronised; close it.
+ */
+long parseFrame(const uint8_t *buffer, std::size_t size, Frame &frame,
+                std::string *error = nullptr);
+
+/**
+ * Blocking frame I/O over a socket fd (client side and the server's
+ * small replies).  Writes loop over partial sends with EINTR retry and
+ * suppress SIGPIPE; a peer hangup surfaces as false + error.
+ */
+bool writeFrame(int fd, FrameType type, const void *payload,
+                std::size_t payloadBytes, std::string *error = nullptr);
+
+/**
+ * Read exactly one frame (blocking).  @p maxPayload lets callers
+ * tighten the default cap.
+ */
+bool readFrame(int fd, Frame &frame, std::string *error = nullptr,
+               std::size_t maxPayload = kMaxFramePayload);
+
+/** Serialize a Report frame payload. */
+std::vector<uint8_t>
+encodeReportPayload(uint32_t status, uint64_t totalSamples,
+                    double coverageFraction,
+                    const std::vector<profiler::StallEvent> &events,
+                    const std::string &reportText);
+
+/** Parsed Report payload. */
+struct DecodedReport
+{
+    uint32_t status = 0;
+    uint64_t totalSamples = 0;
+    double coverageFraction = 1.0;
+    std::vector<profiler::StallEvent> events;
+    std::string reportText;
+};
+
+/** Decode a Report payload; false + reason on a malformed payload. */
+bool decodeReportPayload(const std::vector<uint8_t> &payload,
+                         DecodedReport &out,
+                         std::string *error = nullptr);
+
+/** Serialize an Error frame payload (code + message). */
+std::vector<uint8_t> encodeErrorPayload(ErrorCode code,
+                                        const std::string &message);
+
+/** Decode an Error payload (tolerates a bare message). */
+bool decodeErrorPayload(const std::vector<uint8_t> &payload,
+                        ErrorCode &code, std::string &message);
+
+} // namespace emprof::serve
+
+#endif // EMPROF_SERVE_FRAME_HPP

@@ -1,0 +1,706 @@
+#include "serve/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "serve/frame.hpp"
+#include "serve/session_pipeline.hpp"
+
+namespace emprof::serve {
+
+namespace {
+
+/** Handles registered once; no-ops while obs is disabled. */
+struct ServeMetrics
+{
+    obs::Counter accepted;
+    obs::Counter rejected;
+    obs::Counter completed;
+    obs::Counter bytesIngested;
+    obs::Counter framesMalformed;
+    obs::Gauge sessionsActive;
+    obs::Gauge queueDepthBytes;
+    obs::Histogram sessionUs;
+    obs::Histogram feedUs;
+
+    static const ServeMetrics &
+    instance()
+    {
+        static const ServeMetrics m = [] {
+            auto &reg = obs::MetricsRegistry::instance();
+            ServeMetrics v;
+            v.accepted = reg.counter("emprof.serve.sessions_accepted");
+            v.rejected = reg.counter("emprof.serve.sessions_rejected");
+            v.completed =
+                reg.counter("emprof.serve.sessions_completed");
+            v.bytesIngested = reg.counter("emprof.serve.bytes_ingested");
+            v.framesMalformed =
+                reg.counter("emprof.serve.frames_malformed");
+            v.sessionsActive =
+                reg.gauge("emprof.serve.sessions_active");
+            v.queueDepthBytes =
+                reg.gauge("emprof.serve.queue_depth_bytes");
+            v.sessionUs =
+                reg.histogram("emprof.serve.stage.session_us");
+            v.feedUs = reg.histogram("emprof.serve.stage.feed_us");
+            return v;
+        }();
+        return m;
+    }
+};
+
+uint64_t
+elapsedUs(std::chrono::steady_clock::time_point since)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - since)
+            .count());
+}
+
+bool
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+} // namespace
+
+struct Server::Listener
+{
+    int fd = -1;
+    bool tcp = false;
+};
+
+struct Server::Session
+{
+    ~Session()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    int fd = -1;
+    std::chrono::steady_clock::time_point openedAt;
+
+    // ---- I/O-thread-only state ----
+    std::vector<uint8_t> inbox; ///< unparsed bytes off the socket
+    bool openSeen = false;
+    bool suspended = false; ///< reads paused (backpressure)
+
+    // ---- shared queue (mutex-guarded) ----
+    std::mutex mutex;
+    std::deque<std::vector<uint8_t>> pending; ///< Data payloads
+    std::size_t pendingBytes = 0;
+    bool finishRequested = false;
+    bool taskInFlight = false;
+
+    // ---- cross-thread flags ----
+    std::atomic<bool> closed{false};  ///< reap me (I/O thread acts)
+    std::atomic<bool> aborted{false}; ///< server shutting down
+    std::atomic<bool> replied{false}; ///< Report or Error was sent
+
+    /** Worker-owned after Open (the pump is the only caller). */
+    std::unique_ptr<SessionPipeline> pipeline;
+};
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server() { stop(); }
+
+bool
+Server::start(std::string *error)
+{
+    const auto fail = [&](const std::string &message) {
+        if (error != nullptr)
+            *error = message;
+        for (auto &l : listeners_)
+            ::close(l.fd);
+        listeners_.clear();
+        for (int &fd : wakePipe_) {
+            if (fd >= 0)
+                ::close(fd);
+            fd = -1;
+        }
+        return false;
+    };
+
+    if (running_.load())
+        return fail("server already running");
+    if (config_.unixPath.empty() && config_.tcpPort < 0)
+        return fail("no listener configured (unix path or tcp port)");
+
+    if (::pipe(wakePipe_) != 0)
+        return fail(std::string("pipe failed: ") +
+                    std::strerror(errno));
+    setNonBlocking(wakePipe_[0]);
+    setNonBlocking(wakePipe_[1]);
+
+    if (!config_.unixPath.empty()) {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (config_.unixPath.size() >= sizeof(addr.sun_path))
+            return fail("unix socket path too long");
+        std::strncpy(addr.sun_path, config_.unixPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(std::string("socket failed: ") +
+                        std::strerror(errno));
+        ::unlink(config_.unixPath.c_str()); // stale socket from a crash
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 128) != 0) {
+            const int e = errno;
+            ::close(fd);
+            return fail("cannot listen on " + config_.unixPath + ": " +
+                        std::strerror(e));
+        }
+        setNonBlocking(fd);
+        listeners_.push_back({fd, false});
+    }
+
+    if (config_.tcpPort >= 0) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return fail(std::string("socket failed: ") +
+                        std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<uint16_t>(config_.tcpPort));
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 128) != 0) {
+            const int e = errno;
+            ::close(fd);
+            return fail("cannot listen on tcp port " +
+                        std::to_string(config_.tcpPort) + ": " +
+                        std::strerror(e));
+        }
+        socklen_t len = sizeof(addr);
+        ::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len);
+        boundTcpPort_ = static_cast<int>(ntohs(addr.sin_port));
+        setNonBlocking(fd);
+        listeners_.push_back({fd, true});
+    }
+
+    pool_ = std::make_unique<common::ThreadPool>(config_.threads);
+    stopping_.store(false);
+    running_.store(true);
+    ioThread_ = std::thread([this] { ioLoop(); });
+    return true;
+}
+
+void
+Server::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    stopping_.store(true);
+    wake();
+    if (ioThread_.joinable())
+        ioThread_.join();
+
+    // Tell in-flight sessions to bail, then run the pool dry so every
+    // pump observes the abort and replies Shutdown before its session
+    // (and fd) is released.
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        for (auto &s : sessions_)
+            s->aborted.store(true);
+    }
+    pool_->drain();
+
+    std::vector<std::shared_ptr<Session>> leftovers;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        leftovers.swap(sessions_);
+        stats_.sessionsActive = 0;
+    }
+    for (auto &s : leftovers) {
+        if (s->openSeen && !s->replied.load()) {
+            const auto payload = encodeErrorPayload(
+                ErrorCode::Shutdown, "server shutting down");
+            writeFrame(s->fd, FrameType::Error, payload.data(),
+                       payload.size());
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            ++stats_.sessionsRejected;
+        }
+    }
+    leftovers.clear(); // destructors close the fds
+
+    for (auto &l : listeners_)
+        ::close(l.fd);
+    listeners_.clear();
+    if (!config_.unixPath.empty())
+        ::unlink(config_.unixPath.c_str());
+    for (int &fd : wakePipe_) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = -1;
+    }
+    ServeMetrics::instance().sessionsActive.set(0);
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    return stats_;
+}
+
+void
+Server::wake()
+{
+    const char byte = 1;
+    // Best effort: a full pipe already guarantees a pending wakeup.
+    (void)!::write(wakePipe_[1], &byte, 1);
+}
+
+void
+Server::ioLoop()
+{
+    std::vector<pollfd> fds;
+    std::vector<std::shared_ptr<Session>> polled;
+
+    while (!stopping_.load()) {
+        fds.clear();
+        polled.clear();
+        fds.push_back({wakePipe_[0], POLLIN, 0});
+        for (const auto &l : listeners_)
+            fds.push_back({l.fd, POLLIN, 0});
+
+        std::size_t queue_bytes = 0;
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            for (const auto &s : sessions_) {
+                if (s->closed.load())
+                    continue;
+                std::size_t pending_bytes;
+                {
+                    std::lock_guard<std::mutex> qlock(s->mutex);
+                    pending_bytes = s->pendingBytes;
+                }
+                queue_bytes += pending_bytes;
+                // Hysteresis: stop reading at the budget, resume
+                // only once the pump drained below half of it.
+                if (!s->suspended &&
+                    pending_bytes >= config_.sessionBufferBytes)
+                    s->suspended = true;
+                else if (s->suspended &&
+                         pending_bytes <=
+                             config_.sessionBufferBytes / 2)
+                    s->suspended = false;
+                fds.push_back(
+                    {s->fd,
+                     static_cast<short>(s->suspended ? 0 : POLLIN),
+                     0});
+                polled.push_back(s);
+            }
+        }
+        ServeMetrics::instance().queueDepthBytes.set(
+            static_cast<int64_t>(queue_bytes));
+
+        const int n =
+            ::poll(fds.data(), fds.size(), /*timeout ms=*/200);
+        if (n < 0 && errno != EINTR)
+            break; // poll itself failed; nothing sane left to do
+        if (stopping_.load())
+            break;
+
+        std::size_t idx = 0;
+        if (fds[idx].revents & POLLIN) {
+            char buf[64];
+            while (::read(wakePipe_[0], buf, sizeof(buf)) > 0) {
+            }
+        }
+        ++idx;
+        for (const auto &l : listeners_) {
+            if (fds[idx].revents & POLLIN)
+                acceptPending(l.fd);
+            ++idx;
+        }
+        for (std::size_t i = 0; i < polled.size(); ++i) {
+            const short got = fds[idx + i].revents;
+            if (got & (POLLIN | POLLHUP | POLLERR))
+                handleReadable(polled[i]);
+        }
+
+        // Reap sessions whose pump (or this loop) marked them closed.
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            std::size_t active = 0;
+            auto keep = sessions_.begin();
+            for (auto &s : sessions_) {
+                if (s->closed.load())
+                    continue; // dropped; dtor closes the fd later
+                if (s->openSeen)
+                    ++active;
+                *keep++ = s;
+            }
+            sessions_.erase(keep, sessions_.end());
+            stats_.sessionsActive = active;
+            ServeMetrics::instance().sessionsActive.set(
+                static_cast<int64_t>(active));
+        }
+    }
+}
+
+void
+Server::acceptPending(int listenFd)
+{
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return; // EAGAIN (drained) or transient accept failure
+        }
+        auto session = std::make_shared<Session>();
+        session->fd = fd;
+        session->openedAt = std::chrono::steady_clock::now();
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions_.push_back(std::move(session));
+    }
+}
+
+void
+Server::rejectAndClose(const std::shared_ptr<Session> &session,
+                       uint32_t code, const std::string &message)
+{
+    if (!session->replied.exchange(true)) {
+        const auto payload =
+            encodeErrorPayload(static_cast<ErrorCode>(code), message);
+        writeFrame(session->fd, FrameType::Error, payload.data(),
+                   payload.size());
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        ++stats_.sessionsRejected;
+        ServeMetrics::instance().rejected.inc();
+    }
+    session->closed.store(true);
+}
+
+void
+Server::handleReadable(const std::shared_ptr<Session> &session)
+{
+    if (session->closed.load())
+        return;
+
+    uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(session->fd, buf, sizeof(buf));
+    if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN)
+            return;
+        // Read error: the connection is gone; no reply possible.
+        session->replied.store(true);
+        if (session->openSeen) {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            ++stats_.sessionsRejected;
+            ServeMetrics::instance().rejected.inc();
+        }
+        session->closed.store(true);
+        return;
+    }
+    if (n == 0) {
+        // EOF.  A session that closes before its Report is a dead
+        // upload; count it unless the pump is still going to reply.
+        bool pump_owns;
+        {
+            std::lock_guard<std::mutex> qlock(session->mutex);
+            pump_owns =
+                session->taskInFlight || session->finishRequested;
+        }
+        if (!pump_owns) {
+            if (session->openSeen && !session->replied.exchange(true)) {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                ++stats_.sessionsRejected;
+                ServeMetrics::instance().rejected.inc();
+            }
+            session->closed.store(true);
+        }
+        return;
+    }
+
+    session->inbox.insert(session->inbox.end(), buf, buf + n);
+
+    for (;;) {
+        Frame frame;
+        std::string parse_error;
+        const long consumed =
+            parseFrame(session->inbox.data(), session->inbox.size(),
+                       frame, &parse_error);
+        if (consumed == 0)
+            return; // incomplete; wait for more bytes
+        if (consumed < 0) {
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                ++stats_.framesMalformed;
+            }
+            ServeMetrics::instance().framesMalformed.inc();
+            rejectAndClose(session,
+                           static_cast<uint32_t>(ErrorCode::Malformed),
+                           parse_error);
+            return;
+        }
+        session->inbox.erase(session->inbox.begin(),
+                             session->inbox.begin() + consumed);
+
+        switch (frame.type) {
+        case FrameType::Open: {
+            if (session->openSeen ||
+                frame.payload.size() != sizeof(OpenRequest)) {
+                rejectAndClose(
+                    session,
+                    static_cast<uint32_t>(ErrorCode::Malformed),
+                    session->openSeen ? "duplicate Open frame"
+                                      : "bad Open payload");
+                return;
+            }
+            std::size_t active;
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                active = stats_.sessionsActive;
+            }
+            if (active >= config_.maxSessions) {
+                rejectAndClose(
+                    session, static_cast<uint32_t>(ErrorCode::Busy),
+                    "session limit reached (" +
+                        std::to_string(config_.maxSessions) + ")");
+                return;
+            }
+            OpenRequest open{};
+            std::memcpy(&open, frame.payload.data(), sizeof(open));
+            profiler::EmProfConfig analysis = config_.analysis;
+            analysis.signal.enabled =
+                (open.flags & kOpenResilient) != 0;
+            session->pipeline = std::make_unique<SessionPipeline>(
+                analysis, config_.spanSamples);
+            session->openSeen = true;
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                ++stats_.sessionsAccepted;
+                ++stats_.sessionsActive;
+            }
+            ServeMetrics::instance().accepted.inc();
+            break;
+        }
+        case FrameType::Data: {
+            if (!session->openSeen) {
+                rejectAndClose(
+                    session,
+                    static_cast<uint32_t>(ErrorCode::Malformed),
+                    "Data before Open");
+                return;
+            }
+            const std::size_t bytes = frame.payload.size();
+            {
+                std::lock_guard<std::mutex> qlock(session->mutex);
+                session->pending.push_back(std::move(frame.payload));
+                session->pendingBytes += bytes;
+            }
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                stats_.bytesIngested += bytes;
+            }
+            ServeMetrics::instance().bytesIngested.add(bytes);
+            schedulePump(session);
+            break;
+        }
+        case FrameType::Finish: {
+            if (!session->openSeen) {
+                rejectAndClose(
+                    session,
+                    static_cast<uint32_t>(ErrorCode::Malformed),
+                    "Finish before Open");
+                return;
+            }
+            {
+                std::lock_guard<std::mutex> qlock(session->mutex);
+                session->finishRequested = true;
+            }
+            schedulePump(session);
+            break;
+        }
+        case FrameType::StatsRequest: {
+            std::string text;
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                text += "emprof.serve.sessions_accepted " +
+                        std::to_string(stats_.sessionsAccepted) + "\n";
+                text += "emprof.serve.sessions_completed " +
+                        std::to_string(stats_.sessionsCompleted) +
+                        "\n";
+                text += "emprof.serve.sessions_rejected " +
+                        std::to_string(stats_.sessionsRejected) + "\n";
+                text += "emprof.serve.sessions_active " +
+                        std::to_string(stats_.sessionsActive) + "\n";
+                text += "emprof.serve.bytes_ingested " +
+                        std::to_string(stats_.bytesIngested) + "\n";
+                text += "emprof.serve.frames_malformed " +
+                        std::to_string(stats_.framesMalformed) + "\n";
+            }
+            if (obs::MetricsRegistry::enabled())
+                text += obs::metricsToText();
+            writeFrame(session->fd, FrameType::Stats, text.data(),
+                       text.size());
+            session->replied.store(true);
+            session->closed.store(true);
+            return;
+        }
+        default:
+            rejectAndClose(session,
+                           static_cast<uint32_t>(ErrorCode::Malformed),
+                           "unexpected frame type from client");
+            return;
+        }
+    }
+}
+
+void
+Server::schedulePump(const std::shared_ptr<Session> &session)
+{
+    {
+        std::lock_guard<std::mutex> qlock(session->mutex);
+        if (session->taskInFlight)
+            return; // the running pump will see the new work
+        if (session->pending.empty() && !session->finishRequested)
+            return;
+        session->taskInFlight = true;
+    }
+    // The future is intentionally dropped: the pump reports through
+    // the socket and the session flags, never through the future.  A
+    // PoolDrained rejection can only happen during stop(), which
+    // replies Shutdown to every unanswered session itself.
+    (void)pool_->submit([this, session] { pump(session); });
+}
+
+void
+Server::pump(std::shared_ptr<Session> session)
+{
+    const auto abandon = [&](ErrorCode code,
+                             const std::string &message) {
+        if (!session->replied.exchange(true)) {
+            const auto payload = encodeErrorPayload(code, message);
+            writeFrame(session->fd, FrameType::Error, payload.data(),
+                       payload.size());
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            ++stats_.sessionsRejected;
+            ServeMetrics::instance().rejected.inc();
+        }
+        {
+            std::lock_guard<std::mutex> qlock(session->mutex);
+            session->pending.clear();
+            session->pendingBytes = 0;
+            session->taskInFlight = false;
+        }
+        session->closed.store(true);
+        wake();
+    };
+
+    try {
+        for (;;) {
+            if (session->aborted.load())
+                return abandon(ErrorCode::Shutdown,
+                               "server shutting down");
+
+            std::vector<uint8_t> item;
+            bool do_finish = false;
+            bool crossed_resume = false;
+            {
+                std::lock_guard<std::mutex> qlock(session->mutex);
+                if (!session->pending.empty()) {
+                    item = std::move(session->pending.front());
+                    session->pending.pop_front();
+                    const std::size_t before = session->pendingBytes;
+                    session->pendingBytes -= item.size();
+                    const std::size_t half =
+                        config_.sessionBufferBytes / 2;
+                    crossed_resume = before > half &&
+                                     session->pendingBytes <= half;
+                } else if (session->finishRequested) {
+                    session->finishRequested = false;
+                    do_finish = true;
+                } else {
+                    session->taskInFlight = false;
+                    return; // re-armed by the next Data/Finish
+                }
+            }
+
+            if (do_finish) {
+                profiler::ProfileResult result;
+                std::string why;
+                if (!session->pipeline->finish(result, &why))
+                    return abandon(ErrorCode::Malformed, why);
+
+                const auto &quality = result.report.quality;
+                const bool degraded =
+                    quality.enabled && quality.coverageFraction < 1.0;
+                const auto payload = encodeReportPayload(
+                    degraded ? 3u : 0u,
+                    session->pipeline->decoder().info().totalSamples,
+                    quality.enabled ? quality.coverageFraction : 1.0,
+                    result.events,
+                    result.report.toText("served capture"));
+                // Account the completion BEFORE the reply leaves the
+                // socket: a client that has its Report in hand must
+                // see the counter already bumped.  A failed write
+                // means the peer hung up after the analysis finished —
+                // the session still completed.
+                session->replied.store(true);
+                {
+                    std::lock_guard<std::mutex> lock(sessionsMutex_);
+                    ++stats_.sessionsCompleted;
+                }
+                const auto &metrics = ServeMetrics::instance();
+                metrics.completed.inc();
+                std::string write_error;
+                (void)writeFrame(session->fd, FrameType::Report,
+                                 payload.data(), payload.size(),
+                                 &write_error);
+                metrics.sessionUs.observe(
+                    elapsedUs(session->openedAt));
+                {
+                    std::lock_guard<std::mutex> qlock(session->mutex);
+                    session->taskInFlight = false;
+                }
+                session->closed.store(true);
+                wake();
+                return;
+            }
+
+            const auto t0 = std::chrono::steady_clock::now();
+            std::string why;
+            const bool ok = session->pipeline->feed(
+                item.data(), item.size(), &why);
+            if (obs::MetricsRegistry::enabled())
+                ServeMetrics::instance().feedUs.observe(
+                    elapsedUs(t0));
+            if (!ok)
+                return abandon(ErrorCode::Malformed, why);
+            if (crossed_resume)
+                wake(); // socket may resume reading
+        }
+    } catch (const std::exception &e) {
+        return abandon(ErrorCode::Internal,
+                       std::string("analysis failed: ") + e.what());
+    }
+}
+
+} // namespace emprof::serve

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The EMPROF ingest server: many concurrent capture-upload sessions
+ * over unix and/or TCP sockets, analysed incrementally on a shared
+ * thread pool.
+ *
+ * Threading model (see DESIGN.md §14 for the diagram):
+ *
+ *  - ONE I/O thread owns every socket: it accepts connections, reads
+ *    bytes, parses EMFR frames, and enqueues Data payloads onto the
+ *    owning session's pending queue.  The poll set is rebuilt each
+ *    iteration from session state, and a self-pipe lets workers wake
+ *    it (to resume a suspended socket or reap a finished session).
+ *  - Analysis runs on the shared common::ThreadPool.  At most ONE
+ *    task per session is in flight at a time (the "pump"): it drains
+ *    the session's pending queue through its SessionPipeline, writes
+ *    the Report/Error frames itself (blocking, MSG_NOSIGNAL), and
+ *    reschedules itself only via new arrivals.  Chunks of one session
+ *    are therefore strictly ordered while different sessions run in
+ *    parallel — exactly the invariant SessionPipeline requires.
+ *
+ * Backpressure: each session's pending queue is byte-bounded.  When a
+ * client uploads faster than analysis drains, the I/O thread stops
+ * polling that socket for reads at the high watermark; the kernel
+ * socket buffer then fills and the sender's write() blocks — flow
+ * control all the way back to the device, with per-session memory
+ * capped at queue budget + one span + halo (see session_pipeline.hpp).
+ * Reads resume once the pump drains below half the budget.
+ *
+ * Failure containment: a malformed frame or bad EMCAP stream yields a
+ * typed Error frame and quarantines only that session — the socket is
+ * closed, counters are incremented, and every other session is
+ * untouched.  Analysis exceptions surface as ErrorCode::Internal the
+ * same way.  The server process never dies on client input.
+ *
+ * Shutdown: stop() closes the listeners, asks in-flight sessions to
+ * abort (they reply ErrorCode::Shutdown), joins the I/O thread and
+ * drains the pool (ThreadPool::drain()), so stop() returning means no
+ * server thread exists and every fd is closed.
+ */
+
+#ifndef EMPROF_SERVE_SERVER_HPP
+#define EMPROF_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "profiler/profiler.hpp"
+
+namespace emprof::serve {
+
+struct ServerConfig
+{
+    /** Unix-domain listener path; empty disables it. */
+    std::string unixPath;
+
+    /** TCP listener (loopback) port; -1 disables, 0 picks a free
+     *  port (see Server::tcpPort()). */
+    int tcpPort = -1;
+
+    /** Analysis worker threads; 0 means hardwareThreads(). */
+    std::size_t threads = 0;
+
+    /** Concurrent session cap; further Opens get ErrorCode::Busy. */
+    std::size_t maxSessions = 64;
+
+    /**
+     * Per-session pending-queue budget in bytes: the high watermark
+     * where the server stops reading that socket (backpressure).
+     */
+    std::size_t sessionBufferBytes = std::size_t{8} << 20;
+
+    /** Analysis span length; 0 = auto (see SessionPipeline). */
+    std::size_t spanSamples = 0;
+
+    /**
+     * Base analysis config for every session.  sampleRateHz/clockHz
+     * are taken from each uploaded capture's header; the signal
+     * (resilience) layer is enabled per session by the Open flag.
+     */
+    profiler::EmProfConfig analysis;
+};
+
+/** Monotonic counters for tests and the status line (obs-free). */
+struct ServerStats
+{
+    uint64_t sessionsAccepted = 0;
+    uint64_t sessionsCompleted = 0; ///< Report sent (ok or degraded)
+    uint64_t sessionsRejected = 0;  ///< Error sent or connection died
+    uint64_t sessionsActive = 0;
+    uint64_t bytesIngested = 0;   ///< Data payload bytes accepted
+    uint64_t framesMalformed = 0; ///< frame-layer rejections
+};
+
+class Server
+{
+  public:
+    explicit Server(ServerConfig config);
+
+    /** stop() implicitly. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the listeners and start the I/O thread + pool.
+     *
+     * @retval false Could not bind/listen; @p error says why.
+     */
+    bool start(std::string *error = nullptr);
+
+    /** Graceful shutdown; idempotent.  See file comment. */
+    void stop();
+
+    bool running() const { return running_.load(); }
+
+    /** Actual TCP port (after start() with tcpPort == 0). */
+    int tcpPort() const { return boundTcpPort_; }
+
+    ServerStats stats() const;
+
+  private:
+    struct Session;
+    struct Listener;
+
+    void ioLoop();
+    void acceptPending(int listenFd);
+    void handleReadable(const std::shared_ptr<Session> &session);
+    void pump(std::shared_ptr<Session> session);
+    void schedulePump(const std::shared_ptr<Session> &session);
+    void rejectAndClose(const std::shared_ptr<Session> &session,
+                        uint32_t code, const std::string &message);
+    void wake();
+
+    ServerConfig config_;
+    std::unique_ptr<common::ThreadPool> pool_;
+    std::thread ioThread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    std::vector<Listener> listeners_;
+    int boundTcpPort_ = -1;
+    int wakePipe_[2] = {-1, -1};
+
+    mutable std::mutex sessionsMutex_;
+    std::vector<std::shared_ptr<Session>> sessions_;
+
+    /** stats(), under sessionsMutex_. */
+    ServerStats stats_;
+};
+
+} // namespace emprof::serve
+
+#endif // EMPROF_SERVE_SERVER_HPP

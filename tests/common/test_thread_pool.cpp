@@ -94,6 +94,71 @@ TEST(ThreadPool, DestructionDrainsSubmittedWork)
     EXPECT_EQ(done.load(), kTasks);
 }
 
+TEST(ThreadPool, DrainRunsQueuedWorkThenRejectsLateSubmissions)
+{
+    common::ThreadPool pool(2);
+    std::atomic<int> done{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+            done.fetch_add(1, std::memory_order_relaxed);
+        }));
+    pool.drain();
+    // Everything submitted before drain() ran to completion...
+    EXPECT_EQ(done.load(), 32);
+    for (auto &f : futures)
+        EXPECT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+    EXPECT_TRUE(pool.draining());
+    // ...and a late enqueue is rejected with a typed error instead of
+    // being silently dropped, run, or deadlocking.
+    auto late = pool.submit([] { ADD_FAILURE() << "ran after drain"; });
+    EXPECT_THROW(late.get(), common::ThreadPool::PoolDrained);
+}
+
+TEST(ThreadPool, DrainIsIdempotentAndDestructorAfterDrainIsSafe)
+{
+    common::ThreadPool pool(2);
+    std::atomic<int> done{0};
+    auto f = pool.submit(
+        [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    pool.drain();
+    pool.drain(); // second drain must be a no-op, not a double join
+    f.get();
+    EXPECT_EQ(done.load(), 1);
+    // Destructor runs drain() a third time on scope exit.
+}
+
+TEST(ThreadPool, EnqueueFromRunningTaskDuringDrainDoesNotDeadlock)
+{
+    // The server-shutdown race: a worker task tries to submit more
+    // work while another thread is draining the pool.  Whichever way
+    // the race goes, the inner future must resolve — either the task
+    // ran (submitted before the stop flag) or it was rejected.
+    for (int round = 0; round < 20; ++round) {
+        common::ThreadPool pool(2);
+        std::atomic<int> ran{0};
+        std::future<void> inner;
+        std::promise<void> inner_ready;
+        auto outer = pool.submit([&] {
+            inner = pool.submit(
+                [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+            inner_ready.set_value();
+        });
+        pool.drain();
+        outer.get();
+        inner_ready.get_future().get();
+        bool rejected = false;
+        try {
+            inner.get();
+        } catch (const common::ThreadPool::PoolDrained &) {
+            rejected = true;
+        }
+        EXPECT_TRUE(rejected || ran.load() == 1);
+    }
+}
+
 TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers)
 {
     // Two workers must be able to be inside tasks at the same time;

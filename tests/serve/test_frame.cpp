@@ -1,0 +1,229 @@
+/**
+ * @file
+ * EMFR framing unit tests: round trips, incremental parsing, and the
+ * malformed-input catalogue (bad magic, bad version, CRC flips,
+ * oversize payloads).  The wire format is the server's outermost
+ * attack surface, so every rejection here must be a typed error —
+ * parseFrame returning negative with a reason — never a crash or a
+ * silently mis-framed stream.
+ */
+
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/frame.hpp"
+
+using namespace emprof;
+using namespace emprof::serve;
+
+namespace {
+
+std::vector<uint8_t>
+frameBytes(FrameType type, const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> out;
+    appendFrame(out, type, payload.data(), payload.size());
+    return out;
+}
+
+} // namespace
+
+TEST(Frame, RoundTripThroughParse)
+{
+    const std::vector<uint8_t> payload = {1, 2, 3, 250, 251, 252};
+    const auto bytes = frameBytes(FrameType::Data, payload);
+    ASSERT_EQ(bytes.size(), sizeof(FrameHeader) + payload.size());
+
+    Frame frame;
+    std::string error;
+    const long consumed =
+        parseFrame(bytes.data(), bytes.size(), frame, &error);
+    ASSERT_EQ(consumed, static_cast<long>(bytes.size())) << error;
+    EXPECT_EQ(frame.type, FrameType::Data);
+    EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Frame, EmptyPayloadFramesAreValid)
+{
+    std::vector<uint8_t> bytes;
+    appendFrame(bytes, FrameType::Finish, nullptr, 0);
+    Frame frame;
+    ASSERT_EQ(parseFrame(bytes.data(), bytes.size(), frame),
+              static_cast<long>(sizeof(FrameHeader)));
+    EXPECT_EQ(frame.type, FrameType::Finish);
+    EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Frame, IncompleteBufferAsksForMoreBytes)
+{
+    const auto bytes =
+        frameBytes(FrameType::Data, {10, 20, 30, 40, 50});
+    Frame frame;
+    // Every strict prefix must return 0 (need more), not an error.
+    for (std::size_t n = 0; n < bytes.size(); ++n)
+        EXPECT_EQ(parseFrame(bytes.data(), n, frame), 0) << n;
+}
+
+TEST(Frame, BackToBackFramesParseSequentially)
+{
+    std::vector<uint8_t> stream;
+    appendFrame(stream, FrameType::Open, nullptr, 0);
+    const std::vector<uint8_t> payload = {9, 8, 7};
+    appendFrame(stream, FrameType::Data, payload.data(),
+                payload.size());
+    appendFrame(stream, FrameType::Finish, nullptr, 0);
+
+    std::vector<FrameType> seen;
+    std::size_t offset = 0;
+    Frame frame;
+    while (offset < stream.size()) {
+        const long consumed = parseFrame(stream.data() + offset,
+                                         stream.size() - offset, frame);
+        ASSERT_GT(consumed, 0);
+        offset += static_cast<std::size_t>(consumed);
+        seen.push_back(frame.type);
+    }
+    EXPECT_EQ(seen, (std::vector<FrameType>{FrameType::Open,
+                                            FrameType::Data,
+                                            FrameType::Finish}));
+}
+
+TEST(Frame, PayloadCrcFlipIsMalformed)
+{
+    auto bytes = frameBytes(FrameType::Data, {1, 2, 3, 4});
+    bytes[sizeof(FrameHeader) + 2] ^= 0x40; // flip one payload bit
+
+    Frame frame;
+    std::string error;
+    EXPECT_LT(parseFrame(bytes.data(), bytes.size(), frame, &error), 0);
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+}
+
+TEST(Frame, BadMagicIsMalformed)
+{
+    auto bytes = frameBytes(FrameType::Data, {1});
+    bytes[0] = 'X';
+    Frame frame;
+    std::string error;
+    EXPECT_LT(parseFrame(bytes.data(), bytes.size(), frame, &error), 0);
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(Frame, WrongVersionIsMalformed)
+{
+    auto bytes = frameBytes(FrameType::Data, {1});
+    FrameHeader h;
+    std::memcpy(&h, bytes.data(), sizeof(h));
+    h.version = kProtocolVersion + 1;
+    std::memcpy(bytes.data(), &h, sizeof(h));
+    Frame frame;
+    std::string error;
+    EXPECT_LT(parseFrame(bytes.data(), bytes.size(), frame, &error), 0);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(Frame, UnknownTypeIsMalformed)
+{
+    auto bytes = frameBytes(FrameType::Data, {1});
+    FrameHeader h;
+    std::memcpy(&h, bytes.data(), sizeof(h));
+    h.type = 99;
+    std::memcpy(bytes.data(), &h, sizeof(h));
+    Frame frame;
+    EXPECT_LT(parseFrame(bytes.data(), bytes.size(), frame), 0);
+}
+
+TEST(Frame, OversizePayloadRejectedWithoutBuffering)
+{
+    // A header announcing more than the cap must be rejected from the
+    // header alone — even though the "payload" never arrives.
+    std::vector<uint8_t> bytes(sizeof(FrameHeader));
+    FrameHeader h{};
+    std::memcpy(h.magic, kFrameMagic, sizeof(h.magic));
+    h.version = kProtocolVersion;
+    h.type = static_cast<uint16_t>(FrameType::Data);
+    h.payloadBytes = static_cast<uint32_t>(kMaxFramePayload) + 1;
+    h.payloadCrc = 0;
+    std::memcpy(bytes.data(), &h, sizeof(h));
+
+    Frame frame;
+    std::string error;
+    EXPECT_LT(parseFrame(bytes.data(), bytes.size(), frame, &error), 0);
+    EXPECT_NE(error.find("cap"), std::string::npos) << error;
+}
+
+TEST(Frame, WireEventPreservesDoubleBitsExactly)
+{
+    profiler::StallEvent ev;
+    ev.startSample = 12345;
+    ev.endSample = 67890;
+    ev.depth = 0.1 + 0.2; // a value with a non-obvious bit pattern
+    ev.durationNs = std::numeric_limits<double>::denorm_min();
+    ev.stallCycles = -0.0;
+    ev.confidence = std::numeric_limits<double>::quiet_NaN();
+    ev.kind = profiler::StallKind::RefreshCoincident;
+
+    const profiler::StallEvent back = fromWire(toWire(ev));
+    EXPECT_EQ(back.startSample, ev.startSample);
+    EXPECT_EQ(back.endSample, ev.endSample);
+    EXPECT_EQ(back.kind, ev.kind);
+    const auto bits = [](double v) {
+        uint64_t b;
+        std::memcpy(&b, &v, sizeof(b));
+        return b;
+    };
+    EXPECT_EQ(bits(back.depth), bits(ev.depth));
+    EXPECT_EQ(bits(back.durationNs), bits(ev.durationNs));
+    EXPECT_EQ(bits(back.stallCycles), bits(ev.stallCycles));
+    EXPECT_EQ(bits(back.confidence), bits(ev.confidence)); // NaN bits
+}
+
+TEST(Frame, ReportPayloadRoundTrip)
+{
+    std::vector<profiler::StallEvent> events(3);
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        events[i].startSample = 100 * i;
+        events[i].endSample = 100 * i + 7;
+        events[i].depth = 0.25 * static_cast<double>(i + 1);
+    }
+    const std::string text = "report body\nwith two lines\n";
+    const auto payload =
+        encodeReportPayload(3, 8192, 0.75, events, text);
+
+    DecodedReport report;
+    std::string error;
+    ASSERT_TRUE(decodeReportPayload(payload, report, &error)) << error;
+    EXPECT_EQ(report.status, 3u);
+    EXPECT_EQ(report.totalSamples, 8192u);
+    EXPECT_DOUBLE_EQ(report.coverageFraction, 0.75);
+    ASSERT_EQ(report.events.size(), events.size());
+    EXPECT_EQ(report.events[2].startSample, 200u);
+    EXPECT_EQ(report.reportText, text);
+}
+
+TEST(Frame, TruncatedReportPayloadIsTypedError)
+{
+    std::vector<profiler::StallEvent> events(2);
+    auto payload = encodeReportPayload(0, 100, 1.0, events, "");
+    payload.resize(sizeof(ReportHeader) + sizeof(WireEvent) / 2);
+
+    DecodedReport report;
+    std::string error;
+    EXPECT_FALSE(decodeReportPayload(payload, report, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Frame, ErrorPayloadRoundTrip)
+{
+    const auto payload =
+        encodeErrorPayload(ErrorCode::Busy, "session limit reached");
+    ErrorCode code{};
+    std::string message;
+    EXPECT_TRUE(decodeErrorPayload(payload, code, message));
+    EXPECT_EQ(code, ErrorCode::Busy);
+    EXPECT_EQ(message, "session limit reached");
+}

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Served-path equivalence at the pipeline layer: the golden capture's
+ * bytes are fed through SessionPipeline in radically different
+ * slicings — one byte at a time, ragged 997-byte chunks, all at once —
+ * and every framing must produce events bit-identical to the
+ * checked-in expectation (the same file the streaming and parallel
+ * paths are pinned to).  Plus the rejection catalogue: truncated
+ * uploads, flipped bits, trailing garbage, zero-sample captures — all
+ * typed errors, never crashes or wrong-but-plausible reports.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../e2e/golden_common.hpp"
+#include "serve/session_pipeline.hpp"
+
+using namespace emprof;
+using namespace emprof::serve;
+
+namespace {
+
+std::string
+goldenPath(const char *name)
+{
+    return std::string(EMPROF_GOLDEN_DIR) + "/" + name;
+}
+
+std::vector<uint8_t>
+readFileBytes(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << "missing fixture " << path;
+    std::vector<uint8_t> bytes;
+    if (f == nullptr)
+        return bytes;
+    char buf[4096];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        bytes.insert(bytes.end(), buf, buf + got);
+    std::fclose(f);
+    return bytes;
+}
+
+std::vector<profiler::StallEvent>
+loadExpected()
+{
+    std::FILE *f =
+        std::fopen(goldenPath(golden::kExpectedFile).c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string text;
+    if (f != nullptr) {
+        char buf[4096];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, got);
+        std::fclose(f);
+    }
+    std::vector<profiler::StallEvent> events;
+    std::string why;
+    EXPECT_TRUE(golden::eventsFromJson(text, events, &why)) << why;
+    return events;
+}
+
+void
+expectEventsBitExact(const std::vector<profiler::StallEvent> &expected,
+                     const std::vector<profiler::StallEvent> &actual,
+                     const std::string &framing)
+{
+    ASSERT_EQ(expected.size(), actual.size()) << framing;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        const auto &e = expected[i];
+        const auto &a = actual[i];
+        EXPECT_EQ(e.startSample, a.startSample) << framing << " #" << i;
+        EXPECT_EQ(e.endSample, a.endSample) << framing << " #" << i;
+        EXPECT_EQ(golden::doubleBits(e.depth),
+                  golden::doubleBits(a.depth))
+            << framing << " #" << i;
+        EXPECT_EQ(golden::doubleBits(e.durationNs),
+                  golden::doubleBits(a.durationNs))
+            << framing << " #" << i;
+        EXPECT_EQ(golden::doubleBits(e.stallCycles),
+                  golden::doubleBits(a.stallCycles))
+            << framing << " #" << i;
+        EXPECT_EQ(static_cast<int>(e.kind), static_cast<int>(a.kind))
+            << framing << " #" << i;
+    }
+}
+
+/**
+ * Base config for the pipeline: the golden analysis config minus the
+ * fields the capture header supplies (the pipeline must recover
+ * sample rate and clock from the upload itself).
+ */
+profiler::EmProfConfig
+baseConfig()
+{
+    profiler::EmProfConfig config = golden::goldenConfig();
+    config.sampleRateHz = 1.0; // must be overwritten by the header
+    config.clockHz = 1.0;      // likewise
+    return config;
+}
+
+/** Feed the capture in @p step -byte slices and finish. */
+profiler::ProfileResult
+runFraming(const std::vector<uint8_t> &bytes, std::size_t step,
+           std::size_t spanSamples)
+{
+    SessionPipeline pipeline(baseConfig(), spanSamples);
+    std::string error;
+    for (std::size_t off = 0; off < bytes.size();) {
+        const std::size_t take = std::min(step, bytes.size() - off);
+        EXPECT_TRUE(pipeline.feed(bytes.data() + off, take, &error))
+            << error;
+        off += take;
+    }
+    profiler::ProfileResult result;
+    EXPECT_TRUE(pipeline.finish(result, &error)) << error;
+    return result;
+}
+
+} // namespace
+
+TEST(SessionPipeline, HeaderRecoversCaptureMetadata)
+{
+    const auto bytes =
+        readFileBytes(goldenPath(golden::kCaptureFile));
+    ASSERT_FALSE(bytes.empty());
+
+    SessionPipeline pipeline(baseConfig());
+    std::string error;
+    // Feed just the 72-byte header.
+    ASSERT_TRUE(pipeline.feed(bytes.data(), 72, &error)) << error;
+    ASSERT_TRUE(pipeline.headerReady());
+    EXPECT_DOUBLE_EQ(pipeline.config().sampleRateHz,
+                     golden::kSampleRateHz);
+    EXPECT_DOUBLE_EQ(pipeline.config().clockHz, 1e9);
+    EXPECT_EQ(pipeline.decoder().info().totalSamples,
+              golden::kSamples);
+    EXPECT_EQ(pipeline.decoder().info().deviceName,
+              golden::kDeviceName);
+}
+
+TEST(SessionPipeline, AllFramingsAreBitIdenticalToTheGoldenEvents)
+{
+    const auto bytes =
+        readFileBytes(goldenPath(golden::kCaptureFile));
+    ASSERT_FALSE(bytes.empty());
+    const auto expected = loadExpected();
+    ASSERT_FALSE(expected.empty());
+
+    // One byte at a time: every state-machine boundary is crossed
+    // mid-element.  Ragged primes: slices never align with chunk or
+    // frame boundaries.  All at once: the degenerate single feed.
+    struct Case
+    {
+        const char *name;
+        std::size_t step;
+        std::size_t span;
+    };
+    const Case cases[] = {
+        {"byte-at-a-time", 1, 0},
+        {"ragged-997", 997, 0},
+        {"all-at-once", SIZE_MAX, 0},
+        {"byte-at-a-time/span-700", 1, 700},
+        {"ragged-997/span-1024", 997, 1024},
+        {"all-at-once/span-300", SIZE_MAX, 300},
+    };
+    for (const auto &c : cases) {
+        const auto result = runFraming(bytes, c.step, c.span);
+        expectEventsBitExact(expected, result.events, c.name);
+        EXPECT_EQ(result.report.totalEvents, expected.size())
+            << c.name;
+    }
+}
+
+TEST(SessionPipeline, TinySpansActuallyAnalyseMidUpload)
+{
+    const auto bytes =
+        readFileBytes(goldenPath(golden::kCaptureFile));
+    SessionPipeline pipeline(baseConfig(), /*spanSamples=*/512);
+    std::string error;
+    ASSERT_TRUE(pipeline.feed(bytes.data(), bytes.size(), &error))
+        << error;
+    // 8192 samples at span 512: 15 spans analysed eagerly, the last
+    // 512 held back for the is_final span at finish().
+    EXPECT_EQ(pipeline.spansAnalyzed(), 15u);
+    EXPECT_LE(pipeline.bufferedSamples(),
+              512u + pipeline.config().haloSamples());
+    profiler::ProfileResult result;
+    ASSERT_TRUE(pipeline.finish(result, &error)) << error;
+    EXPECT_EQ(pipeline.spansAnalyzed(), 16u);
+}
+
+TEST(SessionPipeline, ResilientModeMatchesTheDirectResilientPath)
+{
+    const auto bytes =
+        readFileBytes(goldenPath(golden::kCaptureFile));
+
+    profiler::EmProfConfig resilient = golden::goldenConfig();
+    resilient.signal.enabled = true;
+
+    // Reference: the in-memory chunked path on the same config.
+    const dsp::TimeSeries signal = golden::goldenSignal();
+    profiler::EmProf reference(resilient);
+    for (const auto s : signal.samples)
+        reference.push(s);
+    const profiler::ProfileResult ref = reference.finish();
+
+    profiler::EmProfConfig base = resilient;
+    base.sampleRateHz = 1.0;
+    base.clockHz = 1.0;
+    SessionPipeline pipeline(base, /*spanSamples=*/777);
+    std::string error;
+    ASSERT_TRUE(pipeline.feed(bytes.data(), bytes.size(), &error))
+        << error;
+    profiler::ProfileResult served;
+    ASSERT_TRUE(pipeline.finish(served, &error)) << error;
+
+    expectEventsBitExact(ref.events, served.events, "resilient");
+    EXPECT_EQ(served.report.quality.enabled, true);
+    EXPECT_EQ(golden::doubleBits(
+                  served.report.quality.coverageFraction),
+              golden::doubleBits(
+                  ref.report.quality.coverageFraction));
+}
+
+TEST(SessionPipeline, TruncatedUploadIsATypedError)
+{
+    const auto bytes =
+        readFileBytes(goldenPath(golden::kCaptureFile));
+    for (const std::size_t keep :
+         {std::size_t{40}, std::size_t{100}, bytes.size() / 2,
+          bytes.size() - 5}) {
+        SessionPipeline pipeline(baseConfig());
+        std::string error;
+        ASSERT_TRUE(pipeline.feed(bytes.data(), keep, &error))
+            << error;
+        profiler::ProfileResult result;
+        EXPECT_FALSE(pipeline.finish(result, &error)) << keep;
+        EXPECT_FALSE(error.empty()) << keep;
+    }
+}
+
+TEST(SessionPipeline, FlippedBitInAChunkIsATypedError)
+{
+    auto bytes = readFileBytes(goldenPath(golden::kCaptureFile));
+    bytes[5000] ^= 0x10; // somewhere inside a chunk payload
+
+    SessionPipeline pipeline(baseConfig());
+    std::string error;
+    profiler::ProfileResult result;
+    const bool fed =
+        pipeline.feed(bytes.data(), bytes.size(), &error);
+    const bool finished =
+        fed && pipeline.finish(result, &error);
+    EXPECT_FALSE(finished);
+    EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+
+    // The pipeline stays poisoned: feeding more keeps failing.
+    EXPECT_FALSE(pipeline.feed(bytes.data(), 1, &error));
+}
+
+TEST(SessionPipeline, GarbageHeaderIsRejectedImmediately)
+{
+    std::vector<uint8_t> garbage(256, 0xAB);
+    SessionPipeline pipeline(baseConfig());
+    std::string error;
+    EXPECT_FALSE(
+        pipeline.feed(garbage.data(), garbage.size(), &error));
+    EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(SessionPipeline, FinishTwiceIsAnError)
+{
+    const auto bytes =
+        readFileBytes(goldenPath(golden::kCaptureFile));
+    SessionPipeline pipeline(baseConfig());
+    std::string error;
+    ASSERT_TRUE(pipeline.feed(bytes.data(), bytes.size(), &error));
+    profiler::ProfileResult result;
+    ASSERT_TRUE(pipeline.finish(result, &error)) << error;
+    EXPECT_FALSE(pipeline.finish(result, &error));
+}

@@ -84,6 +84,119 @@ parseU64Flag(const char *flag, const char *text, uint64_t lo,
     return value;
 }
 
+/**
+ * Parse a byte size with an optional binary/decimal suffix — "64Mi",
+ * "512Ki", "2G", "4096" — into bytes, in [lo, hi], or exit 2.
+ *
+ * Binary suffixes (Ki/Mi/Gi) are powers of 1024; bare K/M/G (and
+ * their KB/MB/GB spellings) are powers of 1000.  A trailing "B" after
+ * any suffix is accepted ("64MiB").
+ */
+inline uint64_t
+parseSizeFlag(const char *flag, const char *text, uint64_t lo,
+              uint64_t hi)
+{
+    if (text == nullptr || *text == '\0')
+        badFlag(flag, text == nullptr ? "" : text, "empty");
+    const char *p = text;
+    while (*p == ' ' || *p == '\t')
+        ++p;
+    if (*p == '-' || *p == '+')
+        badFlag(flag, text, "must be an unsigned size");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text)
+        badFlag(flag, text, "not a size");
+    if (errno == ERANGE)
+        badFlag(flag, text, "out of range for a 64-bit integer");
+
+    uint64_t unit = 1;
+    const char *suffix = end;
+    switch (*suffix) {
+    case '\0':
+        break;
+    case 'K':
+    case 'k':
+        unit = suffix[1] == 'i' ? (uint64_t{1} << 10) : 1000u;
+        break;
+    case 'M':
+        unit = suffix[1] == 'i' ? (uint64_t{1} << 20) : 1000000u;
+        break;
+    case 'G':
+        unit = suffix[1] == 'i' ? (uint64_t{1} << 30) : 1000000000u;
+        break;
+    default:
+        badFlag(flag, text,
+                "unknown size suffix (use Ki/Mi/Gi or K/M/G)");
+    }
+    if (*suffix != '\0') {
+        ++suffix;
+        if (*suffix == 'i')
+            ++suffix;
+        if (*suffix == 'B' || *suffix == 'b')
+            ++suffix;
+        if (*suffix != '\0')
+            badFlag(flag, text,
+                    "unknown size suffix (use Ki/Mi/Gi or K/M/G)");
+    }
+    if (unit != 1 && value > UINT64_MAX / unit)
+        badFlag(flag, text, "size overflows 64 bits");
+    const uint64_t bytes = value * unit;
+    if (bytes < lo || bytes > hi) {
+        std::fprintf(stderr,
+                     "%s: value %s outside the accepted range "
+                     "[%" PRIu64 ", %" PRIu64 "] bytes\n",
+                     flag, text, lo, hi);
+        std::exit(2);
+    }
+    return bytes;
+}
+
+/**
+ * Parse a duration with a unit suffix — "30s", "250ms", "90us",
+ * "500ns", "2m" — into seconds, in [lo, hi] seconds, or exit 2.  A
+ * bare number is taken as seconds.
+ */
+inline double
+parseDurationFlag(const char *flag, const char *text, double lo,
+                  double hi)
+{
+    if (text == nullptr || *text == '\0')
+        badFlag(flag, text == nullptr ? "" : text, "empty");
+    errno = 0;
+    char *end = nullptr;
+    const double value = std::strtod(text, &end);
+    if (end == text)
+        badFlag(flag, text, "not a duration");
+    if (errno == ERANGE || !std::isfinite(value))
+        badFlag(flag, text, "out of range for a double");
+
+    double unit = 1.0;
+    if (std::strcmp(end, "") == 0 || std::strcmp(end, "s") == 0)
+        unit = 1.0;
+    else if (std::strcmp(end, "ms") == 0)
+        unit = 1e-3;
+    else if (std::strcmp(end, "us") == 0)
+        unit = 1e-6;
+    else if (std::strcmp(end, "ns") == 0)
+        unit = 1e-9;
+    else if (std::strcmp(end, "m") == 0)
+        unit = 60.0;
+    else
+        badFlag(flag, text,
+                "unknown duration suffix (use ns/us/ms/s/m)");
+    const double seconds = value * unit;
+    if (seconds < lo || seconds > hi) {
+        std::fprintf(stderr,
+                     "%s: value %s outside the accepted range "
+                     "[%g, %g] seconds\n",
+                     flag, text, lo, hi);
+        std::exit(2);
+    }
+    return seconds;
+}
+
 } // namespace emprof::tools
 
 #endif // EMPROF_TOOLS_CLI_PARSE_HPP

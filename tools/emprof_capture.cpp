@@ -32,6 +32,8 @@
 #include "dsp/impairment.hpp"
 #include "dsp/signal_io.hpp"
 #include "em/capture.hpp"
+#include "serve/client.hpp"
+#include "store/capture_reader.hpp"
 #include "store/capture_writer.hpp"
 #include "workloads/boot.hpp"
 #include "workloads/microbenchmark.hpp"
@@ -60,6 +62,11 @@ usage(const char *argv0)
         "  --impair <spec>      inject RF impairments into the capture\n"
         "%s"
         "  --csv <path>         also export the magnitude as CSV\n"
+        "  --push <endpoint>    after writing an EMCAP capture, push\n"
+        "                       it to a running emprof_served and\n"
+        "                       print the returned report (exit code\n"
+        "                       carries the report status, 3 =\n"
+        "                       degraded)\n"
         "EMCAP output (any --out not named *.emsig):\n"
         "  --quantize-bits <n>  quantise samples to n bits (2..16;\n"
         "                       default 0 = lossless float32)\n"
@@ -75,7 +82,7 @@ int
 main(int argc, char **argv)
 {
     std::string device_name = "olimex", workload_name = "microbench";
-    std::string out_path, csv_path;
+    std::string out_path, csv_path, push_endpoint;
     uint64_t scale = 8'000'000, seed = 42, tm = 1024, cm = 10;
     uint64_t quantize_bits = 0, chunk_samples = 0;
     bool compress = true;
@@ -127,6 +134,8 @@ main(int argc, char **argv)
             out_path = next();
         else if (arg == "--csv")
             csv_path = next();
+        else if (arg == "--push")
+            push_endpoint = next();
         else {
             usage(argv[0]);
             return 2;
@@ -278,5 +287,31 @@ main(int argc, char **argv)
         std::fprintf(stderr, "%s\n", csv_error.describe().c_str());
         return 1;
     }
-    return obs_cli.finish() ? 0 : 1;
+    if (!obs_cli.finish())
+        return 1;
+
+    if (!push_endpoint.empty()) {
+        if (!store::CaptureReader::isEmcap(out_path)) {
+            std::fprintf(stderr, "--push needs an EMCAP output "
+                                 "(--out not named *.emsig)\n");
+            return 2;
+        }
+        serve::Endpoint endpoint;
+        std::string push_error;
+        if (!serve::parseEndpoint(push_endpoint, endpoint,
+                                  &push_error)) {
+            std::fprintf(stderr, "--push: %s\n", push_error.c_str());
+            return 2;
+        }
+        const serve::PushResult pushed =
+            serve::pushCapture(endpoint, out_path);
+        if (!pushed.ok) {
+            std::fprintf(stderr, "push failed: %s\n",
+                         pushed.error.c_str());
+            return 1;
+        }
+        std::fputs(pushed.report.reportText.c_str(), stdout);
+        return static_cast<int>(pushed.report.status);
+    }
+    return 0;
 }

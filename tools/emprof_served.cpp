@@ -1,0 +1,284 @@
+/**
+ * @file
+ * emprof_served — the EMPROF ingest daemon.
+ *
+ * Accepts concurrent EMCAP capture uploads over unix and/or TCP
+ * sockets (EMFR framing, see src/serve/frame.hpp), analyses each
+ * session incrementally on a shared thread pool, and replies with a
+ * per-session event report whose status carries emprof_analyze's exit
+ * semantics (0 ok, 3 degraded).  Runs until SIGINT/SIGTERM, then
+ * shuts down gracefully: in-flight sessions are answered, late ones
+ * get a typed Shutdown error.
+ *
+ * The same binary doubles as the fleet operator's probe:
+ *
+ *     emprof_served --listen unix:/run/emprof.sock          # serve
+ *     emprof_served --scrape unix:/run/emprof.sock          # metrics
+ *     emprof_served --push capture.emcap --to tcp:host:7600 # one shot
+ *
+ * --push prints the returned report and exits with the report status,
+ * so `emprof_served --push x.emcap --to ... ; echo $?` behaves like
+ * running emprof_analyze on the same capture locally.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "cli_parse.hpp"
+#include "common/thread_pool.hpp"
+#include "obs_cli.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace emprof;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --listen <endpoint> [options]\n"
+        "       %s --scrape <endpoint>\n"
+        "       %s --push <capture.emcap> --to <endpoint> "
+        "[--resilient]\n"
+        "\n"
+        "endpoints: unix:/path/to.sock | tcp:host:port "
+        "(bare path = unix)\n"
+        "\n"
+        "serve options:\n"
+        "  --listen <endpoint>   listen here (repeatable: one unix +\n"
+        "                        one tcp listener)\n"
+        "  --threads <n>         analysis workers (default: cores)\n"
+        "  --max-sessions <n>    concurrent session cap "
+        "(default 64)\n"
+        "  --session-buffer <sz> per-session queue budget before\n"
+        "                        backpressure, e.g. 8Mi (default)\n"
+        "  --span-samples <n>    analysis span length (default auto)\n"
+        "  --resilient           enable the signal-quality layer for\n"
+        "                        every session (clients can also ask\n"
+        "                        per session via the Open flag)\n"
+        "  --status-every <dur>  print a status line this often,\n"
+        "                        e.g. 30s (default: off)\n"
+        "\n"
+        "push options:\n"
+        "  --chunk-bytes <sz>    Data frame size, e.g. 256Ki\n"
+        "\n"
+        "exit codes: 0 ok, 1 error, 2 bad usage; --push propagates "
+        "the\nserved report status (3 = degraded result)\n"
+        "\n%s",
+        argv0, argv0, argv0, tools::ObsCli::kUsage);
+}
+
+const char *
+argText(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+    }
+    return argv[++i];
+}
+
+int
+runScrape(const std::string &endpointSpec)
+{
+    serve::Endpoint endpoint;
+    std::string error;
+    if (!serve::parseEndpoint(endpointSpec, endpoint, &error)) {
+        std::fprintf(stderr, "--scrape: %s\n", error.c_str());
+        return 2;
+    }
+    std::string text;
+    if (!serve::Client::scrape(endpoint, text, &error)) {
+        std::fprintf(stderr, "scrape failed: %s\n", error.c_str());
+        return 1;
+    }
+    std::fputs(text.c_str(), stdout);
+    return 0;
+}
+
+int
+runPush(const std::string &capturePath, const std::string &endpointSpec,
+        bool resilient, std::size_t chunkBytes)
+{
+    serve::Endpoint endpoint;
+    std::string error;
+    if (endpointSpec.empty()) {
+        std::fprintf(stderr, "--push needs --to <endpoint>\n");
+        return 2;
+    }
+    if (!serve::parseEndpoint(endpointSpec, endpoint, &error)) {
+        std::fprintf(stderr, "--to: %s\n", error.c_str());
+        return 2;
+    }
+    const serve::PushResult result =
+        serve::pushCapture(endpoint, capturePath, resilient, chunkBytes);
+    if (!result.ok) {
+        std::fprintf(stderr, "push failed: %s\n", result.error.c_str());
+        return 1;
+    }
+    std::fputs(result.report.reportText.c_str(), stdout);
+    if (result.report.status != 0)
+        std::fprintf(stderr,
+                     "server flagged the result (status %u)\n",
+                     result.report.status);
+    return static_cast<int>(result.report.status);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string unix_listen, tcp_listen;
+    std::string scrape_endpoint, push_capture, push_to;
+    bool resilient = false;
+    double status_every_s = 0.0;
+    std::size_t chunk_bytes = 256 * 1024;
+    tools::ObsCli obs_cli;
+    serve::ServerConfig config;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (obs_cli.parseArg(argc, argv, i))
+            continue;
+        if (arg == "--listen") {
+            const std::string spec = argText(argc, argv, i);
+            serve::Endpoint ep;
+            std::string error;
+            if (!serve::parseEndpoint(spec, ep, &error)) {
+                std::fprintf(stderr, "--listen: %s\n", error.c_str());
+                return 2;
+            }
+            if (ep.tcp)
+                config.tcpPort = ep.port;
+            else
+                config.unixPath = ep.unixPath;
+        }
+        else if (arg == "--scrape")
+            scrape_endpoint = argText(argc, argv, i);
+        else if (arg == "--push")
+            push_capture = argText(argc, argv, i);
+        else if (arg == "--to")
+            push_to = argText(argc, argv, i);
+        else if (arg == "--threads")
+            config.threads = static_cast<std::size_t>(
+                tools::parseU64Flag("--threads",
+                                    argText(argc, argv, i), 1, 4096));
+        else if (arg == "--max-sessions")
+            config.maxSessions = static_cast<std::size_t>(
+                tools::parseU64Flag("--max-sessions",
+                                    argText(argc, argv, i), 1,
+                                    1u << 20));
+        else if (arg == "--session-buffer")
+            config.sessionBufferBytes =
+                static_cast<std::size_t>(tools::parseSizeFlag(
+                    "--session-buffer", argText(argc, argv, i),
+                    64 * 1024, uint64_t{16} << 30));
+        else if (arg == "--span-samples")
+            config.spanSamples = static_cast<std::size_t>(
+                tools::parseU64Flag("--span-samples",
+                                    argText(argc, argv, i), 256,
+                                    uint64_t{1} << 32));
+        else if (arg == "--chunk-bytes")
+            chunk_bytes = static_cast<std::size_t>(tools::parseSizeFlag(
+                "--chunk-bytes", argText(argc, argv, i), 16,
+                serve::kMaxFramePayload));
+        else if (arg == "--resilient")
+            resilient = true;
+        else if (arg == "--status-every")
+            status_every_s = tools::parseDurationFlag(
+                "--status-every", argText(argc, argv, i), 0.1, 86400.0);
+        else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        }
+        else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    if (!scrape_endpoint.empty())
+        return runScrape(scrape_endpoint);
+    if (!push_capture.empty())
+        return runPush(push_capture, push_to, resilient, chunk_bytes);
+
+    if (config.unixPath.empty() && config.tcpPort < 0) {
+        std::fprintf(stderr, "nothing to do: need --listen, --scrape "
+                             "or --push\n");
+        usage(argv[0]);
+        return 2;
+    }
+
+    config.analysis.signal.enabled = resilient;
+    serve::Server server(std::move(config));
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "cannot start server: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
+    if (!server.running()) {
+        std::fprintf(stderr, "server failed to start\n");
+        return 1;
+    }
+    if (server.tcpPort() >= 0)
+        std::printf("listening on tcp:127.0.0.1:%d\n",
+                    server.tcpPort());
+    std::fflush(stdout);
+
+    double since_status = 0.0;
+    while (g_stop == 0) {
+        ::usleep(100 * 1000);
+        since_status += 0.1;
+        if (status_every_s > 0.0 && since_status >= status_every_s) {
+            since_status = 0.0;
+            const serve::ServerStats s = server.stats();
+            std::printf("sessions: %llu active, %llu accepted, "
+                        "%llu completed, %llu rejected; %llu bytes "
+                        "ingested\n",
+                        static_cast<unsigned long long>(
+                            s.sessionsActive),
+                        static_cast<unsigned long long>(
+                            s.sessionsAccepted),
+                        static_cast<unsigned long long>(
+                            s.sessionsCompleted),
+                        static_cast<unsigned long long>(
+                            s.sessionsRejected),
+                        static_cast<unsigned long long>(
+                            s.bytesIngested));
+            std::fflush(stdout);
+        }
+    }
+
+    std::printf("shutting down...\n");
+    server.stop();
+    const serve::ServerStats s = server.stats();
+    std::printf("served %llu sessions (%llu rejected)\n",
+                static_cast<unsigned long long>(s.sessionsCompleted),
+                static_cast<unsigned long long>(s.sessionsRejected));
+    if (!obs_cli.finish())
+        return 1;
+    return 0;
+}
