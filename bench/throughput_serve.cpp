@@ -5,7 +5,8 @@
  *
  *   throughput_serve [--devices N] [--rate R] [--samples-per-capture S]
  *                    [--client-threads K] [--server-threads T]
- *                    [--json PATH] [--fail-on-reject]
+ *                    [--disconnect-rate P] [--json PATH]
+ *                    [--fail-on-reject] [--fail-on-lost]
  *
  * Open-loop means the arrival schedule is drawn up front (exponential
  * inter-arrival gaps at R sessions/s, fixed seed) and never reacts to
@@ -14,6 +15,15 @@
  * number, unlike closed-loop generators that politely wait.  Each
  * session is one full EMCAP upload (the same blob for every device)
  * pushed through the real client/EMFR/server/analysis path.
+ *
+ * --disconnect-rate P adds a second measured pass in which a fraction
+ * P of sessions (chosen by a fixed-seed draw) have their connection
+ * hard-closed once mid-upload and ride the resumable-push reconnect
+ * path (DESIGN.md §15).  The pass reports resumed sessions, replayed
+ * bytes, LOST sessions (dropped and never completed — the number this
+ * PR exists to drive to zero) and its p99 as a ratio of the
+ * no-disconnect baseline.  --fail-on-lost turns any lost session into
+ * exit 1, which CI uses as the resume gate.
  *
  * Reported: sessions/s, p50/p99 session latency (scheduled arrival →
  * Report in hand), aggregate analysis throughput in Msamples/s, and
@@ -110,6 +120,139 @@ percentile(std::vector<double> sorted, double p)
     return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+/** One measured open-loop pass against a fresh server. */
+struct PassResult
+{
+    std::size_t completed = 0;
+    std::size_t rejected = 0;
+    std::size_t dropped = 0; ///< sessions given an injected drop
+    std::size_t lost = 0;    ///< dropped sessions that never finished
+    uint64_t resumes = 0;
+    uint64_t replayedBytes = 0;
+    double wallS = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+    serve::ServerStats stats;
+};
+
+struct PassSetup
+{
+    const std::vector<uint8_t> *blob = nullptr;
+    std::size_t devices = 0;
+    std::size_t clientThreads = 0;
+    std::size_t serverThreads = 0;
+    const std::vector<double> *arrivalS = nullptr;
+    double disconnectRate = 0.0; ///< fraction given one mid-upload drop
+};
+
+bool
+runPass(const PassSetup &setup, const char *label, PassResult &out,
+        std::string *error)
+{
+    const std::size_t devices = setup.devices;
+    const std::string sock = "/tmp/emprof_bench_serve_" +
+                             std::to_string(::getpid()) + "_" + label +
+                             ".sock";
+
+    serve::ServerConfig config;
+    config.unixPath = sock;
+    config.threads = setup.serverThreads;
+    config.maxSessions = devices; // open-loop: never reply Busy
+    serve::Server server(std::move(config));
+    if (!server.start(error))
+        return false;
+
+    // Which sessions lose their connection, drawn once up front with a
+    // fixed seed so a run is reproducible.
+    std::vector<uint8_t> drop(devices, 0);
+    if (setup.disconnectRate > 0.0) {
+        dsp::Rng rng(0xd15c);
+        for (std::size_t i = 0; i < devices; ++i)
+            drop[i] = rng.chance(setup.disconnectRate) ? 1 : 0;
+    }
+
+    std::vector<double> latency_ms(devices, 0.0);
+    std::vector<uint8_t> ok(devices, 0);
+    std::atomic<std::size_t> next{0};
+    std::atomic<uint64_t> resumes{0};
+    std::atomic<uint64_t> replayed{0};
+    const Clock::time_point start = Clock::now();
+
+    auto worker = [&] {
+        serve::Endpoint ep;
+        ep.tcp = false;
+        ep.unixPath = sock;
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= devices)
+                return;
+            const Clock::time_point due =
+                start + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                (*setup.arrivalS)[i]));
+            std::this_thread::sleep_until(due);
+            serve::Client client;
+            serve::PushOptions options;
+            // Small enough for several Data frames per session, so an
+            // injected drop can land genuinely mid-upload.
+            options.uploadChunkBytes = 16 * 1024;
+            options.maxAttempts = 5;
+            // The tool default (50 ms base) is sized for flaky WAN
+            // links; against a local socket it would dominate the
+            // dropped sessions' latency and measure the backoff
+            // instead of the resume path.
+            options.backoffBaseMs = 8;
+            options.backoffMaxMs = 200;
+            options.jitterSeed = 0x9e3779b9u + i;
+            if (drop[i])
+                options.simulateDropAfterBytes =
+                    1 + (i * 7919) % setup.blob->size();
+            const serve::PushResult result = client.pushResumable(
+                ep, setup.blob->data(), setup.blob->size(), options);
+            const double ms =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - due)
+                    .count();
+            latency_ms[i] = ms;
+            ok[i] = result.ok ? 1 : 0;
+            resumes.fetch_add(result.resumes);
+            replayed.fetch_add(result.replayedBytes);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(setup.clientThreads);
+    for (std::size_t i = 0; i < setup.clientThreads; ++i)
+        threads.emplace_back(worker);
+    for (auto &t : threads)
+        t.join();
+    out.wallS =
+        std::chrono::duration<double>(Clock::now() - start).count();
+
+    server.stop();
+    out.stats = server.stats();
+
+    std::vector<double> sorted;
+    sorted.reserve(devices);
+    for (std::size_t i = 0; i < devices; ++i) {
+        if (drop[i])
+            ++out.dropped;
+        if (ok[i]) {
+            ++out.completed;
+            sorted.push_back(latency_ms[i]);
+        } else if (drop[i]) {
+            ++out.lost;
+        }
+    }
+    std::sort(sorted.begin(), sorted.end());
+    out.rejected = devices - out.completed;
+    out.resumes = resumes.load();
+    out.replayedBytes = replayed.load();
+    out.p50Ms = percentile(sorted, 50.0);
+    out.p99Ms = percentile(sorted, 99.0);
+    return true;
+}
+
 } // namespace
 
 int
@@ -118,10 +261,12 @@ main(int argc, char **argv)
     std::size_t devices = 1000;
     std::size_t samples = 65536;
     double rate = 400.0; // sessions per second
+    double disconnect_rate = 0.0;
     std::size_t client_threads = 16;
     std::size_t server_threads = 0;
     std::string json_path = "BENCH_serve.json";
     bool fail_on_reject = false;
+    bool fail_on_lost = false;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--devices") && i + 1 < argc)
@@ -131,6 +276,9 @@ main(int argc, char **argv)
             samples = static_cast<std::size_t>(std::atoll(argv[++i]));
         else if (!std::strcmp(argv[i], "--rate") && i + 1 < argc)
             rate = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--disconnect-rate") &&
+                 i + 1 < argc)
+            disconnect_rate = std::atof(argv[++i]);
         else if (!std::strcmp(argv[i], "--client-threads") &&
                  i + 1 < argc)
             client_threads =
@@ -143,19 +291,24 @@ main(int argc, char **argv)
             json_path = argv[++i];
         else if (!std::strcmp(argv[i], "--fail-on-reject"))
             fail_on_reject = true;
+        else if (!std::strcmp(argv[i], "--fail-on-lost"))
+            fail_on_lost = true;
         else {
             std::fprintf(
                 stderr,
                 "usage: %s [--devices N] [--rate R]\n"
                 "          [--samples-per-capture S] "
                 "[--client-threads K]\n"
-                "          [--server-threads T] [--json PATH] "
-                "[--fail-on-reject]\n",
+                "          [--server-threads T] "
+                "[--disconnect-rate P]\n"
+                "          [--json PATH] [--fail-on-reject] "
+                "[--fail-on-lost]\n",
                 argv[0]);
             return 2;
         }
     }
-    if (devices == 0 || rate <= 0.0 || client_threads == 0) {
+    if (devices == 0 || rate <= 0.0 || client_threads == 0 ||
+        disconnect_rate < 0.0 || disconnect_rate > 1.0) {
         std::fprintf(stderr, "nothing to do\n");
         return 2;
     }
@@ -171,21 +324,10 @@ main(int argc, char **argv)
     std::printf("blob: %zu bytes (%zu samples)\n", blob.size(),
                 samples);
 
-    serve::ServerConfig config;
-    config.unixPath = "/tmp/emprof_bench_serve_" +
-                      std::to_string(::getpid()) + ".sock";
-    config.threads = server_threads;
-    config.maxSessions = devices; // open-loop: never reply Busy
-    serve::Server server(std::move(config));
-    if (!server.start(&error)) {
-        std::fprintf(stderr, "server start failed: %s\n",
-                     error.c_str());
-        return 1;
-    }
-
     // The arrival schedule, drawn before any session runs and never
     // adjusted afterwards: that independence is what makes the
-    // generator open-loop.
+    // generator open-loop.  Both passes replay the same schedule, so
+    // their p99s differ only by the injected disconnects.
     std::vector<double> arrival_s(devices);
     {
         dsp::Rng rng(0x5e7e);
@@ -199,87 +341,76 @@ main(int argc, char **argv)
                 "%zu client threads\n",
                 devices, arrival_s.back(), rate, client_threads);
 
-    std::vector<double> latency_ms(devices, 0.0);
-    std::vector<uint8_t> ok(devices, 0);
-    std::atomic<std::size_t> next{0};
-    const Clock::time_point start = Clock::now();
+    PassSetup setup;
+    setup.blob = &blob;
+    setup.devices = devices;
+    setup.clientThreads = client_threads;
+    setup.serverThreads = server_threads;
+    setup.arrivalS = &arrival_s;
 
-    auto worker = [&] {
-        serve::Endpoint ep;
-        ep.tcp = false;
-        ep.unixPath = "/tmp/emprof_bench_serve_" +
-                      std::to_string(::getpid()) + ".sock";
-        for (;;) {
-            const std::size_t i = next.fetch_add(1);
-            if (i >= devices)
-                return;
-            const Clock::time_point due =
-                start + std::chrono::duration_cast<Clock::duration>(
-                            std::chrono::duration<double>(
-                                arrival_s[i]));
-            std::this_thread::sleep_until(due);
-            serve::Client client;
-            std::string why;
-            if (!client.connect(ep, &why)) {
-                ok[i] = 0;
-                continue;
-            }
-            const serve::PushResult result =
-                client.push(blob.data(), blob.size(), false,
-                            256 * 1024);
-            const double ms =
-                std::chrono::duration<double, std::milli>(
-                    Clock::now() - due)
-                    .count();
-            latency_ms[i] = ms;
-            ok[i] = result.ok ? 1 : 0;
+    PassResult baseline;
+    if (!runPass(setup, "base", baseline, &error)) {
+        std::fprintf(stderr, "baseline pass failed: %s\n",
+                     error.c_str());
+        return 1;
+    }
+
+    PassResult drops;
+    const bool ran_drops = disconnect_rate > 0.0;
+    if (ran_drops) {
+        std::printf("disconnect pass: dropping ~%.0f%% of sessions "
+                    "once mid-upload...\n",
+                    disconnect_rate * 100.0);
+        setup.disconnectRate = disconnect_rate;
+        if (!runPass(setup, "drop", drops, &error)) {
+            std::fprintf(stderr, "disconnect pass failed: %s\n",
+                         error.c_str());
+            return 1;
         }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(client_threads);
-    for (std::size_t i = 0; i < client_threads; ++i)
-        threads.emplace_back(worker);
-    for (auto &t : threads)
-        t.join();
-    const double wall_s =
-        std::chrono::duration<double>(Clock::now() - start).count();
-
-    server.stop();
-    const serve::ServerStats stats = server.stats();
-
-    std::size_t completed = 0;
-    std::vector<double> sorted;
-    sorted.reserve(devices);
-    for (std::size_t i = 0; i < devices; ++i)
-        if (ok[i]) {
-            ++completed;
-            sorted.push_back(latency_ms[i]);
-        }
-    std::sort(sorted.begin(), sorted.end());
-    const std::size_t rejected = devices - completed;
+    }
 
     const double sessions_per_s =
-        static_cast<double>(completed) / wall_s;
+        static_cast<double>(baseline.completed) / baseline.wallS;
     const double msamples_per_s =
-        static_cast<double>(completed) *
-        static_cast<double>(samples) / wall_s / 1e6;
-    const double p50 = percentile(sorted, 50.0);
-    const double p99 = percentile(sorted, 99.0);
+        static_cast<double>(baseline.completed) *
+        static_cast<double>(samples) / baseline.wallS / 1e6;
+    const double p99_ratio =
+        ran_drops && baseline.p99Ms > 0.0
+            ? drops.p99Ms / baseline.p99Ms
+            : 0.0;
 
     std::printf("\n== served ingest ==\n");
     std::printf("sessions        %zu ok, %zu rejected (server: %llu "
                 "completed, %llu rejected)\n",
-                completed, rejected,
+                baseline.completed, baseline.rejected,
                 static_cast<unsigned long long>(
-                    stats.sessionsCompleted),
+                    baseline.stats.sessionsCompleted),
                 static_cast<unsigned long long>(
-                    stats.sessionsRejected));
-    std::printf("wall            %.2f s\n", wall_s);
+                    baseline.stats.sessionsRejected));
+    std::printf("wall            %.2f s\n", baseline.wallS);
     std::printf("throughput      %.1f sessions/s, %.1f Msamples/s\n",
                 sessions_per_s, msamples_per_s);
-    std::printf("latency         p50 %.2f ms, p99 %.2f ms\n", p50,
-                p99);
+    std::printf("latency         p50 %.2f ms, p99 %.2f ms\n",
+                baseline.p50Ms, baseline.p99Ms);
+    if (ran_drops) {
+        std::printf("\n== disconnect pass (%.0f%% dropped once) ==\n",
+                    disconnect_rate * 100.0);
+        std::printf("sessions        %zu ok, %zu dropped, %zu LOST\n",
+                    drops.completed, drops.dropped, drops.lost);
+        std::printf("resume          %llu resumed session(s), %llu "
+                    "bytes replayed (server: %llu parked, %llu "
+                    "resumed)\n",
+                    static_cast<unsigned long long>(drops.resumes),
+                    static_cast<unsigned long long>(
+                        drops.replayedBytes),
+                    static_cast<unsigned long long>(
+                        drops.stats.sessionsParked),
+                    static_cast<unsigned long long>(
+                        drops.stats.sessionsResumed));
+        std::printf("latency         p50 %.2f ms, p99 %.2f ms "
+                    "(%.2fx baseline p99)\n",
+                    drops.p50Ms, drops.p99Ms, p99_ratio);
+    }
 
     std::FILE *json = std::fopen(json_path.c_str(), "w");
     if (json != nullptr) {
@@ -296,10 +427,23 @@ main(int argc, char **argv)
             "  \"sessions_per_s\": %.2f,\n"
             "  \"msamples_per_s\": %.2f,\n"
             "  \"latency_p50_ms\": %.3f,\n"
-            "  \"latency_p99_ms\": %.3f\n"
+            "  \"latency_p99_ms\": %.3f,\n"
+            "  \"disconnect_rate\": %.3f,\n"
+            "  \"dropped_sessions\": %zu,\n"
+            "  \"lost_sessions\": %zu,\n"
+            "  \"resumed_sessions\": %llu,\n"
+            "  \"replayed_bytes\": %llu,\n"
+            "  \"disconnect_latency_p50_ms\": %.3f,\n"
+            "  \"disconnect_latency_p99_ms\": %.3f,\n"
+            "  \"disconnect_p99_over_baseline\": %.3f\n"
             "}\n",
-            devices, samples, rate, completed, rejected, wall_s,
-            sessions_per_s, msamples_per_s, p50, p99);
+            devices, samples, rate, baseline.completed,
+            baseline.rejected, baseline.wallS, sessions_per_s,
+            msamples_per_s, baseline.p50Ms, baseline.p99Ms,
+            disconnect_rate, drops.dropped, drops.lost,
+            static_cast<unsigned long long>(drops.resumes),
+            static_cast<unsigned long long>(drops.replayedBytes),
+            drops.p50Ms, drops.p99Ms, p99_ratio);
         std::fclose(json);
         std::printf("wrote %s\n", json_path.c_str());
     }
@@ -308,11 +452,18 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (fail_on_reject && rejected > 0) {
+    if (fail_on_reject && baseline.rejected > 0) {
         std::fprintf(stderr,
                      "FAIL: %zu session(s) rejected under open-loop "
                      "load\n",
-                     rejected);
+                     baseline.rejected);
+        return 1;
+    }
+    if (fail_on_lost && ran_drops && drops.lost > 0) {
+        std::fprintf(stderr,
+                     "FAIL: %zu dropped session(s) never completed "
+                     "(resume path lost them)\n",
+                     drops.lost);
         return 1;
     }
     return 0;

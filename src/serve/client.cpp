@@ -1,8 +1,12 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <random>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -131,20 +135,51 @@ Client::close()
 bool
 Client::open(bool resilient, std::string *error)
 {
-    if (fd_ < 0)
-        return fail(error, "not connected");
     OpenRequest req{};
     req.flags = resilient ? kOpenResilient : 0;
-    return writeFrame(fd_, FrameType::Open, &req, sizeof(req), error);
+    SessionId id{};
+    uint64_t resume_offset = 0;
+    SessionState state = SessionState::Fresh;
+    return openSession(req, id, resume_offset, state, nullptr, error);
+}
+
+bool
+Client::openSession(const OpenRequest &request, SessionId &id,
+                    uint64_t &resumeOffset, SessionState &state,
+                    ErrorCode *errorCode, std::string *error,
+                    bool *connectionLost)
+{
+    if (fd_ < 0)
+        return fail(error, "not connected");
+    if (!writeFrame(fd_, FrameType::Open, &request, sizeof(request),
+                    error, connectionLost))
+        return false;
+    Frame reply;
+    if (!readFrame(fd_, reply, error, kMaxFramePayload,
+                   connectionLost))
+        return false;
+    if (reply.type == FrameType::Error) {
+        ErrorCode code = ErrorCode::Internal;
+        std::string message;
+        decodeErrorPayload(reply.payload, code, message);
+        if (errorCode != nullptr)
+            *errorCode = code;
+        return fail(error, message);
+    }
+    if (reply.type != FrameType::OpenAck)
+        return fail(error, "unexpected reply to Open");
+    return decodeOpenAckPayload(reply.payload, id, resumeOffset,
+                                state, error);
 }
 
 bool
 Client::sendData(const uint8_t *data, std::size_t bytes,
-                 std::string *error)
+                 std::string *error, bool *connectionLost)
 {
     if (fd_ < 0)
         return fail(error, "not connected");
-    return writeFrame(fd_, FrameType::Data, data, bytes, error);
+    return writeFrame(fd_, FrameType::Data, data, bytes, error,
+                      connectionLost);
 }
 
 /**
@@ -162,9 +197,13 @@ Client::adoptPendingError(PushResult &result)
     Frame reply;
     std::string ignored;
     if (readFrame(fd_, reply, &ignored) &&
-        reply.type == FrameType::Error)
+        reply.type == FrameType::Error) {
         decodeErrorPayload(reply.payload, result.errorCode,
                            result.error);
+        // A typed rejection beat the hangup: this is a protocol
+        // failure, not a transport death — do not retry it.
+        result.connectionLost = false;
+    }
 }
 
 PushResult
@@ -176,15 +215,19 @@ Client::finish()
         result.error = "not connected";
         return result;
     }
-    if (!writeFrame(fd_, FrameType::Finish, nullptr, 0, &error)) {
+    bool lost = false;
+    if (!writeFrame(fd_, FrameType::Finish, nullptr, 0, &error,
+                    &lost)) {
         result.error = error;
+        result.connectionLost = lost;
         adoptPendingError(result);
         close();
         return result;
     }
     Frame reply;
-    if (!readFrame(fd_, reply, &error)) {
+    if (!readFrame(fd_, reply, &error, kMaxFramePayload, &lost)) {
         result.error = error;
+        result.connectionLost = lost;
         close();
         return result;
     }
@@ -214,23 +257,205 @@ Client::push(const uint8_t *capture, std::size_t bytes, bool resilient,
     std::string error;
     if (uploadChunkBytes == 0 || uploadChunkBytes > kMaxFramePayload)
         uploadChunkBytes = kMaxFramePayload;
-    if (!open(resilient, &error)) {
+    OpenRequest req{};
+    req.flags = resilient ? kOpenResilient : 0;
+    uint64_t resume_offset = 0;
+    SessionState state = SessionState::Fresh;
+    bool lost = false;
+    if (!openSession(req, result.sessionId, resume_offset, state,
+                     &result.errorCode, &error, &lost)) {
         result.error = error;
+        result.connectionLost = lost;
         close();
         return result;
     }
     for (std::size_t off = 0; off < bytes;) {
         const std::size_t take =
             std::min(uploadChunkBytes, bytes - off);
-        if (!sendData(capture + off, take, &error)) {
+        if (!sendData(capture + off, take, &error, &lost)) {
             result.error = error;
+            result.connectionLost = lost;
             adoptPendingError(result);
             close();
             return result;
         }
         off += take;
     }
-    return finish();
+    const SessionId id = result.sessionId;
+    result = finish();
+    result.sessionId = id;
+    return result;
+}
+
+PushResult
+Client::pushResumable(const Endpoint &endpoint, const uint8_t *capture,
+                      std::size_t bytes, const PushOptions &options)
+{
+    PushResult result;
+    std::size_t chunk = options.uploadChunkBytes;
+    if (chunk == 0 || chunk > kMaxFramePayload)
+        chunk = kMaxFramePayload;
+    const uint32_t max_attempts = std::max(1u, options.maxAttempts);
+
+    std::mt19937_64 rng(options.jitterSeed != 0
+                            ? options.jitterSeed
+                            : std::random_device{}());
+    SessionId id{};
+    bool have_id = false;
+    bool dropped = false; ///< the simulated drop fired already
+    uint64_t sent_high_water = 0;
+
+    for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+            // Jittered exponential backoff: base * 2^(retries-1),
+            // capped, scaled by a uniform [0.5, 1.5) factor so a
+            // fleet of droppped clients does not reconnect in phase.
+            uint64_t delay = options.backoffBaseMs;
+            for (uint32_t i = 2; i < attempt && delay < options.backoffMaxMs; ++i)
+                delay *= 2;
+            delay = std::min<uint64_t>(delay, options.backoffMaxMs);
+            std::uniform_real_distribution<double> jitter(0.5, 1.5);
+            delay = static_cast<uint64_t>(
+                static_cast<double>(delay) * jitter(rng));
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+
+        ++result.attempts;
+        std::string error;
+        if (!connect(endpoint, &error)) {
+            result.error = error;
+            result.connectionLost = true;
+            continue; // the daemon may be restarting; back off
+        }
+
+        OpenRequest req{};
+        req.flags = (options.resilient ? kOpenResilient : 0u) |
+                    (have_id ? kOpenResume : 0u);
+        if (have_id)
+            std::memcpy(req.sessionId, id.data(), id.size());
+        req.resumeFrom = have_id ? kResumeQuery : 0;
+
+        uint64_t resume_offset = 0;
+        SessionState state = SessionState::Fresh;
+        bool lost = false;
+        result.errorCode = ErrorCode::Internal;
+        if (!openSession(req, id, resume_offset, state,
+                         &result.errorCode, &error, &lost)) {
+            result.error = error;
+            result.connectionLost = lost;
+            close();
+            if (lost || result.errorCode == ErrorCode::Busy)
+                continue;
+            return result; // typed rejection: not retriable
+        }
+        have_id = true;
+        result.sessionId = id;
+
+        if (state == SessionState::Complete) {
+            // The session finished in a previous life; the spooled
+            // Report follows immediately.
+            Frame reply;
+            if (!readFrame(fd_, reply, &error, kMaxFramePayload,
+                           &lost)) {
+                result.error = error;
+                result.connectionLost = lost;
+                close();
+                if (lost)
+                    continue;
+                return result;
+            }
+            close();
+            if (reply.type != FrameType::Report) {
+                result.error = "unexpected frame after Complete ack";
+                return result;
+            }
+            if (!decodeReportPayload(reply.payload, result.report,
+                                     &error)) {
+                result.error = error;
+                return result;
+            }
+            result.ok = true;
+            result.servedFromSpool = true;
+            result.connectionLost = false;
+            result.error.clear();
+            return result;
+        }
+        if (state == SessionState::Resumed) {
+            ++result.resumes;
+            if (sent_high_water > resume_offset)
+                result.replayedBytes +=
+                    sent_high_water - resume_offset;
+        } else if (sent_high_water > 0) {
+            // Fresh after bytes went out: the daemon restarted and
+            // lost its parked state; the whole upload replays.
+            result.replayedBytes += sent_high_water;
+        }
+        if (resume_offset > bytes) {
+            result.error = "server resume offset " +
+                           std::to_string(resume_offset) +
+                           " is past the capture (" +
+                           std::to_string(bytes) + " bytes)";
+            result.connectionLost = false;
+            close();
+            return result;
+        }
+
+        std::size_t off = static_cast<std::size_t>(resume_offset);
+        bool send_failed = false;
+        while (off < bytes) {
+            const std::size_t take = std::min(chunk, bytes - off);
+            if (!sendData(capture + off, take, &error, &lost)) {
+                result.error = error;
+                result.connectionLost = lost;
+                adoptPendingError(result);
+                send_failed = true;
+                break;
+            }
+            off += take;
+            sent_high_water =
+                std::max<uint64_t>(sent_high_water, off);
+            if (!dropped && options.simulateDropAfterBytes > 0 &&
+                off >= options.simulateDropAfterBytes) {
+                // Bench hook: kill the transport once.  A threshold at
+                // or past the last byte drops between the final Data
+                // frame and Finish — the classic lost-report window.
+                dropped = true;
+                result.error = "simulated connection drop";
+                result.connectionLost = true;
+                send_failed = true;
+                lost = true;
+                break;
+            }
+        }
+        if (send_failed) {
+            close();
+            if (result.connectionLost)
+                continue;
+            return result; // server rejected the stream: final
+        }
+
+        PushResult fin = finish(); // closes the socket either way
+        fin.sessionId = id;
+        fin.attempts = result.attempts;
+        fin.resumes = result.resumes;
+        fin.replayedBytes = result.replayedBytes;
+        if (fin.ok || !fin.connectionLost)
+            return fin;
+        // The Finish (or its Report) was lost in flight.  The next
+        // attempt either resumes the parked upload or — when Finish
+        // did arrive and the result is already durable — collects
+        // the spooled Report via the Complete handshake.
+        result.error = fin.error;
+        result.errorCode = fin.errorCode;
+        result.connectionLost = true;
+        continue;
+    }
+
+    if (result.error.empty())
+        result.error = "push failed after " +
+                       std::to_string(result.attempts) + " attempts";
+    return result;
 }
 
 bool
@@ -273,6 +498,25 @@ pushCapture(const Endpoint &endpoint, const std::string &capturePath,
     }
     return client.push(bytes.data(), bytes.size(), resilient,
                        uploadChunkBytes);
+}
+
+PushResult
+pushCaptureResumable(const Endpoint &endpoint,
+                     const std::string &capturePath,
+                     const PushOptions &options)
+{
+    PushResult result;
+    std::ifstream in(capturePath, std::ios::binary);
+    if (!in) {
+        result.error = "cannot open " + capturePath;
+        return result;
+    }
+    std::vector<uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    Client client;
+    return client.pushResumable(endpoint, bytes.data(), bytes.size(),
+                                options);
 }
 
 } // namespace emprof::serve

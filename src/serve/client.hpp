@@ -49,6 +49,34 @@ struct PushResult
     ErrorCode errorCode =     ///< valid when !ok and the server spoke
         ErrorCode::Internal;
     std::string error;        ///< human-readable failure reason
+
+    /** The failure (if any) was the transport dying — the class a
+     *  resumable push retries; maps to exit code 7 in the tools. */
+    bool connectionLost = false;
+    uint32_t attempts = 0;    ///< connections made (resumable push)
+    uint32_t resumes = 0;     ///< OpenAcks answered Resumed
+    uint64_t replayedBytes = 0; ///< bytes re-sent after reconnects
+    bool servedFromSpool = false; ///< OpenAck Complete: spool replay
+    SessionId sessionId{};    ///< id echoed by the server (v2)
+};
+
+/** Knobs for the reconnecting push (emprof_capture/served --push). */
+struct PushOptions
+{
+    bool resilient = false;
+    std::size_t uploadChunkBytes = 256 * 1024;
+
+    /** Total connection attempts (first try included); 1 disables
+     *  the retry loop entirely. */
+    uint32_t maxAttempts = 3;
+    uint32_t backoffBaseMs = 50; ///< doubled per retry, jittered
+    uint32_t backoffMaxMs = 2000;
+    uint64_t jitterSeed = 0; ///< 0 = nondeterministic
+
+    /** Bench/test hook: hard-close the socket once, after this many
+     *  capture bytes have been sent (0 = never).  Exercises the real
+     *  reconnect-and-resume path deterministically. */
+    uint64_t simulateDropAfterBytes = 0;
 };
 
 class Client
@@ -75,12 +103,39 @@ class Client
                     std::size_t uploadChunkBytes = 256 * 1024);
 
     /**
+     * Resumable push: like push(), but survives the connection dying
+     * under it.  Reconnects (with jittered exponential backoff) up to
+     * options.maxAttempts times, re-attaching to the same session id
+     * so the server's parked pipeline continues from its durable
+     * offset — or, when the session already finished, collecting the
+     * spooled Report.  Retries only transport deaths and Busy; typed
+     * protocol rejections (Malformed, BadResume, ...) fail fast.
+     */
+    PushResult pushResumable(const Endpoint &endpoint,
+                             const uint8_t *capture, std::size_t bytes,
+                             const PushOptions &options);
+
+    /**
      * Low-level session steps, for callers that interleave uploads
      * with other work (the load generator paces Data frames itself).
      */
     bool open(bool resilient, std::string *error = nullptr);
+
+    /**
+     * Full v2 handshake: write @p request, block for the OpenAck (or
+     * a typed Error, reported through @p errorCode + @p error).  On
+     * success @p id / @p resumeOffset / @p state carry the server's
+     * answer; state == Complete means a Report frame follows.
+     */
+    bool openSession(const OpenRequest &request, SessionId &id,
+                     uint64_t &resumeOffset, SessionState &state,
+                     ErrorCode *errorCode = nullptr,
+                     std::string *error = nullptr,
+                     bool *connectionLost = nullptr);
+
     bool sendData(const uint8_t *data, std::size_t bytes,
-                  std::string *error = nullptr);
+                  std::string *error = nullptr,
+                  bool *connectionLost = nullptr);
     PushResult finish();
 
     /** Fetch the server's text metrics scrape (StatsRequest). */
@@ -98,6 +153,11 @@ PushResult pushCapture(const Endpoint &endpoint,
                        const std::string &capturePath,
                        bool resilient = false,
                        std::size_t uploadChunkBytes = 256 * 1024);
+
+/** Convenience: read a capture file and push it resumably. */
+PushResult pushCaptureResumable(const Endpoint &endpoint,
+                                const std::string &capturePath,
+                                const PushOptions &options);
 
 } // namespace emprof::serve
 

@@ -70,6 +70,33 @@ class EmcapStreamDecoder
     uint64_t bytesConsumed() const { return bytesConsumed_; }
 
     /**
+     * The highest element-aligned byte offset that is durably part of
+     * the decode: everything before the element (file header, chunk,
+     * or footer byte) currently in flight.  This is the offset the
+     * resume handshake echoes — a reconnecting client re-sends from
+     * here and the decode continues as if never interrupted.
+     */
+    uint64_t resumableOffset() const
+    {
+        return bytesConsumed_ - pending_.size();
+    }
+
+    /**
+     * Drop the partially-received element so the stream can be re-fed
+     * from resumableOffset().  The state machine stays where it is:
+     * the element is simply accumulated again from its first byte
+     * (for a chunk-payload element that includes its already-parsed
+     * header, whose re-sent bytes are covered by the chunk CRC — a
+     * client that resumes with different bytes is caught, not
+     * silently accepted).  No-op when nothing is in flight.
+     */
+    void rewindPartial()
+    {
+        bytesConsumed_ -= pending_.size();
+        pending_.clear();
+    }
+
+    /**
      * End-of-upload check: all declared samples decoded and a
      * complete, EMCF-terminated footer seen.
      *

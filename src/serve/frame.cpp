@@ -21,6 +21,21 @@ fail(std::string *error, const std::string &message)
     return false;
 }
 
+void
+markLost(bool *connectionLost)
+{
+    if (connectionLost != nullptr)
+        *connectionLost = true;
+}
+
+/** errno values that mean "the transport died", not "we misspoke". */
+bool
+errnoIsConnectionLoss(int e)
+{
+    return e == EPIPE || e == ECONNRESET || e == ECONNABORTED ||
+           e == ETIMEDOUT;
+}
+
 /**
  * Write all of [data, data+len) to @p fd.  MSG_NOSIGNAL keeps a peer
  * hangup an EPIPE errno rather than a process-killing SIGPIPE; plain
@@ -28,7 +43,8 @@ fail(std::string *error, const std::string &message)
  * which only tests use.
  */
 bool
-writeAll(int fd, const void *data, std::size_t len, std::string *error)
+writeAll(int fd, const void *data, std::size_t len, std::string *error,
+         bool *connectionLost)
 {
     const uint8_t *p = static_cast<const uint8_t *>(data);
     while (len > 0) {
@@ -38,11 +54,15 @@ writeAll(int fd, const void *data, std::size_t len, std::string *error)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errnoIsConnectionLoss(errno))
+                markLost(connectionLost);
             return fail(error, std::string("write failed: ") +
                                    std::strerror(errno));
         }
-        if (n == 0)
+        if (n == 0) {
+            markLost(connectionLost);
             return fail(error, "write failed: peer closed");
+        }
         p += n;
         len -= static_cast<std::size_t>(n);
     }
@@ -50,7 +70,8 @@ writeAll(int fd, const void *data, std::size_t len, std::string *error)
 }
 
 bool
-readExact(int fd, void *data, std::size_t len, std::string *error)
+readExact(int fd, void *data, std::size_t len, std::string *error,
+          bool *connectionLost)
 {
     uint8_t *p = static_cast<uint8_t *>(data);
     while (len > 0) {
@@ -58,11 +79,15 @@ readExact(int fd, void *data, std::size_t len, std::string *error)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errnoIsConnectionLoss(errno))
+                markLost(connectionLost);
             return fail(error, std::string("read failed: ") +
                                    std::strerror(errno));
         }
-        if (n == 0)
+        if (n == 0) {
+            markLost(connectionLost);
             return fail(error, "connection closed mid-frame");
+        }
         p += n;
         len -= static_cast<std::size_t>(n);
     }
@@ -81,6 +106,52 @@ fillHeader(FrameHeader &h, FrameType type, const void *payload,
 }
 
 } // namespace
+
+bool
+sessionIdIsZero(const SessionId &id)
+{
+    for (const uint8_t b : id)
+        if (b != 0)
+            return false;
+    return true;
+}
+
+std::string
+sessionIdToHex(const SessionId &id)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(id.size() * 2);
+    for (const uint8_t b : id) {
+        hex.push_back(digits[b >> 4]);
+        hex.push_back(digits[b & 0x0F]);
+    }
+    return hex;
+}
+
+bool
+sessionIdFromHex(const std::string &hex, SessionId &out)
+{
+    if (hex.size() != out.size() * 2)
+        return false;
+    const auto nibble = [](char c) -> int {
+        if (c >= '0' && c <= '9')
+            return c - '0';
+        if (c >= 'a' && c <= 'f')
+            return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F')
+            return c - 'A' + 10;
+        return -1;
+    };
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const int hi = nibble(hex[2 * i]);
+        const int lo = nibble(hex[2 * i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out[i] = static_cast<uint8_t>((hi << 4) | lo);
+    }
+    return true;
+}
 
 WireEvent
 toWire(const profiler::StallEvent &ev)
@@ -143,7 +214,7 @@ parseFrame(const uint8_t *buffer, std::size_t size, Frame &frame,
         return -1;
     }
     if (h.type < static_cast<uint16_t>(FrameType::Open) ||
-        h.type > static_cast<uint16_t>(FrameType::Stats)) {
+        h.type > static_cast<uint16_t>(FrameType::OpenAck)) {
         fail(error, "unknown frame type " + std::to_string(h.type));
         return -1;
     }
@@ -166,24 +237,25 @@ parseFrame(const uint8_t *buffer, std::size_t size, Frame &frame,
 
 bool
 writeFrame(int fd, FrameType type, const void *payload,
-           std::size_t payloadBytes, std::string *error)
+           std::size_t payloadBytes, std::string *error,
+           bool *connectionLost)
 {
     if (payloadBytes > kMaxFramePayload)
         return fail(error, "frame payload exceeds the cap");
     FrameHeader h;
     fillHeader(h, type, payload, payloadBytes);
-    if (!writeAll(fd, &h, sizeof(h), error))
+    if (!writeAll(fd, &h, sizeof(h), error, connectionLost))
         return false;
     return payloadBytes == 0 ||
-           writeAll(fd, payload, payloadBytes, error);
+           writeAll(fd, payload, payloadBytes, error, connectionLost);
 }
 
 bool
 readFrame(int fd, Frame &frame, std::string *error,
-          std::size_t maxPayload)
+          std::size_t maxPayload, bool *connectionLost)
 {
     FrameHeader h;
-    if (!readExact(fd, &h, sizeof(h), error))
+    if (!readExact(fd, &h, sizeof(h), error, connectionLost))
         return false;
     std::vector<uint8_t> raw(sizeof(h));
     std::memcpy(raw.data(), &h, sizeof(h));
@@ -193,7 +265,8 @@ readFrame(int fd, Frame &frame, std::string *error,
         return fail(error, "frame payload exceeds the cap");
     raw.resize(sizeof(h) + h.payloadBytes);
     if (h.payloadBytes > 0 &&
-        !readExact(fd, raw.data() + sizeof(h), h.payloadBytes, error))
+        !readExact(fd, raw.data() + sizeof(h), h.payloadBytes, error,
+                   connectionLost))
         return false;
     std::string parse_error;
     const long consumed =
@@ -257,6 +330,37 @@ decodeReportPayload(const std::vector<uint8_t> &payload,
         payload.begin() +
             static_cast<long>(sizeof(rh) + events_bytes),
         payload.end());
+    return true;
+}
+
+std::vector<uint8_t>
+encodeOpenAckPayload(const SessionId &id, uint64_t resumeOffset,
+                     SessionState state)
+{
+    OpenAckPayload ack{};
+    std::memcpy(ack.sessionId, id.data(), id.size());
+    ack.resumeOffset = resumeOffset;
+    ack.state = static_cast<uint32_t>(state);
+    ack.reserved = 0;
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(&ack);
+    return std::vector<uint8_t>(p, p + sizeof(ack));
+}
+
+bool
+decodeOpenAckPayload(const std::vector<uint8_t> &payload, SessionId &id,
+                     uint64_t &resumeOffset, SessionState &state,
+                     std::string *error)
+{
+    if (payload.size() != sizeof(OpenAckPayload))
+        return fail(error, "bad OpenAck payload size");
+    OpenAckPayload ack;
+    std::memcpy(&ack, payload.data(), sizeof(ack));
+    if (ack.state > static_cast<uint32_t>(SessionState::Complete))
+        return fail(error, "unknown OpenAck session state " +
+                               std::to_string(ack.state));
+    std::memcpy(id.data(), ack.sessionId, id.size());
+    resumeOffset = ack.resumeOffset;
+    state = static_cast<SessionState>(ack.state);
     return true;
 }
 

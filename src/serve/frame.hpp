@@ -14,13 +14,28 @@
  * instead of poisoning the decode.  All multi-byte fields are
  * little-endian, like the EMCAP format itself.
  *
- * Session protocol (client side):
+ * Session protocol (client side), v2:
  *
- *     Open          options (resilient flag)
- *     Data*         consecutive bytes of one EMCAP capture file
+ *     Open          options, session id (zero = assign one), resume
+ *                   offset (kResumeQuery = "tell me yours")
+ *   ← OpenAck       echoed session id + the server's durable offset:
+ *                   Fresh (start at 0), Resumed (re-send from the
+ *                   echoed chunk-aligned offset), or Complete (the
+ *                   result is already spooled; a Report follows
+ *                   immediately)
+ *     Data*         consecutive bytes of one EMCAP capture file,
+ *                   starting at the acknowledged offset
  *     Finish        end of upload, request the report
  *   ← Report        status + events (bit patterns) + text report
  *   ← Error         typed rejection at any point; session is over
+ *
+ * The handshake is what makes uploads resumable: a client that loses
+ * its connection mid-upload reconnects, repeats Open with the same
+ * session id and kOpenResume, and the server — which parked the
+ * session's analysis state when the socket died — answers with the
+ * highest chunk-aligned byte offset it durably received.  The client
+ * re-sends from there and the resumed span chain is bit-identical to
+ * an uninterrupted upload (see session_pipeline.hpp).
  *
  * Scrape protocol: a connection may instead send one StatsRequest and
  * receives a Stats frame (text metrics rendering), then is closed.
@@ -34,6 +49,7 @@
 #ifndef EMPROF_SERVE_FRAME_HPP
 #define EMPROF_SERVE_FRAME_HPP
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -46,8 +62,9 @@ namespace emprof::serve {
 /** First four bytes of every frame. */
 constexpr char kFrameMagic[4] = {'E', 'M', 'F', 'R'};
 
-/** Wire protocol version; bumped on any layout change. */
-constexpr uint16_t kProtocolVersion = 1;
+/** Wire protocol version; bumped on any layout change.  v2 added the
+ *  Open/OpenAck resume handshake (session ids + durable offsets). */
+constexpr uint16_t kProtocolVersion = 2;
 
 /** Hard cap on one frame's payload (bounds per-session memory). */
 constexpr std::size_t kMaxFramePayload = std::size_t{4} << 20;
@@ -61,6 +78,7 @@ enum class FrameType : uint16_t
     Error = 5,        ///< server → client: typed rejection
     StatsRequest = 6, ///< client → server: scrape the metrics
     Stats = 7,        ///< server → client: text metrics rendering
+    OpenAck = 8,      ///< server → client: session id + resume offset
 };
 
 /** 16-byte frame header; the struct layout is the wire format. */
@@ -74,16 +92,55 @@ struct FrameHeader
 };
 static_assert(sizeof(FrameHeader) == 16, "header layout is the format");
 
+/** A served session's identity: 16 opaque bytes, server-assigned
+ *  unless the client brings its own nonzero id (resume). */
+using SessionId = std::array<uint8_t, 16>;
+
+bool sessionIdIsZero(const SessionId &id);
+std::string sessionIdToHex(const SessionId &id);
+
+/** Parse 32 lowercase/uppercase hex digits; false on anything else. */
+bool sessionIdFromHex(const std::string &hex, SessionId &out);
+
+/** resumeFrom sentinel: "whatever offset you durably have". */
+constexpr uint64_t kResumeQuery = ~uint64_t{0};
+
 /** Open payload. */
 struct OpenRequest
 {
-    /** kOpenResilient enables the signal-quality resilience layer. */
+    /** kOpenResilient enables the signal-quality resilience layer;
+     *  kOpenResume asks to re-attach to sessionId. */
     uint32_t flags;
-    uint32_t reserved; ///< zero
+    uint32_t reserved;     ///< zero
+    uint8_t sessionId[16]; ///< all-zero = server assigns one
+    /** Byte offset the client intends to resume from; kResumeQuery
+     *  defers to the server's durable offset.  Ignored without
+     *  kOpenResume. */
+    uint64_t resumeFrom;
 };
-static_assert(sizeof(OpenRequest) == 8, "layout is the format");
+static_assert(sizeof(OpenRequest) == 32, "layout is the format");
 
 constexpr uint32_t kOpenResilient = 1u << 0;
+constexpr uint32_t kOpenResume = 1u << 1;
+
+/** OpenAck payload: the server's side of the resume handshake. */
+struct OpenAckPayload
+{
+    uint8_t sessionId[16]; ///< authoritative session id
+    /** Chunk-aligned byte offset the upload must (re)start at. */
+    uint64_t resumeOffset;
+    uint32_t state; ///< SessionState
+    uint32_t reserved;
+};
+static_assert(sizeof(OpenAckPayload) == 32, "layout is the format");
+
+/** OpenAck state: what the client should do next. */
+enum class SessionState : uint32_t
+{
+    Fresh = 0,    ///< new session; upload from byte 0
+    Resumed = 1,  ///< re-attached; upload from resumeOffset
+    Complete = 2, ///< result already spooled; a Report frame follows
+};
 
 /** Why the server rejected a session (Error payload leads with it). */
 enum class ErrorCode : uint32_t
@@ -92,6 +149,7 @@ enum class ErrorCode : uint32_t
     Busy = 2,      ///< session limit reached
     Internal = 3,  ///< analysis failure on the server side
     Shutdown = 4,  ///< server is stopping
+    BadResume = 5, ///< resume offset/id the server cannot honour
 };
 
 /** Error payload: 4-byte code then a human-readable message. */
@@ -166,16 +224,23 @@ long parseFrame(const uint8_t *buffer, std::size_t size, Frame &frame,
  * Blocking frame I/O over a socket fd (client side and the server's
  * small replies).  Writes loop over partial sends with EINTR retry and
  * suppress SIGPIPE; a peer hangup surfaces as false + error.
+ *
+ * @p connectionLost, when non-null, is set true iff the failure is the
+ * transport dying under the session (EPIPE, ECONNRESET, EOF mid-frame)
+ * rather than a protocol violation — the class of failure a resumable
+ * client retries.
  */
 bool writeFrame(int fd, FrameType type, const void *payload,
-                std::size_t payloadBytes, std::string *error = nullptr);
+                std::size_t payloadBytes, std::string *error = nullptr,
+                bool *connectionLost = nullptr);
 
 /**
  * Read exactly one frame (blocking).  @p maxPayload lets callers
  * tighten the default cap.
  */
 bool readFrame(int fd, Frame &frame, std::string *error = nullptr,
-               std::size_t maxPayload = kMaxFramePayload);
+               std::size_t maxPayload = kMaxFramePayload,
+               bool *connectionLost = nullptr);
 
 /** Serialize a Report frame payload. */
 std::vector<uint8_t>
@@ -198,6 +263,17 @@ struct DecodedReport
 bool decodeReportPayload(const std::vector<uint8_t> &payload,
                          DecodedReport &out,
                          std::string *error = nullptr);
+
+/** Serialize an OpenAck frame payload. */
+std::vector<uint8_t> encodeOpenAckPayload(const SessionId &id,
+                                          uint64_t resumeOffset,
+                                          SessionState state);
+
+/** Decode an OpenAck payload; false + reason when malformed. */
+bool decodeOpenAckPayload(const std::vector<uint8_t> &payload,
+                          SessionId &id, uint64_t &resumeOffset,
+                          SessionState &state,
+                          std::string *error = nullptr);
 
 /** Serialize an Error frame payload (code + message). */
 std::vector<uint8_t> encodeErrorPayload(ErrorCode code,

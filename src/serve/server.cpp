@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 #include <deque>
+#include <random>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -30,6 +31,10 @@ struct ServeMetrics
     obs::Counter completed;
     obs::Counter bytesIngested;
     obs::Counter framesMalformed;
+    obs::Counter parked;
+    obs::Counter resumed;
+    obs::Counter spooled;
+    obs::Counter servedFromSpool;
     obs::Gauge sessionsActive;
     obs::Gauge queueDepthBytes;
     obs::Histogram sessionUs;
@@ -48,6 +53,11 @@ struct ServeMetrics
             v.bytesIngested = reg.counter("emprof.serve.bytes_ingested");
             v.framesMalformed =
                 reg.counter("emprof.serve.frames_malformed");
+            v.parked = reg.counter("emprof.serve.sessions_parked");
+            v.resumed = reg.counter("emprof.serve.sessions_resumed");
+            v.spooled = reg.counter("emprof.serve.results_spooled");
+            v.servedFromSpool =
+                reg.counter("emprof.serve.results_served_from_spool");
             v.sessionsActive =
                 reg.gauge("emprof.serve.sessions_active");
             v.queueDepthBytes =
@@ -77,6 +87,27 @@ setNonBlocking(int fd)
     return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
+SessionId
+randomSessionId()
+{
+    static std::mutex mutex;
+    static std::mt19937_64 rng{[] {
+        std::random_device rd;
+        return (uint64_t{rd()} << 32) ^ rd() ^
+               static_cast<uint64_t>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch()
+                       .count());
+    }()};
+    std::lock_guard<std::mutex> lock(mutex);
+    SessionId id;
+    for (std::size_t i = 0; i < id.size(); i += 8) {
+        const uint64_t word = rng();
+        std::memcpy(id.data() + i, &word, 8);
+    }
+    return id;
+}
+
 } // namespace
 
 struct Server::Listener
@@ -100,6 +131,7 @@ struct Server::Session
     std::vector<uint8_t> inbox; ///< unparsed bytes off the socket
     bool openSeen = false;
     bool suspended = false; ///< reads paused (backpressure)
+    SessionId id{};         ///< assigned (or adopted) at Open
 
     // ---- shared queue (mutex-guarded) ----
     std::mutex mutex;
@@ -115,6 +147,19 @@ struct Server::Session
 
     /** Worker-owned after Open (the pump is the only caller). */
     std::unique_ptr<SessionPipeline> pipeline;
+};
+
+/**
+ * A disconnected session's analysis state, waiting for its client to
+ * reconnect.  Held in parked_ until resumed, expired (TTL) or evicted
+ * (maxParked).
+ */
+struct Server::Parked
+{
+    std::unique_ptr<SessionPipeline> pipeline;
+    uint64_t resumeOffset = 0;  ///< element-aligned durable offset
+    bool resilient = false;     ///< must match the resuming Open
+    std::chrono::steady_clock::time_point deadline;
 };
 
 Server::Server(ServerConfig config) : config_(std::move(config)) {}
@@ -135,6 +180,7 @@ Server::start(std::string *error)
                 ::close(fd);
             fd = -1;
         }
+        spool_.close();
         return false;
     };
 
@@ -142,6 +188,15 @@ Server::start(std::string *error)
         return fail("server already running");
     if (config_.unixPath.empty() && config_.tcpPort < 0)
         return fail("no listener configured (unix path or tcp port)");
+
+    if (!config_.spoolDir.empty()) {
+        ResultSpool::Options opts;
+        opts.dir = config_.spoolDir;
+        opts.maxResults = config_.spoolRetain;
+        std::string why;
+        if (!spool_.open(opts, &why))
+            return fail("cannot open result spool: " + why);
+    }
 
     if (::pipe(wakePipe_) != 0)
         return fail(std::string("pipe failed: ") +
@@ -245,6 +300,17 @@ Server::stop()
         }
     }
     leftovers.clear(); // destructors close the fds
+
+    // Parked pipelines die with the process anyway on a real restart;
+    // dropping them is safe because a resume of an unknown id simply
+    // starts the upload over from offset 0.
+    std::map<std::string, std::shared_ptr<Parked>> parked;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        parked.swap(parked_);
+    }
+    parked.clear();
+    spool_.close();
 
     for (auto &l : listeners_)
         ::close(l.fd);
@@ -360,7 +426,62 @@ Server::ioLoop()
             ServeMetrics::instance().sessionsActive.set(
                 static_cast<int64_t>(active));
         }
+        purgeParked();
     }
+}
+
+void
+Server::purgeParked()
+{
+    // Collect expired entries under the lock, destroy them outside it
+    // (a pipeline teardown is not free).
+    std::vector<std::shared_ptr<Parked>> expired;
+    const auto now = std::chrono::steady_clock::now();
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        for (auto it = parked_.begin(); it != parked_.end();) {
+            if (it->second->deadline <= now) {
+                expired.push_back(std::move(it->second));
+                it = parked_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    expired.clear();
+}
+
+void
+Server::parkSession(const std::shared_ptr<Session> &session)
+{
+    auto parked = std::make_shared<Parked>();
+    parked->resumeOffset = session->pipeline->rewindToResumable();
+    parked->resilient = session->pipeline->resilient();
+    parked->pipeline = std::move(session->pipeline);
+    parked->deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::seconds(config_.resumeTtlSeconds);
+
+    std::shared_ptr<Parked> evicted;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        if (parked_.size() >= config_.maxParked) {
+            // Evict the entry closest to expiry; its client falls
+            // back to a fresh upload from offset 0.
+            auto oldest = parked_.begin();
+            for (auto it = parked_.begin(); it != parked_.end(); ++it)
+                if (it->second->deadline < oldest->second->deadline)
+                    oldest = it;
+            evicted = std::move(oldest->second);
+            parked_.erase(oldest);
+        }
+        parked_[sessionIdToHex(session->id)] = std::move(parked);
+        ++stats_.sessionsParked;
+    }
+    ServeMetrics::instance().parked.inc();
+    session->replied.store(true); // no reply possible; don't count it
+    session->closed.store(true);
+    evicted.reset();
 }
 
 void
@@ -405,36 +526,37 @@ Server::handleReadable(const std::shared_ptr<Session> &session)
 
     uint8_t buf[64 * 1024];
     const ssize_t n = ::read(session->fd, buf, sizeof(buf));
-    if (n < 0) {
-        if (errno == EINTR || errno == EAGAIN)
+    if (n <= 0) {
+        if (n < 0 && (errno == EINTR || errno == EAGAIN))
             return;
-        // Read error: the connection is gone; no reply possible.
-        session->replied.store(true);
-        if (session->openSeen) {
-            std::lock_guard<std::mutex> lock(sessionsMutex_);
-            ++stats_.sessionsRejected;
-            ServeMetrics::instance().rejected.inc();
-        }
-        session->closed.store(true);
-        return;
-    }
-    if (n == 0) {
-        // EOF.  A session that closes before its Report is a dead
-        // upload; count it unless the pump is still going to reply.
+        // EOF or read error: the connection is gone mid-session.  If
+        // the pump still owns the session (task in flight, or Finish
+        // already queued), leave it alone — the fd stays readable, so
+        // this branch re-runs every poll iteration until the pump has
+        // either replied (result then sits in the spool) or drained
+        // every received byte, at which point the pipeline can be
+        // parked for a resume.  Parking instead of rejecting is what
+        // turns a dropped connection into a recoverable event.
         bool pump_owns;
         {
             std::lock_guard<std::mutex> qlock(session->mutex);
             pump_owns =
                 session->taskInFlight || session->finishRequested;
         }
-        if (!pump_owns) {
-            if (session->openSeen && !session->replied.exchange(true)) {
-                std::lock_guard<std::mutex> lock(sessionsMutex_);
-                ++stats_.sessionsRejected;
-                ServeMetrics::instance().rejected.inc();
-            }
-            session->closed.store(true);
+        if (pump_owns)
+            return;
+        if (session->openSeen && !session->replied.load() &&
+            session->pipeline != nullptr &&
+            !session->pipeline->poisoned() && !stopping_.load()) {
+            parkSession(session);
+            return;
         }
+        if (session->openSeen && !session->replied.exchange(true)) {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            ++stats_.sessionsRejected;
+            ServeMetrics::instance().rejected.inc();
+        }
+        session->closed.store(true);
         return;
     }
 
@@ -473,32 +595,11 @@ Server::handleReadable(const std::shared_ptr<Session> &session)
                                       : "bad Open payload");
                 return;
             }
-            std::size_t active;
-            {
-                std::lock_guard<std::mutex> lock(sessionsMutex_);
-                active = stats_.sessionsActive;
-            }
-            if (active >= config_.maxSessions) {
-                rejectAndClose(
-                    session, static_cast<uint32_t>(ErrorCode::Busy),
-                    "session limit reached (" +
-                        std::to_string(config_.maxSessions) + ")");
-                return;
-            }
             OpenRequest open{};
             std::memcpy(&open, frame.payload.data(), sizeof(open));
-            profiler::EmProfConfig analysis = config_.analysis;
-            analysis.signal.enabled =
-                (open.flags & kOpenResilient) != 0;
-            session->pipeline = std::make_unique<SessionPipeline>(
-                analysis, config_.spanSamples);
-            session->openSeen = true;
-            {
-                std::lock_guard<std::mutex> lock(sessionsMutex_);
-                ++stats_.sessionsAccepted;
-                ++stats_.sessionsActive;
-            }
-            ServeMetrics::instance().accepted.inc();
+            handleOpen(session, open);
+            if (session->closed.load() || session->replied.load())
+                return;
             break;
         }
         case FrameType::Data: {
@@ -555,6 +656,15 @@ Server::handleReadable(const std::shared_ptr<Session> &session)
                         std::to_string(stats_.bytesIngested) + "\n";
                 text += "emprof.serve.frames_malformed " +
                         std::to_string(stats_.framesMalformed) + "\n";
+                text += "emprof.serve.sessions_parked " +
+                        std::to_string(stats_.sessionsParked) + "\n";
+                text += "emprof.serve.sessions_resumed " +
+                        std::to_string(stats_.sessionsResumed) + "\n";
+                text += "emprof.serve.results_spooled " +
+                        std::to_string(stats_.resultsSpooled) + "\n";
+                text += "emprof.serve.results_served_from_spool " +
+                        std::to_string(stats_.resultsServedFromSpool) +
+                        "\n";
             }
             if (obs::MetricsRegistry::enabled())
                 text += obs::metricsToText();
@@ -571,6 +681,147 @@ Server::handleReadable(const std::shared_ptr<Session> &session)
             return;
         }
     }
+}
+
+void
+Server::handleOpen(const std::shared_ptr<Session> &session,
+                   const OpenRequest &open)
+{
+    SessionId id;
+    std::memcpy(id.data(), open.sessionId, id.size());
+    const bool want_resume = (open.flags & kOpenResume) != 0;
+    const bool resilient = (open.flags & kOpenResilient) != 0;
+
+    // A session that already finished in a previous connection (or a
+    // previous daemon life): acknowledge Complete and replay the
+    // spooled Report payload verbatim — bit-identity by construction.
+    if (want_resume && !sessionIdIsZero(id) && spool_.has(id)) {
+        uint32_t status = 0;
+        std::vector<uint8_t> payload;
+        std::string why;
+        if (spool_.fetch(id, status, payload, &why)) {
+            session->replied.store(true);
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                ++stats_.resultsServedFromSpool;
+            }
+            ServeMetrics::instance().servedFromSpool.inc();
+            const auto ack =
+                encodeOpenAckPayload(id, 0, SessionState::Complete);
+            if (writeFrame(session->fd, FrameType::OpenAck, ack.data(),
+                           ack.size()))
+                writeFrame(session->fd, FrameType::Report,
+                           payload.data(), payload.size());
+            session->closed.store(true);
+            return;
+        }
+        // Spooled record damaged at rest: fall through to a fresh
+        // upload; the re-analysis replaces the bad record.
+    }
+
+    std::size_t active;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        active = stats_.sessionsActive;
+    }
+    if (active >= config_.maxSessions) {
+        rejectAndClose(session,
+                       static_cast<uint32_t>(ErrorCode::Busy),
+                       "session limit reached (" +
+                           std::to_string(config_.maxSessions) + ")");
+        return;
+    }
+
+    // A parked pipeline: validate the client's idea of the offset
+    // against ours, re-attach, and tell it where to resume from.
+    if (want_resume && !sessionIdIsZero(id)) {
+        const std::string hex = sessionIdToHex(id);
+        std::shared_ptr<Parked> parked;
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            const auto it = parked_.find(hex);
+            if (it != parked_.end()) {
+                parked = std::move(it->second);
+                parked_.erase(it);
+            }
+        }
+        if (parked) {
+            std::string bad;
+            if (open.resumeFrom != kResumeQuery &&
+                open.resumeFrom != parked->resumeOffset)
+                bad = "resume offset " +
+                      std::to_string(open.resumeFrom) +
+                      " does not match the durable offset " +
+                      std::to_string(parked->resumeOffset) +
+                      " for session " + hex;
+            else if (parked->resilient != resilient)
+                bad = "resilience mode differs from the parked "
+                      "session " +
+                      hex;
+            if (!bad.empty()) {
+                // Put the pipeline back: a corrected retry may follow.
+                {
+                    std::lock_guard<std::mutex> lock(sessionsMutex_);
+                    parked_[hex] = std::move(parked);
+                }
+                rejectAndClose(
+                    session,
+                    static_cast<uint32_t>(ErrorCode::BadResume), bad);
+                return;
+            }
+            const uint64_t offset = parked->resumeOffset;
+            session->pipeline = std::move(parked->pipeline);
+            session->id = id;
+            session->openSeen = true;
+            {
+                std::lock_guard<std::mutex> lock(sessionsMutex_);
+                ++stats_.sessionsAccepted;
+                ++stats_.sessionsResumed;
+                ++stats_.sessionsActive;
+            }
+            const auto &metrics = ServeMetrics::instance();
+            metrics.accepted.inc();
+            metrics.resumed.inc();
+            const auto ack = encodeOpenAckPayload(
+                id, offset, SessionState::Resumed);
+            writeFrame(session->fd, FrameType::OpenAck, ack.data(),
+                       ack.size());
+            return;
+        }
+        // Nothing parked and nothing spooled.  An explicit non-zero
+        // offset cannot be honoured — the client would silently skip
+        // bytes we never saw; make it a typed error.  kResumeQuery
+        // (or 0) degrades gracefully to a fresh upload: the daemon
+        // may simply have restarted.
+        if (open.resumeFrom != kResumeQuery && open.resumeFrom != 0) {
+            rejectAndClose(
+                session, static_cast<uint32_t>(ErrorCode::BadResume),
+                "unknown session " + hex +
+                    " cannot resume at offset " +
+                    std::to_string(open.resumeFrom));
+            return;
+        }
+    }
+
+    // Fresh session (possibly keeping a client-proposed id so a later
+    // resume can find it).
+    if (sessionIdIsZero(id))
+        id = randomSessionId();
+    profiler::EmProfConfig analysis = config_.analysis;
+    analysis.signal.enabled = resilient;
+    session->pipeline = std::make_unique<SessionPipeline>(
+        analysis, config_.spanSamples);
+    session->id = id;
+    session->openSeen = true;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        ++stats_.sessionsAccepted;
+        ++stats_.sessionsActive;
+    }
+    ServeMetrics::instance().accepted.inc();
+    const auto ack = encodeOpenAckPayload(id, 0, SessionState::Fresh);
+    writeFrame(session->fd, FrameType::OpenAck, ack.data(),
+               ack.size());
 }
 
 void
@@ -652,12 +903,33 @@ Server::pump(std::shared_ptr<Session> session)
                 const auto &quality = result.report.quality;
                 const bool degraded =
                     quality.enabled && quality.coverageFraction < 1.0;
+                const uint32_t status = degraded ? 3u : 0u;
                 const auto payload = encodeReportPayload(
-                    degraded ? 3u : 0u,
+                    status,
                     session->pipeline->decoder().info().totalSamples,
                     quality.enabled ? quality.coverageFraction : 1.0,
                     result.events,
                     result.report.toText("served capture"));
+                // Durability BEFORE delivery: the result is fsync'd
+                // into the spool before the Report frame is written,
+                // so a reply lost to a dead socket (or a daemon crash
+                // right after this point) is recoverable — the client
+                // resumes by id and is served from the spool.
+                if (spool_.isOpen()) {
+                    std::string spool_error;
+                    if (spool_.append(session->id, status, payload,
+                                      &spool_error)) {
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                sessionsMutex_);
+                            ++stats_.resultsSpooled;
+                        }
+                        ServeMetrics::instance().spooled.inc();
+                    }
+                    // A spool failure (disk full, ...) must not take
+                    // the live path down: the reply still goes out,
+                    // only the crash-recovery guarantee is lost.
+                }
                 // Account the completion BEFORE the reply leaves the
                 // socket: a client that has its Report in hand must
                 // see the counter already bumped.  A failed write

@@ -37,6 +37,19 @@
  * abort (they reply ErrorCode::Shutdown), joins the I/O thread and
  * drains the pool (ThreadPool::drain()), so stop() returning means no
  * server thread exists and every fd is closed.
+ *
+ * Disconnect safety (DESIGN.md §15): a connection that dies mid-upload
+ * no longer loses the session.  The I/O thread PARKS the session's
+ * pipeline (decoder + stitcher state, keyed by session id) once the
+ * pump has drained every received byte; a reconnecting client re-sends
+ * the v2 Open with its session id and the OpenAck echoes the
+ * element-aligned resume offset, so the upload continues bit-
+ * identically.  Parked pipelines expire after resumeTtlSeconds.
+ * Finished reports are appended (fsync'd) to the durable ResultSpool
+ * BEFORE the Report frame is written, so a client whose connection
+ * died between analysis and delivery — or a daemon restart — can
+ * still collect the result: a resume of a spooled session is answered
+ * with SessionState::Complete plus the verbatim spooled payload.
  */
 
 #ifndef EMPROF_SERVE_SERVER_HPP
@@ -44,6 +57,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -51,6 +65,7 @@
 
 #include "common/thread_pool.hpp"
 #include "profiler/profiler.hpp"
+#include "serve/spool.hpp"
 
 namespace emprof::serve {
 
@@ -78,6 +93,19 @@ struct ServerConfig
     /** Analysis span length; 0 = auto (see SessionPipeline). */
     std::size_t spanSamples = 0;
 
+    /** Durable result spool directory; empty disables spooling. */
+    std::string spoolDir;
+
+    /** Spool retention: live (un-collected) results kept. */
+    uint64_t spoolRetain = 4096;
+
+    /** How long a disconnected session's pipeline stays parked. */
+    uint32_t resumeTtlSeconds = 300;
+
+    /** Concurrent parked-pipeline cap; past it the oldest is dropped
+     *  (its client restarts from offset 0 — correct, just slower). */
+    std::size_t maxParked = 256;
+
     /**
      * Base analysis config for every session.  sampleRateHz/clockHz
      * are taken from each uploaded capture's header; the signal
@@ -95,6 +123,10 @@ struct ServerStats
     uint64_t sessionsActive = 0;
     uint64_t bytesIngested = 0;   ///< Data payload bytes accepted
     uint64_t framesMalformed = 0; ///< frame-layer rejections
+    uint64_t sessionsParked = 0;  ///< connection died, pipeline kept
+    uint64_t sessionsResumed = 0; ///< parked pipeline reattached
+    uint64_t resultsSpooled = 0;  ///< reports made durable on disk
+    uint64_t resultsServedFromSpool = 0; ///< resumes answered Complete
 };
 
 class Server
@@ -125,17 +157,25 @@ class Server
 
     ServerStats stats() const;
 
+    /** The durable result spool (closed unless spoolDir was set). */
+    const ResultSpool &spool() const { return spool_; }
+
   private:
     struct Session;
     struct Listener;
+    struct Parked;
 
     void ioLoop();
     void acceptPending(int listenFd);
     void handleReadable(const std::shared_ptr<Session> &session);
+    void handleOpen(const std::shared_ptr<Session> &session,
+                    const OpenRequest &open);
     void pump(std::shared_ptr<Session> session);
     void schedulePump(const std::shared_ptr<Session> &session);
     void rejectAndClose(const std::shared_ptr<Session> &session,
                         uint32_t code, const std::string &message);
+    void parkSession(const std::shared_ptr<Session> &session);
+    void purgeParked();
     void wake();
 
     ServerConfig config_;
@@ -150,6 +190,12 @@ class Server
 
     mutable std::mutex sessionsMutex_;
     std::vector<std::shared_ptr<Session>> sessions_;
+
+    /** Pipelines of disconnected sessions, keyed by session-id hex;
+     *  under sessionsMutex_ (entries destroyed outside the lock). */
+    std::map<std::string, std::shared_ptr<Parked>> parked_;
+
+    ResultSpool spool_;
 
     /** stats(), under sessionsMutex_. */
     ServerStats stats_;

@@ -84,6 +84,24 @@ class SessionPipeline
 
     const EmcapStreamDecoder &decoder() const { return decoder_; }
 
+    /**
+     * Park support: drop the decoder's partially-received element and
+     * return the element-aligned byte offset the upload must resume
+     * from.  Decoded samples, stitcher carry and halo state are all
+     * retained, so re-feeding the stream from this offset continues
+     * the span chain bit-identically to an uninterrupted upload.
+     */
+    uint64_t
+    rewindToResumable()
+    {
+        decoder_.rewindPartial();
+        return decoder_.resumableOffset();
+    }
+
+    bool poisoned() const { return poisoned_; }
+
+    bool resilient() const { return config_.signal.enabled; }
+
     /** Decoded-but-unanalysed samples currently buffered. */
     std::size_t bufferedSamples() const { return buffer_.size(); }
 

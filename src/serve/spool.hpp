@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The durable result spool: every finished served report is written
+ * to disk BEFORE its Report frame leaves the socket, so a connection
+ * that dies between analysis and delivery — or a daemon restart —
+ * never loses a session's result.
+ *
+ * On-disk layout: a spool directory of append-only segment files
+ * (`spool-<seq>.emspool`), each a run of CRC32C-framed records:
+ *
+ *     | SpoolRecordHeader (48 B) | payload (payloadBytes) | ...
+ *
+ * A Result record's payload is the session's Report frame payload
+ * verbatim (encodeReportPayload bytes), so serving a spooled result
+ * preserves the bit-identity guarantee by construction — the daemon
+ * replays the exact bytes it would have sent.  An Ack record has no
+ * payload; it marks the referenced session's result as collected, and
+ * being a record itself it survives restarts like everything else.
+ *
+ * Durability follows the §10 rules: every append goes through
+ * CheckedFile (typed IoError, EINTR retry, first-error-wins) and is
+ * fsync'd before append() returns.  Recovery is the §10
+ * longest-valid-prefix scan: open() walks each segment record by
+ * record, stops at the first bad magic/CRC/short record (a torn tail
+ * from a crash mid-append), and counts what it skipped.  A reopened
+ * spool always starts a NEW segment, so a torn tail is never appended
+ * to — it is simply dead bytes that GC eventually reclaims.
+ *
+ * Retention: maxResults caps the number of live (un-collected)
+ * results indexed; when an append would exceed it, the oldest results
+ * are force-expired (counted, so the operator can see the loss).
+ * gc() deletes segments whose records are all acked or expired.
+ *
+ * Thread safety: all public methods are safe to call concurrently
+ * (one internal mutex); the server's analysis pumps append from pool
+ * threads while the I/O thread answers resume lookups.
+ */
+
+#ifndef EMPROF_SERVE_SPOOL_HPP
+#define EMPROF_SERVE_SPOOL_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/io/checked_file.hpp"
+#include "serve/frame.hpp"
+
+namespace emprof::serve {
+
+/** 48-byte record header; the struct layout is the on-disk format. */
+struct SpoolRecordHeader
+{
+    char magic[4];         ///< 'EMSP'
+    uint32_t version;      ///< kSpoolVersion
+    uint32_t kind;         ///< SpoolRecordKind
+    uint32_t status;       ///< report status (0 ok, 3 degraded); 0 for acks
+    uint8_t sessionId[16]; ///< the session this record belongs to
+    uint64_t unixMillis;   ///< wall-clock time of the append
+    uint32_t payloadBytes; ///< Report frame payload length; 0 for acks
+    uint32_t crc;          ///< CRC32C over header (crc = 0) + payload
+};
+static_assert(sizeof(SpoolRecordHeader) == 48,
+              "header layout is the format");
+
+constexpr char kSpoolMagic[4] = {'E', 'M', 'S', 'P'};
+constexpr uint32_t kSpoolVersion = 1;
+
+enum class SpoolRecordKind : uint32_t
+{
+    Result = 1, ///< a finished report (payload = Report frame payload)
+    Ack = 2,    ///< the result was collected; GC may reclaim it
+};
+
+class ResultSpool
+{
+  public:
+    struct Options
+    {
+        std::string dir;
+        /** Live (un-acked) result cap; oldest are expired past it. */
+        uint64_t maxResults = 4096;
+        /** Rotate to a new segment past this many bytes. */
+        uint64_t segmentBytes = uint64_t{8} << 20;
+    };
+
+    /** One indexed result, as `emprof_store spool list` shows it. */
+    struct Entry
+    {
+        SessionId id{};
+        uint32_t status = 0;
+        uint64_t unixMillis = 0;
+        uint32_t payloadBytes = 0;
+        bool acked = false;
+    };
+
+    /** What recovery found when the spool directory was opened. */
+    struct RecoveryStats
+    {
+        uint64_t segments = 0;
+        uint64_t results = 0;     ///< result records indexed
+        uint64_t acked = 0;       ///< results already collected
+        uint64_t tornRecords = 0; ///< bytes after the valid prefix
+    };
+
+    /**
+     * Open (creating if needed) the spool directory, recover every
+     * segment's longest valid prefix, and start a fresh segment for
+     * this process's appends.
+     */
+    bool open(const Options &options, std::string *error = nullptr);
+
+    bool isOpen() const;
+
+    const RecoveryStats &recovery() const { return recovery_; }
+
+    /**
+     * Append a finished result and fsync it.  Must complete before
+     * the Report reply is sent — that ordering is what makes "the
+     * client saw a Report" imply "the result is durable".
+     */
+    bool append(const SessionId &id, uint32_t status,
+                const std::vector<uint8_t> &reportPayload,
+                std::string *error = nullptr);
+
+    /**
+     * Record that @p id's result was collected.  Typed failures:
+     * unknown session and double-ack both fail with a message saying
+     * which (callers map them to exit codes / BadResume).
+     */
+    bool ack(const SessionId &id, std::string *error = nullptr);
+
+    /** True when a live (possibly acked) result for @p id exists. */
+    bool has(const SessionId &id) const;
+
+    /**
+     * Fetch a spooled result's status + verbatim Report payload.
+     * Reads back from disk and re-checks the record CRC, so a result
+     * damaged at rest is a typed error, not a wrong answer.
+     */
+    bool fetch(const SessionId &id, uint32_t &status,
+               std::vector<uint8_t> &reportPayload,
+               std::string *error = nullptr) const;
+
+    /** Indexed results, oldest first. */
+    std::vector<Entry> list() const;
+
+    uint64_t resultCount() const;
+
+    /** Results force-expired by the maxResults retention cap. */
+    uint64_t expiredByRetention() const;
+
+    /**
+     * Delete segments every record of which is acked or expired.
+     * @return the number of segment files removed.
+     */
+    uint64_t gc(std::string *error = nullptr);
+
+    /** Flush + close; further appends fail. */
+    void close();
+
+  private:
+    struct IndexEntry
+    {
+        std::string segment; ///< absolute path of the owning segment
+        uint64_t offset = 0; ///< byte offset of the record header
+        uint32_t payloadBytes = 0;
+        uint32_t status = 0;
+        uint64_t unixMillis = 0;
+        uint64_t order = 0; ///< global append order (oldest = lowest)
+        bool acked = false;
+    };
+
+    bool appendRecordLocked(SpoolRecordKind kind, const SessionId &id,
+                            uint32_t status,
+                            const std::vector<uint8_t> &payload,
+                            std::string *error);
+    bool rotateLocked(std::string *error);
+    bool scanSegment(const std::string &path, uint64_t seq);
+    void enforceRetentionLocked();
+
+    mutable std::mutex mutex_;
+    Options options_;
+    common::io::CheckedFile active_;
+    std::string activePath_;
+    uint64_t activeBytes_ = 0;
+    uint64_t nextSeq_ = 0;
+    uint64_t nextOrder_ = 0;
+    uint64_t expiredByRetention_ = 0;
+    std::map<std::string, IndexEntry> index_; ///< keyed by id hex
+    RecoveryStats recovery_;
+    bool open_ = false;
+};
+
+} // namespace emprof::serve
+
+#endif // EMPROF_SERVE_SPOOL_HPP

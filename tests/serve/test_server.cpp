@@ -271,8 +271,12 @@ TEST(Server, MalformedFrameGetsTypedErrorAndServerSurvives)
         raw[data_at + sizeof(FrameHeader) + 64] ^= 0x01;
         conn.sendBytes(raw);
 
+        // v2: the Open is acknowledged first, then the corrupted
+        // Data frame draws the typed Error.
         Frame reply;
         std::string error;
+        ASSERT_TRUE(readFrame(conn.fd(), reply, &error)) << error;
+        ASSERT_EQ(reply.type, FrameType::OpenAck);
         ASSERT_TRUE(readFrame(conn.fd(), reply, &error)) << error;
         ASSERT_EQ(reply.type, FrameType::Error);
         ErrorCode code{};

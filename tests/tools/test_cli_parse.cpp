@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the strict CLI numeric parsers, with death tests for the
+ * exit-2 rejection paths (the parsers call std::exit by design — the
+ * tools use them straight off argv before anything is open).
+ *
+ * The size-suffix cases pin the bugfix for case-insensitive suffixes:
+ * "64mi" and "64KI" are 64 MiB / 64 KiB like their canonical
+ * spellings, while a trailing lowercase 'b' ("64Kib", "64kb") is a
+ * bits-vs-bytes typo and must be rejected with a pointed message, not
+ * silently read as bytes.
+ */
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "../../tools/cli_parse.hpp"
+
+using namespace emprof::tools;
+
+namespace {
+constexpr uint64_t kNoMax = UINT64_MAX;
+}
+
+TEST(CliParseSize, PlainBytesAndCanonicalSuffixes)
+{
+    EXPECT_EQ(parseSizeFlag("--x", "4096", 0, kNoMax), 4096u);
+    EXPECT_EQ(parseSizeFlag("--x", "64Ki", 0, kNoMax),
+              uint64_t{64} << 10);
+    EXPECT_EQ(parseSizeFlag("--x", "64KiB", 0, kNoMax),
+              uint64_t{64} << 10);
+    EXPECT_EQ(parseSizeFlag("--x", "2Mi", 0, kNoMax),
+              uint64_t{2} << 20);
+    EXPECT_EQ(parseSizeFlag("--x", "1Gi", 0, kNoMax),
+              uint64_t{1} << 30);
+    EXPECT_EQ(parseSizeFlag("--x", "64K", 0, kNoMax), 64000u);
+    EXPECT_EQ(parseSizeFlag("--x", "64KB", 0, kNoMax), 64000u);
+    EXPECT_EQ(parseSizeFlag("--x", "3M", 0, kNoMax), 3000000u);
+    EXPECT_EQ(parseSizeFlag("--x", "2G", 0, kNoMax), 2000000000u);
+}
+
+TEST(CliParseSize, SuffixLettersAreCaseInsensitive)
+{
+    EXPECT_EQ(parseSizeFlag("--x", "64ki", 0, kNoMax),
+              uint64_t{64} << 10);
+    EXPECT_EQ(parseSizeFlag("--x", "64KI", 0, kNoMax),
+              uint64_t{64} << 10);
+    EXPECT_EQ(parseSizeFlag("--x", "64kI", 0, kNoMax),
+              uint64_t{64} << 10);
+    EXPECT_EQ(parseSizeFlag("--x", "8mi", 0, kNoMax),
+              uint64_t{8} << 20);
+    EXPECT_EQ(parseSizeFlag("--x", "8MI", 0, kNoMax),
+              uint64_t{8} << 20);
+    EXPECT_EQ(parseSizeFlag("--x", "1gi", 0, kNoMax),
+              uint64_t{1} << 30);
+    EXPECT_EQ(parseSizeFlag("--x", "64k", 0, kNoMax), 64000u);
+    EXPECT_EQ(parseSizeFlag("--x", "3m", 0, kNoMax), 3000000u);
+    EXPECT_EQ(parseSizeFlag("--x", "2g", 0, kNoMax), 2000000000u);
+    EXPECT_EQ(parseSizeFlag("--x", "64kiB", 0, kNoMax),
+              uint64_t{64} << 10);
+}
+
+TEST(CliParseSizeDeath, LowercaseBIsRejectedAsBitsTypo)
+{
+    EXPECT_EXIT(parseSizeFlag("--x", "64Kib", 0, kNoMax),
+                testing::ExitedWithCode(2),
+                "lowercase 'b' reads as bits");
+    EXPECT_EXIT(parseSizeFlag("--x", "64kib", 0, kNoMax),
+                testing::ExitedWithCode(2),
+                "lowercase 'b' reads as bits");
+    EXPECT_EXIT(parseSizeFlag("--x", "8Mib", 0, kNoMax),
+                testing::ExitedWithCode(2),
+                "lowercase 'b' reads as bits");
+    EXPECT_EXIT(parseSizeFlag("--x", "64kb", 0, kNoMax),
+                testing::ExitedWithCode(2),
+                "lowercase 'b' reads as bits");
+}
+
+TEST(CliParseSizeDeath, GarbageAndRangeViolationsExitTwo)
+{
+    EXPECT_EXIT(parseSizeFlag("--x", "junk", 0, kNoMax),
+                testing::ExitedWithCode(2), "not a size");
+    EXPECT_EXIT(parseSizeFlag("--x", "64X", 0, kNoMax),
+                testing::ExitedWithCode(2), "unknown size suffix");
+    EXPECT_EXIT(parseSizeFlag("--x", "64KiBs", 0, kNoMax),
+                testing::ExitedWithCode(2), "unknown size suffix");
+    EXPECT_EXIT(parseSizeFlag("--x", "-1", 0, kNoMax),
+                testing::ExitedWithCode(2), "unsigned");
+    EXPECT_EXIT(parseSizeFlag("--x", "", 0, kNoMax),
+                testing::ExitedWithCode(2), "empty");
+    EXPECT_EXIT(parseSizeFlag("--x", "999Gi", 0, 1024),
+                testing::ExitedWithCode(2), "outside the accepted");
+    EXPECT_EXIT(parseSizeFlag("--x", "99999999999Gi", 0, kNoMax),
+                testing::ExitedWithCode(2), "overflows");
+}
+
+TEST(CliParseNumeric, DoubleU64AndDurationRoundTrip)
+{
+    EXPECT_DOUBLE_EQ(parseDoubleFlag("--x", "2.5", 0.0, 10.0), 2.5);
+    EXPECT_EQ(parseU64Flag("--x", "42", 0, 100), 42u);
+    EXPECT_DOUBLE_EQ(parseDurationFlag("--x", "250ms", 0.0, 10.0),
+                     0.25);
+    EXPECT_DOUBLE_EQ(parseDurationFlag("--x", "2m", 0.0, 1000.0),
+                     120.0);
+    EXPECT_DOUBLE_EQ(parseDurationFlag("--x", "30", 0.0, 100.0), 30.0);
+}
+
+TEST(CliParseNumericDeath, StrictRejection)
+{
+    EXPECT_EXIT(parseDoubleFlag("--x", "1.5x", 0.0, 10.0),
+                testing::ExitedWithCode(2), "not a number");
+    EXPECT_EXIT(parseU64Flag("--x", "12.5", 0, 100),
+                testing::ExitedWithCode(2), "not an unsigned");
+    EXPECT_EXIT(parseDurationFlag("--x", "5h", 0.0, 1e9),
+                testing::ExitedWithCode(2), "unknown duration");
+}

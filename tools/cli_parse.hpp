@@ -89,8 +89,11 @@ parseU64Flag(const char *flag, const char *text, uint64_t lo,
  * "512Ki", "2G", "4096" — into bytes, in [lo, hi], or exit 2.
  *
  * Binary suffixes (Ki/Mi/Gi) are powers of 1024; bare K/M/G (and
- * their KB/MB/GB spellings) are powers of 1000.  A trailing "B" after
- * any suffix is accepted ("64MiB").
+ * their KB/MB/GB spellings) are powers of 1000.  Suffix letters are
+ * case-insensitive ("64ki" == "64Ki"), EXCEPT a trailing lowercase
+ * 'b': "64Kib" reads as kibiBITS, which is never what a byte-size
+ * flag means, so it is rejected with a pointed message rather than
+ * silently read as bytes.  A trailing "B" is accepted ("64MiB").
  */
 inline uint64_t
 parseSizeFlag(const char *flag, const char *text, uint64_t lo,
@@ -113,18 +116,22 @@ parseSizeFlag(const char *flag, const char *text, uint64_t lo,
 
     uint64_t unit = 1;
     const char *suffix = end;
+    const bool binary = suffix[0] != '\0' &&
+                        (suffix[1] == 'i' || suffix[1] == 'I');
     switch (*suffix) {
     case '\0':
         break;
     case 'K':
     case 'k':
-        unit = suffix[1] == 'i' ? (uint64_t{1} << 10) : 1000u;
+        unit = binary ? (uint64_t{1} << 10) : 1000u;
         break;
     case 'M':
-        unit = suffix[1] == 'i' ? (uint64_t{1} << 20) : 1000000u;
+    case 'm':
+        unit = binary ? (uint64_t{1} << 20) : 1000000u;
         break;
     case 'G':
-        unit = suffix[1] == 'i' ? (uint64_t{1} << 30) : 1000000000u;
+    case 'g':
+        unit = binary ? (uint64_t{1} << 30) : 1000000000u;
         break;
     default:
         badFlag(flag, text,
@@ -132,9 +139,13 @@ parseSizeFlag(const char *flag, const char *text, uint64_t lo,
     }
     if (*suffix != '\0') {
         ++suffix;
-        if (*suffix == 'i')
+        if (binary)
             ++suffix;
-        if (*suffix == 'B' || *suffix == 'b')
+        if (*suffix == 'b')
+            badFlag(flag, text,
+                    "lowercase 'b' reads as bits, not bytes — write "
+                    "e.g. 64Ki or 64KiB");
+        if (*suffix == 'B')
             ++suffix;
         if (*suffix != '\0')
             badFlag(flag, text,

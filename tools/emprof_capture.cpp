@@ -66,7 +66,11 @@ usage(const char *argv0)
         "                       it to a running emprof_served and\n"
         "                       print the returned report (exit code\n"
         "                       carries the report status, 3 =\n"
-        "                       degraded)\n"
+        "                       degraded, 7 = connection lost after\n"
+        "                       all retries)\n"
+        "  --push-retries <n>   reconnect attempts when the push\n"
+        "                       connection drops (default 3; resumes\n"
+        "                       the upload where it left off)\n"
         "EMCAP output (any --out not named *.emsig):\n"
         "  --quantize-bits <n>  quantise samples to n bits (2..16;\n"
         "                       default 0 = lossless float32)\n"
@@ -85,6 +89,7 @@ main(int argc, char **argv)
     std::string out_path, csv_path, push_endpoint;
     uint64_t scale = 8'000'000, seed = 42, tm = 1024, cm = 10;
     uint64_t quantize_bits = 0, chunk_samples = 0;
+    uint32_t push_retries = 3;
     bool compress = true;
     double bandwidth_mhz = 40.0;
     std::string impair_spec;
@@ -136,6 +141,9 @@ main(int argc, char **argv)
             csv_path = next();
         else if (arg == "--push")
             push_endpoint = next();
+        else if (arg == "--push-retries")
+            push_retries = static_cast<uint32_t>(
+                tools::parseU64Flag("--push-retries", next(), 1, 1000));
         else {
             usage(argv[0]);
             return 2;
@@ -303,9 +311,18 @@ main(int argc, char **argv)
             std::fprintf(stderr, "--push: %s\n", push_error.c_str());
             return 2;
         }
+        serve::PushOptions options;
+        options.maxAttempts = push_retries;
         const serve::PushResult pushed =
-            serve::pushCapture(endpoint, out_path);
+            serve::pushCaptureResumable(endpoint, out_path, options);
         if (!pushed.ok) {
+            if (pushed.connectionLost) {
+                std::fprintf(stderr,
+                             "push failed: connection lost "
+                             "(resumable) after %u attempts: %s\n",
+                             pushed.attempts, pushed.error.c_str());
+                return 7;
+            }
             std::fprintf(stderr, "push failed: %s\n",
                          pushed.error.c_str());
             return 1;

@@ -72,14 +72,25 @@ usage(const char *argv0)
         "  --resilient           enable the signal-quality layer for\n"
         "                        every session (clients can also ask\n"
         "                        per session via the Open flag)\n"
+        "  --spool-dir <dir>     durable result spool: every finished\n"
+        "                        report is fsync'd here before the\n"
+        "                        reply, and survives daemon restarts\n"
+        "  --spool-retain <n>    live results kept in the spool before\n"
+        "                        the oldest expire (default 4096)\n"
+        "  --resume-ttl <dur>    how long a dropped session's state is\n"
+        "                        parked for resume, e.g. 300s "
+        "(default)\n"
         "  --status-every <dur>  print a status line this often,\n"
         "                        e.g. 30s (default: off)\n"
         "\n"
         "push options:\n"
         "  --chunk-bytes <sz>    Data frame size, e.g. 256Ki\n"
+        "  --push-retries <n>    reconnect attempts on a dropped\n"
+        "                        connection (default 3; 1 = no retry)\n"
         "\n"
-        "exit codes: 0 ok, 1 error, 2 bad usage; --push propagates "
-        "the\nserved report status (3 = degraded result)\n"
+        "exit codes: 0 ok, 1 error, 2 bad usage, 7 connection lost\n"
+        "(resumable — retries exhausted); --push propagates the\n"
+        "served report status (3 = degraded result)\n"
         "\n%s",
         argv0, argv0, argv0, tools::ObsCli::kUsage);
 }
@@ -114,7 +125,7 @@ runScrape(const std::string &endpointSpec)
 
 int
 runPush(const std::string &capturePath, const std::string &endpointSpec,
-        bool resilient, std::size_t chunkBytes)
+        bool resilient, std::size_t chunkBytes, uint32_t pushRetries)
 {
     serve::Endpoint endpoint;
     std::string error;
@@ -126,12 +137,34 @@ runPush(const std::string &capturePath, const std::string &endpointSpec,
         std::fprintf(stderr, "--to: %s\n", error.c_str());
         return 2;
     }
+    serve::PushOptions options;
+    options.resilient = resilient;
+    options.uploadChunkBytes = chunkBytes;
+    options.maxAttempts = pushRetries;
     const serve::PushResult result =
-        serve::pushCapture(endpoint, capturePath, resilient, chunkBytes);
+        serve::pushCaptureResumable(endpoint, capturePath, options);
     if (!result.ok) {
+        if (result.connectionLost) {
+            std::fprintf(stderr,
+                         "push failed: connection lost (resumable) "
+                         "after %u attempts: %s\n",
+                         result.attempts, result.error.c_str());
+            return 7;
+        }
         std::fprintf(stderr, "push failed: %s\n", result.error.c_str());
         return 1;
     }
+    if (result.resumes > 0 || result.servedFromSpool)
+        std::fprintf(stderr,
+                     "session %s recovered: %u resume(s), %llu bytes "
+                     "replayed%s\n",
+                     serve::sessionIdToHex(result.sessionId).c_str(),
+                     result.resumes,
+                     static_cast<unsigned long long>(
+                         result.replayedBytes),
+                     result.servedFromSpool ? ", report served from "
+                                              "the spool"
+                                            : "");
     std::fputs(result.report.reportText.c_str(), stdout);
     if (result.report.status != 0)
         std::fprintf(stderr,
@@ -150,6 +183,7 @@ main(int argc, char **argv)
     bool resilient = false;
     double status_every_s = 0.0;
     std::size_t chunk_bytes = 256 * 1024;
+    uint32_t push_retries = 3;
     tools::ObsCli obs_cli;
     serve::ServerConfig config;
 
@@ -199,6 +233,21 @@ main(int argc, char **argv)
             chunk_bytes = static_cast<std::size_t>(tools::parseSizeFlag(
                 "--chunk-bytes", argText(argc, argv, i), 16,
                 serve::kMaxFramePayload));
+        else if (arg == "--push-retries")
+            push_retries = static_cast<uint32_t>(
+                tools::parseU64Flag("--push-retries",
+                                    argText(argc, argv, i), 1, 1000));
+        else if (arg == "--spool-dir")
+            config.spoolDir = argText(argc, argv, i);
+        else if (arg == "--spool-retain")
+            config.spoolRetain = tools::parseU64Flag(
+                "--spool-retain", argText(argc, argv, i), 1,
+                uint64_t{1} << 32);
+        else if (arg == "--resume-ttl")
+            config.resumeTtlSeconds =
+                static_cast<uint32_t>(tools::parseDurationFlag(
+                    "--resume-ttl", argText(argc, argv, i), 1.0,
+                    7 * 86400.0));
         else if (arg == "--resilient")
             resilient = true;
         else if (arg == "--status-every")
@@ -218,7 +267,8 @@ main(int argc, char **argv)
     if (!scrape_endpoint.empty())
         return runScrape(scrape_endpoint);
     if (!push_capture.empty())
-        return runPush(push_capture, push_to, resilient, chunk_bytes);
+        return runPush(push_capture, push_to, resilient, chunk_bytes,
+                       push_retries);
 
     if (config.unixPath.empty() && config.tcpPort < 0) {
         std::fprintf(stderr, "nothing to do: need --listen, --scrape "

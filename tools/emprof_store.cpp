@@ -22,6 +22,16 @@
  *
  *   emprof_store recover damaged.emcap            # report only
  *   emprof_store recover damaged.emcap fixed.emcap
+ *
+ * `spool` manages an emprof_served result spool directory (see
+ * src/serve/spool.hpp): list the recovered results, fetch one report
+ * by session id (exit code carries the report status, like --push),
+ * acknowledge collected results, and garbage-collect acked segments:
+ *
+ *   emprof_store spool list  /var/lib/emprof/spool
+ *   emprof_store spool fetch /var/lib/emprof/spool <session-id-hex>
+ *   emprof_store spool ack   /var/lib/emprof/spool <session-id-hex>
+ *   emprof_store spool gc    /var/lib/emprof/spool
  */
 
 #include <cstdio>
@@ -35,6 +45,7 @@
 #include "dsp/signal_io.hpp"
 #include "obs/stage_profiler.hpp"
 #include "obs_cli.hpp"
+#include "serve/spool.hpp"
 #include "store/capture_reader.hpp"
 #include "store/capture_writer.hpp"
 
@@ -53,6 +64,8 @@ usage(const char *argv0)
         "  cut     <in.emcap> <out.emcap> --start-sample <n>"
         " --num-samples <n>\n"
         "  recover <damaged.emcap> [<out.emcap>] [options]\n"
+        "  spool   list|gc <dir>\n"
+        "  spool   fetch|ack <dir> <session-id-hex>\n"
         "\n"
         "convert input: EMCAP/.emsig auto-detected by magic; raw dumps\n"
         "need --raw-f32 or --raw-iq plus --rate-mhz <f>.\n"
@@ -481,6 +494,95 @@ cut(const std::string &in, const std::string &out,
     return 0;
 }
 
+int
+spoolCmd(int argc, char **argv)
+{
+    const std::string sub = argv[2];
+    if (argc < 4) {
+        std::fprintf(stderr, "spool %s needs a directory\n",
+                     sub.c_str());
+        return 2;
+    }
+    serve::ResultSpool spool;
+    serve::ResultSpool::Options options;
+    options.dir = argv[3];
+    std::string error;
+    if (!spool.open(options, &error)) {
+        std::fprintf(stderr, "cannot open spool %s: %s\n", argv[3],
+                     error.c_str());
+        return 1;
+    }
+
+    if (sub == "list") {
+        const auto &rec = spool.recovery();
+        std::printf("spool %s: %llu result(s) in %llu segment(s), "
+                    "%llu acked, %llu torn record(s) skipped\n",
+                    argv[3],
+                    static_cast<unsigned long long>(rec.results),
+                    static_cast<unsigned long long>(rec.segments),
+                    static_cast<unsigned long long>(rec.acked),
+                    static_cast<unsigned long long>(rec.tornRecords));
+        for (const auto &entry : spool.list())
+            std::printf("%s  status=%u  %u bytes  t=%llu%s\n",
+                        serve::sessionIdToHex(entry.id).c_str(),
+                        entry.status, entry.payloadBytes,
+                        static_cast<unsigned long long>(
+                            entry.unixMillis),
+                        entry.acked ? "  (acked)" : "");
+        return 0;
+    }
+    if (sub == "gc") {
+        const uint64_t removed = spool.gc(&error);
+        if (!error.empty()) {
+            std::fprintf(stderr, "spool gc: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("removed %llu segment(s)\n",
+                    static_cast<unsigned long long>(removed));
+        return 0;
+    }
+    if (sub == "fetch" || sub == "ack") {
+        if (argc < 5) {
+            std::fprintf(stderr, "spool %s needs a session id\n",
+                         sub.c_str());
+            return 2;
+        }
+        serve::SessionId id;
+        if (!serve::sessionIdFromHex(argv[4], id)) {
+            std::fprintf(stderr,
+                         "bad session id '%s' (expect 32 hex "
+                         "digits)\n",
+                         argv[4]);
+            return 2;
+        }
+        if (sub == "ack") {
+            if (!spool.ack(id, &error)) {
+                std::fprintf(stderr, "spool ack: %s\n", error.c_str());
+                return 1;
+            }
+            std::printf("acked %s\n", argv[4]);
+            return 0;
+        }
+        uint32_t status = 0;
+        std::vector<uint8_t> payload;
+        if (!spool.fetch(id, status, payload, &error)) {
+            std::fprintf(stderr, "spool fetch: %s\n", error.c_str());
+            return 1;
+        }
+        serve::DecodedReport report;
+        if (!serve::decodeReportPayload(payload, report, &error)) {
+            std::fprintf(stderr, "spool fetch: %s\n", error.c_str());
+            return 1;
+        }
+        std::fputs(report.reportText.c_str(), stdout);
+        // Exit code carries the report status, same as --push.
+        return static_cast<int>(status);
+    }
+    std::fprintf(stderr, "unknown spool subcommand: %s\n",
+                 sub.c_str());
+    return 2;
+}
+
 } // namespace
 
 int
@@ -512,6 +614,8 @@ main(int argc, char **argv)
             return inspect(argv[2]);
         if (command == "verify")
             return verify(argv[2]);
+        if (command == "spool")
+            return spoolCmd(argc, argv);
 
         if (command == "recover") {
             // The optional second path is the output; options may
