@@ -6,6 +6,7 @@
 #ifndef EMPROF_PROFILER_EVENTS_HPP
 #define EMPROF_PROFILER_EVENTS_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 namespace emprof::profiler {
@@ -20,6 +21,37 @@ enum class StallKind : uint8_t
      *  separately because of its outsized tail-latency impact. */
     RefreshCoincident,
 };
+
+/**
+ * Memory service level a stall is attributed to (multi-level
+ * attribution, beyond the paper's binary miss/refresh split).  The
+ * levels are ordered by service latency, which is what the duration
+ * classifier keys on.
+ */
+enum class ServiceLevel : uint8_t
+{
+    /** Served by the LLC: a hit whose latency still stalled the core
+     *  (dependent-load chains); tens of cycles. */
+    LlcHit,
+
+    /** A miss whose latency was mostly hidden by the prefetcher — the
+     *  demand access found the line already in flight and paid only the
+     *  residual latency. */
+    PrefetchMasked,
+
+    /** A demand miss served by DRAM at ordinary access latency. */
+    Dram,
+
+    /** A DRAM access lengthened by a refresh window (tRFC); the
+     *  outsized tail-latency class (2-3 us). */
+    DramRefresh,
+};
+
+/** Number of service levels (confusion-matrix dimension). */
+inline constexpr std::size_t kServiceLevelCount = 4;
+
+/** Stable lower-case name for a service level (reports, metrics). */
+const char *serviceLevelName(ServiceLevel level);
 
 /**
  * One stall detected in the signal.
@@ -53,6 +85,17 @@ struct StallEvent
     double confidence = 1.0;
 
     StallKind kind = StallKind::LlcMiss;
+
+    /** Attributed memory service level (duration-band classifier). */
+    ServiceLevel level = ServiceLevel::Dram;
+
+    /**
+     * Attribution confidence in [0, 1]: how far the measured duration
+     * sits from the nearest level boundary on a log scale (a factor of
+     * two away saturates at 1.0; exactly on a boundary is 0.0).
+     * Orthogonal to @ref confidence, which scores detection quality.
+     */
+    double levelConfidence = 1.0;
 
     uint64_t durationSamples() const { return endSample - startSample + 1; }
 };

@@ -67,6 +67,22 @@ struct EmProfConfig
     double refreshStallNs = 1200.0;
 
     /**
+     * Service-level attribution boundaries (duration bands, see
+     * DESIGN.md §16).  Durations below llcHitMaxNs are attributed to
+     * the LLC (a hit long enough to stall a dependent chain but far
+     * below DRAM latency); durations in [llcHitMaxNs,
+     * prefetchMaskedMaxNs) to a prefetch-masked miss (residual latency
+     * of a line already in flight); [prefetchMaskedMaxNs,
+     * refreshStallNs) to an ordinary DRAM demand miss; and
+     * refreshStallNs and above to a refresh-lengthened DRAM access.
+     * prefetchMaskedMaxNs == 0 disables the prefetch-masked band (no
+     * prefetcher on the target): the DRAM band then starts at
+     * llcHitMaxNs.
+     */
+    double llcHitMaxNs = 90.0;
+    double prefetchMaskedMaxNs = 0.0;
+
+    /**
      * Minimum dip width in samples regardless of minStallNs.  A dip
      * must contain several consecutive low samples to be
      * distinguishable from noise over multi-second captures; this is

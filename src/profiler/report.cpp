@@ -4,9 +4,44 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "obs/stage_profiler.hpp"
 
 namespace emprof::profiler {
+
+namespace {
+
+// Per-level attribution totals, added once per report build (never per
+// event in the hot loops).  The histogram buckets mean confidence in
+// per-mille so the log2 buckets resolve the [0, 1] range.
+void
+countAttributed(const ProfileReport &report)
+{
+    if (!obs::MetricsRegistry::enabled())
+        return;
+    auto &registry = obs::MetricsRegistry::instance();
+    static const obs::Counter llc_hit =
+        registry.counter("emprof.attr.llc_hit");
+    static const obs::Counter prefetch_masked =
+        registry.counter("emprof.attr.prefetch_masked");
+    static const obs::Counter dram = registry.counter("emprof.attr.dram");
+    static const obs::Counter dram_refresh =
+        registry.counter("emprof.attr.dram_refresh");
+    static const obs::Histogram confidence_mille =
+        registry.histogram("emprof.attr.level_confidence_mille");
+    llc_hit.add(
+        report.levelEvents[static_cast<int>(ServiceLevel::LlcHit)]);
+    prefetch_masked.add(
+        report.levelEvents[static_cast<int>(ServiceLevel::PrefetchMasked)]);
+    dram.add(report.levelEvents[static_cast<int>(ServiceLevel::Dram)]);
+    dram_refresh.add(
+        report.levelEvents[static_cast<int>(ServiceLevel::DramRefresh)]);
+    if (report.totalEvents > 0)
+        confidence_mille.observe(
+            static_cast<uint64_t>(report.meanLevelConfidence * 1000.0));
+}
+
+} // namespace
 
 ProfileReport
 makeReport(const std::vector<StallEvent> &events, double sample_rate_hz,
@@ -26,6 +61,7 @@ makeReport(const std::vector<StallEvent> &events, double sample_rate_hz,
 
     std::vector<double> latencies;
     latencies.reserve(events.size());
+    double level_confidence_sum = 0.0;
     for (const auto &ev : events) {
         if (ev.kind == StallKind::RefreshCoincident)
             ++report.refreshEvents;
@@ -33,7 +69,17 @@ makeReport(const std::vector<StallEvent> &events, double sample_rate_hz,
             ++report.missEvents;
         report.totalStallCycles += ev.stallCycles;
         latencies.push_back(ev.stallCycles);
+        const auto li = static_cast<std::size_t>(ev.level);
+        if (li < kServiceLevelCount) {
+            ++report.levelEvents[li];
+            report.levelStallCycles[li] += ev.stallCycles;
+        }
+        level_confidence_sum += ev.levelConfidence;
     }
+    if (!events.empty())
+        report.meanLevelConfidence =
+            level_confidence_sum / static_cast<double>(events.size());
+    countAttributed(report);
 
     if (report.executionCycles > 0.0) {
         report.stallPercent =
@@ -99,6 +145,29 @@ ProfileReport::toText(const std::string &title) const
     std::snprintf(line, sizeof(line),
                   "  miss rate: %.1f per million cycles\n",
                   missesPerMillionCycles);
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  service levels: llc-hit %llu, prefetch-masked %llu, "
+        "dram %llu, dram-refresh %llu (mean confidence %.2f)\n",
+        static_cast<unsigned long long>(
+            levelEvents[static_cast<int>(ServiceLevel::LlcHit)]),
+        static_cast<unsigned long long>(
+            levelEvents[static_cast<int>(ServiceLevel::PrefetchMasked)]),
+        static_cast<unsigned long long>(
+            levelEvents[static_cast<int>(ServiceLevel::Dram)]),
+        static_cast<unsigned long long>(
+            levelEvents[static_cast<int>(ServiceLevel::DramRefresh)]),
+        meanLevelConfidence);
+    out += line;
+    std::snprintf(
+        line, sizeof(line),
+        "  stall cycles by level: llc-hit %.0f, prefetch-masked %.0f, "
+        "dram %.0f, dram-refresh %.0f\n",
+        levelStallCycles[static_cast<int>(ServiceLevel::LlcHit)],
+        levelStallCycles[static_cast<int>(ServiceLevel::PrefetchMasked)],
+        levelStallCycles[static_cast<int>(ServiceLevel::Dram)],
+        levelStallCycles[static_cast<int>(ServiceLevel::DramRefresh)]);
     out += line;
     if (quality.enabled) {
         std::snprintf(

@@ -53,6 +53,16 @@ struct ProfileReport
     /** LLC miss rate in events per million cycles. */
     double missesPerMillionCycles = 0.0;
 
+    /**
+     * Service-level attribution breakdown (DESIGN.md §16): event count
+     * and summed stall cycles per level, indexed by ServiceLevel.
+     */
+    uint64_t levelEvents[kServiceLevelCount] = {0, 0, 0, 0};
+    double levelStallCycles[kServiceLevelCount] = {0.0, 0.0, 0.0, 0.0};
+
+    /** Mean per-event attribution confidence (1.0 when no events). */
+    double meanLevelConfidence = 1.0;
+
     /** Signal-quality outcome (quality.enabled == false unless the
      *  resilience layer ran; all-defaults then). */
     SignalQualitySummary quality;

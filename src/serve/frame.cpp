@@ -164,7 +164,9 @@ toWire(const profiler::StallEvent &ev)
     std::memcpy(&w.stallCyclesBits, &ev.stallCycles, sizeof(double));
     std::memcpy(&w.confidenceBits, &ev.confidence, sizeof(double));
     w.kind = static_cast<uint32_t>(ev.kind);
-    w.reserved = 0;
+    w.level = static_cast<uint32_t>(ev.level);
+    std::memcpy(&w.levelConfidenceBits, &ev.levelConfidence,
+                sizeof(double));
     return w;
 }
 
@@ -179,6 +181,9 @@ fromWire(const WireEvent &w)
     std::memcpy(&ev.stallCycles, &w.stallCyclesBits, sizeof(double));
     std::memcpy(&ev.confidence, &w.confidenceBits, sizeof(double));
     ev.kind = static_cast<profiler::StallKind>(w.kind);
+    ev.level = static_cast<profiler::ServiceLevel>(w.level);
+    std::memcpy(&ev.levelConfidence, &w.levelConfidenceBits,
+                sizeof(double));
     return ev;
 }
 

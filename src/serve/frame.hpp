@@ -63,8 +63,9 @@ namespace emprof::serve {
 constexpr char kFrameMagic[4] = {'E', 'M', 'F', 'R'};
 
 /** Wire protocol version; bumped on any layout change.  v2 added the
- *  Open/OpenAck resume handshake (session ids + durable offsets). */
-constexpr uint16_t kProtocolVersion = 2;
+ *  Open/OpenAck resume handshake (session ids + durable offsets); v3
+ *  widened WireEvent with the service-level attribution fields. */
+constexpr uint16_t kProtocolVersion = 3;
 
 /** Hard cap on one frame's payload (bounds per-session memory). */
 constexpr std::size_t kMaxFramePayload = std::size_t{4} << 20;
@@ -189,9 +190,10 @@ struct WireEvent
     uint64_t stallCyclesBits;
     uint64_t confidenceBits;
     uint32_t kind;
-    uint32_t reserved; ///< zero
+    uint32_t level; ///< profiler::ServiceLevel (v3)
+    uint64_t levelConfidenceBits;
 };
-static_assert(sizeof(WireEvent) == 56, "layout is the format");
+static_assert(sizeof(WireEvent) == 64, "layout is the format");
 
 WireEvent toWire(const profiler::StallEvent &ev);
 profiler::StallEvent fromWire(const WireEvent &w);

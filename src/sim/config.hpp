@@ -180,6 +180,34 @@ struct PowerConfig
     uint64_t seed = 0xB06ull;
 };
 
+/**
+ * Ground-truth service-level labeling thresholds (DESIGN.md §16).
+ *
+ * The simulator knows exactly how each stalled load was served; these
+ * thresholds fold the continuous quantities (prefetch residual latency,
+ * refresh queueing delay) into the discrete level taxonomy the
+ * profiler-side classifier predicts.
+ */
+struct LabelConfig
+{
+    /**
+     * A prefetch-masked fill whose residual latency is at least this
+     * many cycles is labeled as a plain DRAM miss — the prefetch hid
+     * nothing worth distinguishing.  0 derives 3/4 of
+     * memory.accessLatency.
+     */
+    uint32_t prefetchDemandClassCycles = 0;
+
+    /**
+     * A DRAM fill queued behind a refresh window for at least this
+     * many cycles is labeled refresh-lengthened; shorter brushes stay
+     * in the plain DRAM class (their measured duration is
+     * indistinguishable from ordinary misses).  0 derives
+     * memory.refreshDuration / 4.
+     */
+    uint64_t refreshLengthenedCycles = 0;
+};
+
 /** Complete simulator configuration. */
 struct SimConfig
 {
@@ -193,6 +221,25 @@ struct SimConfig
     MemoryConfig memory;
     PrefetcherConfig prefetcher;
     PowerConfig power;
+    LabelConfig label;
+
+    /** Resolved prefetch demand-class threshold (see LabelConfig). */
+    uint32_t
+    prefetchDemandClassCycles() const
+    {
+        return label.prefetchDemandClassCycles != 0
+                   ? label.prefetchDemandClassCycles
+                   : memory.accessLatency - memory.accessLatency / 4;
+    }
+
+    /** Resolved refresh-lengthened threshold (see LabelConfig). */
+    uint64_t
+    refreshLengthenedCycles() const
+    {
+        return label.refreshLengthenedCycles != 0
+                   ? label.refreshLengthenedCycles
+                   : memory.refreshDuration / 4;
+    }
 
     /** Seed for cache replacement decisions. */
     uint64_t seed = 0x5E5Cull;

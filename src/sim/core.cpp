@@ -12,7 +12,9 @@ InOrderCore::InOrderCore(const SimConfig &config, TraceSource &trace,
       hier_(hierarchy),
       gt_(gt),
       power_(power),
-      powerSink_(std::move(power_sink))
+      powerSink_(std::move(power_sink)),
+      prefetchDemandCycles_(config.prefetchDemandClassCycles()),
+      refreshLabelCycles_(config.refreshLengthenedCycles())
 {
     completionRing_.fill(0);
     pendingLoads_.reserve(config.core.maxOutstandingLoads + 1);
@@ -36,6 +38,11 @@ InOrderCore::doFetch(Cycle now, ActivityCounters &activity)
         return;
     fetchBlockIsLlcMiss_ = false;
     fetchBlockRefresh_ = false;
+    fetchBlockDemandMiss_ = false;
+    fetchBlockPrefetchMasked_ = false;
+    fetchBlockLlcHitWait_ = false;
+    fetchBlockRefreshDelay_ = 0;
+    fetchBlockServiceCycles_ = 0;
 
     uint32_t fetched = 0;
     while (fetchBuffer_.size() < config_.core.fetchBufferOps &&
@@ -61,6 +68,12 @@ InOrderCore::doFetch(Cycle now, ActivityCounters &activity)
                 fetchReady_ = outcome.completion;
                 fetchBlockIsLlcMiss_ = outcome.memoryStall;
                 fetchBlockRefresh_ = outcome.refreshDelayed;
+                fetchBlockDemandMiss_ = outcome.llcMiss;
+                fetchBlockPrefetchMasked_ = outcome.prefetchMasked;
+                fetchBlockLlcHitWait_ =
+                    outcome.llcAccessed && !outcome.memoryStall;
+                fetchBlockRefreshDelay_ = outcome.refreshDelayCycles;
+                fetchBlockServiceCycles_ = outcome.serviceCycles;
                 break;
             }
         }
@@ -137,7 +150,11 @@ InOrderCore::doIssue(Cycle now, ActivityCounters &activity,
                 ++activity.llcAccesses;
                 pendingLoads_.push_back({outcome.completion,
                                          outcome.memoryStall,
-                                         outcome.refreshDelayed});
+                                         outcome.refreshDelayed,
+                                         outcome.llcMiss,
+                                         outcome.prefetchMasked,
+                                         outcome.refreshDelayCycles,
+                                         outcome.serviceCycles});
             }
             break;
           }
@@ -222,20 +239,55 @@ InOrderCore::run(Cycle max_cycles)
 
             uint32_t outstanding_llc = 0;
             bool refresh_any = false;
+            bool llc_hit_wait = false;
+            StallLevelFlags flags{false, false, false};
+            // A prefetch residual as long as a real miss is labeled
+            // demand-class; a refresh brush shorter than the labeling
+            // threshold stays plain DRAM (see SimConfig::label).
+            const auto classify = [&](bool demand, bool prefetch,
+                                      Cycle refresh_delay,
+                                      Cycle service) {
+                if (demand) {
+                    flags.demandMiss = true;
+                    flags.refreshLengthened |=
+                        refresh_delay >= refreshLabelCycles_;
+                } else if (prefetch) {
+                    if (service >= prefetchDemandCycles_)
+                        flags.demandMiss = true;
+                    else
+                        flags.prefetchMasked = true;
+                }
+            };
             for (const auto &p : pendingLoads_) {
-                if (p.memoryStall && p.completion > now) {
+                if (p.completion <= now)
+                    continue;
+                if (p.memoryStall) {
                     ++outstanding_llc;
                     refresh_any |= p.refreshDelayed;
+                    classify(p.demandMiss, p.prefetchMasked,
+                             p.refreshDelayCycles, p.serviceCycles);
+                } else {
+                    llc_hit_wait = true;
                 }
             }
-            if (now < fetchReady_ && fetchBlockIsLlcMiss_) {
-                ++outstanding_llc;
-                refresh_any |= fetchBlockRefresh_;
+            if (now < fetchReady_) {
+                if (fetchBlockIsLlcMiss_) {
+                    ++outstanding_llc;
+                    refresh_any |= fetchBlockRefresh_;
+                    classify(fetchBlockDemandMiss_,
+                             fetchBlockPrefetchMasked_,
+                             fetchBlockRefreshDelay_,
+                             fetchBlockServiceCycles_);
+                } else if (fetchBlockLlcHitWait_) {
+                    llc_hit_wait = true;
+                }
             }
 
             if (outstanding_llc > 0) {
                 gt_.onMissStallCycle(now, outstanding_llc, refresh_any,
-                                     currentPhase_);
+                                     currentPhase_, flags);
+            } else if (llc_hit_wait) {
+                gt_.onHitStallCycle(now, currentPhase_);
             } else {
                 gt_.onOtherStallCycle();
             }

@@ -106,6 +106,18 @@ class InOrderCore
         bool memoryStall = false;
 
         bool refreshDelayed = false;
+
+        /** A demand LLC miss (vs. prefetch residual / LLC hit). */
+        bool demandMiss = false;
+
+        /** Residual of an in-flight prefetch (memoryStall only). */
+        bool prefetchMasked = false;
+
+        /** Cycles the fill queued behind a DRAM refresh window. */
+        Cycle refreshDelayCycles = 0;
+
+        /** Memory-path service time, for level labeling. */
+        Cycle serviceCycles = 0;
     };
 
     /** Try to fetch ops into the fetch buffer. */
@@ -135,10 +147,19 @@ class InOrderCore
     Cycle fetchReady_ = 0;
     bool fetchBlockIsLlcMiss_ = false;
     bool fetchBlockRefresh_ = false;
+    bool fetchBlockDemandMiss_ = false;
+    bool fetchBlockPrefetchMasked_ = false;
+    bool fetchBlockLlcHitWait_ = false;
+    Cycle fetchBlockRefreshDelay_ = 0;
+    Cycle fetchBlockServiceCycles_ = 0;
     Addr currentFetchLine_ = ~0ull;
 
     std::array<Cycle, kRingSize> completionRing_{};
     uint64_t issuedCount_ = 0;
+
+    /** Resolved labeling thresholds (SimConfig::label). */
+    Cycle prefetchDemandCycles_ = 0;
+    Cycle refreshLabelCycles_ = 0;
 
     std::vector<PendingLoad> pendingLoads_;
     std::vector<Cycle> storeBuffer_;

@@ -29,6 +29,44 @@ namespace emprof::sim {
 /** Maximum number of workload phases tracked. */
 inline constexpr std::size_t kMaxPhases = 16;
 
+/**
+ * Memory service level of a stall interval — the simulator-side twin
+ * of profiler::ServiceLevel, kept separate so the sim library never
+ * depends on the profiler (src/validate/ maps between the two).
+ */
+enum class StallLevel : uint8_t
+{
+    LlcHit,         ///< waiting on an LLC hit (dependent-load chain)
+    PrefetchMasked, ///< residual latency of an in-flight prefetch
+    Dram,           ///< ordinary DRAM demand miss
+    DramRefresh,    ///< DRAM fill lengthened by a refresh window
+};
+
+/** Number of stall levels (confusion-matrix dimension). */
+inline constexpr std::size_t kStallLevelCount = 4;
+
+/** Stable lower-case name for a stall level. */
+const char *stallLevelName(StallLevel level);
+
+/**
+ * How the misses behind one stalled cycle were served; the core model
+ * fills this from AccessOutcome fields (DESIGN.md §16).  The default
+ * matches the legacy 4-argument onMissStallCycle call: a plain demand
+ * miss.
+ */
+struct StallLevelFlags
+{
+    /** A demand miss (or demand-class prefetch residual) outstanding. */
+    bool demandMiss = true;
+
+    /** An in-flight-prefetch residual outstanding (masked latency). */
+    bool prefetchMasked = false;
+
+    /** An outstanding fill queued behind refresh for at least the
+     *  configured labeling threshold. */
+    bool refreshLengthened = false;
+};
+
 /** One maximal LLC-miss-induced full-stall interval. */
 struct StallInterval
 {
@@ -47,7 +85,26 @@ struct StallInterval
     /** Workload phase the interval occurred in. */
     uint8_t phase = 0;
 
+    /** Union of per-cycle service flags over the interval. */
+    StallLevelFlags flags;
+
     Cycle durationCycles() const { return end - begin + 1; }
+
+    /**
+     * Service level of the interval: the slowest class that
+     * contributed, since it dominates the measured duration.
+     */
+    StallLevel
+    level() const
+    {
+        if (flags.refreshLengthened)
+            return StallLevel::DramRefresh;
+        if (flags.demandMiss)
+            return StallLevel::Dram;
+        if (flags.prefetchMasked)
+            return StallLevel::PrefetchMasked;
+        return StallLevel::LlcHit;
+    }
 };
 
 /** One raw LLC miss (recorded only in detailed mode). */
@@ -104,10 +161,14 @@ class GroundTruth
      * @param outstanding Number of LLC misses outstanding.
      * @param refresh_affected Any outstanding fill is refresh-delayed.
      * @param phase Current workload phase.
+     * @param flags How the outstanding fills are being served; the
+     *        default (plain demand miss) keeps legacy callers'
+     *        intervals labeled StallLevel::Dram.
      */
     void
     onMissStallCycle(Cycle cycle, uint32_t outstanding,
-                     bool refresh_affected, uint8_t phase)
+                     bool refresh_affected, uint8_t phase,
+                     StallLevelFlags flags = {})
     {
         ++missStallCycles_;
         phaseOf(phase).missStallCycles += 1;
@@ -116,11 +177,36 @@ class GroundTruth
             current_.overlappedMisses =
                 std::max(current_.overlappedMisses, outstanding);
             current_.refreshAffected |= refresh_affected;
+            current_.flags.demandMiss |= flags.demandMiss;
+            current_.flags.prefetchMasked |= flags.prefetchMasked;
+            current_.flags.refreshLengthened |= flags.refreshLengthened;
         } else {
             closeInterval();
             current_ = {cycle, cycle, std::max(outstanding, 1u),
-                        refresh_affected, phase};
+                        refresh_affected, phase, flags};
             open_ = true;
+        }
+    }
+
+    /**
+     * Record a fully-stalled cycle spent waiting on an LLC *hit* (a
+     * dependent-load chain bottoming out in the LLC).  Builds a
+     * separate interval list so stallIntervals() — the paper's miss
+     * ground truth — is unchanged; also counted in otherStallCycles()
+     * exactly as before this level existed.
+     */
+    void
+    onHitStallCycle(Cycle cycle, uint8_t phase)
+    {
+        ++otherStallCycles_;
+        ++hitStallCycles_;
+        if (hitOpen_ && cycle == currentHit_.end + 1) {
+            currentHit_.end = cycle;
+        } else {
+            closeHitInterval();
+            currentHit_ = {cycle, cycle, 0, false, phase,
+                           {false, false, false}};
+            hitOpen_ = true;
         }
     }
 
@@ -134,7 +220,12 @@ class GroundTruth
     void onInstruction(uint8_t phase) { phaseOf(phase).instructions += 1; }
 
     /** Close any open interval; call when the simulation ends. */
-    void finalize() { closeInterval(); }
+    void
+    finalize()
+    {
+        closeInterval();
+        closeHitInterval();
+    }
 
     /** Every demand LLC miss (the hardware-counter view). */
     uint64_t rawLlcMisses() const { return rawLlcMisses_; }
@@ -154,6 +245,30 @@ class GroundTruth
     {
         return intervals_;
     }
+
+    /** Coalesced LLC-hit wait intervals (level LlcHit), kept apart
+     *  from the paper's miss ground truth above. */
+    const std::vector<StallInterval> &
+    hitStallIntervals() const
+    {
+        return hitIntervals_;
+    }
+
+    /** Fully-stalled cycles spent waiting on LLC hits (a subset of
+     *  otherStallCycles()). */
+    uint64_t hitStallCycles() const { return hitStallCycles_; }
+
+    /**
+     * All stall intervals — miss-induced and LLC-hit waits — merged
+     * into one begin-sorted list, adjacent-or-overlapping neighbours
+     * coalesced (gap <= @p max_gap), keeping results of at least
+     * @p min_cycles.  A merged interval takes the level of whichever
+     * source contributed the most cycles, except that a slower class
+     * always outranks LlcHit — this is the per-event ground truth the
+     * classifier is scored against (DESIGN.md §16).
+     */
+    std::vector<StallInterval>
+    labeledIntervals(Cycle max_gap = 0, Cycle min_cycles = 1) const;
 
     /**
      * Number of stall intervals at least @p min_cycles long.  EMPROF
@@ -202,16 +317,29 @@ class GroundTruth
         }
     }
 
+    void
+    closeHitInterval()
+    {
+        if (hitOpen_) {
+            hitIntervals_.push_back(currentHit_);
+            hitOpen_ = false;
+        }
+    }
+
     bool detailed_;
     uint64_t rawLlcMisses_ = 0;
     uint64_t refreshDelayedMisses_ = 0;
     uint64_t missStallCycles_ = 0;
     uint64_t otherStallCycles_ = 0;
+    uint64_t hitStallCycles_ = 0;
     std::vector<StallInterval> intervals_;
+    std::vector<StallInterval> hitIntervals_;
     std::vector<RawMissEvent> rawEvents_;
     std::array<PhaseCounters, kMaxPhases> phases_{};
     StallInterval current_{};
+    StallInterval currentHit_{};
     bool open_ = false;
+    bool hitOpen_ = false;
 };
 
 } // namespace emprof::sim

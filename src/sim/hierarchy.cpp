@@ -40,6 +40,8 @@ MemoryHierarchy::llcPath(Addr line, bool is_store, bool fetch_side,
             std::max(ready, now + llc_.config().hitLatency);
         out.memoryStall =
             out.completion > now + 2 * llc_.config().hitLatency;
+        out.prefetchMasked = out.memoryStall;
+        out.serviceCycles = out.completion - now;
         return out;
     }
 
@@ -48,7 +50,9 @@ MemoryHierarchy::llcPath(Addr line, bool is_store, bool fetch_side,
     out.llcMiss = true;
     out.memoryStall = true;
     out.refreshDelayed = mem.refreshDelayed;
+    out.refreshDelayCycles = mem.refreshDelayCycles;
     out.completion = mem.completion;
+    out.serviceCycles = out.completion - now;
     gt_.onLlcMiss(now, fetch_side, mem.refreshDelayed, phase);
 
     if (llc_result.dirtyEviction)

@@ -45,6 +45,18 @@ struct AccessOutcome
 
     /** The LLC tag array was accessed (for the power model). */
     bool llcAccessed = false;
+
+    /** memoryStall came from a demand hit on an in-flight prefetch —
+     *  the core pays only the residual latency. */
+    bool prefetchMasked = false;
+
+    /** Cycles the fill queued behind a DRAM refresh window. */
+    Cycle refreshDelayCycles = 0;
+
+    /** Memory-path service time (completion - request), in cycles,
+     *  for memory-stalling accesses; ground-truth level labeling keys
+     *  on it (DESIGN.md §16). */
+    Cycle serviceCycles = 0;
 };
 
 /**

@@ -24,14 +24,17 @@ MemorySystem::inRefresh(Cycle cycle) const
 }
 
 Cycle
-MemorySystem::avoidRefresh(Cycle start, bool &delayed)
+MemorySystem::avoidRefresh(Cycle start, bool &delayed, Cycle *delay_cycles)
 {
     if (!config_.refreshEnabled)
         return start;
     if (inRefresh(start)) {
         const uint64_t k = start / config_.refreshPeriod;
         delayed = true;
-        return refreshStart(k) + config_.refreshDuration;
+        const Cycle moved = refreshStart(k) + config_.refreshDuration;
+        if (delay_cycles != nullptr)
+            *delay_cycles += moved - start;
+        return moved;
     }
     return start;
 }
@@ -75,7 +78,8 @@ MemorySystem::read(Cycle now)
 
     MemoryReadResult result;
     Cycle start = std::max(now, busyUntil_);
-    start = avoidRefresh(start, result.refreshDelayed);
+    start = avoidRefresh(start, result.refreshDelayed,
+                         &result.refreshDelayCycles);
     if (result.refreshDelayed)
         ++stats_.refreshDelayedReads;
 

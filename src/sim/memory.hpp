@@ -50,6 +50,12 @@ struct MemoryReadResult
 
     /** The request waited on a refresh window. */
     bool refreshDelayed = false;
+
+    /** How long the request queued behind the refresh window, in
+     *  cycles (0 unless refreshDelayed).  Ground-truth labeling uses
+     *  the magnitude: a fill that brushed the tail of a window is
+     *  indistinguishable from an ordinary miss in the EM signal. */
+    Cycle refreshDelayCycles = 0;
 };
 
 /** Aggregate memory statistics. */
@@ -112,8 +118,10 @@ class MemorySystem
     /** Start of the refresh window with index @p k (1-based). */
     Cycle refreshStart(uint64_t k) const;
 
-    /** Move a service start time out of any refresh window. */
-    Cycle avoidRefresh(Cycle start, bool &delayed);
+    /** Move a service start time out of any refresh window; adds the
+     *  displacement to @p delay_cycles when one applies. */
+    Cycle avoidRefresh(Cycle start, bool &delayed,
+                       Cycle *delay_cycles = nullptr);
 
     /** Inject pending background bursts up to @p now. */
     void catchUpBackground(Cycle now);

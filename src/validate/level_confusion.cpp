@@ -1,0 +1,308 @@
+#include "validate/level_confusion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace emprof::validate {
+
+profiler::ServiceLevel
+toProfilerLevel(sim::StallLevel level)
+{
+    switch (level) {
+    case sim::StallLevel::LlcHit:
+        return profiler::ServiceLevel::LlcHit;
+    case sim::StallLevel::PrefetchMasked:
+        return profiler::ServiceLevel::PrefetchMasked;
+    case sim::StallLevel::Dram:
+        return profiler::ServiceLevel::Dram;
+    case sim::StallLevel::DramRefresh:
+        return profiler::ServiceLevel::DramRefresh;
+    }
+    return profiler::ServiceLevel::Dram;
+}
+
+std::vector<LabeledInterval>
+groundTruthLabels(const sim::GroundTruth &gt, double clock_hz,
+                  double sample_rate_hz, sim::Cycle merge_gap_cycles,
+                  sim::Cycle min_cycles)
+{
+    const double per_cycle = sample_rate_hz / clock_hz;
+    std::vector<LabeledInterval> out;
+    for (const auto &interval :
+         gt.labeledIntervals(merge_gap_cycles, min_cycles)) {
+        LabeledInterval li;
+        li.beginSample = static_cast<uint64_t>(
+            static_cast<double>(interval.begin) * per_cycle);
+        li.endSample = static_cast<uint64_t>(
+            static_cast<double>(interval.end) * per_cycle);
+        li.truth = toProfilerLevel(interval.level());
+        li.cycles = interval.durationCycles();
+        out.push_back(li);
+    }
+    return out;
+}
+
+uint64_t
+ConfusionMatrix::truthTotal(profiler::ServiceLevel level) const
+{
+    const auto row = static_cast<std::size_t>(level);
+    uint64_t total = missed[row];
+    for (std::size_t col = 0; col < profiler::kServiceLevelCount; ++col)
+        total += cells[row][col];
+    return total;
+}
+
+uint64_t
+ConfusionMatrix::truthTotal() const
+{
+    uint64_t total = 0;
+    for (std::size_t row = 0; row < profiler::kServiceLevelCount; ++row)
+        total += truthTotal(static_cast<profiler::ServiceLevel>(row));
+    return total;
+}
+
+double
+ConfusionMatrix::accuracy(profiler::ServiceLevel level) const
+{
+    const uint64_t total = truthTotal(level);
+    if (total == 0)
+        return 1.0;
+    const auto row = static_cast<std::size_t>(level);
+    return static_cast<double>(cells[row][row]) /
+           static_cast<double>(total);
+}
+
+double
+ConfusionMatrix::overallAccuracy() const
+{
+    const uint64_t total = truthTotal();
+    if (total == 0)
+        return 1.0;
+    uint64_t diagonal = 0;
+    for (std::size_t l = 0; l < profiler::kServiceLevelCount; ++l)
+        diagonal += cells[l][l];
+    return static_cast<double>(diagonal) / static_cast<double>(total);
+}
+
+void
+ConfusionMatrix::add(const ConfusionMatrix &other)
+{
+    for (std::size_t row = 0; row < profiler::kServiceLevelCount;
+         ++row) {
+        missed[row] += other.missed[row];
+        spurious[row] += other.spurious[row];
+        for (std::size_t col = 0; col < profiler::kServiceLevelCount;
+             ++col)
+            cells[row][col] += other.cells[row][col];
+    }
+}
+
+std::string
+ConfusionMatrix::toText() const
+{
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-16s", "truth\\predicted");
+    out += line;
+    for (std::size_t col = 0; col < profiler::kServiceLevelCount;
+         ++col) {
+        std::snprintf(line, sizeof(line), " %15s",
+                      profiler::serviceLevelName(
+                          static_cast<profiler::ServiceLevel>(col)));
+        out += line;
+    }
+    out += "          missed        accuracy\n";
+    for (std::size_t row = 0; row < profiler::kServiceLevelCount;
+         ++row) {
+        const auto level = static_cast<profiler::ServiceLevel>(row);
+        std::snprintf(line, sizeof(line), "  %-16s",
+                      profiler::serviceLevelName(level));
+        out += line;
+        for (std::size_t col = 0; col < profiler::kServiceLevelCount;
+             ++col) {
+            std::snprintf(line, sizeof(line), " %15llu",
+                          static_cast<unsigned long long>(
+                              cells[row][col]));
+            out += line;
+        }
+        std::snprintf(line, sizeof(line), " %15llu %14.1f%%\n",
+                      static_cast<unsigned long long>(missed[row]),
+                      100.0 * accuracy(level));
+        out += line;
+    }
+    std::snprintf(line, sizeof(line), "  %-16s", "spurious");
+    out += line;
+    for (std::size_t col = 0; col < profiler::kServiceLevelCount;
+         ++col) {
+        std::snprintf(line, sizeof(line), " %15llu",
+                      static_cast<unsigned long long>(spurious[col]));
+        out += line;
+    }
+    std::snprintf(line, sizeof(line), "\n  overall accuracy %.1f%%\n",
+                  100.0 * overallAccuracy());
+    out += line;
+    return out;
+}
+
+std::string
+ConfusionMatrix::toJson(const std::string &label) const
+{
+    std::string out = "{\n  \"label\": \"" + label + "\",\n"
+                      "  \"levels\": [";
+    for (std::size_t l = 0; l < profiler::kServiceLevelCount; ++l) {
+        out += l == 0 ? "\"" : ", \"";
+        out += profiler::serviceLevelName(
+            static_cast<profiler::ServiceLevel>(l));
+        out += "\"";
+    }
+    out += "],\n  \"cells\": [";
+    char buf[64];
+    for (std::size_t row = 0; row < profiler::kServiceLevelCount;
+         ++row) {
+        out += row == 0 ? "[" : ", [";
+        for (std::size_t col = 0; col < profiler::kServiceLevelCount;
+             ++col) {
+            std::snprintf(buf, sizeof(buf), "%s%llu",
+                          col == 0 ? "" : ", ",
+                          static_cast<unsigned long long>(
+                              cells[row][col]));
+            out += buf;
+        }
+        out += "]";
+    }
+    out += "],\n  \"missed\": [";
+    for (std::size_t l = 0; l < profiler::kServiceLevelCount; ++l) {
+        std::snprintf(buf, sizeof(buf), "%s%llu", l == 0 ? "" : ", ",
+                      static_cast<unsigned long long>(missed[l]));
+        out += buf;
+    }
+    out += "],\n  \"spurious\": [";
+    for (std::size_t l = 0; l < profiler::kServiceLevelCount; ++l) {
+        std::snprintf(buf, sizeof(buf), "%s%llu", l == 0 ? "" : ", ",
+                      static_cast<unsigned long long>(spurious[l]));
+        out += buf;
+    }
+    out += "],\n  \"accuracy\": [";
+    for (std::size_t l = 0; l < profiler::kServiceLevelCount; ++l) {
+        std::snprintf(buf, sizeof(buf), "%s%.4f", l == 0 ? "" : ", ",
+                      accuracy(static_cast<profiler::ServiceLevel>(l)));
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "],\n  \"overall\": %.4f\n}\n",
+                  overallAccuracy());
+    out += buf;
+    return out;
+}
+
+ConfusionMatrix
+scoreEvents(const std::vector<profiler::StallEvent> &events,
+            const std::vector<LabeledInterval> &truth)
+{
+    ConfusionMatrix matrix;
+
+    // Best-overlapping event per truth interval (the prediction the
+    // interval is scored on).
+    std::vector<uint64_t> best_overlap(truth.size(), 0);
+    std::vector<int> best_level(truth.size(), -1);
+
+    std::size_t cursor = 0;
+    for (const auto &ev : events) {
+        // Truth intervals ending before this event can never overlap
+        // later (sorted) events either.
+        while (cursor < truth.size() &&
+               truth[cursor].endSample < ev.startSample)
+            ++cursor;
+
+        uint64_t ev_best = 0;
+        std::size_t ev_best_idx = 0;
+        bool matched = false;
+        for (std::size_t t = cursor;
+             t < truth.size() && truth[t].beginSample <= ev.endSample;
+             ++t) {
+            const uint64_t begin =
+                std::max(ev.startSample, truth[t].beginSample);
+            const uint64_t end =
+                std::min(ev.endSample, truth[t].endSample);
+            if (end < begin)
+                continue;
+            const uint64_t overlap = end - begin + 1;
+            matched = true;
+            if (overlap > ev_best) {
+                ev_best = overlap;
+                ev_best_idx = t;
+            }
+        }
+        if (!matched) {
+            ++matrix.spurious[static_cast<std::size_t>(ev.level)];
+            continue;
+        }
+        if (ev_best > best_overlap[ev_best_idx]) {
+            best_overlap[ev_best_idx] = ev_best;
+            best_level[ev_best_idx] = static_cast<int>(ev.level);
+        }
+    }
+
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+        const auto row = static_cast<std::size_t>(truth[t].truth);
+        if (best_level[t] < 0)
+            ++matrix.missed[row];
+        else
+            ++matrix.cells[row][static_cast<std::size_t>(
+                best_level[t])];
+    }
+    return matrix;
+}
+
+profiler::EmProfConfig
+levelValidationConfig(const sim::SimConfig &sim_config,
+                      double sample_rate_hz)
+{
+    profiler::EmProfConfig cfg;
+    cfg.clockHz = sim_config.clockHz;
+    cfg.sampleRateHz = sample_rate_hz;
+
+    const double cycle_ns = 1e9 / sim_config.clockHz;
+
+    // The simulator's own hit/memory cut: a wait is hit-class up to
+    // twice the LLC hit latency (an in-flight fill closer than that
+    // never raises memoryStall), memory-class from one cycle beyond.
+    // Placing the band edge on the half-cycle between the two keeps
+    // both sides of the sim's boundary on the right side of ours.
+    cfg.llcHitMaxNs =
+        cycle_ns *
+        (2.0 * static_cast<double>(sim_config.llc.hitLatency) + 0.5);
+
+    cfg.prefetchMaskedMaxNs =
+        sim_config.prefetcher.enabled
+            ? cycle_ns * static_cast<double>(
+                             sim_config.prefetchDemandClassCycles())
+            : 0.0;
+
+    // Shortest stall the ground truth labels refresh-lengthened: a
+    // full access latency queued behind the labeling threshold.
+    cfg.refreshStallNs =
+        cycle_ns *
+        static_cast<double>(sim_config.memory.accessLatency +
+                            sim_config.refreshLengthenedCycles());
+
+    // See LLC-hit waits (hit-latency scale) while staying above the
+    // longest non-memory pipeline bubble (the divider).
+    const double floor_cycles =
+        static_cast<double>(sim_config.core.divLatency) + 2.0;
+    cfg.minStallNs = cycle_ns * floor_cycles;
+
+    return cfg;
+}
+
+sim::Cycle
+detectorFloorCycles(const profiler::EmProfConfig &config)
+{
+    const double cycles_per_sample =
+        config.clockHz / config.sampleRateHz;
+    return static_cast<sim::Cycle>(
+        static_cast<double>(config.minDurationSamples()) *
+        cycles_per_sample);
+}
+
+} // namespace emprof::validate

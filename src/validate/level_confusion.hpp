@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Service-level confusion harness (DESIGN.md §16): scores the
+ * profiler's duration-band classifier against the simulator's
+ * per-interval ground-truth labels.
+ *
+ * This is the only component allowed to see both sides — emprof_sim
+ * deliberately never links the profiler and vice versa — so the
+ * mapping between sim::StallLevel and profiler::ServiceLevel, the
+ * cycle→sample coordinate change, the event↔interval matching and the
+ * confusion-matrix bookkeeping all live here.
+ */
+
+#ifndef EMPROF_VALIDATE_LEVEL_CONFUSION_HPP
+#define EMPROF_VALIDATE_LEVEL_CONFUSION_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "profiler/events.hpp"
+#include "profiler/profiler.hpp"
+#include "sim/config.hpp"
+#include "sim/ground_truth.hpp"
+
+namespace emprof::validate {
+
+/** Map the simulator's label taxonomy onto the profiler's. */
+profiler::ServiceLevel toProfilerLevel(sim::StallLevel level);
+
+/** One ground-truth stall interval in signal sample coordinates. */
+struct LabeledInterval
+{
+    /** First sample covered by the stall. */
+    uint64_t beginSample = 0;
+
+    /** Last sample covered by the stall (inclusive). */
+    uint64_t endSample = 0;
+
+    /** Ground-truth service level. */
+    profiler::ServiceLevel truth = profiler::ServiceLevel::Dram;
+
+    /** Stall length in simulator cycles (diagnostic). */
+    uint64_t cycles = 0;
+};
+
+/**
+ * Project the simulator's labeled stall intervals (miss-induced and
+ * LLC-hit waits, coalesced at the detector's resolution) into signal
+ * sample coordinates.
+ *
+ * @param gt Finalized ground truth of a completed run.
+ * @param clock_hz Simulated core clock.
+ * @param sample_rate_hz Signal sample rate (== clock_hz for the raw
+ *        power trace; the receiver bandwidth for EM captures).
+ * @param merge_gap_cycles Coalesce intervals separated by at most this
+ *        many cycles — a signal-domain detector cannot resolve closer
+ *        neighbours (same rationale as countCoalescedIntervals).
+ * @param min_cycles Drop merged intervals shorter than this — stalls
+ *        below the detector's duration threshold are invisible by
+ *        design, so the comparison floors both sides identically.
+ */
+std::vector<LabeledInterval>
+groundTruthLabels(const sim::GroundTruth &gt, double clock_hz,
+                  double sample_rate_hz, sim::Cycle merge_gap_cycles,
+                  sim::Cycle min_cycles);
+
+/**
+ * 4x4 service-level confusion matrix plus the two failure modes a
+ * square matrix cannot express: ground-truth intervals no event
+ * overlapped (missed) and events no interval overlapped (spurious).
+ */
+struct ConfusionMatrix
+{
+    /** cells[truth][predicted], matched pairs only. */
+    uint64_t cells[profiler::kServiceLevelCount]
+                  [profiler::kServiceLevelCount] = {};
+
+    /** Ground-truth intervals with no overlapping event, by truth. */
+    uint64_t missed[profiler::kServiceLevelCount] = {};
+
+    /** Events with no overlapping interval, by predicted level. */
+    uint64_t spurious[profiler::kServiceLevelCount] = {};
+
+    /** Ground-truth intervals at @p level (matched + missed). */
+    uint64_t truthTotal(profiler::ServiceLevel level) const;
+
+    /** All ground-truth intervals. */
+    uint64_t truthTotal() const;
+
+    /**
+     * Fraction of @p level 's ground-truth intervals the classifier
+     * attributed correctly (missed intervals count against it).
+     * Returns 1.0 when the level has no ground truth at all, so
+     * accuracy gates are vacuously satisfied for absent levels.
+     */
+    double accuracy(profiler::ServiceLevel level) const;
+
+    /** Diagonal mass over all ground-truth intervals (1.0 if none). */
+    double overallAccuracy() const;
+
+    /** Accumulate another matrix (suite-level aggregation). */
+    void add(const ConfusionMatrix &other);
+
+    /** Human-readable table for logs and test output. */
+    std::string toText() const;
+
+    /** JSON artifact body ({"label": ..., "cells": ..., ...}). */
+    std::string toJson(const std::string &label) const;
+};
+
+/**
+ * Score classified events against labeled ground-truth intervals by
+ * overlap: each event is assigned to the interval it overlaps most;
+ * each interval takes the prediction of its best-overlapping event.
+ * Both lists must be sorted by start (the profiler and the ground
+ * truth both emit in time order).
+ */
+ConfusionMatrix
+scoreEvents(const std::vector<profiler::StallEvent> &events,
+            const std::vector<LabeledInterval> &truth);
+
+/**
+ * Derive a profiler configuration whose attribution boundaries match
+ * the simulator's timing model, for validation runs on the raw power
+ * trace (one sample per cycle):
+ *  - llcHitMaxNs: the simulator's own hit/memory cut — waits up to
+ *    twice the LLC hit latency are hit-class (an in-flight fill closer
+ *    than that never raises memoryStall), one cycle beyond is
+ *    memory-class — placed on the half-cycle between the two;
+ *  - prefetchMaskedMaxNs: the sim's own demand-class threshold, or 0
+ *    (band disabled) when the device has no prefetcher;
+ *  - refreshStallNs: access latency plus the sim's refresh-lengthened
+ *    threshold — the shortest stall the ground truth labels
+ *    DramRefresh;
+ *  - minStallNs: low enough to see LLC-hit waits, still above
+ *    scheduling noise (divider latency and branch redirects).
+ */
+profiler::EmProfConfig
+levelValidationConfig(const sim::SimConfig &sim_config,
+                      double sample_rate_hz);
+
+/**
+ * Detector duration floor in simulator cycles for @p config — the
+ * min_cycles both sides of the comparison are floored at.
+ */
+sim::Cycle detectorFloorCycles(const profiler::EmProfConfig &config);
+
+} // namespace emprof::validate
+
+#endif // EMPROF_VALIDATE_LEVEL_CONFUSION_HPP

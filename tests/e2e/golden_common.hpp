@@ -139,23 +139,27 @@ bitsToDouble(uint64_t bits)
 inline std::string
 eventsToJson(const std::vector<profiler::StallEvent> &events)
 {
-    std::string out = "{\n\"version\": 1,\n\"count\": " +
+    // Version 2 added the service-level attribution fields (level as
+    // its enum integer, level_confidence as IEEE-754 bits).
+    std::string out = "{\n\"version\": 2,\n\"count\": " +
                       std::to_string(events.size()) +
                       ",\n\"events\": [\n";
     for (std::size_t i = 0; i < events.size(); ++i) {
         const auto &ev = events[i];
-        char line[256];
+        char line[320];
         std::snprintf(
             line, sizeof(line),
             "{\"start\": %llu, \"end\": %llu, \"depth\": \"%s\", "
             "\"duration_ns\": \"%s\", \"stall_cycles\": \"%s\", "
-            "\"kind\": %d}%s\n",
+            "\"kind\": %d, \"level\": %d, "
+            "\"level_confidence\": \"%s\"}%s\n",
             static_cast<unsigned long long>(ev.startSample),
             static_cast<unsigned long long>(ev.endSample),
             doubleBits(ev.depth).c_str(),
             doubleBits(ev.durationNs).c_str(),
             doubleBits(ev.stallCycles).c_str(),
-            static_cast<int>(ev.kind),
+            static_cast<int>(ev.kind), static_cast<int>(ev.level),
+            doubleBits(ev.levelConfidence).c_str(),
             i + 1 < events.size() ? "," : "");
         out += line;
     }
@@ -191,16 +195,17 @@ eventsFromJson(const std::string &text,
         if (std::sscanf(line.c_str(), "\"count\": %lld", &declared) == 1)
             continue;
         unsigned long long start = 0, end = 0;
-        uint64_t depth = 0, duration = 0, cycles = 0;
-        int kind = 0;
+        uint64_t depth = 0, duration = 0, cycles = 0, level_conf = 0;
+        int kind = 0, level = 0;
         if (std::sscanf(line.c_str(),
                         "{\"start\": %llu, \"end\": %llu, "
                         "\"depth\": \"%" SCNx64 "\", "
                         "\"duration_ns\": \"%" SCNx64 "\", "
                         "\"stall_cycles\": \"%" SCNx64 "\", "
-                        "\"kind\": %d",
-                        &start, &end, &depth, &duration, &cycles,
-                        &kind) == 6) {
+                        "\"kind\": %d, \"level\": %d, "
+                        "\"level_confidence\": \"%" SCNx64 "\"",
+                        &start, &end, &depth, &duration, &cycles, &kind,
+                        &level, &level_conf) == 8) {
             profiler::StallEvent ev;
             ev.startSample = start;
             ev.endSample = end;
@@ -208,6 +213,8 @@ eventsFromJson(const std::string &text,
             ev.durationNs = bitsToDouble(duration);
             ev.stallCycles = bitsToDouble(cycles);
             ev.kind = static_cast<profiler::StallKind>(kind);
+            ev.level = static_cast<profiler::ServiceLevel>(level);
+            ev.levelConfidence = bitsToDouble(level_conf);
             events.push_back(ev);
         }
     }

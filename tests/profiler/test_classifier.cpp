@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Service-level classifier tests (DESIGN.md §16): the guard against
+ * non-finite arithmetic (including the denormal-rate regression where
+ * every config field passes validate-style entry checks yet the
+ * derived duration overflows to infinity), a property sweep over dip
+ * durations at every level-transition boundary, and the classifier on
+ * the resilient and recovered-capture paths.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dsp/rng.hpp"
+#include "profiler/parallel_analyzer.hpp"
+#include "profiler/profiler.hpp"
+#include "store/capture_reader.hpp"
+#include "store/capture_writer.hpp"
+
+namespace emprof::profiler {
+namespace {
+
+StallEvent
+dipOfSamples(uint64_t samples)
+{
+    StallEvent ev;
+    ev.startSample = 10'000;
+    ev.endSample = 10'000 + samples - 1;
+    return ev;
+}
+
+/** The band classifyStall must pick for @p duration_ns under @p cfg. */
+ServiceLevel
+expectedLevel(double duration_ns, const EmProfConfig &cfg)
+{
+    const double dram_min = cfg.prefetchMaskedMaxNs > 0.0
+                                ? cfg.prefetchMaskedMaxNs
+                                : cfg.llcHitMaxNs;
+    if (duration_ns >= cfg.refreshStallNs)
+        return ServiceLevel::DramRefresh;
+    if (duration_ns >= dram_min)
+        return ServiceLevel::Dram;
+    if (duration_ns >= cfg.llcHitMaxNs)
+        return ServiceLevel::PrefetchMasked;
+    return ServiceLevel::LlcHit;
+}
+
+/** Synthesise a magnitude signal with planted stalls. */
+dsp::TimeSeries
+makeSignal(double rate_hz,
+           const std::vector<std::pair<std::size_t, std::size_t>> &dips,
+           std::size_t total, double noise = 0.02)
+{
+    dsp::TimeSeries s;
+    s.sampleRateHz = rate_hz;
+    s.samples.assign(total, 1.0f);
+    dsp::Rng rng(7);
+    for (auto &x : s.samples)
+        x += static_cast<float>(noise * (rng.uniform() - 0.5));
+    for (const auto &[start, len] : dips)
+        for (std::size_t i = start; i < start + len && i < total; ++i)
+            s.samples[i] = 0.2f;
+    return s;
+}
+
+EmProfConfig
+bandConfig(double rate = 40e6)
+{
+    EmProfConfig cfg;
+    cfg.clockHz = 1e9;
+    cfg.sampleRateHz = rate;
+    cfg.normWindowSeconds = 40e-6;
+    cfg.llcHitMaxNs = 90.0;
+    cfg.prefetchMaskedMaxNs = 180.0;
+    cfg.refreshStallNs = 1200.0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Classifier, RejectsInfiniteDurationFromDenormalSampleRate)
+{
+    // Regression: a denormal-but-positive sample rate passes the
+    // "finite and > 0" entry check, but 1e9 / rate overflows to
+    // infinity.  The event must come back zeroed, never with Inf/NaN
+    // durations poisoning the report aggregation downstream.
+    EmProfConfig cfg = bandConfig();
+    cfg.sampleRateHz = std::numeric_limits<double>::denorm_min();
+
+    StallEvent ev = dipOfSamples(8);
+    classifyStall(ev, cfg);
+    EXPECT_EQ(ev.durationNs, 0.0);
+    EXPECT_EQ(ev.stallCycles, 0.0);
+    EXPECT_EQ(ev.kind, StallKind::LlcMiss);
+    EXPECT_EQ(ev.level, ServiceLevel::LlcHit);
+    EXPECT_EQ(ev.levelConfidence, 0.0);
+}
+
+TEST(Classifier, RejectsInfiniteStallCyclesFromOverflowingClock)
+{
+    // Same overflow one multiplication later: durationNs is finite but
+    // durationNs * 1e-9 * clockHz is not.
+    EmProfConfig cfg = bandConfig(1e-3); // 1 mHz: 1e12 ns per sample
+    cfg.clockHz = std::numeric_limits<double>::max();
+
+    StallEvent ev = dipOfSamples(1'000'000);
+    classifyStall(ev, cfg);
+    EXPECT_EQ(ev.durationNs, 0.0);
+    EXPECT_EQ(ev.stallCycles, 0.0);
+    EXPECT_EQ(ev.levelConfidence, 0.0);
+}
+
+TEST(Classifier, RejectsNonFiniteAndNonPositiveConfigInputs)
+{
+    for (const double bad_rate :
+         {0.0, -40e6, std::numeric_limits<double>::quiet_NaN(),
+          std::numeric_limits<double>::infinity()}) {
+        EmProfConfig cfg = bandConfig();
+        cfg.sampleRateHz = bad_rate;
+        StallEvent ev = dipOfSamples(8);
+        classifyStall(ev, cfg);
+        EXPECT_EQ(ev.durationNs, 0.0) << bad_rate;
+        EXPECT_EQ(ev.levelConfidence, 0.0) << bad_rate;
+    }
+    EmProfConfig cfg = bandConfig();
+    cfg.clockHz = std::numeric_limits<double>::quiet_NaN();
+    StallEvent ev = dipOfSamples(8);
+    classifyStall(ev, cfg);
+    EXPECT_EQ(ev.stallCycles, 0.0);
+    EXPECT_EQ(ev.levelConfidence, 0.0);
+}
+
+TEST(Classifier, SweepCrossesEveryBandBoundaryExactlyOnce)
+{
+    // 25 ns per sample: the three boundaries sit at 3.6, 7.2 and 48
+    // samples.  Walk every duration from 1 to 64 samples and require
+    // the analytic band, monotone level progression, and a confidence
+    // that is small near a boundary and saturated far from all three.
+    const EmProfConfig cfg = bandConfig();
+    int transitions = 0;
+    ServiceLevel prev = ServiceLevel::LlcHit;
+    for (uint64_t samples = 1; samples <= 64; ++samples) {
+        StallEvent ev = dipOfSamples(samples);
+        classifyStall(ev, cfg);
+        EXPECT_NEAR(ev.durationNs, 25.0 * static_cast<double>(samples),
+                    1e-9);
+        EXPECT_EQ(ev.level, expectedLevel(ev.durationNs, cfg))
+            << samples;
+        EXPECT_GE(static_cast<int>(ev.level), static_cast<int>(prev))
+            << "levels must be monotone in duration at " << samples;
+        transitions += ev.level != prev;
+        prev = ev.level;
+        EXPECT_GE(ev.levelConfidence, 0.0);
+        EXPECT_LE(ev.levelConfidence, 1.0);
+    }
+    EXPECT_EQ(transitions, 3);
+}
+
+TEST(Classifier, ConfidenceIsLogDistanceToTheNearestBoundary)
+{
+    const EmProfConfig cfg = bandConfig();
+    // 25 ns per sample keeps the requested durations exact.
+    const auto confidenceAt = [&cfg](double duration_ns) {
+        StallEvent ev =
+            dipOfSamples(static_cast<uint64_t>(duration_ns / 25.0));
+        classifyStall(ev, cfg);
+        return ev.levelConfidence;
+    };
+
+    // Exactly on a boundary (1200 ns = 48 samples): zero confidence.
+    EXPECT_EQ(confidenceAt(1200.0), 0.0);
+    // One sample to either side: small but non-zero.
+    const double below = confidenceAt(1175.0);
+    const double above = confidenceAt(1225.0);
+    EXPECT_GT(below, 0.0);
+    EXPECT_GT(above, 0.0);
+    EXPECT_LT(below, 0.05);
+    EXPECT_LT(above, 0.05);
+    // Interior of the dram band: the refresh boundary (0.585 of a
+    // factor of two away) is the binding one; the lower boundaries are
+    // both beyond 2x and saturate out of the minimum.
+    EXPECT_NEAR(confidenceAt(800.0),
+                std::fabs(std::log2(800.0 / 1200.0)), 1e-12);
+
+    // Far inside the refresh band every distance saturates at 1.0.
+    EXPECT_EQ(confidenceAt(5000.0), 1.0);
+}
+
+TEST(Classifier, DisabledPrefetchBandFoldsIntoDram)
+{
+    EmProfConfig cfg = bandConfig();
+    cfg.prefetchMaskedMaxNs = 0.0;
+    for (uint64_t samples = 1; samples <= 64; ++samples) {
+        StallEvent ev = dipOfSamples(samples);
+        classifyStall(ev, cfg);
+        EXPECT_NE(ev.level, ServiceLevel::PrefetchMasked) << samples;
+        EXPECT_EQ(ev.level, expectedLevel(ev.durationNs, cfg))
+            << samples;
+    }
+    // The disabled boundary must not drag confidence to zero for
+    // durations near it.
+    StallEvent near_disabled = dipOfSamples(7); // 175 ns ~ 180 ns
+    classifyStall(near_disabled, cfg);
+    EXPECT_GT(near_disabled.levelConfidence, 0.5);
+}
+
+TEST(Classifier, EndToEndEventsCarryBandConsistentLevels)
+{
+    // Dips spanning all four bands (25 ns/sample): 2 samples = 50 ns
+    // (llc-hit), 5 samples = 125 ns (prefetch-masked), 12 samples =
+    // 300 ns (dram), 100 samples = 2500 ns (dram-refresh).
+    EmProfConfig cfg = bandConfig();
+    cfg.minStallNs = 40.0;
+    cfg.minDurationFloorSamples = 2;
+    const std::vector<std::pair<std::size_t, std::size_t>> dips = {
+        {1000, 2}, {2000, 5}, {3000, 12}, {4000, 100}};
+    const auto sig = makeSignal(40e6, dips, 8000);
+    const auto result = EmProf::analyze(sig, cfg);
+    ASSERT_EQ(result.events.size(), 4u);
+    EXPECT_EQ(result.events[0].level, ServiceLevel::LlcHit);
+    EXPECT_EQ(result.events[1].level, ServiceLevel::PrefetchMasked);
+    EXPECT_EQ(result.events[2].level, ServiceLevel::Dram);
+    EXPECT_EQ(result.events[3].level, ServiceLevel::DramRefresh);
+    for (const auto &ev : result.events) {
+        EXPECT_EQ(ev.level, expectedLevel(ev.durationNs, cfg));
+        EXPECT_GT(ev.levelConfidence, 0.0);
+    }
+    // Report-side rollup agrees with the per-event labels.
+    EXPECT_EQ(result.report.levelEvents[0], 1u);
+    EXPECT_EQ(result.report.levelEvents[1], 1u);
+    EXPECT_EQ(result.report.levelEvents[2], 1u);
+    EXPECT_EQ(result.report.levelEvents[3], 1u);
+}
+
+TEST(Classifier, ResilientModeKeepsLevelsAndDegradesConfidence)
+{
+    // Same planted bands under heavy additive noise with the signal
+    // resilience layer on: attribution must still follow the duration
+    // bands while the *detection* confidence reflects the noise (some
+    // events below 1.0) — the two confidences are orthogonal.
+    EmProfConfig cfg = bandConfig();
+    cfg.minStallNs = 40.0;
+    cfg.minDurationFloorSamples = 2;
+    cfg.signal.enabled = true;
+    const std::vector<std::pair<std::size_t, std::size_t>> dips = {
+        {1000, 12}, {2000, 12}, {3000, 100}, {5000, 12}};
+    const auto sig = makeSignal(40e6, dips, 8000, /*noise=*/0.4);
+    const auto result = EmProf::analyze(sig, cfg);
+    ASSERT_GE(result.events.size(), 3u);
+
+    bool degraded = false;
+    for (const auto &ev : result.events) {
+        EXPECT_EQ(ev.level, expectedLevel(ev.durationNs, cfg));
+        EXPECT_GE(ev.levelConfidence, 0.0);
+        EXPECT_LE(ev.levelConfidence, 1.0);
+        degraded |= ev.confidence < 1.0;
+    }
+    EXPECT_TRUE(degraded)
+        << "noisy resilient capture should degrade detection "
+           "confidence";
+}
+
+TEST(Classifier, RecoveredCaptureEventsKeepTheirLevels)
+{
+    // A truncated capture salvaged by openRecovered must feed the
+    // analyzer events whose levels match the surviving dips.
+    EmProfConfig cfg = bandConfig();
+    cfg.minStallNs = 40.0;
+    cfg.minDurationFloorSamples = 2;
+
+    const std::vector<std::pair<std::size_t, std::size_t>> dips = {
+        {1000, 12}, {2200, 100}, {5200, 12}};
+    const auto series = makeSignal(40e6, dips, 6000);
+
+    const auto path =
+        std::string(::testing::TempDir()) + "classifier_rec.emcap";
+    store::WriterOptions opt;
+    opt.sampleRateHz = 40e6;
+    opt.clockHz = 1e9;
+    opt.deviceName = "TestDevice";
+    opt.chunkSamples = 500;
+    std::string error;
+    ASSERT_TRUE(store::writeCapture(path, series, opt, nullptr, &error))
+        << error;
+
+    // Cut mid-file: chunks covering the first two dips survive.
+    store::CaptureReader intact;
+    ASSERT_TRUE(intact.open(path, &error)) << error;
+    const uint64_t cut_end = intact.chunk(7).fileOffset +
+                             intact.chunk(7).storedBytes;
+    intact.close();
+    const auto cut = path + ".cut";
+    {
+        std::FILE *src = std::fopen(path.c_str(), "rb");
+        ASSERT_NE(src, nullptr);
+        std::vector<uint8_t> bytes(cut_end);
+        ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), src),
+                  bytes.size());
+        std::fclose(src);
+        std::FILE *dst = std::fopen(cut.c_str(), "wb");
+        ASSERT_NE(dst, nullptr);
+        ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), dst),
+                  bytes.size());
+        std::fclose(dst);
+    }
+
+    store::CaptureReader reader;
+    ASSERT_TRUE(reader.openRecovered(cut, nullptr, &error)) << error;
+    ASSERT_EQ(reader.info().totalSamples, 4000u);
+
+    ParallelAnalyzerConfig pcfg;
+    pcfg.threads = 4;
+    pcfg.chunkSamples = 500;
+    ProfileResult recovered;
+    ASSERT_TRUE(analyzeCaptureParallel(reader, cfg, recovered, pcfg,
+                                       &error))
+        << error;
+
+    ASSERT_EQ(recovered.events.size(), 2u);
+    EXPECT_EQ(recovered.events[0].level, ServiceLevel::Dram);
+    EXPECT_EQ(recovered.events[1].level, ServiceLevel::DramRefresh);
+    for (const auto &ev : recovered.events)
+        EXPECT_EQ(ev.level, expectedLevel(ev.durationNs, cfg));
+
+    std::remove(path.c_str());
+    std::remove(cut.c_str());
+}
+
+} // namespace emprof::profiler

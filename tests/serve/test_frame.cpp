@@ -8,6 +8,7 @@
  * silently mis-framed stream.
  */
 
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <string>
@@ -166,11 +167,14 @@ TEST(Frame, WireEventPreservesDoubleBitsExactly)
     ev.stallCycles = -0.0;
     ev.confidence = std::numeric_limits<double>::quiet_NaN();
     ev.kind = profiler::StallKind::RefreshCoincident;
+    ev.level = profiler::ServiceLevel::PrefetchMasked;
+    ev.levelConfidence = std::nextafter(1.0, 0.0);
 
     const profiler::StallEvent back = fromWire(toWire(ev));
     EXPECT_EQ(back.startSample, ev.startSample);
     EXPECT_EQ(back.endSample, ev.endSample);
     EXPECT_EQ(back.kind, ev.kind);
+    EXPECT_EQ(back.level, ev.level);
     const auto bits = [](double v) {
         uint64_t b;
         std::memcpy(&b, &v, sizeof(b));
@@ -180,6 +184,7 @@ TEST(Frame, WireEventPreservesDoubleBitsExactly)
     EXPECT_EQ(bits(back.durationNs), bits(ev.durationNs));
     EXPECT_EQ(bits(back.stallCycles), bits(ev.stallCycles));
     EXPECT_EQ(bits(back.confidence), bits(ev.confidence)); // NaN bits
+    EXPECT_EQ(bits(back.levelConfidence), bits(ev.levelConfidence));
 }
 
 TEST(Frame, ReportPayloadRoundTrip)

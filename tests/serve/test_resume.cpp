@@ -97,6 +97,11 @@ expectEventsBitExact(const std::vector<profiler::StallEvent> &expected,
             << label << " #" << i;
         EXPECT_EQ(static_cast<int>(e.kind), static_cast<int>(a.kind))
             << label << " #" << i;
+        EXPECT_EQ(static_cast<int>(e.level), static_cast<int>(a.level))
+            << label << " #" << i;
+        EXPECT_EQ(golden::doubleBits(e.levelConfidence),
+                  golden::doubleBits(a.levelConfidence))
+            << label << " #" << i;
     }
 }
 

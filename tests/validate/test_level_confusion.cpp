@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit tests for the confusion harness itself: the sim→profiler level
+ * mapping, cycle→sample projection, overlap matching (including the
+ * missed/spurious side channels and merge behaviour), and the matrix
+ * arithmetic the accuracy gates rest on.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "validate/level_confusion.hpp"
+
+using namespace emprof;
+using namespace emprof::validate;
+
+namespace {
+
+profiler::StallEvent
+event(uint64_t begin, uint64_t end, profiler::ServiceLevel level)
+{
+    profiler::StallEvent ev;
+    ev.startSample = begin;
+    ev.endSample = end;
+    ev.level = level;
+    return ev;
+}
+
+LabeledInterval
+truth(uint64_t begin, uint64_t end, profiler::ServiceLevel level)
+{
+    LabeledInterval li;
+    li.beginSample = begin;
+    li.endSample = end;
+    li.truth = level;
+    li.cycles = end - begin + 1;
+    return li;
+}
+
+} // namespace
+
+TEST(LevelMapping, SimLevelsMapOneToOne)
+{
+    EXPECT_EQ(toProfilerLevel(sim::StallLevel::LlcHit),
+              profiler::ServiceLevel::LlcHit);
+    EXPECT_EQ(toProfilerLevel(sim::StallLevel::PrefetchMasked),
+              profiler::ServiceLevel::PrefetchMasked);
+    EXPECT_EQ(toProfilerLevel(sim::StallLevel::Dram),
+              profiler::ServiceLevel::Dram);
+    EXPECT_EQ(toProfilerLevel(sim::StallLevel::DramRefresh),
+              profiler::ServiceLevel::DramRefresh);
+}
+
+TEST(GroundTruthLabels, ProjectsCyclesToSampleCoordinates)
+{
+    sim::GroundTruth gt;
+    for (sim::Cycle c = 1000; c < 1250; ++c)
+        gt.onMissStallCycle(c, 1, false, 0);
+    gt.finalize();
+
+    // Raw power trace: one sample per cycle — identity mapping.
+    auto labels = groundTruthLabels(gt, 1e9, 1e9, 0, 1);
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0].beginSample, 1000u);
+    EXPECT_EQ(labels[0].endSample, 1249u);
+    EXPECT_EQ(labels[0].truth, profiler::ServiceLevel::Dram);
+    EXPECT_EQ(labels[0].cycles, 250u);
+
+    // 25 cycles per sample (40 MHz capture of a 1 GHz clock).
+    labels = groundTruthLabels(gt, 1e9, 40e6, 0, 1);
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0].beginSample, 40u);
+    EXPECT_EQ(labels[0].endSample, 49u);
+}
+
+TEST(GroundTruthLabels, MergesAcrossGapsAndKeepsDominantLevel)
+{
+    sim::GroundTruth gt;
+    sim::StallLevelFlags refresh{true, false, true};
+    // 30 refresh-lengthened cycles, 2-cycle gap, 10 plain cycles.
+    for (sim::Cycle c = 100; c < 130; ++c)
+        gt.onMissStallCycle(c, 1, true, 0, refresh);
+    for (sim::Cycle c = 132; c < 142; ++c)
+        gt.onMissStallCycle(c, 1, false, 0);
+    gt.finalize();
+
+    // No merging: two intervals with their own levels.
+    auto split = groundTruthLabels(gt, 1e9, 1e9, 0, 1);
+    ASSERT_EQ(split.size(), 2u);
+    EXPECT_EQ(split[0].truth, profiler::ServiceLevel::DramRefresh);
+    EXPECT_EQ(split[1].truth, profiler::ServiceLevel::Dram);
+
+    // Gap folded in: one interval, dominated by the refresh cycles.
+    auto merged = groundTruthLabels(gt, 1e9, 1e9, 2, 1);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].truth, profiler::ServiceLevel::DramRefresh);
+
+    // A floor above both pieces drops everything.
+    EXPECT_TRUE(groundTruthLabels(gt, 1e9, 1e9, 0, 64).empty());
+}
+
+TEST(ScoreEvents, DiagonalWhenEventsMatchTruth)
+{
+    const std::vector<LabeledInterval> gt = {
+        truth(100, 120, profiler::ServiceLevel::LlcHit),
+        truth(500, 720, profiler::ServiceLevel::Dram),
+        truth(900, 1900, profiler::ServiceLevel::DramRefresh),
+    };
+    const std::vector<profiler::StallEvent> events = {
+        event(101, 119, profiler::ServiceLevel::LlcHit),
+        event(498, 723, profiler::ServiceLevel::Dram),
+        event(905, 1895, profiler::ServiceLevel::DramRefresh),
+    };
+    const auto m = scoreEvents(events, gt);
+    EXPECT_EQ(m.cells[0][0], 1u);
+    EXPECT_EQ(m.cells[2][2], 1u);
+    EXPECT_EQ(m.cells[3][3], 1u);
+    EXPECT_EQ(m.truthTotal(), 3u);
+    EXPECT_DOUBLE_EQ(m.overallAccuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(m.accuracy(profiler::ServiceLevel::Dram), 1.0);
+    // Vacuous level: no truth means the gate is trivially satisfied.
+    EXPECT_DOUBLE_EQ(
+        m.accuracy(profiler::ServiceLevel::PrefetchMasked), 1.0);
+}
+
+TEST(ScoreEvents, MissedAndSpuriousAreTrackedSeparately)
+{
+    const std::vector<LabeledInterval> gt = {
+        truth(100, 300, profiler::ServiceLevel::Dram),
+        truth(5000, 5200, profiler::ServiceLevel::Dram),
+    };
+    const std::vector<profiler::StallEvent> events = {
+        event(110, 290, profiler::ServiceLevel::DramRefresh),
+        event(9000, 9100, profiler::ServiceLevel::LlcHit),
+    };
+    const auto m = scoreEvents(events, gt);
+    EXPECT_EQ(m.cells[2][3], 1u); // Dram truth, DramRefresh predicted
+    EXPECT_EQ(m.missed[2], 1u);   // second interval unmatched
+    EXPECT_EQ(m.spurious[0], 1u); // detached LlcHit event
+    EXPECT_DOUBLE_EQ(m.accuracy(profiler::ServiceLevel::Dram), 0.0);
+    EXPECT_DOUBLE_EQ(m.overallAccuracy(), 0.0);
+}
+
+TEST(ScoreEvents, EventPicksTheIntervalItOverlapsMost)
+{
+    // One wide event across two intervals: it must count against the
+    // interval it covers more of, and only that one; the other is
+    // missed, not double-counted.
+    const std::vector<LabeledInterval> gt = {
+        truth(100, 140, profiler::ServiceLevel::LlcHit),
+        truth(150, 400, profiler::ServiceLevel::Dram),
+    };
+    const std::vector<profiler::StallEvent> events = {
+        event(120, 390, profiler::ServiceLevel::Dram),
+    };
+    const auto m = scoreEvents(events, gt);
+    EXPECT_EQ(m.cells[2][2], 1u);
+    EXPECT_EQ(m.missed[0], 1u);
+    EXPECT_EQ(m.truthTotal(), 2u);
+}
+
+TEST(ScoreEvents, IntervalKeepsItsBestOverlappingEvent)
+{
+    // Two events inside one interval: the longer-overlap one wins.
+    const std::vector<LabeledInterval> gt = {
+        truth(100, 500, profiler::ServiceLevel::DramRefresh),
+    };
+    const std::vector<profiler::StallEvent> events = {
+        event(100, 130, profiler::ServiceLevel::LlcHit),
+        event(140, 490, profiler::ServiceLevel::DramRefresh),
+    };
+    const auto m = scoreEvents(events, gt);
+    EXPECT_EQ(m.cells[3][3], 1u);
+    EXPECT_EQ(m.missed[3], 0u);
+    EXPECT_DOUBLE_EQ(
+        m.accuracy(profiler::ServiceLevel::DramRefresh), 1.0);
+}
+
+TEST(ConfusionMatrix, AddAccumulatesEveryField)
+{
+    ConfusionMatrix a;
+    a.cells[2][2] = 5;
+    a.missed[2] = 1;
+    a.spurious[0] = 2;
+    ConfusionMatrix b;
+    b.cells[2][3] = 1;
+    b.missed[3] = 4;
+    b.spurious[0] = 1;
+
+    a.add(b);
+    EXPECT_EQ(a.cells[2][2], 5u);
+    EXPECT_EQ(a.cells[2][3], 1u);
+    EXPECT_EQ(a.missed[2], 1u);
+    EXPECT_EQ(a.missed[3], 4u);
+    EXPECT_EQ(a.spurious[0], 3u);
+    EXPECT_EQ(a.truthTotal(profiler::ServiceLevel::Dram), 7u);
+    EXPECT_NEAR(a.accuracy(profiler::ServiceLevel::Dram), 5.0 / 7.0,
+                1e-12);
+}
+
+TEST(ConfusionMatrix, ArtifactsNameEveryLevel)
+{
+    ConfusionMatrix m;
+    m.cells[1][1] = 3;
+    const std::string text = m.toText();
+    const std::string json = m.toJson("unit");
+    for (const char *name :
+         {"llc-hit", "prefetch-masked", "dram", "dram-refresh"}) {
+        EXPECT_NE(text.find(name), std::string::npos) << name;
+        EXPECT_NE(json.find(name), std::string::npos) << name;
+    }
+    EXPECT_NE(json.find("\"label\": \"unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"accuracy\""), std::string::npos);
+    EXPECT_NE(json.find("\"overall\""), std::string::npos);
+}
+
+TEST(ValidationConfig, BoundariesFollowTheSimTimingModel)
+{
+    sim::SimConfig sc;
+    const auto cfg = levelValidationConfig(sc, sc.clockHz);
+    std::string why;
+    EXPECT_TRUE(cfg.validate(&why)) << why;
+
+    const double cycle_ns = 1e9 / sc.clockHz;
+    // Hit band ends between the longest hit wait (2+18 cycles) and the
+    // shortest visible prefetch residual (37 cycles).
+    EXPECT_GT(cfg.llcHitMaxNs, 20.0 * cycle_ns);
+    EXPECT_LT(cfg.llcHitMaxNs, 37.0 * cycle_ns);
+    // No prefetcher by default: masked band disabled.
+    EXPECT_DOUBLE_EQ(cfg.prefetchMaskedMaxNs, 0.0);
+    // Refresh boundary = access latency + labeling threshold.
+    EXPECT_NEAR(cfg.refreshStallNs,
+                (220.0 + 600.0) * cycle_ns, 1e-9);
+    // Floor above the divider bubble, below the shortest hit wait the
+    // suite scores.
+    EXPECT_GT(cfg.minStallNs, 12.0 * cycle_ns);
+
+    sc.prefetcher.enabled = true;
+    const auto pf = levelValidationConfig(sc, sc.clockHz);
+    EXPECT_TRUE(pf.validate(&why)) << why;
+    EXPECT_NEAR(pf.prefetchMaskedMaxNs, 165.0 * cycle_ns, 1e-9);
+}

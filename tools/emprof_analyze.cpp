@@ -369,11 +369,12 @@ main(int argc, char **argv)
         // Build the CSV in memory and hand it to the checked I/O layer
         // in one write: a full disk surfaces as a typed error instead
         // of a silently short file.
-        std::string csv =
-            "start_s,duration_ns,stall_cycles,kind,confidence\n";
-        char line[160];
+        std::string csv = "start_s,duration_ns,stall_cycles,kind,"
+                          "confidence,level,level_confidence\n";
+        char line[200];
         for (const auto &ev : result.events) {
-            std::snprintf(line, sizeof(line), "%.9f,%.1f,%.1f,%s,%.3f\n",
+            std::snprintf(line, sizeof(line),
+                          "%.9f,%.1f,%.1f,%s,%.3f,%s,%.3f\n",
                           static_cast<double>(ev.startSample) /
                               sample_rate,
                           ev.durationNs, ev.stallCycles,
@@ -381,7 +382,9 @@ main(int argc, char **argv)
                                   profiler::StallKind::RefreshCoincident
                               ? "refresh"
                               : "miss",
-                          ev.confidence);
+                          ev.confidence,
+                          profiler::serviceLevelName(ev.level),
+                          ev.levelConfidence);
             csv += line;
         }
         common::io::CheckedFile f;
