@@ -6,7 +6,9 @@
  *   throughput_serve [--devices N] [--rate R] [--samples-per-capture S]
  *                    [--client-threads K] [--server-threads T]
  *                    [--disconnect-rate P] [--json PATH]
+ *                    [--chaos] [--hostile-rate P] [--p99-gate X]
  *                    [--fail-on-reject] [--fail-on-lost]
+ *                    [--fail-on-silent-loss]
  *
  * Open-loop means the arrival schedule is drawn up front (exponential
  * inter-arrival gaps at R sessions/s, fixed seed) and never reacts to
@@ -24,6 +26,20 @@
  * PR exists to drive to zero) and its p99 as a ratio of the
  * no-disconnect baseline.  --fail-on-lost turns any lost session into
  * exit 1, which CI uses as the resume gate.
+ *
+ * --chaos adds a third measured pass against an overload-hardened
+ * server (idle timeout + rate floor, DESIGN.md §17) in which a
+ * fraction P (--hostile-rate, default 0.2) of sessions are HOSTILE,
+ * cycling three behaviours: a slow-loris trickle (must be shed with a
+ * typed error), a mid-upload stall (typed shed, then resumed to
+ * completion), and an RST herd member (hard reset, then reconnect and
+ * resume).  A hostile session with neither a typed error nor a
+ * completed resume is a SILENT LOSS — the number this pass exists to
+ * drive to zero (--fail-on-silent-loss gates it).  Well-behaved
+ * sessions run unchanged; their reports are compared bit-for-bit
+ * against an unloaded reference push, and only their latencies feed
+ * the chaos p99, which --p99-gate X bounds to X times the baseline
+ * p99 (exit 1 past it).
  *
  * Reported: sessions/s, p50/p99 session latency (scheduled arrival →
  * Report in hand), aggregate analysis throughput in Msamples/s, and
@@ -48,6 +64,7 @@
 
 #include "dsp/rng.hpp"
 #include "dsp/types.hpp"
+#include "serve/chaos.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "store/capture_writer.hpp"
@@ -130,9 +147,16 @@ struct PassResult
     uint64_t resumes = 0;
     uint64_t replayedBytes = 0;
     double wallS = 0.0;
-    double p50Ms = 0.0;
+    double p50Ms = 0.0; ///< well-behaved sessions only
     double p99Ms = 0.0;
     serve::ServerStats stats;
+
+    // ---- chaos pass only ----
+    std::size_t hostile = 0;       ///< sessions run hostile
+    std::size_t hostileTyped = 0;  ///< got a typed Error frame
+    std::size_t hostileResumed = 0; ///< completed via resume
+    std::size_t hostileSilent = 0; ///< neither: a silent loss
+    std::size_t reportMismatches = 0; ///< well-behaved not bit-exact
 };
 
 struct PassSetup
@@ -143,7 +167,43 @@ struct PassSetup
     std::size_t serverThreads = 0;
     const std::vector<double> *arrivalS = nullptr;
     double disconnectRate = 0.0; ///< fraction given one mid-upload drop
+
+    /** Chaos pass: fraction of sessions run hostile against an
+     *  overload-hardened server config (0 = plain pass). */
+    double hostileRate = 0.0;
+    /** Reference report text for the bit-identity check (chaos). */
+    const std::string *referenceReport = nullptr;
 };
+
+/** Reconnect to a shed/reset hostile session and finish its upload
+ *  from wherever the server's durable offset stands (a park that
+ *  raced the reconnect degrades to Fresh-from-zero — still a
+ *  completion, just a full replay). */
+bool
+resumeHostileToCompletion(const serve::Endpoint &ep,
+                          const std::vector<uint8_t> &blob,
+                          const serve::SessionId &id)
+{
+    serve::Client client;
+    if (!client.connect(ep))
+        return false;
+    serve::OpenRequest open{};
+    open.flags = serve::kOpenResume;
+    std::memcpy(open.sessionId, id.data(), id.size());
+    open.resumeFrom = serve::kResumeQuery;
+    serve::SessionId echoed{};
+    uint64_t offset = 0;
+    serve::SessionState state = serve::SessionState::Fresh;
+    if (!client.openSession(open, echoed, offset, state))
+        return false;
+    if (state == serve::SessionState::Complete)
+        return client.finish().ok;
+    if (offset > blob.size())
+        return false;
+    if (!client.sendData(blob.data() + offset, blob.size() - offset))
+        return false;
+    return client.finish().ok;
+}
 
 bool
 runPass(const PassSetup &setup, const char *label, PassResult &out,
@@ -158,6 +218,14 @@ runPass(const PassSetup &setup, const char *label, PassResult &out,
     config.unixPath = sock;
     config.threads = setup.serverThreads;
     config.maxSessions = devices; // open-loop: never reply Busy
+    if (setup.hostileRate > 0.0) {
+        // The hardened config under test: hostile holders are shed
+        // fast enough that well-behaved neighbours barely notice.
+        config.idleTimeoutSeconds = 0.5;
+        config.minRateBytesPerSec = 4096;
+        config.minRateWindowSeconds = 0.5;
+        config.sessionDeadlineSeconds = 60;
+    }
     serve::Server server(std::move(config));
     if (!server.start(error))
         return false;
@@ -171,11 +239,26 @@ runPass(const PassSetup &setup, const char *label, PassResult &out,
             drop[i] = rng.chance(setup.disconnectRate) ? 1 : 0;
     }
 
+    // Which sessions misbehave (and how): a fixed-seed draw, cycling
+    // the three hostile personalities.  0 = well-behaved.
+    std::vector<uint8_t> hostile(devices, 0);
+    if (setup.hostileRate > 0.0) {
+        dsp::Rng rng(0xc4a0);
+        std::size_t kind = 0;
+        for (std::size_t i = 0; i < devices; ++i)
+            if (rng.chance(setup.hostileRate))
+                hostile[i] = static_cast<uint8_t>(1 + kind++ % 3);
+    }
+
     std::vector<double> latency_ms(devices, 0.0);
     std::vector<uint8_t> ok(devices, 0);
     std::atomic<std::size_t> next{0};
     std::atomic<uint64_t> resumes{0};
     std::atomic<uint64_t> replayed{0};
+    std::atomic<std::size_t> hostile_typed{0};
+    std::atomic<std::size_t> hostile_resumed{0};
+    std::atomic<std::size_t> hostile_silent{0};
+    std::atomic<std::size_t> mismatches{0};
     const Clock::time_point start = Clock::now();
 
     auto worker = [&] {
@@ -191,6 +274,46 @@ runPass(const PassSetup &setup, const char *label, PassResult &out,
                             std::chrono::duration<double>(
                                 (*setup.arrivalS)[i]));
             std::this_thread::sleep_until(due);
+            if (hostile[i] != 0) {
+                // A hostile session is accounted for when the server
+                // either spoke a typed error or let it finish via
+                // resume; anything else is a silent loss.
+                serve::StallOptions stall;
+                stall.giveUpAfterMs = 10000;
+                if (hostile[i] == 1) { // slow-loris trickle
+                    stall.trickleBytes = 64;
+                    stall.trickleIntervalMs = 50;
+                }
+                else if (hostile[i] == 2) { // mid-upload stall
+                    stall.headBytes =
+                        1 + (i * 7919) % setup.blob->size();
+                }
+                else { // RST herd member
+                    stall.headBytes =
+                        1 + (i * 104729) % setup.blob->size();
+                    stall.giveUpAfterMs = 200;
+                    stall.resetOnExit = true;
+                }
+                const serve::HostileOutcome outcome =
+                    serve::runHostileSession(ep, setup.blob->data(),
+                                             setup.blob->size(),
+                                             stall);
+                bool accounted = false;
+                if (outcome.typedError) {
+                    hostile_typed.fetch_add(1);
+                    accounted = true;
+                }
+                if (outcome.opened && hostile[i] != 1 &&
+                    resumeHostileToCompletion(ep, *setup.blob,
+                                              outcome.id)) {
+                    hostile_resumed.fetch_add(1);
+                    accounted = true;
+                }
+                if (!accounted)
+                    hostile_silent.fetch_add(1);
+                ok[i] = accounted ? 1 : 0;
+                continue;
+            }
             serve::Client client;
             serve::PushOptions options;
             // Small enough for several Data frames per session, so an
@@ -217,6 +340,9 @@ runPass(const PassSetup &setup, const char *label, PassResult &out,
             ok[i] = result.ok ? 1 : 0;
             resumes.fetch_add(result.resumes);
             replayed.fetch_add(result.replayedBytes);
+            if (result.ok && setup.referenceReport != nullptr &&
+                result.report.reportText != *setup.referenceReport)
+                mismatches.fetch_add(1);
         }
     };
 
@@ -237,6 +363,12 @@ runPass(const PassSetup &setup, const char *label, PassResult &out,
     for (std::size_t i = 0; i < devices; ++i) {
         if (drop[i])
             ++out.dropped;
+        if (hostile[i] != 0) {
+            // Hostile sessions never feed the latency distribution:
+            // the p99 under chaos is the well-behaved experience.
+            ++out.hostile;
+            continue;
+        }
         if (ok[i]) {
             ++out.completed;
             sorted.push_back(latency_ms[i]);
@@ -245,9 +377,13 @@ runPass(const PassSetup &setup, const char *label, PassResult &out,
         }
     }
     std::sort(sorted.begin(), sorted.end());
-    out.rejected = devices - out.completed;
+    out.rejected = devices - out.hostile - out.completed;
     out.resumes = resumes.load();
     out.replayedBytes = replayed.load();
+    out.hostileTyped = hostile_typed.load();
+    out.hostileResumed = hostile_resumed.load();
+    out.hostileSilent = hostile_silent.load();
+    out.reportMismatches = mismatches.load();
     out.p50Ms = percentile(sorted, 50.0);
     out.p99Ms = percentile(sorted, 99.0);
     return true;
@@ -267,6 +403,10 @@ main(int argc, char **argv)
     std::string json_path = "BENCH_serve.json";
     bool fail_on_reject = false;
     bool fail_on_lost = false;
+    bool chaos = false;
+    double hostile_rate = 0.2;
+    double p99_gate = 0.0; // 0 = no gate
+    bool fail_on_silent_loss = false;
 
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--devices") && i + 1 < argc)
@@ -293,6 +433,14 @@ main(int argc, char **argv)
             fail_on_reject = true;
         else if (!std::strcmp(argv[i], "--fail-on-lost"))
             fail_on_lost = true;
+        else if (!std::strcmp(argv[i], "--chaos"))
+            chaos = true;
+        else if (!std::strcmp(argv[i], "--hostile-rate") && i + 1 < argc)
+            hostile_rate = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--p99-gate") && i + 1 < argc)
+            p99_gate = std::atof(argv[++i]);
+        else if (!std::strcmp(argv[i], "--fail-on-silent-loss"))
+            fail_on_silent_loss = true;
         else {
             std::fprintf(
                 stderr,
@@ -301,14 +449,17 @@ main(int argc, char **argv)
                 "[--client-threads K]\n"
                 "          [--server-threads T] "
                 "[--disconnect-rate P]\n"
-                "          [--json PATH] [--fail-on-reject] "
-                "[--fail-on-lost]\n",
+                "          [--json PATH] [--chaos] "
+                "[--hostile-rate P] [--p99-gate X]\n"
+                "          [--fail-on-reject] [--fail-on-lost] "
+                "[--fail-on-silent-loss]\n",
                 argv[0]);
             return 2;
         }
     }
     if (devices == 0 || rate <= 0.0 || client_threads == 0 ||
-        disconnect_rate < 0.0 || disconnect_rate > 1.0) {
+        disconnect_rate < 0.0 || disconnect_rate > 1.0 ||
+        hostile_rate < 0.0 || hostile_rate > 1.0) {
         std::fprintf(stderr, "nothing to do\n");
         return 2;
     }
@@ -341,6 +492,37 @@ main(int argc, char **argv)
                 "%zu client threads\n",
                 devices, arrival_s.back(), rate, client_threads);
 
+    // One unloaded reference push captures the report text every
+    // well-behaved chaos session must reproduce bit-for-bit — overload
+    // shedding is allowed to slow analysis down, never to change it.
+    std::string reference_report_text;
+    if (chaos) {
+        const std::string ref_sock = "/tmp/emprof_bench_serve_" +
+                                     std::to_string(::getpid()) +
+                                     "_ref.sock";
+        serve::ServerConfig ref_config;
+        ref_config.unixPath = ref_sock;
+        serve::Server ref_server(std::move(ref_config));
+        if (!ref_server.start(&error)) {
+            std::fprintf(stderr, "reference server failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+        serve::Endpoint ep;
+        ep.tcp = false;
+        ep.unixPath = ref_sock;
+        serve::Client client;
+        const serve::PushResult ref = client.pushResumable(
+            ep, blob.data(), blob.size(), serve::PushOptions{});
+        ref_server.stop();
+        if (!ref.ok) {
+            std::fprintf(stderr, "reference push failed: %s\n",
+                         ref.error.c_str());
+            return 1;
+        }
+        reference_report_text = ref.report.reportText;
+    }
+
     PassSetup setup;
     setup.blob = &blob;
     setup.devices = devices;
@@ -369,6 +551,32 @@ main(int argc, char **argv)
         }
     }
 
+    PassResult havoc;
+    if (chaos) {
+        std::printf("chaos pass: ~%.0f%% hostile sessions "
+                    "(loris / stall / RST herd) against the hardened "
+                    "config...\n",
+                    hostile_rate * 100.0);
+        setup.disconnectRate = 0.0;
+        setup.hostileRate = hostile_rate;
+        setup.referenceReport = &reference_report_text;
+        // A hostile session pins its generator thread for the full
+        // shed latency (up to a second against the hardened config).
+        // The open-loop contract says the generator must never be the
+        // bottleneck, so give the chaos pass one extra thread per
+        // expected hostile session: a starved launch queue would bill
+        // client-side waiting to the server's p99.
+        setup.clientThreads =
+            client_threads +
+            static_cast<std::size_t>(
+                std::ceil(static_cast<double>(devices) * hostile_rate));
+        if (!runPass(setup, "chaos", havoc, &error)) {
+            std::fprintf(stderr, "chaos pass failed: %s\n",
+                         error.c_str());
+            return 1;
+        }
+    }
+
     const double sessions_per_s =
         static_cast<double>(baseline.completed) / baseline.wallS;
     const double msamples_per_s =
@@ -378,6 +586,9 @@ main(int argc, char **argv)
         ran_drops && baseline.p99Ms > 0.0
             ? drops.p99Ms / baseline.p99Ms
             : 0.0;
+    const double chaos_p99_ratio =
+        chaos && baseline.p99Ms > 0.0 ? havoc.p99Ms / baseline.p99Ms
+                                      : 0.0;
 
     std::printf("\n== served ingest ==\n");
     std::printf("sessions        %zu ok, %zu rejected (server: %llu "
@@ -411,6 +622,32 @@ main(int argc, char **argv)
                     "(%.2fx baseline p99)\n",
                     drops.p50Ms, drops.p99Ms, p99_ratio);
     }
+    if (chaos) {
+        std::printf("\n== chaos pass (%.0f%% hostile) ==\n",
+                    hostile_rate * 100.0);
+        std::printf("sessions        %zu well-behaved ok, %zu hostile\n",
+                    havoc.completed, havoc.hostile);
+        std::printf("hostile fate    %zu typed error, %zu resumed to "
+                    "completion, %zu SILENT\n",
+                    havoc.hostileTyped, havoc.hostileResumed,
+                    havoc.hostileSilent);
+        std::printf("report check    %zu mismatch(es) vs the unloaded "
+                    "reference\n",
+                    havoc.reportMismatches);
+        std::printf("server          %llu shed, %llu timed out, %llu "
+                    "RetryAfter, %llu aborted\n",
+                    static_cast<unsigned long long>(
+                        havoc.stats.sessionsShed),
+                    static_cast<unsigned long long>(
+                        havoc.stats.sessionsTimedOut),
+                    static_cast<unsigned long long>(
+                        havoc.stats.retryAfterSent),
+                    static_cast<unsigned long long>(
+                        havoc.stats.sessionsAborted));
+        std::printf("latency         p50 %.2f ms, p99 %.2f ms "
+                    "(%.2fx baseline p99, well-behaved only)\n",
+                    havoc.p50Ms, havoc.p99Ms, chaos_p99_ratio);
+    }
 
     std::FILE *json = std::fopen(json_path.c_str(), "w");
     if (json != nullptr) {
@@ -435,7 +672,16 @@ main(int argc, char **argv)
             "  \"replayed_bytes\": %llu,\n"
             "  \"disconnect_latency_p50_ms\": %.3f,\n"
             "  \"disconnect_latency_p99_ms\": %.3f,\n"
-            "  \"disconnect_p99_over_baseline\": %.3f\n"
+            "  \"disconnect_p99_over_baseline\": %.3f,\n"
+            "  \"chaos_hostile_rate\": %.3f,\n"
+            "  \"chaos_hostile_sessions\": %zu,\n"
+            "  \"chaos_typed_errors\": %zu,\n"
+            "  \"chaos_resumed_to_completion\": %zu,\n"
+            "  \"chaos_silent_losses\": %zu,\n"
+            "  \"chaos_report_mismatches\": %zu,\n"
+            "  \"chaos_latency_p50_ms\": %.3f,\n"
+            "  \"chaos_latency_p99_ms\": %.3f,\n"
+            "  \"chaos_p99_over_baseline\": %.3f\n"
             "}\n",
             devices, samples, rate, baseline.completed,
             baseline.rejected, baseline.wallS, sessions_per_s,
@@ -443,7 +689,11 @@ main(int argc, char **argv)
             disconnect_rate, drops.dropped, drops.lost,
             static_cast<unsigned long long>(drops.resumes),
             static_cast<unsigned long long>(drops.replayedBytes),
-            drops.p50Ms, drops.p99Ms, p99_ratio);
+            drops.p50Ms, drops.p99Ms, p99_ratio,
+            chaos ? hostile_rate : 0.0, havoc.hostile,
+            havoc.hostileTyped, havoc.hostileResumed,
+            havoc.hostileSilent, havoc.reportMismatches, havoc.p50Ms,
+            havoc.p99Ms, chaos_p99_ratio);
         std::fclose(json);
         std::printf("wrote %s\n", json_path.c_str());
     }
@@ -464,6 +714,25 @@ main(int argc, char **argv)
                      "FAIL: %zu dropped session(s) never completed "
                      "(resume path lost them)\n",
                      drops.lost);
+        return 1;
+    }
+    if (fail_on_silent_loss && chaos &&
+        (havoc.hostileSilent > 0 || havoc.reportMismatches > 0)) {
+        std::fprintf(stderr,
+                     "FAIL: chaos pass saw %zu silent loss(es) and "
+                     "%zu report mismatch(es); every hostile session "
+                     "must get a typed error or complete via resume, "
+                     "and every well-behaved report must match the "
+                     "unloaded reference bit-for-bit\n",
+                     havoc.hostileSilent, havoc.reportMismatches);
+        return 1;
+    }
+    if (p99_gate > 0.0 && chaos && chaos_p99_ratio > p99_gate) {
+        std::fprintf(stderr,
+                     "FAIL: chaos p99 is %.2fx baseline (gate %.2fx); "
+                     "hostile neighbours are bleeding into the "
+                     "well-behaved tail\n",
+                     chaos_p99_ratio, p99_gate);
         return 1;
     }
     return 0;

@@ -147,8 +147,10 @@ bool
 Client::openSession(const OpenRequest &request, SessionId &id,
                     uint64_t &resumeOffset, SessionState &state,
                     ErrorCode *errorCode, std::string *error,
-                    bool *connectionLost)
+                    bool *connectionLost, uint32_t *retryAfterMs)
 {
+    if (retryAfterMs != nullptr)
+        *retryAfterMs = 0;
     if (fd_ < 0)
         return fail(error, "not connected");
     if (!writeFrame(fd_, FrameType::Open, &request, sizeof(request),
@@ -161,7 +163,7 @@ Client::openSession(const OpenRequest &request, SessionId &id,
     if (reply.type == FrameType::Error) {
         ErrorCode code = ErrorCode::Internal;
         std::string message;
-        decodeErrorPayload(reply.payload, code, message);
+        decodeErrorPayload(reply.payload, code, message, retryAfterMs);
         if (errorCode != nullptr)
             *errorCode = code;
         return fail(error, message);
@@ -199,7 +201,7 @@ Client::adoptPendingError(PushResult &result)
     if (readFrame(fd_, reply, &ignored) &&
         reply.type == FrameType::Error) {
         decodeErrorPayload(reply.payload, result.errorCode,
-                           result.error);
+                           result.error, &result.retryAfterMs);
         // A typed rejection beat the hangup: this is a protocol
         // failure, not a transport death — do not retry it.
         result.connectionLost = false;
@@ -234,7 +236,7 @@ Client::finish()
     close();
     if (reply.type == FrameType::Error) {
         decodeErrorPayload(reply.payload, result.errorCode,
-                           result.error);
+                           result.error, &result.retryAfterMs);
         return result;
     }
     if (reply.type != FrameType::Report) {
@@ -304,6 +306,7 @@ Client::pushResumable(const Endpoint &endpoint, const uint8_t *capture,
     bool have_id = false;
     bool dropped = false; ///< the simulated drop fired already
     uint64_t sent_high_water = 0;
+    uint32_t server_hint_ms = 0; ///< last RetryAfter backoff hint
 
     for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
         if (attempt > 1) {
@@ -317,6 +320,16 @@ Client::pushResumable(const Endpoint &endpoint, const uint8_t *capture,
             std::uniform_real_distribution<double> jitter(0.5, 1.5);
             delay = static_cast<uint64_t>(
                 static_cast<double>(delay) * jitter(rng));
+            if (server_hint_ms > 0) {
+                // The server told us how loaded it is; honor the
+                // larger of its hint (mildly jittered so the fleet
+                // spreads) and our own schedule.
+                std::uniform_real_distribution<double> spread(1.0, 1.25);
+                const uint64_t hinted = static_cast<uint64_t>(
+                    static_cast<double>(server_hint_ms) * spread(rng));
+                delay = std::max(delay, hinted);
+                server_hint_ms = 0;
+            }
             std::this_thread::sleep_for(
                 std::chrono::milliseconds(delay));
         }
@@ -340,11 +353,19 @@ Client::pushResumable(const Endpoint &endpoint, const uint8_t *capture,
         SessionState state = SessionState::Fresh;
         bool lost = false;
         result.errorCode = ErrorCode::Internal;
+        uint32_t hint_ms = 0;
         if (!openSession(req, id, resume_offset, state,
-                         &result.errorCode, &error, &lost)) {
+                         &result.errorCode, &error, &lost, &hint_ms)) {
             result.error = error;
             result.connectionLost = lost;
             close();
+            if (result.errorCode == ErrorCode::RetryAfter) {
+                // Load shed with a backoff hint: retriable, at the
+                // server's suggested pace.
+                result.retryAfterMs = hint_ms;
+                server_hint_ms = hint_ms;
+                continue;
+            }
             if (lost || result.errorCode == ErrorCode::Busy)
                 continue;
             return result; // typed rejection: not retriable
@@ -432,6 +453,15 @@ Client::pushResumable(const Endpoint &endpoint, const uint8_t *capture,
             close();
             if (result.connectionLost)
                 continue;
+            if (result.errorCode == ErrorCode::IdleTimeout ||
+                result.errorCode == ErrorCode::RetryAfter) {
+                // Shed mid-upload with a typed error: the server
+                // parked what it durably had, so the next attempt
+                // resumes rather than replays.
+                server_hint_ms = std::max(server_hint_ms,
+                                          result.retryAfterMs);
+                continue;
+            }
             return result; // server rejected the stream: final
         }
 
@@ -440,7 +470,18 @@ Client::pushResumable(const Endpoint &endpoint, const uint8_t *capture,
         fin.attempts = result.attempts;
         fin.resumes = result.resumes;
         fin.replayedBytes = result.replayedBytes;
-        if (fin.ok || !fin.connectionLost)
+        if (fin.ok)
+            return fin;
+        if (!fin.connectionLost &&
+            (fin.errorCode == ErrorCode::IdleTimeout ||
+             fin.errorCode == ErrorCode::RetryAfter)) {
+            result.error = fin.error;
+            result.errorCode = fin.errorCode;
+            result.retryAfterMs = fin.retryAfterMs;
+            server_hint_ms = std::max(server_hint_ms, fin.retryAfterMs);
+            continue;
+        }
+        if (!fin.connectionLost)
             return fin;
         // The Finish (or its Report) was lost in flight.  The next
         // attempt either resumes the parked upload or — when Finish
@@ -456,6 +497,29 @@ Client::pushResumable(const Endpoint &endpoint, const uint8_t *capture,
         result.error = "push failed after " +
                        std::to_string(result.attempts) + " attempts";
     return result;
+}
+
+bool
+Client::health(const Endpoint &endpoint, HealthState &state,
+               std::string *error)
+{
+    Client client;
+    if (!client.connect(endpoint, error))
+        return false;
+    if (!writeFrame(client.fd_, FrameType::HealthRequest, nullptr, 0,
+                    error))
+        return false;
+    Frame reply;
+    if (!readFrame(client.fd_, reply, error))
+        return false;
+    if (reply.type != FrameType::Health || reply.payload.size() != 1)
+        return fail(error, "unexpected reply to HealthRequest");
+    if (reply.payload[0] >
+        static_cast<uint8_t>(HealthState::Draining))
+        return fail(error, "unknown health state " +
+                               std::to_string(reply.payload[0]));
+    state = static_cast<HealthState>(reply.payload[0]);
+    return true;
 }
 
 bool

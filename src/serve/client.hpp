@@ -53,6 +53,9 @@ struct PushResult
     /** The failure (if any) was the transport dying — the class a
      *  resumable push retries; maps to exit code 7 in the tools. */
     bool connectionLost = false;
+    /** Server-suggested backoff from a RetryAfter rejection (ms);
+     *  0 when the server sent no hint. */
+    uint32_t retryAfterMs = 0;
     uint32_t attempts = 0;    ///< connections made (resumable push)
     uint32_t resumes = 0;     ///< OpenAcks answered Resumed
     uint64_t replayedBytes = 0; ///< bytes re-sent after reconnects
@@ -91,6 +94,15 @@ class Client
     void close();
 
     bool connected() const { return fd_ >= 0; }
+
+    /** Hand the connected fd to the caller (the chaos harness drives
+     *  the socket by hand); the Client forgets it. */
+    int releaseFd()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
 
     /**
      * Run one full session over the open connection: Open (with
@@ -131,7 +143,8 @@ class Client
                      uint64_t &resumeOffset, SessionState &state,
                      ErrorCode *errorCode = nullptr,
                      std::string *error = nullptr,
-                     bool *connectionLost = nullptr);
+                     bool *connectionLost = nullptr,
+                     uint32_t *retryAfterMs = nullptr);
 
     bool sendData(const uint8_t *data, std::size_t bytes,
                   std::string *error = nullptr,
@@ -140,6 +153,12 @@ class Client
 
     /** Fetch the server's text metrics scrape (StatsRequest). */
     static bool scrape(const Endpoint &endpoint, std::string &text,
+                       std::string *error = nullptr);
+
+    /** One-byte liveness probe (v4 HealthRequest): classify the
+     *  server without opening a session.  False + reason when the
+     *  endpoint is unreachable or answers garbage. */
+    static bool health(const Endpoint &endpoint, HealthState &state,
                        std::string *error = nullptr);
 
   private:

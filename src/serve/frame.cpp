@@ -219,7 +219,7 @@ parseFrame(const uint8_t *buffer, std::size_t size, Frame &frame,
         return -1;
     }
     if (h.type < static_cast<uint16_t>(FrameType::Open) ||
-        h.type > static_cast<uint16_t>(FrameType::OpenAck)) {
+        h.type > static_cast<uint16_t>(FrameType::Health)) {
         fail(error, "unknown frame type " + std::to_string(h.type));
         return -1;
     }
@@ -382,10 +382,27 @@ encodeErrorPayload(ErrorCode code, const std::string &message)
     return payload;
 }
 
+std::vector<uint8_t>
+encodeRetryAfterPayload(uint32_t retryAfterMs, const std::string &message)
+{
+    ErrorHeader eh;
+    eh.code = static_cast<uint32_t>(ErrorCode::RetryAfter);
+    std::vector<uint8_t> payload;
+    payload.reserve(sizeof(eh) + sizeof(retryAfterMs) + message.size());
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(&eh);
+    payload.insert(payload.end(), p, p + sizeof(eh));
+    const uint8_t *hp = reinterpret_cast<const uint8_t *>(&retryAfterMs);
+    payload.insert(payload.end(), hp, hp + sizeof(retryAfterMs));
+    payload.insert(payload.end(), message.begin(), message.end());
+    return payload;
+}
+
 bool
 decodeErrorPayload(const std::vector<uint8_t> &payload, ErrorCode &code,
-                   std::string &message)
+                   std::string &message, uint32_t *retryAfterMs)
 {
+    if (retryAfterMs != nullptr)
+        *retryAfterMs = 0;
     if (payload.size() < sizeof(ErrorHeader)) {
         code = ErrorCode::Internal;
         message.assign(payload.begin(), payload.end());
@@ -394,7 +411,17 @@ decodeErrorPayload(const std::vector<uint8_t> &payload, ErrorCode &code,
     ErrorHeader eh;
     std::memcpy(&eh, payload.data(), sizeof(eh));
     code = static_cast<ErrorCode>(eh.code);
-    message.assign(payload.begin() + sizeof(eh), payload.end());
+    std::size_t offset = sizeof(eh);
+    if (code == ErrorCode::RetryAfter &&
+        payload.size() >= sizeof(eh) + sizeof(uint32_t)) {
+        uint32_t hint = 0;
+        std::memcpy(&hint, payload.data() + offset, sizeof(hint));
+        if (retryAfterMs != nullptr)
+            *retryAfterMs = hint;
+        offset += sizeof(hint);
+    }
+    message.assign(payload.begin() + static_cast<long>(offset),
+                   payload.end());
     return true;
 }
 

@@ -64,8 +64,12 @@ constexpr char kFrameMagic[4] = {'E', 'M', 'F', 'R'};
 
 /** Wire protocol version; bumped on any layout change.  v2 added the
  *  Open/OpenAck resume handshake (session ids + durable offsets); v3
- *  widened WireEvent with the service-level attribution fields. */
-constexpr uint16_t kProtocolVersion = 3;
+ *  widened WireEvent with the service-level attribution fields; v4
+ *  added the overload vocabulary — ErrorCode::IdleTimeout,
+ *  ErrorCode::RetryAfter (whose Error payload carries a server-
+ *  suggested backoff hint) and the HealthRequest/Health one-byte
+ *  load-balancer probe. */
+constexpr uint16_t kProtocolVersion = 4;
 
 /** Hard cap on one frame's payload (bounds per-session memory). */
 constexpr std::size_t kMaxFramePayload = std::size_t{4} << 20;
@@ -77,9 +81,11 @@ enum class FrameType : uint16_t
     Finish = 3,       ///< client → server: upload complete
     Report = 4,       ///< server → client: session result
     Error = 5,        ///< server → client: typed rejection
-    StatsRequest = 6, ///< client → server: scrape the metrics
-    Stats = 7,        ///< server → client: text metrics rendering
-    OpenAck = 8,      ///< server → client: session id + resume offset
+    StatsRequest = 6,  ///< client → server: scrape the metrics
+    Stats = 7,         ///< server → client: text metrics rendering
+    OpenAck = 8,       ///< server → client: session id + resume offset
+    HealthRequest = 9, ///< client → server: one-byte liveness probe
+    Health = 10,       ///< server → client: HealthState byte
 };
 
 /** 16-byte frame header; the struct layout is the wire format. */
@@ -146,11 +152,26 @@ enum class SessionState : uint32_t
 /** Why the server rejected a session (Error payload leads with it). */
 enum class ErrorCode : uint32_t
 {
-    Malformed = 1, ///< bad frame, bad EMCAP bytes, truncated upload
-    Busy = 2,      ///< session limit reached
-    Internal = 3,  ///< analysis failure on the server side
-    Shutdown = 4,  ///< server is stopping
-    BadResume = 5, ///< resume offset/id the server cannot honour
+    Malformed = 1,   ///< bad frame, bad EMCAP bytes, truncated upload
+    Busy = 2,        ///< session limit reached
+    Internal = 3,    ///< analysis failure on the server side
+    Shutdown = 4,    ///< server is stopping
+    BadResume = 5,   ///< resume offset/id the server cannot honour
+    IdleTimeout = 6, ///< no upload progress (idle / deadline / rate
+                     ///< floor); the session is parked, resume works
+    RetryAfter = 7,  ///< load shed; payload carries a backoff hint
+};
+
+/**
+ * Health probe answer (v4): one byte so a load balancer can classify
+ * the collector without opening a session or parsing metrics text.
+ */
+enum class HealthState : uint8_t
+{
+    Live = 0,     ///< admitting sessions normally
+    Backoff = 1,  ///< soft watermark: new Opens answered RetryAfter
+    Shedding = 2, ///< hard watermark: established sessions being shed
+    Draining = 3, ///< shutting down; sessions answered Shutdown
 };
 
 /** Error payload: 4-byte code then a human-readable message. */
@@ -281,9 +302,23 @@ bool decodeOpenAckPayload(const std::vector<uint8_t> &payload,
 std::vector<uint8_t> encodeErrorPayload(ErrorCode code,
                                         const std::string &message);
 
-/** Decode an Error payload (tolerates a bare message). */
+/**
+ * Serialize a RetryAfter Error payload: the 4-byte ErrorHeader, a
+ * 4-byte little-endian backoff hint (milliseconds), then the message.
+ * Decoded by decodeErrorPayload, which strips the hint bytes from the
+ * returned message.
+ */
+std::vector<uint8_t> encodeRetryAfterPayload(uint32_t retryAfterMs,
+                                             const std::string &message);
+
+/**
+ * Decode an Error payload (tolerates a bare message).  For a
+ * RetryAfter payload @p retryAfterMs, when non-null, receives the
+ * server's suggested backoff in milliseconds (0 when absent).
+ */
 bool decodeErrorPayload(const std::vector<uint8_t> &payload,
-                        ErrorCode &code, std::string &message);
+                        ErrorCode &code, std::string &message,
+                        uint32_t *retryAfterMs = nullptr);
 
 } // namespace emprof::serve
 

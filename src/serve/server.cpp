@@ -1,7 +1,9 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <random>
@@ -16,6 +18,7 @@
 
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "serve/chaos.hpp"
 #include "serve/frame.hpp"
 #include "serve/session_pipeline.hpp"
 
@@ -28,6 +31,7 @@ struct ServeMetrics
 {
     obs::Counter accepted;
     obs::Counter rejected;
+    obs::Counter aborted;
     obs::Counter completed;
     obs::Counter bytesIngested;
     obs::Counter framesMalformed;
@@ -35,6 +39,13 @@ struct ServeMetrics
     obs::Counter resumed;
     obs::Counter spooled;
     obs::Counter servedFromSpool;
+    obs::Counter timedOut;
+    obs::Counter shed;
+    obs::Counter retryAfterSent;
+    obs::Counter acceptFdExhausted;
+    obs::Counter spoolFailed;
+    obs::Counter parkedEvicted;
+    obs::Counter parkedExpired;
     obs::Gauge sessionsActive;
     obs::Gauge queueDepthBytes;
     obs::Histogram sessionUs;
@@ -48,6 +59,7 @@ struct ServeMetrics
             ServeMetrics v;
             v.accepted = reg.counter("emprof.serve.sessions_accepted");
             v.rejected = reg.counter("emprof.serve.sessions_rejected");
+            v.aborted = reg.counter("emprof.serve.sessions_aborted");
             v.completed =
                 reg.counter("emprof.serve.sessions_completed");
             v.bytesIngested = reg.counter("emprof.serve.bytes_ingested");
@@ -58,6 +70,18 @@ struct ServeMetrics
             v.spooled = reg.counter("emprof.serve.results_spooled");
             v.servedFromSpool =
                 reg.counter("emprof.serve.results_served_from_spool");
+            v.timedOut = reg.counter("emprof.serve.sessions_timed_out");
+            v.shed = reg.counter("emprof.serve.sessions_shed");
+            v.retryAfterSent =
+                reg.counter("emprof.serve.retry_after_sent");
+            v.acceptFdExhausted =
+                reg.counter("emprof.serve.accept_fd_exhausted");
+            v.spoolFailed =
+                reg.counter("emprof.serve.results_spool_failed");
+            v.parkedEvicted =
+                reg.counter("emprof.serve.parked_evicted");
+            v.parkedExpired =
+                reg.counter("emprof.serve.parked_expired");
             v.sessionsActive =
                 reg.gauge("emprof.serve.sessions_active");
             v.queueDepthBytes =
@@ -86,6 +110,24 @@ setNonBlocking(int fd)
     const int flags = ::fcntl(fd, F_GETFL, 0);
     return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
+
+/**
+ * Bound a blocking send on @p fd.  A shed session's peer is hostile
+ * by definition — it may never read — so every typed-error write to
+ * one must carry a timeout or the I/O thread wedges on a full socket
+ * buffer (the one thread every session depends on).
+ */
+void
+setSendTimeoutMs(int fd, int ms)
+{
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = (ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/** Send-timeout applied to typed-error writes toward hostile peers. */
+constexpr int kShedWriteTimeoutMs = 1000;
 
 SessionId
 randomSessionId()
@@ -133,12 +175,27 @@ struct Server::Session
     bool suspended = false; ///< reads paused (backpressure)
     SessionId id{};         ///< assigned (or adopted) at Open
 
+    // ---- I/O-thread-only overload bookkeeping ----
+    /** Last instant bytes arrived (or a server-side stall — pump or
+     *  backpressure — excused the silence). */
+    std::chrono::steady_clock::time_point lastProgressAt;
+    uint64_t socketBytesRead = 0; ///< raw bytes read off the socket
+    std::chrono::steady_clock::time_point rateWindowStart;
+    uint64_t rateWindowBase = 0; ///< socketBytesRead at window start
+
     // ---- shared queue (mutex-guarded) ----
     std::mutex mutex;
     std::deque<std::vector<uint8_t>> pending; ///< Data payloads
     std::size_t pendingBytes = 0;
     bool finishRequested = false;
     bool taskInFlight = false;
+
+    /** Set (under mutex) by the I/O thread before aborted when a
+     *  pump-owned session is shed, so the pump's abort path replies
+     *  with the shed's typed error instead of generic Shutdown. */
+    uint32_t shedCode = 0; ///< ErrorCode; 0 = not a shed
+    std::string shedMessage;
+    uint32_t shedRetryAfterMs = 0;
 
     // ---- cross-thread flags ----
     std::atomic<bool> closed{false};  ///< reap me (I/O thread acts)
@@ -256,6 +313,14 @@ Server::start(std::string *error)
         listeners_.push_back({fd, true});
     }
 
+    governor_.configure(config_.watermarks);
+    lastLevel_ = LoadGovernor::Level::Normal;
+    lastQueueBytes_ = 0;
+    listenerMuteUntil_ = {};
+    // The emergency reserve: one fd parked on /dev/null that EMFILE
+    // handling can spend to accept-and-reject a single connection.
+    emergencyFd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
     pool_ = std::make_unique<common::ThreadPool>(config_.threads);
     stopping_.store(false);
     running_.store(true);
@@ -322,6 +387,10 @@ Server::stop()
             ::close(fd);
         fd = -1;
     }
+    if (emergencyFd_ >= 0) {
+        ::close(emergencyFd_);
+        emergencyFd_ = -1;
+    }
     ServeMetrics::instance().sessionsActive.set(0);
 }
 
@@ -350,8 +419,14 @@ Server::ioLoop()
         fds.clear();
         polled.clear();
         fds.push_back({wakePipe_[0], POLLIN, 0});
+        // A muted listener stays in the set (events = 0) so the index
+        // arithmetic below is unconditional; it just cannot wake us.
+        const bool listeners_muted =
+            std::chrono::steady_clock::now() < listenerMuteUntil_;
         for (const auto &l : listeners_)
-            fds.push_back({l.fd, POLLIN, 0});
+            fds.push_back(
+                {l.fd,
+                 static_cast<short>(listeners_muted ? 0 : POLLIN), 0});
 
         std::size_t queue_bytes = 0;
         {
@@ -383,6 +458,7 @@ Server::ioLoop()
         }
         ServeMetrics::instance().queueDepthBytes.set(
             static_cast<int64_t>(queue_bytes));
+        lastQueueBytes_ = queue_bytes;
 
         const int n =
             ::poll(fds.data(), fds.size(), /*timeout ms=*/200);
@@ -408,6 +484,8 @@ Server::ioLoop()
             if (got & (POLLIN | POLLHUP | POLLERR))
                 handleReadable(polled[i]);
         }
+
+        enforceOverload(polled);
 
         // Reap sessions whose pump (or this loop) marked them closed.
         {
@@ -447,7 +525,11 @@ Server::purgeParked()
                 ++it;
             }
         }
+        stats_.parkedExpired += expired.size();
     }
+    if (!expired.empty())
+        ServeMetrics::instance().parkedExpired.add(
+            static_cast<int64_t>(expired.size()));
     expired.clear();
 }
 
@@ -460,7 +542,8 @@ Server::parkSession(const std::shared_ptr<Session> &session)
     parked->pipeline = std::move(session->pipeline);
     parked->deadline =
         std::chrono::steady_clock::now() +
-        std::chrono::seconds(config_.resumeTtlSeconds);
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config_.resumeTtlSeconds));
 
     std::shared_ptr<Parked> evicted;
     {
@@ -474,10 +557,13 @@ Server::parkSession(const std::shared_ptr<Session> &session)
                     oldest = it;
             evicted = std::move(oldest->second);
             parked_.erase(oldest);
+            ++stats_.parkedEvicted;
         }
         parked_[sessionIdToHex(session->id)] = std::move(parked);
         ++stats_.sessionsParked;
     }
+    if (evicted)
+        ServeMetrics::instance().parkedEvicted.inc();
     ServeMetrics::instance().parked.inc();
     session->replied.store(true); // no reply possible; don't count it
     session->closed.store(true);
@@ -488,15 +574,75 @@ void
 Server::acceptPending(int listenFd)
 {
     for (;;) {
-        const int fd = ::accept(listenFd, nullptr, nullptr);
+        int fd;
+        int chaos_errno = 0;
+        if (ChaosInjector::stealAccept(&chaos_errno)) {
+            fd = -1;
+            errno = chaos_errno;
+        } else {
+            fd = ::accept(listenFd, nullptr, nullptr);
+        }
         if (fd < 0) {
             if (errno == EINTR)
                 continue;
-            return; // EAGAIN (drained) or transient accept failure
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return; // backlog drained: the normal exit
+            if (errno == ECONNABORTED)
+                continue; // that one connection died; the next may not
+            if (errno == EMFILE || errno == ENFILE) {
+                // fd exhaustion.  The listener stays readable, so a
+                // blanket return would spin the poll loop hot doing
+                // nothing.  Spend the emergency fd to accept ONE
+                // waiting connection and tell it (typed RetryAfter)
+                // to come back, then mute the listener for a tick.
+                {
+                    std::lock_guard<std::mutex> lock(sessionsMutex_);
+                    ++stats_.acceptFdExhausted;
+                }
+                const auto &metrics = ServeMetrics::instance();
+                metrics.acceptFdExhausted.inc();
+                if (emergencyFd_ >= 0) {
+                    ::close(emergencyFd_);
+                    emergencyFd_ = -1;
+                    const int efd =
+                        ::accept(listenFd, nullptr, nullptr);
+                    if (efd >= 0) {
+                        setSendTimeoutMs(efd, kShedWriteTimeoutMs);
+                        const auto payload = encodeRetryAfterPayload(
+                            governor_.watermarks().retryAfterBaseMs,
+                            "server out of file descriptors; "
+                            "retry later");
+                        writeFrame(efd, FrameType::Error,
+                                   payload.data(), payload.size());
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                sessionsMutex_);
+                            ++stats_.retryAfterSent;
+                            ++stats_.sessionsRejected;
+                        }
+                        metrics.retryAfterSent.inc();
+                        metrics.rejected.inc();
+                        ::close(efd);
+                    }
+                    emergencyFd_ =
+                        ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+                }
+                listenerMuteUntil_ =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(200);
+                return;
+            }
+            // Unknown persistent accept failure: do not spin on a
+            // listener we cannot drain; sit out one tick.
+            listenerMuteUntil_ = std::chrono::steady_clock::now() +
+                                 std::chrono::milliseconds(200);
+            return;
         }
         auto session = std::make_shared<Session>();
         session->fd = fd;
         session->openedAt = std::chrono::steady_clock::now();
+        session->lastProgressAt = session->openedAt;
+        session->rateWindowStart = session->openedAt;
         std::lock_guard<std::mutex> lock(sessionsMutex_);
         sessions_.push_back(std::move(session));
     }
@@ -504,16 +650,24 @@ Server::acceptPending(int listenFd)
 
 void
 Server::rejectAndClose(const std::shared_ptr<Session> &session,
-                       uint32_t code, const std::string &message)
+                       uint32_t code, const std::string &message,
+                       uint32_t retryAfterMs)
 {
     if (!session->replied.exchange(true)) {
+        const auto ec = static_cast<ErrorCode>(code);
         const auto payload =
-            encodeErrorPayload(static_cast<ErrorCode>(code), message);
+            ec == ErrorCode::RetryAfter
+                ? encodeRetryAfterPayload(retryAfterMs, message)
+                : encodeErrorPayload(ec, message);
         writeFrame(session->fd, FrameType::Error, payload.data(),
                    payload.size());
         std::lock_guard<std::mutex> lock(sessionsMutex_);
         ++stats_.sessionsRejected;
+        if (ec == ErrorCode::RetryAfter)
+            ++stats_.retryAfterSent;
         ServeMetrics::instance().rejected.inc();
+        if (ec == ErrorCode::RetryAfter)
+            ServeMetrics::instance().retryAfterSent.inc();
     }
     session->closed.store(true);
 }
@@ -551,15 +705,24 @@ Server::handleReadable(const std::shared_ptr<Session> &session)
             parkSession(session);
             return;
         }
-        if (session->openSeen && !session->replied.exchange(true)) {
+        if (session->socketBytesRead > 0 &&
+            !session->replied.exchange(true)) {
+            // The connection spoke, then died with nothing said (and
+            // no parkable session): an abort, distinct from the
+            // typed-Error rejections.  Covers both an unparkable
+            // opened session and a handshake torn mid-Open — the
+            // reconnect herd's signature.  Zero-byte connects (port
+            // scanners, TCP health checks) stay uncounted.
             std::lock_guard<std::mutex> lock(sessionsMutex_);
-            ++stats_.sessionsRejected;
-            ServeMetrics::instance().rejected.inc();
+            ++stats_.sessionsAborted;
+            ServeMetrics::instance().aborted.inc();
         }
         session->closed.store(true);
         return;
     }
 
+    session->lastProgressAt = std::chrono::steady_clock::now();
+    session->socketBytesRead += static_cast<uint64_t>(n);
     session->inbox.insert(session->inbox.end(), buf, buf + n);
 
     for (;;) {
@@ -665,11 +828,40 @@ Server::handleReadable(const std::shared_ptr<Session> &session)
                 text += "emprof.serve.results_served_from_spool " +
                         std::to_string(stats_.resultsServedFromSpool) +
                         "\n";
+                text += "emprof.serve.sessions_aborted " +
+                        std::to_string(stats_.sessionsAborted) + "\n";
+                text += "emprof.serve.sessions_timed_out " +
+                        std::to_string(stats_.sessionsTimedOut) + "\n";
+                text += "emprof.serve.sessions_shed " +
+                        std::to_string(stats_.sessionsShed) + "\n";
+                text += "emprof.serve.retry_after_sent " +
+                        std::to_string(stats_.retryAfterSent) + "\n";
+                text += "emprof.serve.accept_fd_exhausted " +
+                        std::to_string(stats_.acceptFdExhausted) +
+                        "\n";
+                text += "emprof.serve.results_spool_failed " +
+                        std::to_string(stats_.resultsSpoolFailed) +
+                        "\n";
+                text += "emprof.serve.parked_evicted " +
+                        std::to_string(stats_.parkedEvicted) + "\n";
+                text += "emprof.serve.parked_expired " +
+                        std::to_string(stats_.parkedExpired) + "\n";
             }
             if (obs::MetricsRegistry::enabled())
                 text += obs::metricsToText();
             writeFrame(session->fd, FrameType::Stats, text.data(),
                        text.size());
+            session->replied.store(true);
+            session->closed.store(true);
+            return;
+        }
+        case FrameType::HealthRequest: {
+            // Answered before any Open and without touching session
+            // accounting, so a load balancer can probe a server that
+            // is far too loaded to admit anything.
+            const uint8_t state =
+                static_cast<uint8_t>(healthStateNow());
+            writeFrame(session->fd, FrameType::Health, &state, 1);
             session->replied.store(true);
             session->closed.store(true);
             return;
@@ -803,6 +995,23 @@ Server::handleOpen(const std::shared_ptr<Session> &session,
         }
     }
 
+    // Admission control: FRESH sessions only — a resume was already
+    // admitted above because it *reduces* load (it frees a parked
+    // slot and lets a shed upload finish instead of restarting).
+    if (config_.watermarks.anyEnabled()) {
+        const LoadSnapshot snap = currentSnapshot();
+        if (governor_.classify(snap) != LoadGovernor::Level::Normal) {
+            const uint32_t hint = governor_.suggestedBackoffMs(snap);
+            rejectAndClose(
+                session,
+                static_cast<uint32_t>(ErrorCode::RetryAfter),
+                "server overloaded; retry in " +
+                    std::to_string(hint) + " ms",
+                hint);
+            return;
+        }
+    }
+
     // Fresh session (possibly keeping a client-proposed id so a later
     // resume can find it).
     if (sessionIdIsZero(id))
@@ -846,14 +1055,23 @@ void
 Server::pump(std::shared_ptr<Session> session)
 {
     const auto abandon = [&](ErrorCode code,
-                             const std::string &message) {
+                             const std::string &message,
+                             uint32_t retryAfterMs = 0) {
         if (!session->replied.exchange(true)) {
-            const auto payload = encodeErrorPayload(code, message);
+            setSendTimeoutMs(session->fd, kShedWriteTimeoutMs);
+            const auto payload =
+                code == ErrorCode::RetryAfter
+                    ? encodeRetryAfterPayload(retryAfterMs, message)
+                    : encodeErrorPayload(code, message);
             writeFrame(session->fd, FrameType::Error, payload.data(),
                        payload.size());
             std::lock_guard<std::mutex> lock(sessionsMutex_);
             ++stats_.sessionsRejected;
+            if (code == ErrorCode::RetryAfter)
+                ++stats_.retryAfterSent;
             ServeMetrics::instance().rejected.inc();
+            if (code == ErrorCode::RetryAfter)
+                ServeMetrics::instance().retryAfterSent.inc();
         }
         {
             std::lock_guard<std::mutex> qlock(session->mutex);
@@ -867,9 +1085,23 @@ Server::pump(std::shared_ptr<Session> session)
 
     try {
         for (;;) {
-            if (session->aborted.load())
-                return abandon(ErrorCode::Shutdown,
-                               "server shutting down");
+            if (session->aborted.load()) {
+                // A shed (deadline/hard watermark) names its own
+                // typed error; plain aborts are a shutdown.
+                ErrorCode code = ErrorCode::Shutdown;
+                std::string message = "server shutting down";
+                uint32_t hint = 0;
+                {
+                    std::lock_guard<std::mutex> qlock(session->mutex);
+                    if (session->shedCode != 0) {
+                        code =
+                            static_cast<ErrorCode>(session->shedCode);
+                        message = session->shedMessage;
+                        hint = session->shedRetryAfterMs;
+                    }
+                }
+                return abandon(code, message, hint);
+            }
 
             std::vector<uint8_t> item;
             bool do_finish = false;
@@ -925,10 +1157,27 @@ Server::pump(std::shared_ptr<Session> session)
                             ++stats_.resultsSpooled;
                         }
                         ServeMetrics::instance().spooled.inc();
+                    } else {
+                        // A spool failure (disk full, ...) must not
+                        // take the live path down: the reply still
+                        // goes out, only the crash-recovery guarantee
+                        // is lost.  Counted, and logged once on the
+                        // healthy→degraded transition.
+                        bool first;
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                sessionsMutex_);
+                            first = stats_.resultsSpoolFailed == 0;
+                            ++stats_.resultsSpoolFailed;
+                        }
+                        ServeMetrics::instance().spoolFailed.inc();
+                        if (first)
+                            std::fprintf(
+                                stderr,
+                                "emprof_served: result spool append "
+                                "failed (%s); serving non-durably\n",
+                                spool_error.c_str());
                     }
-                    // A spool failure (disk full, ...) must not take
-                    // the live path down: the reply still goes out,
-                    // only the crash-recovery guarantee is lost.
                 }
                 // Account the completion BEFORE the reply leaves the
                 // socket: a client that has its Report in hand must
@@ -972,6 +1221,250 @@ Server::pump(std::shared_ptr<Session> session)
     } catch (const std::exception &e) {
         return abandon(ErrorCode::Internal,
                        std::string("analysis failed: ") + e.what());
+    }
+}
+
+LoadSnapshot
+Server::currentSnapshot()
+{
+    LoadSnapshot snap;
+    snap.queueBytes = lastQueueBytes_;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        snap.activeSessions = stats_.sessionsActive;
+        snap.parked = parked_.size();
+        // Sessions (incl. pre-Open connections) + listeners + the
+        // wake pipe and the emergency reserve.
+        snap.connections =
+            sessions_.size() + listeners_.size() + 3;
+    }
+    snap.poolQueueDepth = pool_ ? pool_->queueDepth() : 0;
+    return snap;
+}
+
+HealthState
+Server::healthStateNow() const
+{
+    if (stopping_.load())
+        return HealthState::Draining;
+    switch (lastLevel_) {
+    case LoadGovernor::Level::Hard:
+        return HealthState::Shedding;
+    case LoadGovernor::Level::Soft:
+        return HealthState::Backoff;
+    case LoadGovernor::Level::Normal:
+        break;
+    }
+    return HealthState::Live;
+}
+
+void
+Server::shedSession(const std::shared_ptr<Session> &session,
+                    ErrorCode code, const std::string &message,
+                    uint32_t retryAfterMs)
+{
+    bool pump_owns;
+    {
+        std::lock_guard<std::mutex> qlock(session->mutex);
+        pump_owns = session->taskInFlight || session->finishRequested;
+        if (pump_owns) {
+            session->shedCode = static_cast<uint32_t>(code);
+            session->shedMessage = message;
+            session->shedRetryAfterMs = retryAfterMs;
+        }
+    }
+    if (pump_owns) {
+        // The pump owns the socket; its abort path replies with the
+        // typed error above.  (If it instead completes the report
+        // first, better still — nothing was lost.)
+        session->aborted.store(true);
+        return;
+    }
+    if (!session->replied.exchange(true)) {
+        setSendTimeoutMs(session->fd, kShedWriteTimeoutMs);
+        const auto payload =
+            code == ErrorCode::RetryAfter
+                ? encodeRetryAfterPayload(retryAfterMs, message)
+                : encodeErrorPayload(code, message);
+        writeFrame(session->fd, FrameType::Error, payload.data(),
+                   payload.size());
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            ++stats_.sessionsRejected;
+            if (code == ErrorCode::RetryAfter)
+                ++stats_.retryAfterSent;
+        }
+        ServeMetrics::instance().rejected.inc();
+        if (code == ErrorCode::RetryAfter)
+            ServeMetrics::instance().retryAfterSent.inc();
+    }
+    // Shed ≠ forgotten: park the pipeline so the client can resume
+    // once the storm passes, upload already half done.  (The EOF
+    // parking invariant holds here too: !pump_owns on the I/O thread
+    // means the pending queue is drained.)
+    if (session->openSeen && session->pipeline != nullptr &&
+        !session->pipeline->poisoned() && !stopping_.load())
+        parkSession(session);
+    else
+        session->closed.store(true);
+}
+
+void
+Server::enforceOverload(
+    const std::vector<std::shared_ptr<Session>> &polled)
+{
+    const bool time_checks = config_.idleTimeoutSeconds > 0 ||
+                             config_.sessionDeadlineSeconds > 0 ||
+                             config_.minRateBytesPerSec > 0;
+    const bool watermarks = config_.watermarks.anyEnabled();
+    if (!time_checks && !watermarks)
+        return; // defaults-off: strictly inert
+
+    const auto now = std::chrono::steady_clock::now();
+    const auto seconds_since = [&](
+        std::chrono::steady_clock::time_point t) {
+        return std::chrono::duration<double>(now - t).count();
+    };
+
+    if (time_checks) {
+        for (const auto &s : polled) {
+            // aborted = a verdict is already pending on the pump's
+            // abort path; re-shedding every tick until a starved pump
+            // gets scheduled would count the same session dozens of
+            // times over.
+            if (s->closed.load() || s->replied.load() ||
+                s->aborted.load())
+                continue;
+            bool pump_owns;
+            bool finish_requested;
+            {
+                std::lock_guard<std::mutex> qlock(s->mutex);
+                pump_owns = s->taskInFlight || s->finishRequested;
+                finish_requested = s->finishRequested;
+            }
+            const bool server_side_stall = pump_owns || s->suspended;
+            if (server_side_stall) {
+                // Analysis or backpressure is the bottleneck — our
+                // doing, not the client's.  Restart the idle clock so
+                // the silence is never held against it.
+                s->lastProgressAt = now;
+            }
+            // The rate window, by contrast, pauses only while reads
+            // are off (backpressure) or the upload is over (Finish
+            // queued).  A pump merely in flight does not stop bytes
+            // arriving — and a trickler's sips keep one in flight at
+            // almost every tick, so excusing it would let slow-loris
+            // reset the window indefinitely.
+            if (s->suspended || finish_requested) {
+                s->rateWindowStart = now;
+                s->rateWindowBase = s->socketBytesRead;
+            }
+
+            // The wall-clock deadline binds regardless of whose
+            // fault the elapsed time is.
+            if (config_.sessionDeadlineSeconds > 0 &&
+                seconds_since(s->openedAt) >=
+                    config_.sessionDeadlineSeconds) {
+                {
+                    std::lock_guard<std::mutex> lock(sessionsMutex_);
+                    ++stats_.sessionsTimedOut;
+                }
+                ServeMetrics::instance().timedOut.inc();
+                shedSession(s, ErrorCode::IdleTimeout,
+                            "session deadline exceeded", 0);
+                continue;
+            }
+
+            if (!server_side_stall &&
+                config_.idleTimeoutSeconds > 0 &&
+                seconds_since(s->lastProgressAt) >=
+                    config_.idleTimeoutSeconds) {
+                {
+                    std::lock_guard<std::mutex> lock(sessionsMutex_);
+                    ++stats_.sessionsTimedOut;
+                }
+                ServeMetrics::instance().timedOut.inc();
+                shedSession(s, ErrorCode::IdleTimeout,
+                            "no upload progress; parked for resume",
+                            0);
+                continue;
+            }
+
+            if (!s->suspended && !finish_requested &&
+                config_.minRateBytesPerSec > 0 && s->openSeen) {
+                const double window =
+                    config_.minRateWindowSeconds > 0
+                        ? config_.minRateWindowSeconds
+                        : 10.0;
+                const double elapsed =
+                    seconds_since(s->rateWindowStart);
+                if (elapsed >= window) {
+                    const double rate =
+                        static_cast<double>(s->socketBytesRead -
+                                            s->rateWindowBase) /
+                        elapsed;
+                    if (rate < config_.minRateBytesPerSec) {
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                sessionsMutex_);
+                            ++stats_.sessionsTimedOut;
+                        }
+                        ServeMetrics::instance().timedOut.inc();
+                        shedSession(s, ErrorCode::IdleTimeout,
+                                    "upload rate below the floor; "
+                                    "parked for resume",
+                                    0);
+                        continue;
+                    }
+                    s->rateWindowStart = now;
+                    s->rateWindowBase = s->socketBytesRead;
+                }
+            }
+        }
+    }
+
+    if (!watermarks) {
+        lastLevel_ = LoadGovernor::Level::Normal;
+        return;
+    }
+    const LoadSnapshot snap = currentSnapshot();
+    lastLevel_ = governor_.classify(snap);
+    if (lastLevel_ != LoadGovernor::Level::Hard)
+        return;
+
+    // Hard overload: shed established sessions, most-stalled first —
+    // the sessions most likely to be hostile, and whose eviction
+    // frees the most slot-time per report lost.
+    uint64_t target = governor_.shedTarget(snap);
+    if (target == 0)
+        return;
+    std::vector<std::shared_ptr<Session>> candidates;
+    for (const auto &s : polled)
+        if (!s->closed.load() && !s->replied.load() && s->openSeen &&
+            !s->aborted.load())
+            candidates.push_back(s);
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto &a, const auto &b) {
+                  return a->lastProgressAt < b->lastProgressAt;
+              });
+    const uint32_t hint = governor_.suggestedBackoffMs(snap);
+    uint64_t shed_count = 0;
+    for (const auto &s : candidates) {
+        if (shed_count >= target)
+            break;
+        shedSession(s, ErrorCode::RetryAfter,
+                    "load shed under hard watermark; resume in " +
+                        std::to_string(hint) + " ms",
+                    hint);
+        ++shed_count;
+    }
+    if (shed_count > 0) {
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            stats_.sessionsShed += shed_count;
+        }
+        ServeMetrics::instance().shed.add(
+            static_cast<int64_t>(shed_count));
     }
 }
 

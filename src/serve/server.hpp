@@ -65,6 +65,7 @@
 
 #include "common/thread_pool.hpp"
 #include "profiler/profiler.hpp"
+#include "serve/governor.hpp"
 #include "serve/spool.hpp"
 
 namespace emprof::serve {
@@ -100,11 +101,36 @@ struct ServerConfig
     uint64_t spoolRetain = 4096;
 
     /** How long a disconnected session's pipeline stays parked. */
-    uint32_t resumeTtlSeconds = 300;
+    double resumeTtlSeconds = 300;
 
     /** Concurrent parked-pipeline cap; past it the oldest is dropped
      *  (its client restarts from offset 0 — correct, just slower). */
     std::size_t maxParked = 256;
+
+    // ---- Overload hardening (all 0 = disabled: a default-configured
+    // ---- server behaves bit-for-bit as before) ----
+
+    /** Shed a session after this long with no bytes arriving on its
+     *  socket (typed ErrorCode::IdleTimeout; the pipeline is parked,
+     *  so a resume continues the upload).  Suspended (backpressured)
+     *  and analysis-owned sessions are exempt — their stall is the
+     *  server's doing, not the client's. */
+    double idleTimeoutSeconds = 0;
+
+    /** Hard wall-clock bound on a session's total lifetime, pump
+     *  state notwithstanding. */
+    double sessionDeadlineSeconds = 0;
+
+    /** Slow-sender watchdog: minimum upload rate (bytes/sec) over a
+     *  sliding window of minRateWindowSeconds; below it the session
+     *  is shed like an idle one.  Defeats slow-loris clients that
+     *  trickle just enough to dodge the idle timeout. */
+    double minRateBytesPerSec = 0;
+    double minRateWindowSeconds = 10;
+
+    /** Admission-control / load-shedding watermarks (governor.hpp);
+     *  every 0 disables that check. */
+    LoadWatermarks watermarks;
 
     /**
      * Base analysis config for every session.  sampleRateHz/clockHz
@@ -119,7 +145,8 @@ struct ServerStats
 {
     uint64_t sessionsAccepted = 0;
     uint64_t sessionsCompleted = 0; ///< Report sent (ok or degraded)
-    uint64_t sessionsRejected = 0;  ///< Error sent or connection died
+    uint64_t sessionsRejected = 0;  ///< a typed Error frame was sent
+    uint64_t sessionsAborted = 0;   ///< connection died, no reply sent
     uint64_t sessionsActive = 0;
     uint64_t bytesIngested = 0;   ///< Data payload bytes accepted
     uint64_t framesMalformed = 0; ///< frame-layer rejections
@@ -127,6 +154,16 @@ struct ServerStats
     uint64_t sessionsResumed = 0; ///< parked pipeline reattached
     uint64_t resultsSpooled = 0;  ///< reports made durable on disk
     uint64_t resultsServedFromSpool = 0; ///< resumes answered Complete
+
+    // ---- overload hardening ----
+    uint64_t sessionsTimedOut = 0; ///< idle/deadline/rate-floor sheds
+    uint64_t sessionsShed = 0;     ///< hard-watermark load sheds
+    uint64_t retryAfterSent = 0;   ///< RetryAfter rejections sent
+    uint64_t acceptFdExhausted = 0; ///< EMFILE/ENFILE on accept()
+    uint64_t resultsSpoolFailed = 0; ///< appends that degraded to
+                                     ///< non-durable serving
+    uint64_t parkedEvicted = 0; ///< maxParked pushed one out early
+    uint64_t parkedExpired = 0; ///< resume TTL ran out
 };
 
 class Server
@@ -173,10 +210,31 @@ class Server
     void pump(std::shared_ptr<Session> session);
     void schedulePump(const std::shared_ptr<Session> &session);
     void rejectAndClose(const std::shared_ptr<Session> &session,
-                        uint32_t code, const std::string &message);
+                        uint32_t code, const std::string &message,
+                        uint32_t retryAfterMs = 0);
     void parkSession(const std::shared_ptr<Session> &session);
     void purgeParked();
     void wake();
+
+    // ---- overload hardening (all I/O-thread-only) ----
+
+    /** One tick's resource picture for the LoadGovernor. */
+    LoadSnapshot currentSnapshot();
+
+    /** Idle/deadline/rate enforcement + watermark classification and
+     *  hard shedding; runs once per poll tick over @p polled. */
+    void enforceOverload(
+        const std::vector<std::shared_ptr<Session>> &polled);
+
+    /** Dispose of one session with a typed error: direct write +
+     *  park when the I/O thread owns it, via the pump's abort path
+     *  when analysis does. */
+    void shedSession(const std::shared_ptr<Session> &session,
+                     ErrorCode code, const std::string &message,
+                     uint32_t retryAfterMs);
+
+    /** The one-byte HealthRequest answer for this tick. */
+    HealthState healthStateNow() const;
 
     ServerConfig config_;
     std::unique_ptr<common::ThreadPool> pool_;
@@ -187,6 +245,23 @@ class Server
     std::vector<Listener> listeners_;
     int boundTcpPort_ = -1;
     int wakePipe_[2] = {-1, -1};
+
+    LoadGovernor governor_;
+
+    /** Reserved fd (/dev/null): on EMFILE it is released so ONE
+     *  connection can be accepted, told RetryAfter, and closed —
+     *  instead of the whole backlog starving silently. */
+    int emergencyFd_ = -1;
+
+    /** I/O-thread-only: listeners sit out of the poll set until this
+     *  instant (set on accept errors so a ready-but-unacceptable
+     *  listener cannot spin the loop hot). */
+    std::chrono::steady_clock::time_point listenerMuteUntil_{};
+
+    /** I/O-thread-only: last tick's aggregate queue bytes (feeds the
+     *  governor snapshot) and overload level (feeds healthz). */
+    std::size_t lastQueueBytes_ = 0;
+    LoadGovernor::Level lastLevel_ = LoadGovernor::Level::Normal;
 
     mutable std::mutex sessionsMutex_;
     std::vector<std::shared_ptr<Session>> sessions_;

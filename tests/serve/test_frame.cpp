@@ -232,3 +232,54 @@ TEST(Frame, ErrorPayloadRoundTrip)
     EXPECT_EQ(code, ErrorCode::Busy);
     EXPECT_EQ(message, "session limit reached");
 }
+
+TEST(Frame, RetryAfterPayloadRoundTripsTheHint)
+{
+    const auto payload =
+        encodeRetryAfterPayload(1234, "server overloaded");
+    ErrorCode code{};
+    std::string message;
+    uint32_t hintMs = 0;
+    EXPECT_TRUE(decodeErrorPayload(payload, code, message, &hintMs));
+    EXPECT_EQ(code, ErrorCode::RetryAfter);
+    EXPECT_EQ(hintMs, 1234u);
+    EXPECT_EQ(message, "server overloaded");
+}
+
+TEST(Frame, NonRetryErrorPayloadYieldsZeroHint)
+{
+    // A plain error decoded through the hint-aware overload must not
+    // invent a backoff: the hint is only present on RetryAfter.
+    const auto payload =
+        encodeErrorPayload(ErrorCode::IdleTimeout, "no progress");
+    ErrorCode code{};
+    std::string message;
+    uint32_t hintMs = 77;
+    EXPECT_TRUE(decodeErrorPayload(payload, code, message, &hintMs));
+    EXPECT_EQ(code, ErrorCode::IdleTimeout);
+    EXPECT_EQ(hintMs, 0u);
+    EXPECT_EQ(message, "no progress");
+}
+
+TEST(Frame, HealthFrameTypesAreValidV4Types)
+{
+    // v4 added HealthRequest/Health past the old top of the range; the
+    // parser must accept both (and still reject the next value up).
+    std::vector<uint8_t> bytes;
+    appendFrame(bytes, FrameType::HealthRequest, nullptr, 0);
+    const uint8_t state = static_cast<uint8_t>(HealthState::Backoff);
+    appendFrame(bytes, FrameType::Health, &state, 1);
+
+    Frame frame;
+    long consumed = parseFrame(bytes.data(), bytes.size(), frame);
+    ASSERT_GT(consumed, 0);
+    EXPECT_EQ(frame.type, FrameType::HealthRequest);
+    const std::size_t offset = static_cast<std::size_t>(consumed);
+    consumed = parseFrame(bytes.data() + offset, bytes.size() - offset,
+                          frame);
+    ASSERT_GT(consumed, 0);
+    EXPECT_EQ(frame.type, FrameType::Health);
+    ASSERT_EQ(frame.payload.size(), 1u);
+    EXPECT_EQ(frame.payload[0],
+              static_cast<uint8_t>(HealthState::Backoff));
+}

@@ -54,6 +54,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s --listen <endpoint> [options]\n"
         "       %s --scrape <endpoint>\n"
+        "       %s --healthz <endpoint>\n"
         "       %s --push <capture.emcap> --to <endpoint> "
         "[--resilient]\n"
         "\n"
@@ -83,6 +84,23 @@ usage(const char *argv0)
         "  --status-every <dur>  print a status line this often,\n"
         "                        e.g. 30s (default: off)\n"
         "\n"
+        "overload options (each 0/omitted = disabled; see DESIGN.md "
+        "§17):\n"
+        "  --idle-timeout <dur>  shed a session after this long with\n"
+        "                        no upload progress (typed IdleTimeout;\n"
+        "                        the session is parked for resume)\n"
+        "  --session-deadline <dur>  hard wall-clock cap per session\n"
+        "  --min-rate <sz>       minimum upload rate per second, e.g.\n"
+        "                        4Ki; slower senders are shed\n"
+        "  --min-rate-window <dur>  rate measurement window "
+        "(default 10s)\n"
+        "  --soft-queue <sz>     aggregate queue bytes past which new\n"
+        "                        sessions get a typed RetryAfter\n"
+        "  --hard-queue <sz>     ... past which sessions are shed\n"
+        "  --soft-sessions <n>   active sessions soft watermark\n"
+        "  --hard-sessions <n>   active sessions hard watermark\n"
+        "  --fd-budget <n>       connection budget (hard)\n"
+        "\n"
         "push options:\n"
         "  --chunk-bytes <sz>    Data frame size, e.g. 256Ki\n"
         "  --push-retries <n>    reconnect attempts on a dropped\n"
@@ -90,9 +108,10 @@ usage(const char *argv0)
         "\n"
         "exit codes: 0 ok, 1 error, 2 bad usage, 7 connection lost\n"
         "(resumable — retries exhausted); --push propagates the\n"
-        "served report status (3 = degraded result)\n"
+        "served report status (3 = degraded result); --healthz: 0\n"
+        "live, 4 backoff, 5 shedding, 6 draining\n"
         "\n%s",
-        argv0, argv0, argv0, tools::ObsCli::kUsage);
+        argv0, argv0, argv0, argv0, tools::ObsCli::kUsage);
 }
 
 const char *
@@ -121,6 +140,37 @@ runScrape(const std::string &endpointSpec)
     }
     std::fputs(text.c_str(), stdout);
     return 0;
+}
+
+int
+runHealthz(const std::string &endpointSpec)
+{
+    serve::Endpoint endpoint;
+    std::string error;
+    if (!serve::parseEndpoint(endpointSpec, endpoint, &error)) {
+        std::fprintf(stderr, "--healthz: %s\n", error.c_str());
+        return 2;
+    }
+    serve::HealthState state;
+    if (!serve::Client::health(endpoint, state, &error)) {
+        std::fprintf(stderr, "healthz failed: %s\n", error.c_str());
+        return 1;
+    }
+    switch (state) {
+    case serve::HealthState::Live:
+        std::puts("live");
+        return 0;
+    case serve::HealthState::Backoff:
+        std::puts("backoff");
+        return 4;
+    case serve::HealthState::Shedding:
+        std::puts("shedding");
+        return 5;
+    case serve::HealthState::Draining:
+        std::puts("draining");
+        return 6;
+    }
+    return 1;
 }
 
 int
@@ -179,7 +229,8 @@ int
 main(int argc, char **argv)
 {
     std::string unix_listen, tcp_listen;
-    std::string scrape_endpoint, push_capture, push_to;
+    std::string scrape_endpoint, healthz_endpoint;
+    std::string push_capture, push_to;
     bool resilient = false;
     double status_every_s = 0.0;
     std::size_t chunk_bytes = 256 * 1024;
@@ -206,6 +257,8 @@ main(int argc, char **argv)
         }
         else if (arg == "--scrape")
             scrape_endpoint = argText(argc, argv, i);
+        else if (arg == "--healthz")
+            healthz_endpoint = argText(argc, argv, i);
         else if (arg == "--push")
             push_capture = argText(argc, argv, i);
         else if (arg == "--to")
@@ -244,10 +297,51 @@ main(int argc, char **argv)
                 "--spool-retain", argText(argc, argv, i), 1,
                 uint64_t{1} << 32);
         else if (arg == "--resume-ttl")
-            config.resumeTtlSeconds =
-                static_cast<uint32_t>(tools::parseDurationFlag(
-                    "--resume-ttl", argText(argc, argv, i), 1.0,
-                    7 * 86400.0));
+            config.resumeTtlSeconds = tools::parseDurationFlag(
+                "--resume-ttl", argText(argc, argv, i), 1.0,
+                7 * 86400.0);
+        else if (arg == "--idle-timeout")
+            config.idleTimeoutSeconds = tools::parseDurationFlag(
+                "--idle-timeout", argText(argc, argv, i), 0.1,
+                86400.0);
+        else if (arg == "--session-deadline")
+            config.sessionDeadlineSeconds = tools::parseDurationFlag(
+                "--session-deadline", argText(argc, argv, i), 0.1,
+                7 * 86400.0);
+        else if (arg == "--min-rate")
+            config.minRateBytesPerSec =
+                static_cast<double>(tools::parseSizeFlag(
+                    "--min-rate", argText(argc, argv, i), 1,
+                    uint64_t{1} << 40));
+        else if (arg == "--min-rate-window")
+            config.minRateWindowSeconds = tools::parseDurationFlag(
+                "--min-rate-window", argText(argc, argv, i), 0.1,
+                3600.0);
+        else if (arg == "--soft-queue")
+            config.watermarks.softQueueBytes =
+                static_cast<std::size_t>(tools::parseSizeFlag(
+                    "--soft-queue", argText(argc, argv, i), 1,
+                    uint64_t{1} << 40));
+        else if (arg == "--hard-queue")
+            config.watermarks.hardQueueBytes =
+                static_cast<std::size_t>(tools::parseSizeFlag(
+                    "--hard-queue", argText(argc, argv, i), 1,
+                    uint64_t{1} << 40));
+        else if (arg == "--soft-sessions")
+            config.watermarks.softSessions = static_cast<std::size_t>(
+                tools::parseU64Flag("--soft-sessions",
+                                    argText(argc, argv, i), 1,
+                                    1u << 20));
+        else if (arg == "--hard-sessions")
+            config.watermarks.hardSessions = static_cast<std::size_t>(
+                tools::parseU64Flag("--hard-sessions",
+                                    argText(argc, argv, i), 1,
+                                    1u << 20));
+        else if (arg == "--fd-budget")
+            config.watermarks.fdBudget = static_cast<std::size_t>(
+                tools::parseU64Flag("--fd-budget",
+                                    argText(argc, argv, i), 8,
+                                    1u << 20));
         else if (arg == "--resilient")
             resilient = true;
         else if (arg == "--status-every")
@@ -266,13 +360,15 @@ main(int argc, char **argv)
 
     if (!scrape_endpoint.empty())
         return runScrape(scrape_endpoint);
+    if (!healthz_endpoint.empty())
+        return runHealthz(healthz_endpoint);
     if (!push_capture.empty())
         return runPush(push_capture, push_to, resilient, chunk_bytes,
                        push_retries);
 
     if (config.unixPath.empty() && config.tcpPort < 0) {
-        std::fprintf(stderr, "nothing to do: need --listen, --scrape "
-                             "or --push\n");
+        std::fprintf(stderr, "nothing to do: need --listen, --scrape, "
+                             "--healthz or --push\n");
         usage(argv[0]);
         return 2;
     }
